@@ -1,0 +1,73 @@
+"""Ablation: which trapezoid shape is best at a fixed node budget?
+
+DESIGN.md calls out the shape choice (a, b, h) as the protocol's main
+free parameter. For the canonical budget Nbnode = 8 (n = 15, k = 8) this
+bench sweeps every shape with per-level-majority quorums, reports
+write/read availability at p = 0.7, and records the ranking. The flat
+shape (pure majority) maximizes write availability, while multi-level
+shapes trade write for read availability — the trapezoid's raison d'etre.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    read_availability_erc,
+    read_availability_fr,
+    write_availability,
+)
+from repro.quorum import TrapezoidQuorum, shapes_for_nbnode
+
+N, K = 15, 8
+NBNODE = N - K + 1
+P_EVAL = 0.7
+
+
+def majority_quorum(shape) -> TrapezoidQuorum:
+    w = tuple(shape.level_size(l) // 2 + 1 for l in shape.levels)
+    return TrapezoidQuorum(shape, w)
+
+
+def sweep_shapes() -> list[dict]:
+    rows = []
+    for shape in shapes_for_nbnode(NBNODE, max_h=4):
+        quorum = majority_quorum(shape)
+        rows.append(
+            {
+                "a": shape.a,
+                "b": shape.b,
+                "h": shape.h,
+                "write": float(write_availability(quorum, P_EVAL)),
+                "read_fr": float(read_availability_fr(quorum, P_EVAL)),
+                "read_erc": float(read_availability_erc(quorum, N, K, P_EVAL)),
+            }
+        )
+    return rows
+
+
+def test_shape_ablation(benchmark, out_dir):
+    rows = benchmark(sweep_shapes)
+    assert len(rows) >= 4  # several shapes exist for Nbnode = 8
+
+    header = "a,b,h,write,read_fr,read_erc"
+    csv = "\n".join(
+        [header]
+        + [
+            f"{r['a']},{r['b']},{r['h']},{r['write']:.6f},{r['read_fr']:.6f},{r['read_erc']:.6f}"
+            for r in rows
+        ]
+    )
+    (out_dir / "ablation_shape.csv").write_text(csv + "\n")
+
+    flat = next(r for r in rows if r["h"] == 0)
+    multi = [r for r in rows if r["h"] >= 1]
+    # The flat majority maximizes write availability at this budget...
+    assert all(flat["write"] >= r["write"] - 1e-9 for r in rows)
+    # ...while some multi-level shape beats it on FR read availability.
+    assert any(r["read_fr"] > flat["read_fr"] + 1e-6 for r in multi)
+
+    # All numbers are probabilities.
+    for r in rows:
+        for key in ("write", "read_fr", "read_erc"):
+            assert 0.0 <= r[key] <= 1.0

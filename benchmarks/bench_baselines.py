@@ -1,0 +1,69 @@
+"""Baseline comparison: trapezoid vs ROWA / Majority / Grid / Tree.
+
+Places every classical quorum system from the paper's related-work
+section on (approximately) the same node budget as the calibrated
+trapezoid (8 nodes; the complete binary tree uses 7) and compares
+read/write availability across p. Expected shape: ROWA dominates reads
+and collapses on writes; Majority is symmetric; the trapezoid buys read
+availability at moderate write cost — the motivation for its design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import default_p_grid, fig_quorum
+from repro.quorum import (
+    GridSystem,
+    MajoritySystem,
+    RowaSystem,
+    TrapezoidSystem,
+    TreeSystem,
+)
+
+
+def build_systems() -> dict[str, object]:
+    return {
+        "trapezoid": TrapezoidSystem(fig_quorum()),
+        "majority-8": MajoritySystem(8),
+        "rowa-8": RowaSystem(8),
+        "grid-2x4": GridSystem(2, 4),
+        "tree-h2": TreeSystem(2),  # 7 nodes
+    }
+
+
+def sweep(p: np.ndarray) -> dict[str, dict[str, np.ndarray]]:
+    out: dict[str, dict[str, np.ndarray]] = {}
+    for name, system in build_systems().items():
+        out[name] = {
+            "write": np.asarray(system.write_availability(p), dtype=np.float64),
+            "read": np.asarray(system.read_availability(p), dtype=np.float64),
+        }
+    return out
+
+
+def test_baseline_comparison(benchmark, out_dir):
+    p = default_p_grid()
+    table = benchmark(sweep, p)
+
+    lines = ["p," + ",".join(f"{n}_write,{n}_read" for n in table)]
+    for idx, pv in enumerate(p):
+        cells = []
+        for name in table:
+            cells.append(f"{table[name]['write'][idx]:.6f}")
+            cells.append(f"{table[name]['read'][idx]:.6f}")
+        lines.append(f"{pv:.2f}," + ",".join(cells))
+    (out_dir / "baselines.csv").write_text("\n".join(lines) + "\n")
+
+    at7 = np.argmin(np.abs(p - 0.7))
+    # ROWA: best-possible reads, worst-possible writes.
+    for name in table:
+        assert table["rowa-8"]["read"][at7] >= table[name]["read"][at7] - 1e-9
+        assert table["rowa-8"]["write"][at7] <= table[name]["write"][at7] + 1e-9
+    # The trapezoid's version check beats plain majority on reads.
+    assert table["trapezoid"]["read"][at7] > table["majority-8"]["read"][at7]
+    # Everything is a probability and monotone in p.
+    for name, cols in table.items():
+        for kind, vals in cols.items():
+            assert np.all((vals >= -1e-12) & (vals <= 1 + 1e-12)), (name, kind)
+            assert np.all(np.diff(vals) >= -1e-9), (name, kind)

@@ -1,0 +1,70 @@
+"""Message-cost table: analytic budgets vs measured protocol traffic.
+
+The paper motivates ERC consistency work by network overhead; this bench
+produces the cost table for the canonical configurations and verifies
+the executable engines stay within the analytic budgets of
+:mod:`repro.analysis.cost`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    read_messages_erc_decode,
+    read_messages_erc_direct,
+    write_messages_erc,
+)
+from repro.cluster import Cluster
+from repro.core import TrapErcProtocol
+from repro.erasure import MDSCode
+from repro.quorum import TrapezoidQuorum, TrapezoidShape
+
+CONFIGS = {
+    "(9,6) levels(1,3)": (9, 6, TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)),
+    "(15,8) levels(3,5)": (15, 8, TrapezoidQuorum.uniform(TrapezoidShape(2, 3, 1), 3)),
+    "(12,8) levels(2,3)": (12, 8, TrapezoidQuorum.uniform(TrapezoidShape(1, 2, 1), 2)),
+}
+
+
+def measure(n: int, k: int, quorum) -> dict[str, int]:
+    cluster = Cluster(n)
+    proto = TrapErcProtocol(cluster, MDSCode(n, k), quorum)
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 256, size=(k, 64), dtype=np.int64).astype(np.uint8)
+    proto.initialize(data)
+    read = proto.read_block(0)
+    write = proto.write_block(0, rng.integers(0, 256, 64, dtype=np.int64).astype(np.uint8))
+    cluster.fail(0)
+    decode = proto.read_block(0)
+    assert read.success and write.success and decode.success
+    return {
+        "read": read.messages,
+        "write": write.messages,
+        "decode": decode.messages,
+    }
+
+
+def sweep_costs() -> dict[str, dict[str, int]]:
+    return {name: measure(n, k, q) for name, (n, k, q) in CONFIGS.items()}
+
+
+def test_cost_model(benchmark, out_dir):
+    measured = benchmark.pedantic(sweep_costs, rounds=1, iterations=1)
+
+    lines = ["config,op,measured,model_bound"]
+    for name, (n, k, quorum) in CONFIGS.items():
+        bounds = {
+            "read": read_messages_erc_direct(quorum)["total"],
+            "write": write_messages_erc(quorum, n, k)["total"],
+            "decode": read_messages_erc_decode(quorum, n, k)["total"],
+        }
+        for op, value in measured[name].items():
+            assert value <= bounds[op], (name, op, value, bounds[op])
+            lines.append(f"{name},{op},{value},{bounds[op]}")
+    (out_dir / "cost_model.csv").write_text("\n".join(lines) + "\n")
+
+    # The healthy read is far cheaper than the degraded decode read — the
+    # overhead the paper's introduction attributes to ERC schemes.
+    for name in CONFIGS:
+        assert measured[name]["decode"] > measured[name]["read"]

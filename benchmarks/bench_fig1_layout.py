@@ -1,0 +1,20 @@
+"""Figure 1: the trapezoid layout illustration (Nbnode = 15, s_l = 2l+3).
+
+Regenerates the layout rendering and asserts the structural facts the
+figure conveys: three levels of sizes 3/5/7 summing to 15 nodes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import fig1_layout
+from repro.quorum import TrapezoidShape, shapes_for_nbnode
+
+
+def test_fig1_layout(benchmark, out_dir):
+    art = benchmark(fig1_layout)
+    shape = TrapezoidShape(2, 3, 2)
+    assert shape.level_sizes == (3, 5, 7)
+    assert shape.total_nodes == 15
+    assert shape in shapes_for_nbnode(15)
+    assert "l=0" in art and "l=1" in art and "l=2" in art
+    (out_dir / "fig1_layout.txt").write_text(art + "\n")

@@ -1,0 +1,41 @@
+"""Figure 2: TRAP-ERC write availability vs node availability p.
+
+Regenerates the family of curves over the eq.-16 parameter w (1..s_1)
+for the calibrated n = 15 configuration, cross-checks the closed form
+against Monte Carlo, and records the paper's qualitative claims:
+
+* write availability is identical for TRAP-FR and TRAP-ERC (eqs. 8-9),
+* for usual availabilities (p > 0.9) the write availability is high and
+  barely affected by the trapezoid parameters (for moderate w).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import fig2_series, fig_quorum
+from repro.analysis import write_availability
+from repro.sim import mc_write_availability
+
+
+def test_fig2_series(benchmark, out_dir):
+    series = benchmark(fig2_series)
+    series.to_csv(out_dir / "fig2.csv")
+
+    # Monotone in p, anti-monotone in w.
+    for label, col in series.columns.items():
+        assert np.all(np.diff(col) >= -1e-12), label
+    p_mid = np.argmin(np.abs(series.x - 0.7))
+    values = [series.columns[f"w={w}"][p_mid] for w in range(1, 6)]
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    # Paper: at usual p (>= 0.9) availability is high for moderate w.
+    p_hi = np.argmin(np.abs(series.x - 0.9))
+    for w in (1, 2, 3):
+        assert series.columns[f"w={w}"][p_hi] > 0.95
+
+
+def test_fig2_closed_form_vs_mc():
+    quorum = fig_quorum(3)
+    est = mc_write_availability(quorum, 0.7, trials=40_000, rng=0)
+    assert est.contains(float(write_availability(quorum, 0.7)), z=4)

@@ -1,0 +1,37 @@
+"""Figure 4: TRAP-ERC read availability for growing redundancy n - k.
+
+Regenerates the curve family (n = 15 fixed, k swept down, per-level
+majority write quorums) and checks the paper's claim that more redundant
+blocks yield better read availability — strictly for p >= 0.3, within a
+0.5% tolerance below that (discrete shape changes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import fig4_series
+
+
+def test_fig4_series(benchmark, out_dir):
+    series = benchmark(fig4_series)
+    series.to_csv(out_dir / "fig4.csv")
+    labels = list(series.columns)
+    assert labels == ["n-k=3", "n-k=5", "n-k=7", "n-k=9", "n-k=11"]
+
+    for label in labels:
+        col = series.columns[label]
+        assert np.all(np.diff(col) >= -1e-9), f"{label} not monotone in p"
+
+    mid = series.x >= 0.3
+    for prev, cur in zip(labels, labels[1:]):
+        assert np.all(
+            series.columns[cur][mid] >= series.columns[prev][mid] - 1e-9
+        ), f"{cur} below {prev} for p >= 0.3"
+        assert np.all(
+            series.columns[cur] >= series.columns[prev] - 0.005
+        ), f"{cur} below {prev} beyond tolerance"
+
+    # The spread is substantial at p = 0.5 (the figure's visual message).
+    at_half = np.argmin(np.abs(series.x - 0.5))
+    assert series.columns["n-k=11"][at_half] - series.columns["n-k=3"][at_half] > 0.3

@@ -1,0 +1,37 @@
+"""Figure 5: storage used / blocksize for TRAP-ERC vs TRAP-FR, n = 15.
+
+Regenerates eqs. 14-15 across k and records the anchor the prose quotes
+(k = 8: FR stores 8 blocks) alongside the eq.-15 value (ERC stores
+1.875), noting the prose's internal inconsistency ("4 blocks / 50%").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import storage_saving
+from repro.bench.figures import fig5_series
+
+
+def test_fig5_series(benchmark, out_dir):
+    series = benchmark(fig5_series)
+    series.to_csv(out_dir / "fig5.csv")
+    erc = series.columns["TRAP-ERC (n/k)"]
+    fr = series.columns["TRAP-FR (n-k+1)"]
+
+    k8 = np.argmin(np.abs(series.x - 8))
+    assert fr[k8] == pytest.approx(8.0)  # the paper's quoted FR value
+    assert erc[k8] == pytest.approx(15 / 8)  # eq. 15 (prose says "4")
+
+    # ERC never exceeds FR; both decrease with k; ERC -> 1 as k -> n.
+    assert np.all(erc <= fr + 1e-12)
+    assert np.all(np.diff(erc) < 0)
+    assert np.all(np.diff(fr) < 0)
+    assert erc[-1] == pytest.approx(15 / 14)
+
+
+def test_fig5_saving_at_k8():
+    # The prose claims 50% saving at k = 8; eqs. 14-15 give ~77%.
+    assert storage_saving(15, 8) == pytest.approx(1 - (15 / 8) / 8, abs=1e-12)
+    assert storage_saving(15, 8) > 0.7

@@ -1,0 +1,100 @@
+"""Performance benchmarks of the computational substrates.
+
+Not a paper figure: throughput sanity for the GF(2^8) kernel, the erasure
+codec, and the Monte-Carlo estimators, so regressions in the hot paths
+are visible (`pytest benchmarks/ --benchmark-only`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig_quorum
+from repro.erasure import MDSCode, plan_update
+from repro.gf import GF256, inverse, matmul
+from repro.sim import mc_read_availability_erc, mc_write_availability
+
+BLOCK = 1 << 16  # 64 KiB blocks: realistic storage-chunk size
+
+
+@pytest.fixture(scope="module")
+def code96() -> MDSCode:
+    return MDSCode(9, 6)
+
+
+@pytest.fixture(scope="module")
+def data96() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 256, size=(6, BLOCK), dtype=np.int64).astype(np.uint8)
+
+
+class TestGFKernels:
+    def test_scalar_mul_64k(self, benchmark):
+        rng = np.random.default_rng(1)
+        vec = GF256.random_elements(rng, BLOCK)
+        out = benchmark(GF256.scalar_mul, 37, vec)
+        assert out.shape == (BLOCK,)
+
+    def test_addmul_into_64k(self, benchmark):
+        rng = np.random.default_rng(2)
+        src = GF256.random_elements(rng, BLOCK)
+        dst = GF256.random_elements(rng, BLOCK)
+
+        def kernel():
+            GF256.addmul_into(dst, 91, src)
+
+        benchmark(kernel)
+
+    def test_dot_6x64k(self, benchmark):
+        rng = np.random.default_rng(3)
+        coeffs = GF256.random_elements(rng, 6, nonzero=True)
+        vectors = GF256.random_elements(rng, (6, BLOCK))
+        out = benchmark(GF256.dot, coeffs, vectors)
+        assert out.shape == (BLOCK,)
+
+    def test_matrix_inverse_8x8(self, benchmark):
+        rng = np.random.default_rng(4)
+        while True:
+            a = GF256.random_elements(rng, (8, 8))
+            try:
+                inverse(GF256, a)
+                break
+            except Exception:
+                continue
+        inv = benchmark(inverse, GF256, a)
+        assert np.array_equal(matmul(GF256, a, inv), np.eye(8, dtype=np.uint8))
+
+
+class TestErasureCodec:
+    def test_encode_9_6(self, benchmark, code96, data96):
+        stripe = benchmark(code96.encode, data96)
+        assert stripe.shape == (9, BLOCK)
+
+    def test_decode_9_6_with_losses(self, benchmark, code96, data96):
+        stripe = code96.encode(data96)
+        keep = [1, 2, 4, 5, 7, 8]  # lose blocks 0, 3, 6
+        out = benchmark(code96.decode, keep, stripe[keep])
+        assert np.array_equal(out, data96)
+
+    def test_delta_update_plan(self, benchmark, code96, data96):
+        rng = np.random.default_rng(5)
+        new_block = rng.integers(0, 256, BLOCK, dtype=np.int64).astype(np.uint8)
+        plan = benchmark(plan_update, code96, 2, data96[2], new_block)
+        assert plan.touched_blocks() == 4
+
+    def test_repair_single_node(self, benchmark, code96, data96):
+        stripe = code96.encode(data96)
+        survivors = list(range(1, 9))
+        out = benchmark(code96.repair, [0], survivors, stripe[survivors])
+        assert np.array_equal(out[0], stripe[0])
+
+
+class TestMonteCarloThroughput:
+    def test_mc_write_100k(self, benchmark):
+        est = benchmark(mc_write_availability, fig_quorum(), 0.7, 100_000, 7)
+        assert 0 < est.mean < 1
+
+    def test_mc_read_erc_100k(self, benchmark):
+        est = benchmark(mc_read_availability_erc, fig_quorum(), 15, 8, 0.7, 100_000, 8)
+        assert 0 < est.mean < 1

@@ -1,0 +1,84 @@
+"""Protocol operation benchmarks: Algorithms 1-2 end to end.
+
+Measures coordinator-side latency (RPC fabric included) of writes, direct
+reads, and decode-path reads on a healthy and a degraded (9, 6) stripe,
+plus the per-operation message counts the paper's introduction worries
+about (update cost of ERC schemes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import ReadCase, TrapErcProtocol, TrapFrProtocol
+from repro.erasure import MDSCode, update_io_cost
+from repro.quorum import TrapezoidQuorum, TrapezoidShape
+
+BLOCK = 4096
+
+
+@pytest.fixture()
+def erc_setup():
+    cluster = Cluster(9)
+    quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+    proto = TrapErcProtocol(cluster, MDSCode(9, 6), quorum)
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, size=(6, BLOCK), dtype=np.int64).astype(np.uint8)
+    proto.initialize(data)
+    return cluster, proto, rng
+
+
+class TestErcOperations:
+    def test_write_block(self, benchmark, erc_setup):
+        _, proto, rng = erc_setup
+        value = rng.integers(0, 256, BLOCK, dtype=np.int64).astype(np.uint8)
+        result = benchmark(proto.write_block, 0, value)
+        assert result.success
+
+    def test_read_direct(self, benchmark, erc_setup):
+        _, proto, _ = erc_setup
+        result = benchmark(proto.read_block, 0)
+        assert result.success and result.case == ReadCase.DIRECT
+
+    def test_read_decode_path(self, benchmark, erc_setup):
+        cluster, proto, _ = erc_setup
+        cluster.fail(0)
+        result = benchmark(proto.read_block, 0)
+        assert result.success and result.case == ReadCase.DECODE
+
+    def test_write_message_cost_matches_model(self, erc_setup):
+        _, proto, rng = erc_setup
+        value = rng.integers(0, 256, BLOCK, dtype=np.int64).astype(np.uint8)
+        result = proto.write_block(0, value)
+        # Algorithm 1 = one embedded read + one RPC per group node; the
+        # group has n - k + 1 = 4 nodes (the update_io_cost write count).
+        assert result.success
+        cost = update_io_cost(9, 6)
+        assert result.messages >= 2 * cost["writes"]
+
+
+class TestFrOperations:
+    def test_fr_write_block(self, benchmark):
+        cluster = Cluster(9)
+        quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+        proto = TrapFrProtocol(cluster, 9, 6, quorum)
+        rng = np.random.default_rng(1)
+        proto.initialize(
+            rng.integers(0, 256, size=(6, BLOCK), dtype=np.int64).astype(np.uint8)
+        )
+        value = rng.integers(0, 256, BLOCK, dtype=np.int64).astype(np.uint8)
+        result = benchmark(proto.write_block, 0, value)
+        assert result.success
+
+    def test_fr_read_block(self, benchmark):
+        cluster = Cluster(9)
+        quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+        proto = TrapFrProtocol(cluster, 9, 6, quorum)
+        rng = np.random.default_rng(2)
+        proto.initialize(
+            rng.integers(0, 256, size=(6, BLOCK), dtype=np.int64).astype(np.uint8)
+        )
+        result = benchmark(proto.read_block, 0)
+        assert result.success

@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite.
+
+Every figure bench writes its regenerated series to ``results/`` so the
+data survives the pytest-benchmark output capture; run
+``python -m repro.bench`` to print all tables directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import results_dir
+
+
+@pytest.fixture(scope="session")
+def out_dir():
+    return results_dir()

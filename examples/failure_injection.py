@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""History-model failure injection: beyond the paper's snapshot analysis.
+
+Drives one (7, 4) TRAP-ERC stripe through an exponential failure/repair
+trace (per-node availability 0.75) with a Poisson operation stream, and
+contrasts three regimes:
+
+* snapshot prediction — the paper's closed forms at p = 0.75,
+* trace-driven, no repair — recovered nodes stay stale and the usable
+  quorum pool shrinks over time,
+* trace-driven with anti-entropy every 20 time units.
+
+Strict consistency (reads never return stale acknowledged data) holds in
+all regimes; what changes is *availability*.
+
+Run:  python examples/failure_injection.py
+"""
+
+from repro.analysis import exact_read_erc, write_availability
+from repro.cluster import exponential_trace
+from repro.quorum import TrapezoidQuorum, TrapezoidShape
+from repro.sim import TraceSimConfig, TraceSimulation
+
+N, K = 7, 4
+QUORUM = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+HORIZON = 1200.0
+MTBF, MTTR = 30.0, 10.0  # availability = 30 / 40 = 0.75
+
+
+def main() -> None:
+    p = MTBF / (MTBF + MTTR)
+    print(f"Stripe: (n={N}, k={K}), trapezoid levels {QUORUM.shape.level_sizes}, "
+          f"w={QUORUM.w}")
+    print(f"Failure process: Exp(MTBF={MTBF}) up / Exp(MTTR={MTTR}) down "
+          f"-> long-run p = {p:.2f}")
+    print()
+
+    print("Snapshot-model prediction at p = %.2f:" % p)
+    print(f"  write availability (eq. 9): {float(write_availability(QUORUM, p)):.4f}")
+    print(f"  read availability (exact Alg. 2): "
+          f"{float(exact_read_erc(QUORUM, N, K, p)):.4f}")
+    print()
+
+    results = {}
+    for label, repair_interval in [("no repair", None), ("repair every 20", 20.0)]:
+        trace = exponential_trace(N, MTBF, MTTR, HORIZON, rng=5)
+        config = TraceSimConfig(
+            horizon=HORIZON,
+            op_rate=2.0,
+            read_fraction=0.5,
+            repair_interval=repair_interval,
+        )
+        tally = TraceSimulation(N, K, QUORUM, trace, config, rng=6).run()
+        results[label] = tally
+        read_est = tally.read_availability()
+        write_est = tally.write_availability()
+        print(f"Trace-driven ({label}):")
+        print(f"  reads : {tally.reads_succeeded}/{tally.reads_attempted} "
+              f"-> {read_est.mean:.4f} {read_est.ci95()}")
+        print(f"  writes: {tally.writes_succeeded}/{tally.writes_attempted} "
+              f"-> {write_est.mean:.4f} {write_est.ci95()}")
+        print(f"  decode fraction of successful reads: {tally.decode_fraction():.3f}")
+        print(f"  repairs performed: {tally.repairs}")
+        print(f"  consistency violations: {tally.consistency_violations}")
+        print()
+
+    gain = (
+        results["repair every 20"].read_availability().mean
+        - results["no repair"].read_availability().mean
+    )
+    print(f"Anti-entropy read-availability gain: {gain:+.4f}")
+    print("The snapshot model is an upper bound: staleness after recovery")
+    print("costs availability unless a repair process closes the gap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, which breaks PEP-517
+editable installs; with this shim ``pip install -e . --no-build-isolation
+--no-use-pep517`` (and plain ``pip install -e .`` on newer toolchains)
+works everywhere. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

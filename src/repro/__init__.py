@@ -1,0 +1,67 @@
+"""repro: reproduction of the TRAP-ERC trapezoid quorum protocol.
+
+Library implementing and evaluating the protocol from
+
+    Relaza, Jorda, M'zoughi. "Trapezoid Quorum Protocol Dedicated to
+    Erasure Resilient Coding Based Schemes." IPDPSW 2015 (DPDNS), pp.
+    1082-1088.
+
+Subpackages
+-----------
+``repro.gf``
+    GF(2^w) arithmetic and linear algebra (substrate for erasure coding).
+``repro.erasure``
+    Systematic (n, k) MDS erasure codes with incremental delta updates.
+``repro.quorum``
+    Quorum-system geometry: the trapezoid layout plus ROWA / Majority /
+    Grid / Tree baselines.
+``repro.analysis``
+    Closed-form availability and storage analysis (the paper's section IV)
+    plus exact enumeration ground truth.
+``repro.cluster``
+    Simulated fail-stop storage cluster (nodes, network, failure models,
+    discrete-event engine).
+``repro.core``
+    The protocol engines: TRAP-ERC (Algorithms 1-2) and TRAP-FR.
+``repro.sim``
+    Monte-Carlo and trace-driven evaluation, workload generators, metrics.
+``repro.storage``
+    Virtual-disk middleware on top of the protocol (the paper's motivating
+    VM-storage use case).
+``repro.bench``
+    Data-series generators regenerating each figure of the paper.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    CodeError,
+    ConfigurationError,
+    ConsistencyError,
+    DecodeError,
+    FieldError,
+    NodeUnavailableError,
+    QuorumError,
+    ReadQuorumError,
+    ReproError,
+    SimulationError,
+    SingularMatrixError,
+    StaleNodeError,
+    WriteQuorumError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "FieldError",
+    "SingularMatrixError",
+    "CodeError",
+    "DecodeError",
+    "QuorumError",
+    "WriteQuorumError",
+    "ReadQuorumError",
+    "NodeUnavailableError",
+    "StaleNodeError",
+    "ConsistencyError",
+    "SimulationError",
+]

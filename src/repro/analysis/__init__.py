@@ -1,0 +1,79 @@
+"""Closed-form analysis of the trapezoid protocol (DESIGN.md S4).
+
+The paper's section IV, vectorized over node availability p: the Φ
+combinator (eq. 7), write availability (eqs. 8-9), read availability for
+TRAP-FR (eq. 10) and TRAP-ERC (eq. 13), storage accounting (eqs. 14-15),
+plus exact-enumeration ground truth for validating the published formulas.
+"""
+
+from repro.analysis.availability import (
+    erc_betas_lambdas,
+    read_availability_erc,
+    read_availability_erc_terms,
+    read_availability_fr,
+    validate_erc_geometry,
+    write_availability,
+)
+from repro.analysis.exact import (
+    counts_to_probability,
+    exact_availability,
+    exact_read_erc,
+    subset_counts,
+)
+from repro.analysis.cost import (
+    expected_read_check_polls,
+    quorum_size_summary,
+    read_messages_erc_decode,
+    read_messages_erc_direct,
+    write_messages_erc,
+)
+from repro.analysis.optimizer import ConfigPoint, OptimizationResult, optimize_config
+from repro.analysis.phi import at_least, exactly, phi
+from repro.analysis.recovery import (
+    node_repair_bill,
+    repair_amplification,
+    repair_traffic_erc,
+    repair_traffic_fr,
+)
+from repro.analysis.storage import (
+    storage_erc,
+    storage_fr,
+    storage_saving,
+    storage_series,
+    stripe_storage_erc,
+    stripe_storage_fr,
+)
+
+__all__ = [
+    "phi",
+    "at_least",
+    "exactly",
+    "write_messages_erc",
+    "read_messages_erc_direct",
+    "read_messages_erc_decode",
+    "expected_read_check_polls",
+    "quorum_size_summary",
+    "ConfigPoint",
+    "OptimizationResult",
+    "optimize_config",
+    "repair_traffic_erc",
+    "repair_traffic_fr",
+    "repair_amplification",
+    "node_repair_bill",
+    "write_availability",
+    "read_availability_fr",
+    "read_availability_erc",
+    "read_availability_erc_terms",
+    "erc_betas_lambdas",
+    "validate_erc_geometry",
+    "exact_availability",
+    "exact_read_erc",
+    "subset_counts",
+    "counts_to_probability",
+    "storage_fr",
+    "storage_erc",
+    "storage_saving",
+    "storage_series",
+    "stripe_storage_fr",
+    "stripe_storage_erc",
+]

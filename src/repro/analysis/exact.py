@@ -1,0 +1,138 @@
+"""Exact snapshot-model availability by enumeration (ground truth).
+
+The paper's closed forms assume the *snapshot model*: every node is
+independently alive with probability p and every alive node holds the
+latest version. Under that model the availability of any protocol is a
+polynomial in p that can be computed exactly by enumerating alive-subsets.
+
+This module provides that ground truth:
+
+* :func:`exact_availability` — any :class:`QuorumSystem` predicate,
+* :func:`exact_read_erc` — the full Algorithm-2 read predicate of TRAP-ERC,
+  including the two effects the paper's eq. (13) simplifies away (the
+  version-check requirement inside P2 and the overlap between check and
+  decode node sets).
+
+Enumeration is over the n - k + 1 trapezoid nodes only: the k - 1 data
+nodes outside the trapezoid influence reads solely through their alive
+*count*, which is binomial and independent, so they are folded in
+analytically. That keeps the cost at 2^(n-k+1) predicate evaluations even
+for large k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.availability import validate_erc_geometry
+from repro.errors import ConfigurationError
+from repro.quorum.base import QuorumSystem
+from repro.quorum.trapezoid import TrapezoidQuorum
+
+__all__ = [
+    "subset_counts",
+    "counts_to_probability",
+    "exact_availability",
+    "exact_read_erc",
+]
+
+_MAX_ENUM_NODES = 24
+
+
+def subset_counts(num_nodes: int, predicate) -> np.ndarray:
+    """counts[c] = number of alive-subsets of size c satisfying ``predicate``.
+
+    ``predicate`` receives a frozenset of alive positions.
+    """
+    if not 0 <= num_nodes <= _MAX_ENUM_NODES:
+        raise ConfigurationError(
+            f"enumeration supports up to {_MAX_ENUM_NODES} nodes, got {num_nodes}"
+        )
+    counts = np.zeros(num_nodes + 1, dtype=np.int64)
+    for mask in range(1 << num_nodes):
+        alive = frozenset(i for i in range(num_nodes) if mask >> i & 1)
+        if predicate(alive):
+            counts[len(alive)] += 1
+    return counts
+
+
+def counts_to_probability(counts: np.ndarray, num_nodes: int, p) -> np.ndarray:
+    """sum_c counts[c] p^c (1-p)^(num_nodes-c), vectorized over p."""
+    p = np.asarray(p, dtype=np.float64)
+    out = np.zeros_like(p)
+    for c, cnt in enumerate(counts):
+        if cnt:
+            out = out + cnt * p**c * (1.0 - p) ** (num_nodes - c)
+    return out
+
+
+def exact_availability(system: QuorumSystem, p, kind: str = "write") -> np.ndarray:
+    """Exact availability of a quorum predicate under the snapshot model."""
+    if kind == "write":
+        predicate = system.is_write_quorum
+    elif kind == "read":
+        predicate = system.is_read_quorum
+    else:
+        raise ConfigurationError(f"kind must be 'read' or 'write', got {kind!r}")
+    counts = subset_counts(system.size, predicate)
+    return counts_to_probability(counts, system.size, p)
+
+
+def exact_read_erc(quorum: TrapezoidQuorum, n: int, k: int, p) -> np.ndarray:
+    """Exact Algorithm-2 read availability of TRAP-ERC (snapshot model).
+
+    The read of data block b_i succeeds iff
+
+    1. some trapezoid level l has at least r_l alive members
+       (the version check of Algorithm 2 lines 11-30), AND
+    2. either N_i is alive (direct read, Case 1), or at least k nodes among
+       the other n - 1 are alive (decode, Case 2).
+
+    Trapezoid positions: 0 = N_i (level 0), 1.. = the n - k parity nodes in
+    level order. The k - 1 non-trapezoid data nodes enter only via their
+    binomial alive count.
+    """
+    validate_erc_geometry(quorum, n, k)
+    p = np.asarray(p, dtype=np.float64)
+    shape = quorum.shape
+    nb = shape.total_nodes  # n - k + 1
+    if nb > _MAX_ENUM_NODES:
+        raise ConfigurationError(
+            f"trapezoid of {nb} nodes exceeds the enumeration limit {_MAX_ENUM_NODES}"
+        )
+
+    level_of = [shape.level_of(pos) for pos in range(nb)]
+    r = [quorum.r(l) for l in shape.levels]
+
+    # counts_direct[c]   : check-passing patterns with N_i alive, |T| = c
+    # counts_decode[c]   : check-passing patterns with N_i dead,  |T| = c
+    #                      (then T contains only parity nodes)
+    counts_direct = np.zeros(nb + 1, dtype=np.int64)
+    counts_decode = np.zeros(nb + 1, dtype=np.int64)
+    for mask in range(1 << nb):
+        level_counts = [0] * (shape.h + 1)
+        size = 0
+        for pos in range(nb):
+            if mask >> pos & 1:
+                level_counts[level_of[pos]] += 1
+                size += 1
+        if not any(c >= r[l] for l, c in enumerate(level_counts)):
+            continue
+        if mask & 1:  # position 0 = N_i
+            counts_direct[size] += 1
+        else:
+            counts_decode[size] += 1
+
+    out = counts_to_probability(counts_direct, nb, p)
+    # Decode branch: alive parities t must be topped up to k by the other
+    # k - 1 data nodes: P(Bin(k-1, p) >= k - t).
+    for t, cnt in enumerate(counts_decode):
+        if not cnt:
+            continue
+        if t >= k:
+            top_up = np.ones_like(p)
+        else:
+            top_up = stats.binom.sf(k - t - 1, k - 1, p)
+        out = out + cnt * p**t * (1.0 - p) ** (nb - t) * top_up
+    return out

@@ -1,0 +1,122 @@
+"""Configuration optimizer: pick (shape, w) for a deployment target.
+
+The protocol leaves three knobs free — the trapezoid shape (a, b, h) and
+the write-quorum vector — and the paper's figures show they matter. Given
+(n, k) and an expected node availability p, this module searches the
+whole configuration space and returns the frontier:
+
+* ``best_for_writes``   — argmax write availability (eq. 9),
+* ``best_for_reads``    — argmax exact Algorithm-2 read availability,
+* ``best_balanced``     — argmax of min(read, write),
+* the full Pareto front of (write, read) pairs.
+
+Exact read availability (not eq. 13) is used so the optimizer is not
+misled by the approximation's overshoot at high redundancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.analysis.availability import write_availability
+from repro.analysis.exact import exact_read_erc
+from repro.errors import ConfigurationError
+from repro.quorum.trapezoid import TrapezoidQuorum, TrapezoidShape, shapes_for_nbnode
+
+__all__ = ["ConfigPoint", "OptimizationResult", "optimize_config"]
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    """One evaluated configuration."""
+
+    shape: TrapezoidShape
+    w: tuple[int, ...]
+    write: float
+    read: float
+
+    @property
+    def balanced(self) -> float:
+        return min(self.write, self.read)
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Winners plus the Pareto front over all evaluated configurations."""
+
+    best_for_writes: ConfigPoint
+    best_for_reads: ConfigPoint
+    best_balanced: ConfigPoint
+    pareto: tuple[ConfigPoint, ...]
+    evaluated: int
+
+
+def _w_vectors(shape: TrapezoidShape, max_vectors: int) -> list[tuple[int, ...]]:
+    """Candidate write-quorum vectors: the eq.-16 uniform family plus the
+    full per-level product when small enough."""
+    w0 = shape.b // 2 + 1
+    if shape.h == 0:
+        return [(w0,)]
+    uniform = [
+        (w0,) + (w,) * shape.h for w in range(1, shape.level_size(1) + 1)
+    ]
+    ranges = [range(1, shape.level_size(l) + 1) for l in range(1, shape.h + 1)]
+    total = 1
+    for r in ranges:
+        total *= len(r)
+    if total <= max_vectors:
+        full = [(w0,) + combo for combo in product(*ranges)]
+        return sorted(set(uniform) | set(full))
+    return uniform
+
+
+def optimize_config(
+    n: int,
+    k: int,
+    p: float,
+    *,
+    max_h: int = 3,
+    max_vectors: int = 512,
+) -> OptimizationResult:
+    """Search every (shape, w) for the (n, k) group at availability p."""
+    if not 0.0 < p < 1.0:
+        raise ConfigurationError(f"p must be in (0, 1), got {p}")
+    nbnode = n - k + 1
+    if nbnode < 1:
+        raise ConfigurationError(f"invalid (n={n}, k={k})")
+    points: list[ConfigPoint] = []
+    for shape in shapes_for_nbnode(nbnode, max_h=max_h):
+        for w in _w_vectors(shape, max_vectors):
+            quorum = TrapezoidQuorum(shape, w)
+            points.append(
+                ConfigPoint(
+                    shape=shape,
+                    w=w,
+                    write=float(write_availability(quorum, p)),
+                    read=float(exact_read_erc(quorum, n, k, p)),
+                )
+            )
+    if not points:
+        raise ConfigurationError(f"no configurations exist for Nbnode={nbnode}")
+
+    pareto: list[ConfigPoint] = []
+    for cand in points:
+        dominated = any(
+            (o.write >= cand.write and o.read >= cand.read)
+            and (o.write > cand.write or o.read > cand.read)
+            for o in points
+        )
+        if not dominated:
+            pareto.append(cand)
+    pareto.sort(key=lambda c: (-c.write, -c.read))
+
+    return OptimizationResult(
+        best_for_writes=max(points, key=lambda c: (c.write, c.read)),
+        best_for_reads=max(points, key=lambda c: (c.read, c.write)),
+        best_balanced=max(points, key=lambda c: (c.balanced, c.write + c.read)),
+        pareto=tuple(pareto),
+        evaluated=len(points),
+    )

@@ -1,0 +1,58 @@
+"""The paper's Φ notation (eq. 7), vectorized over node availability p.
+
+    Φ_z(i, j) = sum_{m=i..j} C(z, m) p^m (1-p)^{z-m}
+
+i.e. the probability that the number of available nodes among z i.i.d.
+Bernoulli(p) nodes falls in [i, j]. Computed from the binomial CDF, which
+scipy evaluates stably for vector p.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+
+__all__ = ["phi", "at_least", "exactly"]
+
+
+def _as_p(p) -> np.ndarray:
+    p = np.asarray(p, dtype=np.float64)
+    if np.any((p < 0.0) | (p > 1.0)):
+        raise ConfigurationError("availability p must lie in [0, 1]")
+    return p
+
+
+def phi(z: int, i: int, j: int, p) -> np.ndarray:
+    """Φ_z(i, j): P(i <= #available <= j) for z nodes of availability p.
+
+    Follows the paper's convention that an empty index range (j < i) is the
+    empty sum, i.e. probability 0. Bounds are clamped to the support
+    [0, z], so e.g. Φ_z(0, -1) = 0 and Φ_z(0, z+5) = 1.
+    """
+    if z < 0:
+        raise ConfigurationError(f"z must be >= 0, got {z}")
+    p = _as_p(p)
+    lo = max(i, 0)
+    hi = min(j, z)
+    if hi < lo:
+        return np.zeros_like(p)
+    upper = stats.binom.cdf(hi, z, p)
+    lower = stats.binom.cdf(lo - 1, z, p) if lo > 0 else 0.0
+    return np.asarray(upper - lower, dtype=np.float64)
+
+
+def at_least(z: int, i: int, p) -> np.ndarray:
+    """Φ_z(i, z): P(#available >= i). The common special case."""
+    return phi(z, i, z, p)
+
+
+def exactly(z: int, m: int, p) -> np.ndarray:
+    """P(#available == m) = C(z, m) p^m (1-p)^(z-m)."""
+    if z < 0:
+        raise ConfigurationError(f"z must be >= 0, got {z}")
+    p = _as_p(p)
+    if not 0 <= m <= z:
+        return np.zeros_like(p)
+    return np.asarray(stats.binom.pmf(m, z, p), dtype=np.float64)

@@ -1,0 +1,77 @@
+"""Recovery-traffic accounting: the cost of node repair.
+
+The paper's introduction motivates much of the related work (Hitchhiker
+[10], XORing Elephants [11], regenerating codes [5]) by the network and
+IO cost of reconstructing a failed node's blocks. This module provides
+that accounting for the reproduction's conventional-RS substrate, so the
+benchmarks can report the recovery bill alongside availability:
+
+* conventional (n, k) MDS repair of one lost block reads k surviving
+  blocks and writes 1 — a k-fold read amplification,
+* full replication repairs by copying 1 block,
+* per-*node* costs scale with the number of stripes whose blocks the
+  node held (placement-policy dependent).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "repair_traffic_erc",
+    "repair_traffic_fr",
+    "node_repair_bill",
+    "repair_amplification",
+]
+
+
+def repair_traffic_erc(n: int, k: int, blocksize: float = 1.0) -> dict[str, float]:
+    """Traffic to rebuild ONE lost block under conventional RS repair."""
+    if k < 1 or n < k:
+        raise ConfigurationError(f"invalid (n={n}, k={k})")
+    return {
+        "blocks_read": float(k),
+        "blocks_written": 1.0,
+        "bytes_moved": (k + 1) * blocksize,
+    }
+
+
+def repair_traffic_fr(blocksize: float = 1.0) -> dict[str, float]:
+    """Traffic to rebuild one lost replica under full replication."""
+    return {
+        "blocks_read": 1.0,
+        "blocks_written": 1.0,
+        "bytes_moved": 2.0 * blocksize,
+    }
+
+
+def repair_amplification(n: int, k: int) -> float:
+    """Read amplification of ERC repair relative to replication: k."""
+    if k < 1 or n < k:
+        raise ConfigurationError(f"invalid (n={n}, k={k})")
+    return float(k)
+
+
+def node_repair_bill(
+    placement, num_stripes: int, failed_node: int, blocksize: float = 1.0
+) -> dict[str, float]:
+    """Total traffic to rebuild every block ``failed_node`` held.
+
+    ``placement`` is a :class:`~repro.storage.placement.PlacementPolicy`;
+    the bill covers all ``num_stripes`` stripes, distinguishing data and
+    parity roles (both cost a k-wide read under conventional repair).
+    """
+    if num_stripes < 0:
+        raise ConfigurationError("num_stripes must be >= 0")
+    blocks_held = 0
+    for s in range(num_stripes):
+        layout = placement.layout_for(s)
+        if failed_node in layout.node_ids:
+            blocks_held += 1
+    traffic = repair_traffic_erc(placement.n, placement.k, blocksize)
+    return {
+        "blocks_held": float(blocks_held),
+        "blocks_read": blocks_held * traffic["blocks_read"],
+        "blocks_written": blocks_held * traffic["blocks_written"],
+        "bytes_moved": blocks_held * traffic["bytes_moved"],
+    }

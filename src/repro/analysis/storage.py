@@ -1,0 +1,69 @@
+"""Storage-space analysis (paper section IV-C, eqs. 14-15, Figure 5).
+
+For one *data block* b_i kept available via its n - k + 1 node group:
+
+* full replication stores n - k + 1 copies:  D_used = (n - k + 1) * blocksize,
+* TRAP-ERC stores b_i plus its share of each parity block. Each of the
+  n - k parity blocks is shared by all k data blocks, so the attributable
+  cost is blocksize / k per parity:  D_used = (n / k) * blocksize.
+
+Whole-stripe accounting (all k data blocks) is also provided: FR costs
+k * (n - k + 1) blocks, ERC costs exactly n blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "storage_fr",
+    "storage_erc",
+    "storage_saving",
+    "stripe_storage_fr",
+    "stripe_storage_erc",
+    "storage_series",
+]
+
+
+def _validate(n: int, k: int) -> None:
+    if k < 1 or n < k:
+        raise ConfigurationError(f"invalid (n={n}, k={k})")
+
+
+def storage_fr(n: int, k: int, blocksize: float = 1.0) -> float:
+    """Eq. (14): disk used per data block under full replication."""
+    _validate(n, k)
+    return (n - k + 1) * blocksize
+
+
+def storage_erc(n: int, k: int, blocksize: float = 1.0) -> float:
+    """Eq. (15): disk used per data block under the (n, k) MDS code."""
+    _validate(n, k)
+    return n / k * blocksize
+
+
+def storage_saving(n: int, k: int) -> float:
+    """Fraction of disk saved by ERC relative to FR: 1 - (n/k)/(n-k+1)."""
+    return 1.0 - storage_erc(n, k) / storage_fr(n, k)
+
+
+def stripe_storage_fr(n: int, k: int, blocksize: float = 1.0) -> float:
+    """Disk used for a whole k-block stripe under full replication."""
+    _validate(n, k)
+    return k * (n - k + 1) * blocksize
+
+
+def stripe_storage_erc(n: int, k: int, blocksize: float = 1.0) -> float:
+    """Disk used for a whole k-block stripe under ERC: n blocks."""
+    _validate(n, k)
+    return float(n) * blocksize
+
+
+def storage_series(n: int, ks, blocksize: float = 1.0):
+    """Figure 5 data: (k values, ERC cost, FR cost) per data block."""
+    ks = [int(k) for k in ks]
+    erc = np.array([storage_erc(n, k, blocksize) for k in ks])
+    fr = np.array([storage_fr(n, k, blocksize) for k in ks])
+    return np.array(ks), erc, fr

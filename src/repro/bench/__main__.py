@@ -1,0 +1,9 @@
+"""CLI entry point: ``python -m repro.bench`` regenerates every figure."""
+
+from repro.bench.runner import run_all
+
+if __name__ == "__main__":
+    paths = run_all()
+    print("Wrote:")
+    for path in paths:
+        print(f"  {path}")

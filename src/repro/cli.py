@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``figures``
+    Regenerate every paper figure (tables to stdout, CSVs to results/).
+``calibrate``
+    Show the top configurations matching the paper's Figure-3 anchors.
+``availability``
+    Evaluate one configuration: closed forms, exact, optional MC.
+``optimize``
+    Search the (shape, w) space for a deployment target.
+``layout``
+    Render a trapezoid layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TRAP-ERC reproduction toolkit (Relaza et al., IPDPSW 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figures", help="regenerate every paper figure")
+    fig.add_argument("--out", default=None, help="results directory")
+    fig.add_argument("--quiet", action="store_true", help="suppress tables")
+
+    cal = sub.add_parser("calibrate", help="scan configs against Fig.3 anchors")
+    cal.add_argument("--n", type=int, default=15)
+    cal.add_argument("--top", type=int, default=5)
+
+    av = sub.add_parser("availability", help="evaluate one configuration")
+    av.add_argument("--n", type=int, required=True)
+    av.add_argument("--k", type=int, required=True)
+    av.add_argument("--a", type=int, required=True)
+    av.add_argument("--b", type=int, required=True)
+    av.add_argument("--height", type=int, required=True)
+    av.add_argument("--w", type=int, default=None, help="eq.16 uniform parameter")
+    av.add_argument("--p", type=float, nargs="+", default=[0.5, 0.7, 0.9])
+    av.add_argument("--mc-trials", type=int, default=0)
+
+    opt = sub.add_parser("optimize", help="search shapes and quorum vectors")
+    opt.add_argument("--n", type=int, required=True)
+    opt.add_argument("--k", type=int, required=True)
+    opt.add_argument("--p", type=float, required=True)
+    opt.add_argument("--max-h", type=int, default=3)
+
+    lay = sub.add_parser("layout", help="render a trapezoid layout")
+    lay.add_argument("--a", type=int, required=True)
+    lay.add_argument("--b", type=int, required=True)
+    lay.add_argument("--height", type=int, required=True)
+    return parser
+
+
+def _cmd_figures(args) -> int:
+    from repro.bench.runner import run_all
+
+    paths = run_all(args.out, quiet=args.quiet)
+    print("Wrote:")
+    for path in paths:
+        print(f"  {path}")
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.bench.calibrate import scan_fig3_configs
+
+    print(f"Best matches for the Fig.3 anchors (FR~0.75, ERC~0.63 at p=0.5), n={args.n}:")
+    for res in scan_fig3_configs(n=args.n, top=args.top):
+        print(
+            f"  k={res.k:2d} shape=(a={res.a},b={res.b},h={res.h}) w={res.w} "
+            f"-> FR={res.fr_at_anchor:.4f} ERC={res.erc_at_anchor:.4f} "
+            f"(score {res.score:.4f})"
+        )
+    return 0
+
+
+def _cmd_availability(args) -> int:
+    from repro.quorum import TrapezoidQuorum, TrapezoidShape
+    from repro.sim import availability_sweep, records_to_csv
+
+    shape = TrapezoidShape(args.a, args.b, args.height)
+    quorum = TrapezoidQuorum.uniform(shape, args.w)
+    print(
+        f"(n={args.n}, k={args.k}), levels {shape.level_sizes}, w={quorum.w}, "
+        f"r={quorum.read_thresholds}"
+    )
+    records = availability_sweep(
+        quorum, args.n, args.k, args.p, mc_trials=args.mc_trials
+    )
+    sys.stdout.write(records_to_csv(records))
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    from repro.analysis import optimize_config
+
+    result = optimize_config(args.n, args.k, args.p, max_h=args.max_h)
+
+    def fmt(pt) -> str:
+        return (
+            f"shape=(a={pt.shape.a},b={pt.shape.b},h={pt.shape.h}) w={pt.w} "
+            f"write={pt.write:.4f} read={pt.read:.4f}"
+        )
+
+    print(f"{result.evaluated} configurations evaluated")
+    print("best for writes :", fmt(result.best_for_writes))
+    print("best for reads  :", fmt(result.best_for_reads))
+    print("best balanced   :", fmt(result.best_balanced))
+    print(f"Pareto front ({len(result.pareto)}):")
+    for pt in result.pareto:
+        print("  ", fmt(pt))
+    return 0
+
+
+def _cmd_layout(args) -> int:
+    from repro.quorum import TrapezoidQuorum, TrapezoidShape
+
+    shape = TrapezoidShape(args.a, args.b, args.height)
+    quorum = TrapezoidQuorum.uniform(shape)
+    print(shape.ascii_art())
+    print(f"total nodes  : {shape.total_nodes}")
+    print(f"write quorum : w={quorum.w} (|WQ|={quorum.min_write_size})")
+    print(f"read check   : r={quorum.read_thresholds} (min |RQ|={quorum.min_read_size})")
+    return 0
+
+
+_COMMANDS = {
+    "figures": _cmd_figures,
+    "calibrate": _cmd_calibrate,
+    "availability": _cmd_availability,
+    "optimize": _cmd_optimize,
+    "layout": _cmd_layout,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

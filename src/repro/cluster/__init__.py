@@ -1,0 +1,49 @@
+"""Simulated distributed-storage substrate (DESIGN.md S5).
+
+Fail-stop versioned storage nodes, an RPC fabric with traffic accounting,
+failure models (snapshot and trace-driven), and a discrete-event engine —
+the "distributed storage system" the paper's protocol runs on.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.events import Simulator
+from repro.cluster.failures import (
+    BernoulliSnapshot,
+    EventKind,
+    FailureEvent,
+    FailureTrace,
+    exponential_trace,
+)
+from repro.cluster.network import (
+    FixedLatency,
+    LatencyModel,
+    Network,
+    NetworkStats,
+    UniformLatency,
+)
+from repro.cluster.node import DataRecord, NodeStats, ParityRecord, StorageNode
+from repro.cluster.racks import RackTopology, rack_aware_assignment
+from repro.cluster.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "Cluster",
+    "Simulator",
+    "BernoulliSnapshot",
+    "EventKind",
+    "FailureEvent",
+    "FailureTrace",
+    "exponential_trace",
+    "Network",
+    "NetworkStats",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "StorageNode",
+    "DataRecord",
+    "ParityRecord",
+    "NodeStats",
+    "make_rng",
+    "spawn_rngs",
+    "RackTopology",
+    "rack_aware_assignment",
+]

@@ -1,0 +1,71 @@
+"""Minimal discrete-event simulation engine.
+
+A binary-heap event queue with stable FIFO ordering for simultaneous
+events. Drives the history-model experiments: failure/repair transitions
+from a :class:`~repro.cluster.failures.FailureTrace` and workload
+operation arrivals are both scheduled here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Discrete-event loop with virtual time."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self.processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        heapq.heappush(self._queue, (float(time), self._seq, callback))
+        self._seq += 1
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        self._now = time
+        callback()
+        self.processed += 1
+        return True
+
+    def run_until(self, horizon: float) -> None:
+        """Process events with time <= horizon, then advance to horizon."""
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = max(self._now, horizon)
+
+    def run(self, max_events: int | None = None) -> None:
+        """Drain the queue (bounded by ``max_events`` if given)."""
+        count = 0
+        while self._queue:
+            if max_events is not None and count >= max_events:
+                return
+            self.step()
+            count += 1

@@ -1,0 +1,135 @@
+"""Message-level network model with accounting, latency and partitions.
+
+Every protocol RPC goes through :meth:`Network.rpc`, which
+
+* refuses delivery when the destination is failed or partitioned away
+  (raising :class:`NodeUnavailableError`, exactly what a timed-out RPC
+  looks like to the coordinator),
+* counts messages and payload bytes per RPC kind (the paper's motivation
+  discusses network overhead of ERC schemes; the counters let benchmarks
+  report it),
+* accumulates virtual latency from a pluggable latency model.
+
+The model is synchronous-RPC: calls complete immediately in wall-clock
+terms, with latency tracked virtually. The discrete-event engine in
+:mod:`repro.cluster.events` drives time-based failure schedules on top.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.node import StorageNode
+from repro.errors import NodeUnavailableError
+
+__all__ = ["LatencyModel", "FixedLatency", "UniformLatency", "NetworkStats", "Network"]
+
+
+class LatencyModel:
+    """Base latency model: per-message delay in virtual seconds."""
+
+    def sample(self, rng: np.random.Generator) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedLatency(LatencyModel):
+    """Constant per-message latency."""
+
+    delay: float = 0.001
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.delay
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Uniform latency in [low, high]."""
+
+    low: float = 0.0005
+    high: float = 0.002
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    rpc_failures: int = 0
+    virtual_latency: float = 0.0
+    by_kind: Counter = field(default_factory=Counter)
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.rpc_failures = 0
+        self.virtual_latency = 0.0
+        self.by_kind.clear()
+
+
+def _payload_bytes(args, kwargs) -> int:
+    total = 0
+    for value in list(args) + list(kwargs.values()):
+        if isinstance(value, np.ndarray):
+            total += value.nbytes
+    return total
+
+
+class Network:
+    """RPC fabric between a coordinator and the storage nodes."""
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.latency = latency
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stats = NetworkStats()
+        self._partitioned: set[int] = set()
+
+    # -- partitions ----------------------------------------------------- #
+
+    def partition(self, node_ids) -> None:
+        """Cut the given nodes off from the coordinator."""
+        self._partitioned.update(int(i) for i in node_ids)
+
+    def heal(self, node_ids=None) -> None:
+        """Reconnect nodes (all of them when ``node_ids`` is None)."""
+        if node_ids is None:
+            self._partitioned.clear()
+        else:
+            self._partitioned.difference_update(int(i) for i in node_ids)
+
+    def is_reachable(self, node: StorageNode) -> bool:
+        return node.alive and node.node_id not in self._partitioned
+
+    # -- RPC ------------------------------------------------------------ #
+
+    def rpc(self, node: StorageNode, method: str, *args, **kwargs):
+        """Invoke ``node.method(*args, **kwargs)`` across the fabric.
+
+        Counts one request/response pair; raises NodeUnavailableError when
+        the destination is dead or partitioned (indistinguishable to the
+        caller, as in a real timeout).
+        """
+        self.stats.messages += 2  # request + response
+        self.stats.by_kind[method] += 1
+        self.stats.bytes_sent += _payload_bytes(args, kwargs)
+        if self.latency is not None:
+            self.stats.virtual_latency += 2 * self.latency.sample(self.rng)
+        if node.node_id in self._partitioned:
+            self.stats.rpc_failures += 1
+            raise NodeUnavailableError(node.node_id)
+        try:
+            return getattr(node, method)(*args, **kwargs)
+        except NodeUnavailableError:
+            self.stats.rpc_failures += 1
+            raise

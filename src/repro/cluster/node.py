@@ -1,0 +1,213 @@
+"""Fail-stop storage nodes with versioned block stores.
+
+A :class:`StorageNode` models one storage server of the paper's system:
+
+* it holds *data records* (payload + integer version) and *parity records*
+  (payload + per-contribution version vector, the column V[:, j-k] of
+  Algorithm 1), keyed by arbitrary hashable keys;
+* it is fail-stop (assumption 3 of section IV): when failed, every RPC
+  raises :class:`NodeUnavailableError`; it never returns wrong data;
+* parity delta application enforces the Algorithm-1 line-26 guard: the
+  delta for contribution i at expected version v is accepted only if the
+  stored contribution version equals v (otherwise the node is *stale* for
+  that contribution and the write counts as failed on it);
+* data writes enforce version monotonicity (a replayed or out-of-date
+  write is rejected), which keeps last-writer-wins semantics under
+  concurrent coordinators.
+
+Nodes also keep per-operation counters so experiments can account for IO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NodeUnavailableError, StaleNodeError
+
+__all__ = ["DataRecord", "ParityRecord", "NodeStats", "StorageNode"]
+
+
+@dataclass
+class DataRecord:
+    """A data block replica: payload plus scalar version."""
+
+    payload: np.ndarray
+    version: int
+
+
+@dataclass
+class ParityRecord:
+    """A parity block: payload plus contribution-version vector V[:, j-k]."""
+
+    payload: np.ndarray
+    versions: np.ndarray  # shape (k,), int64
+
+
+@dataclass
+class NodeStats:
+    """IO accounting for one node."""
+
+    reads: int = 0
+    writes: int = 0
+    deltas: int = 0
+    version_queries: int = 0
+    stale_rejections: int = 0
+    failed_rpcs: int = 0
+
+    def total_ops(self) -> int:
+        return self.reads + self.writes + self.deltas + self.version_queries
+
+
+class StorageNode:
+    """One fail-stop storage server."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = int(node_id)
+        self.alive = True
+        self._data: dict[object, DataRecord] = {}
+        self._parity: dict[object, ParityRecord] = {}
+        self.stats = NodeStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "up" if self.alive else "DOWN"
+        return f"StorageNode(id={self.node_id}, {state}, keys={len(self._data) + len(self._parity)})"
+
+    # ------------------------------------------------------------------ #
+    # failure model
+    # ------------------------------------------------------------------ #
+
+    def fail(self) -> None:
+        """Fail-stop: the node stops answering but keeps its disk content."""
+        self.alive = False
+
+    def recover(self, wipe: bool = False) -> None:
+        """Bring the node back. ``wipe=True`` models a disk replacement
+        (all records lost, needs repair); ``wipe=False`` models a reboot
+        (records intact but possibly stale)."""
+        if wipe:
+            self._data.clear()
+            self._parity.clear()
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            self.stats.failed_rpcs += 1
+            raise NodeUnavailableError(self.node_id)
+
+    # ------------------------------------------------------------------ #
+    # data-record RPCs
+    # ------------------------------------------------------------------ #
+
+    def put_data(self, key, payload: np.ndarray, version: int) -> None:
+        """Store/overwrite a data record (used for initial load & repair)."""
+        self._check_alive()
+        self.stats.writes += 1
+        self._data[key] = DataRecord(np.array(payload, copy=True), int(version))
+
+    def write_data(self, key, payload: np.ndarray, version: int) -> None:
+        """Versioned write: rejects non-monotonic versions (Alg. 1 data path)."""
+        self._check_alive()
+        rec = self._data.get(key)
+        if rec is not None and int(version) <= rec.version:
+            self.stats.stale_rejections += 1
+            raise StaleNodeError(
+                f"node {self.node_id}: write version {version} <= stored {rec.version}"
+            )
+        self.stats.writes += 1
+        self._data[key] = DataRecord(np.array(payload, copy=True), int(version))
+
+    def read_data(self, key) -> tuple[np.ndarray, int]:
+        """Return (payload copy, version); KeyError if never stored."""
+        self._check_alive()
+        self.stats.reads += 1
+        rec = self._data[key]
+        return rec.payload.copy(), rec.version
+
+    def data_version(self, key) -> int:
+        """The stored version of a data record, -1 if absent.
+
+        -1 mirrors Algorithm 2's ``version <- -1`` initialization: an absent
+        record is older than any written version (versions start at 0).
+        """
+        self._check_alive()
+        self.stats.version_queries += 1
+        rec = self._data.get(key)
+        return rec.version if rec is not None else -1
+
+    # ------------------------------------------------------------------ #
+    # parity-record RPCs
+    # ------------------------------------------------------------------ #
+
+    def put_parity(self, key, payload: np.ndarray, versions: np.ndarray) -> None:
+        """Store/overwrite a parity record (initial load & repair)."""
+        self._check_alive()
+        self.stats.writes += 1
+        self._parity[key] = ParityRecord(
+            np.array(payload, copy=True), np.array(versions, dtype=np.int64, copy=True)
+        )
+
+    def apply_delta(
+        self, key, contribution: int, delta: np.ndarray, expected_version: int, new_version: int
+    ) -> None:
+        """Algorithm 1's ``N_j.add``: ``b_j ^= delta`` guarded by V.
+
+        The delta is accepted only when the stored contribution version for
+        ``contribution`` equals ``expected_version`` (line 26); on success
+        the contribution version advances to ``new_version``.
+        """
+        self._check_alive()
+        rec = self._parity.get(key)
+        if rec is None:
+            self.stats.stale_rejections += 1
+            raise StaleNodeError(f"node {self.node_id}: no parity record for {key!r}")
+        if not 0 <= contribution < rec.versions.shape[0]:
+            raise ConfigurationError(
+                f"contribution index {contribution} out of range"
+            )
+        if int(new_version) <= int(expected_version):
+            raise ConfigurationError("new_version must exceed expected_version")
+        if rec.versions[contribution] != int(expected_version):
+            self.stats.stale_rejections += 1
+            raise StaleNodeError(
+                f"node {self.node_id}: contribution {contribution} at version "
+                f"{int(rec.versions[contribution])}, expected {expected_version}"
+            )
+        delta = np.asarray(delta)
+        if delta.shape != rec.payload.shape:
+            raise ConfigurationError(
+                f"delta shape {delta.shape} != parity shape {rec.payload.shape}"
+            )
+        self.stats.deltas += 1
+        np.bitwise_xor(rec.payload, delta.astype(rec.payload.dtype), out=rec.payload)
+        rec.versions[contribution] = int(new_version)
+
+    def read_parity(self, key) -> tuple[np.ndarray, np.ndarray]:
+        """Return (payload copy, version-vector copy); KeyError if absent."""
+        self._check_alive()
+        self.stats.reads += 1
+        rec = self._parity[key]
+        return rec.payload.copy(), rec.versions.copy()
+
+    def parity_versions(self, key) -> np.ndarray | None:
+        """The stored version vector V[:, j-k] (copy), or None if absent.
+
+        This is the ``u.version(id)`` RPC of Algorithms 1-2 for parity
+        nodes: the reader receives the whole column.
+        """
+        self._check_alive()
+        self.stats.version_queries += 1
+        rec = self._parity.get(key)
+        return rec.versions.copy() if rec is not None else None
+
+    # ------------------------------------------------------------------ #
+    # introspection (not RPCs: test/repair tooling)
+    # ------------------------------------------------------------------ #
+
+    def keys(self) -> set:
+        """All stored keys (works even when failed: disk inspection)."""
+        return set(self._data) | set(self._parity)
+
+    def has_key(self, key) -> bool:
+        return key in self._data or key in self._parity

@@ -1,0 +1,25 @@
+"""Deterministic randomness helpers.
+
+Every stochastic component takes an explicit ``numpy.random.Generator``;
+these helpers make it easy to derive independent child generators from one
+experiment seed so that simulations are reproducible and parallelizable
+(independent streams per node / per trial — the standard HPC practice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed_or_rng=None) -> np.random.Generator:
+    """Coerce ``None`` / int seed / Generator into a Generator."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def spawn_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """``count`` statistically independent child generators."""
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]

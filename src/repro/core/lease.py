@@ -1,0 +1,91 @@
+"""Lease-based write serialization (the paper's "classical ways").
+
+The paper assumes "some constraints like data concurrency can be solved
+using classical ways" and leaves them out of scope. Without any
+concurrency control, two coordinators writing the same block race on the
+same base version: the node-level monotonicity and V-matrix guards keep
+the stripe *uncorrupted* (one of the deltas is rejected everywhere), but
+the losing writer burns a round trip and must retry.
+
+:class:`LeaseManager` provides the classical fix: exclusive, expiring
+per-block write leases handed out by a (logically centralized) service.
+A coordinator acquires the lease, runs Algorithm 1, and releases; leases
+auto-expire so a crashed coordinator cannot block a block forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Lease", "LeaseManager"]
+
+
+@dataclass(frozen=True)
+class Lease:
+    """An exclusive write lease on one block."""
+
+    block: int
+    owner: str
+    granted_at: float
+    expires_at: float
+
+
+class LeaseManager:
+    """Expiring exclusive leases, one per block.
+
+    Time is supplied by a caller-provided clock callable (e.g. the
+    discrete-event simulator's ``now``), keeping the manager usable in
+    both wall-clock and virtual-time settings.
+    """
+
+    def __init__(self, clock, duration: float = 10.0) -> None:
+        if duration <= 0:
+            raise ConfigurationError(f"lease duration must be positive, got {duration}")
+        self._clock = clock
+        self.duration = float(duration)
+        self._leases: dict[int, Lease] = {}
+        self.grants = 0
+        self.rejections = 0
+        self.expirations = 0
+
+    def _active(self, block: int) -> Lease | None:
+        lease = self._leases.get(block)
+        if lease is None:
+            return None
+        if lease.expires_at <= self._clock():
+            del self._leases[block]
+            self.expirations += 1
+            return None
+        return lease
+
+    def acquire(self, block: int, owner: str) -> Lease | None:
+        """Try to take the lease; None if another owner holds it."""
+        current = self._active(block)
+        if current is not None and current.owner != owner:
+            self.rejections += 1
+            return None
+        now = self._clock()
+        lease = Lease(
+            block=block,
+            owner=owner,
+            granted_at=now,
+            expires_at=now + self.duration,
+        )
+        self._leases[block] = lease
+        self.grants += 1
+        return lease
+
+    def release(self, block: int, owner: str) -> bool:
+        """Release if held by ``owner``; True when a lease was removed."""
+        current = self._active(block)
+        if current is None or current.owner != owner:
+            return False
+        del self._leases[block]
+        return True
+
+    def holder(self, block: int) -> str | None:
+        """Current lease owner, or None."""
+        lease = self._active(block)
+        return lease.owner if lease is not None else None

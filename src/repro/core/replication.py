@@ -1,0 +1,184 @@
+"""Classical full-replication protocol engines: ROWA and Majority.
+
+Protocol-level counterparts of the analysis baselines, for end-to-end
+comparisons against TRAP-ERC/TRAP-FR on the same cluster substrate: same
+versioned nodes, same network accounting, same failure injection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.results import ReadCase, ReadResult, WriteResult
+from repro.errors import ConfigurationError, NodeUnavailableError, StaleNodeError
+
+__all__ = ["RowaProtocol", "MajorityProtocol"]
+
+
+class _ReplicationBase:
+    """Shared replica bookkeeping for flat replication protocols."""
+
+    def __init__(self, cluster: Cluster, node_ids, stripe_id: str) -> None:
+        self.cluster = cluster
+        self.node_ids = [int(i) for i in node_ids]
+        if len(self.node_ids) < 1:
+            raise ConfigurationError("need at least one replica node")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ConfigurationError("replica node ids must be distinct")
+        for nid in self.node_ids:
+            cluster.node(nid)
+        self.stripe_id = stripe_id
+
+    def key(self, block: int):
+        return (self._kind, self.stripe_id, block)
+
+    def initialize(self, blocks: np.ndarray) -> None:
+        """Load version-0 replicas of each row of ``blocks`` everywhere."""
+        blocks = np.asarray(blocks)
+        if blocks.ndim != 2:
+            raise ConfigurationError("blocks must be (num_blocks, L)")
+        for b in range(blocks.shape[0]):
+            for nid in self.node_ids:
+                self.cluster.rpc(nid, "put_data", self.key(b), blocks[b], 0)
+
+
+class RowaProtocol(_ReplicationBase):
+    """Read One, Write All over n replicas."""
+
+    _kind = "rowa"
+
+    def write_block(self, block: int, value: np.ndarray) -> WriteResult:
+        msg_before = self.cluster.network.stats.messages
+        # Learn the current version from every replica: Write-All needs
+        # them all anyway, and a stale first answer would produce a
+        # version that fresh replicas reject.
+        versions = []
+        for nid in self.node_ids:
+            try:
+                versions.append(self.cluster.rpc(nid, "data_version", self.key(block)))
+            except NodeUnavailableError:
+                continue
+        if len(versions) < len(self.node_ids):
+            return WriteResult(
+                success=False,
+                messages=self.cluster.network.stats.messages - msg_before,
+                reason="replica unreachable during version lookup (ROWA requires all)",
+            )
+        new_version = max(versions) + 1
+        acks = 0
+        for nid in self.node_ids:
+            try:
+                self.cluster.rpc(nid, "write_data", self.key(block), value, new_version)
+                acks += 1
+            except (NodeUnavailableError, StaleNodeError):
+                # Write-All: any miss fails the operation.
+                return WriteResult(
+                    success=False,
+                    version=new_version,
+                    acks_per_level=[acks],
+                    messages=self.cluster.network.stats.messages - msg_before,
+                    reason=f"replica {nid} unavailable (ROWA requires all)",
+                )
+        return WriteResult(
+            success=True,
+            version=new_version,
+            acks_per_level=[acks],
+            messages=self.cluster.network.stats.messages - msg_before,
+        )
+
+    def read_block(self, block: int) -> ReadResult:
+        msg_before = self.cluster.network.stats.messages
+        for nid in self.node_ids:
+            try:
+                payload, version = self.cluster.rpc(nid, "read_data", self.key(block))
+            except (NodeUnavailableError, KeyError):
+                continue
+            return ReadResult(
+                success=True,
+                value=payload,
+                version=version,
+                case=ReadCase.DIRECT,
+                messages=self.cluster.network.stats.messages - msg_before,
+            )
+        return ReadResult(
+            success=False,
+            messages=self.cluster.network.stats.messages - msg_before,
+            reason="no replica reachable",
+        )
+
+
+class MajorityProtocol(_ReplicationBase):
+    """Thomas's majority consensus over n replicas."""
+
+    _kind = "majority"
+
+    @property
+    def threshold(self) -> int:
+        return len(self.node_ids) // 2 + 1
+
+    def write_block(self, block: int, value: np.ndarray) -> WriteResult:
+        msg_before = self.cluster.network.stats.messages
+        # Version discovery from a majority.
+        versions = []
+        for nid in self.node_ids:
+            try:
+                versions.append(self.cluster.rpc(nid, "data_version", self.key(block)))
+            except NodeUnavailableError:
+                continue
+        if len(versions) < self.threshold:
+            return WriteResult(
+                success=False,
+                messages=self.cluster.network.stats.messages - msg_before,
+                reason="no majority reachable for version lookup",
+            )
+        new_version = max(versions) + 1
+        acks = 0
+        for nid in self.node_ids:
+            try:
+                self.cluster.rpc(nid, "write_data", self.key(block), value, new_version)
+                acks += 1
+            except (NodeUnavailableError, StaleNodeError):
+                continue
+        if acks < self.threshold:
+            return WriteResult(
+                success=False,
+                version=new_version,
+                acks_per_level=[acks],
+                messages=self.cluster.network.stats.messages - msg_before,
+                reason=f"{acks} acks < majority {self.threshold}",
+            )
+        return WriteResult(
+            success=True,
+            version=new_version,
+            acks_per_level=[acks],
+            messages=self.cluster.network.stats.messages - msg_before,
+        )
+
+    def read_block(self, block: int) -> ReadResult:
+        msg_before = self.cluster.network.stats.messages
+        best_payload = None
+        best_version = -1
+        responders = 0
+        for nid in self.node_ids:
+            try:
+                payload, version = self.cluster.rpc(nid, "read_data", self.key(block))
+            except (NodeUnavailableError, KeyError):
+                continue
+            responders += 1
+            if version > best_version:
+                best_version = version
+                best_payload = payload
+        if responders < self.threshold:
+            return ReadResult(
+                success=False,
+                messages=self.cluster.network.stats.messages - msg_before,
+                reason=f"{responders} responders < majority {self.threshold}",
+            )
+        return ReadResult(
+            success=True,
+            value=best_payload,
+            version=best_version,
+            case=ReadCase.DIRECT,
+            messages=self.cluster.network.stats.messages - msg_before,
+        )

@@ -1,0 +1,391 @@
+"""TRAP-ERC: the paper's trapezoid quorum protocol over an (n, k) MDS code.
+
+Faithful executable implementation of Algorithms 1 (write) and 2 (read):
+
+* data block b_i lives on node N_i with a scalar version;
+* every parity node N_j holds one parity record per stripe: the payload
+  b_j = sum_i alpha_ji b_i and the contribution-version column V[:, j-k];
+* a write of block i reads the old value (Alg. 1 line 15), then walks the
+  trapezoid levels 0..h writing x to N_i and shipping
+  ``alpha_ji * (x - chunk)`` deltas to the parity nodes, each guarded by
+  the V version check (line 26); the write fails as soon as a level
+  acknowledges fewer than w_l nodes (lines 35-37);
+* a read of block i walks the levels polling versions until some level
+  yields r_l = s_l - w_l + 1 valid answers (lines 11-30); the largest
+  version seen among them is the latest; then Case 1 reads N_i directly
+  or Case 2 decodes from k version-consistent fragments (lines 30-36).
+
+Beyond the paper, decode handles *per-contribution* staleness correctly:
+a parity that missed an update to block m but not to block i is usable
+for block i only together with rows agreeing on m's version, so fragments
+are grouped by their full version vectors before solving (see DESIGN.md
+"Decode freshness rule").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.placement import TrapezoidPlacement
+from repro.core.results import ReadCase, ReadResult, WriteResult
+from repro.erasure.code import MDSCode
+from repro.erasure.stripe import StripeLayout
+from repro.errors import (
+    ConfigurationError,
+    NodeUnavailableError,
+    StaleNodeError,
+)
+from repro.quorum.trapezoid import TrapezoidQuorum
+
+__all__ = ["TrapErcProtocol"]
+
+
+class TrapErcProtocol:
+    """Coordinator-side engine of the TRAP-ERC protocol for one stripe.
+
+    Parameters
+    ----------
+    cluster:
+        The storage cluster; must contain every node of ``layout``.
+    code:
+        The (n, k) MDS code.
+    quorum:
+        Trapezoid quorum specification with n - k + 1 positions.
+    layout:
+        Block -> node placement; defaults to nodes 0..n-1 in order.
+    stripe_id:
+        Identifier namespacing this stripe's records on the nodes.
+    read_repair:
+        When True, a decode-path read (Case 2) writes the reconstructed
+        value back to a reachable stale N_i, restoring the cheap direct
+        path for future reads. Classic quorum-system read repair — an
+        extension beyond the paper, off by default for fidelity.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.cluster import Cluster
+    >>> from repro.erasure import MDSCode
+    >>> from repro.quorum import TrapezoidQuorum, default_shape_for_nbnode
+    >>> code = MDSCode(6, 4)
+    >>> quorum = TrapezoidQuorum.uniform(default_shape_for_nbnode(3))
+    >>> proto = TrapErcProtocol(Cluster(6), code, quorum)
+    >>> proto.initialize(np.zeros((4, 8), dtype=np.uint8))
+    >>> bool(proto.write_block(1, np.ones(8, dtype=np.uint8)))
+    True
+    >>> r = proto.read_block(1)
+    >>> bool(r.success), int(r.version)
+    (True, 1)
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        code: MDSCode,
+        quorum: TrapezoidQuorum,
+        layout: StripeLayout | None = None,
+        stripe_id: str = "stripe-0",
+        read_repair: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.code = code
+        self.layout = layout if layout is not None else StripeLayout(code.n, code.k)
+        if (self.layout.n, self.layout.k) != (code.n, code.k):
+            raise ConfigurationError(
+                f"layout is ({self.layout.n}, {self.layout.k}) but code is "
+                f"({code.n}, {code.k})"
+            )
+        for node_id in self.layout.node_ids:
+            cluster.node(node_id)  # validates existence
+        self.placement = TrapezoidPlacement(self.layout, quorum)
+        self.quorum = quorum
+        self.stripe_id = stripe_id
+        self.read_repair = bool(read_repair)
+        self.read_repairs_performed = 0
+
+    # ------------------------------------------------------------------ #
+    # keys
+    # ------------------------------------------------------------------ #
+
+    def data_key(self, i: int):
+        """Storage key of data block i on node N_i."""
+        return ("erc-data", self.stripe_id, i)
+
+    def parity_key(self):
+        """Storage key of this stripe's parity record on each parity node."""
+        return ("erc-parity", self.stripe_id)
+
+    # ------------------------------------------------------------------ #
+    # bootstrap
+    # ------------------------------------------------------------------ #
+
+    def initialize(self, data: np.ndarray) -> None:
+        """Load the initial stripe at version 0 on every node.
+
+        Bootstrap path (not a quorum write): requires all n nodes up, like
+        a volume-creation step in a real deployment.
+        """
+        stripe = self.code.encode(data)
+        zero_versions = np.zeros(self.code.k, dtype=np.int64)
+        for i in range(self.code.k):
+            node_id = self.layout.node_of_block(i)
+            self.cluster.rpc(node_id, "put_data", self.data_key(i), stripe[i], 0)
+        for j in range(self.code.k, self.code.n):
+            node_id = self.layout.node_of_block(j)
+            self.cluster.rpc(
+                node_id, "put_parity", self.parity_key(), stripe[j], zero_versions
+            )
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1: write
+    # ------------------------------------------------------------------ #
+
+    def write_block(self, i: int, value: np.ndarray) -> WriteResult:
+        """Write ``value`` into data block i (Algorithm 1)."""
+        if not 0 <= i < self.code.k:
+            raise ConfigurationError(
+                f"data block index must be in [0, {self.code.k}), got {i}"
+            )
+        value = np.asarray(value, dtype=self.code.field.dtype)
+        msg_before = self.cluster.network.stats.messages
+
+        # Line 15: [chunk, version] <- ReadBlock(i).
+        pre = self.read_block(i)
+        if not pre.success:
+            return WriteResult(
+                success=False,
+                messages=self.cluster.network.stats.messages - msg_before,
+                reason=f"read-before-write failed: {pre.reason}",
+            )
+        chunk, version = pre.value, pre.version
+        if value.shape != chunk.shape:
+            raise ConfigurationError(
+                f"value shape {value.shape} != block shape {chunk.shape}"
+            )
+        delta = self.code.delta(chunk, value)
+        new_version = version + 1
+        ni = self.layout.node_of_block(i)
+
+        acks: list[int] = []
+        for level in self.quorum.shape.levels:
+            counter = 0
+            for node_id in self.placement.level_nodes(i, level):
+                try:
+                    if node_id == ni:
+                        # Line 20: write x in node N_i.
+                        self.cluster.rpc(
+                            node_id, "write_data", self.data_key(i), value, new_version
+                        )
+                    else:
+                        # Lines 25-31: guarded parity delta.
+                        j = self.layout.block_of_node(node_id)
+                        buf = self.code.parity_delta(j, i, delta)
+                        self.cluster.rpc(
+                            node_id,
+                            "apply_delta",
+                            self.parity_key(),
+                            i,
+                            buf,
+                            expected_version=version,
+                            new_version=new_version,
+                        )
+                    counter += 1
+                except (NodeUnavailableError, StaleNodeError):
+                    continue
+            acks.append(counter)
+            if counter < self.quorum.w[level]:
+                # Lines 35-37: quorum missed at this level -> FAIL.
+                return WriteResult(
+                    success=False,
+                    version=new_version,
+                    acks_per_level=acks,
+                    failed_level=level,
+                    messages=self.cluster.network.stats.messages - msg_before,
+                    reason=(
+                        f"level {level} acknowledged {counter} < w_l = "
+                        f"{self.quorum.w[level]}"
+                    ),
+                )
+        return WriteResult(
+            success=True,
+            version=new_version,
+            acks_per_level=acks,
+            messages=self.cluster.network.stats.messages - msg_before,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 2: read
+    # ------------------------------------------------------------------ #
+
+    def read_block(self, i: int) -> ReadResult:
+        """Read data block i (Algorithm 2)."""
+        if not 0 <= i < self.code.k:
+            raise ConfigurationError(
+                f"data block index must be in [0, {self.code.k}), got {i}"
+            )
+        msg_before = self.cluster.network.stats.messages
+        ni = self.layout.node_of_block(i)
+
+        for level in self.quorum.shape.levels:
+            counter = 0
+            best = -1
+            needed = self.quorum.r(level)
+            for node_id in self.placement.level_nodes(i, level):
+                try:
+                    if node_id == ni:
+                        v = self.cluster.rpc(node_id, "data_version", self.data_key(i))
+                        if v < 0:
+                            continue  # INVALID: no record (wiped disk)
+                        best = max(best, v)
+                    else:
+                        vv = self.cluster.rpc(
+                            node_id, "parity_versions", self.parity_key()
+                        )
+                        if vv is None:
+                            continue  # INVALID
+                        best = max(best, int(vv[i]))
+                    counter += 1
+                except NodeUnavailableError:
+                    continue
+                if counter == needed:
+                    break
+            if counter < needed:
+                continue  # try the next level (Alg. 2 outer loop)
+
+            # Check complete: ``best`` is the latest committed version.
+            return self._retrieve(i, best, level, msg_before)
+
+        return ReadResult(
+            success=False,
+            messages=self.cluster.network.stats.messages - msg_before,
+            reason="no level reached its version-check quorum",
+        )
+
+    def _retrieve(
+        self, i: int, target: int, check_level: int, msg_before: int
+    ) -> ReadResult:
+        """Cases 1-2 of Algorithm 2 once the latest version is known."""
+        ni = self.layout.node_of_block(i)
+        # Case 1: N_i holds the latest version -> direct read.
+        try:
+            v = self.cluster.rpc(ni, "data_version", self.data_key(i))
+            if v == target:
+                payload, _ = self.cluster.rpc(ni, "read_data", self.data_key(i))
+                return ReadResult(
+                    success=True,
+                    value=payload,
+                    version=target,
+                    case=ReadCase.DIRECT,
+                    check_level=check_level,
+                    messages=self.cluster.network.stats.messages - msg_before,
+                )
+        except (NodeUnavailableError, KeyError):
+            pass
+        # Case 2: decode from k version-consistent fragments.
+        payload = self._decode(i, target)
+        if payload is None:
+            return ReadResult(
+                success=False,
+                version=target,
+                check_level=check_level,
+                messages=self.cluster.network.stats.messages - msg_before,
+                reason="decode failed: fewer than k version-consistent fragments",
+            )
+        if self.read_repair:
+            self._write_back(i, payload, target)
+        return ReadResult(
+            success=True,
+            value=payload,
+            version=target,
+            case=ReadCase.DECODE,
+            check_level=check_level,
+            messages=self.cluster.network.stats.messages - msg_before,
+        )
+
+    def _write_back(self, i: int, payload: np.ndarray, version: int) -> None:
+        """Read repair: freshen a reachable stale N_i with the decoded
+        value. ``put_data`` is version-exact (no bump), so the repair is
+        idempotent and never races ahead of real writes."""
+        ni = self.layout.node_of_block(i)
+        try:
+            current = self.cluster.rpc(ni, "data_version", self.data_key(i))
+            if current < version:
+                self.cluster.rpc(ni, "put_data", self.data_key(i), payload, version)
+                self.read_repairs_performed += 1
+        except (NodeUnavailableError, KeyError):
+            return
+
+    def _decode(self, i: int, target: int) -> np.ndarray | None:
+        """Reconstruct b_i at version ``target`` from k consistent rows.
+
+        Fragments are usable only under a consistent snapshot: parity rows
+        must share the *same* full version vector vv with vv[i] == target,
+        and a data row m is compatible with that vector iff its version
+        equals vv[m]. Any k such rows are solvable (MDS property).
+        """
+        # Gather parity fragments fresh for block i, grouped by full vector.
+        groups: dict[tuple, list[tuple[int, np.ndarray]]] = {}
+        for node_id in self.layout.parity_nodes:
+            try:
+                payload, vv = self.cluster.rpc(node_id, "read_parity", self.parity_key())
+            except (NodeUnavailableError, KeyError):
+                continue
+            if int(vv[i]) != target:
+                continue
+            groups.setdefault(tuple(int(x) for x in vv), []).append(
+                (self.layout.block_of_node(node_id), payload)
+            )
+        if not groups:
+            return None
+        # Gather data fragments (other blocks) once.
+        data_rows: dict[int, tuple[np.ndarray, int]] = {}
+        for m in range(self.code.k):
+            if m == i:
+                continue  # N_i is stale or down here (Case 2)
+            node_id = self.layout.node_of_block(m)
+            try:
+                payload, v = self.cluster.rpc(node_id, "read_data", self.data_key(m))
+            except (NodeUnavailableError, KeyError):
+                continue
+            data_rows[m] = (payload, v)
+        # Try snapshot groups, largest first.
+        for vv, parity_rows in sorted(groups.items(), key=lambda kv: -len(kv[1])):
+            rows = list(parity_rows)
+            for m, (payload, v) in data_rows.items():
+                if v == vv[m]:
+                    rows.append((m, payload))
+            if len(rows) >= self.code.k:
+                indices = [idx for idx, _ in rows[: self.code.k]]
+                frags = np.stack([buf for _, buf in rows[: self.code.k]])
+                return self.code.reconstruct_block(i, indices, frags)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # introspection helpers used by repair and experiments
+    # ------------------------------------------------------------------ #
+
+    def latest_version(self, i: int) -> int | None:
+        """Run only the version check of Algorithm 2; None if no quorum."""
+        ni = self.layout.node_of_block(i)
+        for level in self.quorum.shape.levels:
+            counter = 0
+            best = -1
+            for node_id in self.placement.level_nodes(i, level):
+                try:
+                    if node_id == ni:
+                        v = self.cluster.rpc(node_id, "data_version", self.data_key(i))
+                        if v < 0:
+                            continue
+                        best = max(best, v)
+                    else:
+                        vv = self.cluster.rpc(node_id, "parity_versions", self.parity_key())
+                        if vv is None:
+                            continue
+                        best = max(best, int(vv[i]))
+                    counter += 1
+                except NodeUnavailableError:
+                    continue
+                if counter == self.quorum.r(level):
+                    return best
+        return None

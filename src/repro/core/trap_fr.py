@@ -1,0 +1,196 @@
+"""TRAP-FR: the trapezoid protocol over full replication (the baseline).
+
+The comparison system of the paper's section IV: each data block b_i is
+fully replicated on the same n - k + 1 nodes that TRAP-ERC uses for its
+trapezoid (N_i plus the parity-node set), so both systems tolerate the
+same failures and differ only in what the nodes store.
+
+Write: walk levels 0..h writing the full value with version v+1 to every
+reachable node, requiring w_l acks per level. Read: version check exactly
+as in Algorithm 2; any checked node holding the latest version can serve
+the payload directly — the structural advantage over ERC that eq. (10)
+vs eq. (13) quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.placement import TrapezoidPlacement
+from repro.core.results import ReadCase, ReadResult, WriteResult
+from repro.erasure.stripe import StripeLayout
+from repro.errors import ConfigurationError, NodeUnavailableError, StaleNodeError
+from repro.quorum.trapezoid import TrapezoidQuorum
+
+__all__ = ["TrapFrProtocol"]
+
+
+class TrapFrProtocol:
+    """Coordinator-side engine of the full-replication trapezoid protocol."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        n: int,
+        k: int,
+        quorum: TrapezoidQuorum,
+        layout: StripeLayout | None = None,
+        stripe_id: str = "stripe-0",
+    ) -> None:
+        self.cluster = cluster
+        self.layout = layout if layout is not None else StripeLayout(n, k)
+        if (self.layout.n, self.layout.k) != (n, k):
+            raise ConfigurationError(
+                f"layout is ({self.layout.n}, {self.layout.k}), expected ({n}, {k})"
+            )
+        for node_id in self.layout.node_ids:
+            cluster.node(node_id)
+        self.placement = TrapezoidPlacement(self.layout, quorum)
+        self.quorum = quorum
+        self.n = n
+        self.k = k
+        self.stripe_id = stripe_id
+
+    def replica_key(self, i: int):
+        """Key of block i's replica (same key on every group node)."""
+        return ("fr-replica", self.stripe_id, i)
+
+    # ------------------------------------------------------------------ #
+
+    def initialize(self, data: np.ndarray) -> None:
+        """Load version-0 replicas of every block on its whole group."""
+        data = np.asarray(data)
+        if data.ndim != 2 or data.shape[0] != self.k:
+            raise ConfigurationError(
+                f"data must have shape (k={self.k}, L), got {data.shape}"
+            )
+        for i in range(self.k):
+            for node_id in self.placement.group_nodes(i):
+                self.cluster.rpc(node_id, "put_data", self.replica_key(i), data[i], 0)
+
+    # ------------------------------------------------------------------ #
+
+    def write_block(self, i: int, value: np.ndarray) -> WriteResult:
+        """Full-replication trapezoid write."""
+        if not 0 <= i < self.k:
+            raise ConfigurationError(
+                f"data block index must be in [0, {self.k}), got {i}"
+            )
+        value = np.asarray(value)
+        msg_before = self.cluster.network.stats.messages
+        current = self.latest_version(i)
+        if current is None:
+            return WriteResult(
+                success=False,
+                messages=self.cluster.network.stats.messages - msg_before,
+                reason="version check before write failed",
+            )
+        new_version = current + 1
+        acks: list[int] = []
+        for level in self.quorum.shape.levels:
+            counter = 0
+            for node_id in self.placement.level_nodes(i, level):
+                try:
+                    self.cluster.rpc(
+                        node_id, "write_data", self.replica_key(i), value, new_version
+                    )
+                    counter += 1
+                except (NodeUnavailableError, StaleNodeError):
+                    continue
+            acks.append(counter)
+            if counter < self.quorum.w[level]:
+                return WriteResult(
+                    success=False,
+                    version=new_version,
+                    acks_per_level=acks,
+                    failed_level=level,
+                    messages=self.cluster.network.stats.messages - msg_before,
+                    reason=(
+                        f"level {level} acknowledged {counter} < w_l = "
+                        f"{self.quorum.w[level]}"
+                    ),
+                )
+        return WriteResult(
+            success=True,
+            version=new_version,
+            acks_per_level=acks,
+            messages=self.cluster.network.stats.messages - msg_before,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def read_block(self, i: int) -> ReadResult:
+        """Full-replication trapezoid read."""
+        if not 0 <= i < self.k:
+            raise ConfigurationError(
+                f"data block index must be in [0, {self.k}), got {i}"
+            )
+        msg_before = self.cluster.network.stats.messages
+        for level in self.quorum.shape.levels:
+            counter = 0
+            best = -1
+            holders: list[int] = []
+            needed = self.quorum.r(level)
+            for node_id in self.placement.level_nodes(i, level):
+                try:
+                    v = self.cluster.rpc(node_id, "data_version", self.replica_key(i))
+                except NodeUnavailableError:
+                    continue
+                if v < 0:
+                    continue
+                counter += 1
+                if v > best:
+                    best = v
+                    holders = [node_id]
+                elif v == best:
+                    holders.append(node_id)
+                if counter == needed:
+                    break
+            if counter < needed:
+                continue
+            # Any holder of the max version serves the payload directly.
+            for node_id in holders:
+                try:
+                    payload, v = self.cluster.rpc(node_id, "read_data", self.replica_key(i))
+                except (NodeUnavailableError, KeyError):
+                    continue
+                if v == best:
+                    return ReadResult(
+                        success=True,
+                        value=payload,
+                        version=best,
+                        case=ReadCase.DIRECT,
+                        check_level=level,
+                        messages=self.cluster.network.stats.messages - msg_before,
+                    )
+            return ReadResult(
+                success=False,
+                version=best,
+                check_level=level,
+                messages=self.cluster.network.stats.messages - msg_before,
+                reason="latest-version holders vanished mid-read",
+            )
+        return ReadResult(
+            success=False,
+            messages=self.cluster.network.stats.messages - msg_before,
+            reason="no level reached its version-check quorum",
+        )
+
+    def latest_version(self, i: int) -> int | None:
+        """Version check only (None when no level reaches r_l)."""
+        for level in self.quorum.shape.levels:
+            counter = 0
+            best = -1
+            for node_id in self.placement.level_nodes(i, level):
+                try:
+                    v = self.cluster.rpc(node_id, "data_version", self.replica_key(i))
+                except NodeUnavailableError:
+                    continue
+                if v < 0:
+                    continue
+                counter += 1
+                best = max(best, v)
+                if counter == self.quorum.r(level):
+                    return best
+        return None

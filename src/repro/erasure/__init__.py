@@ -1,0 +1,36 @@
+"""Erasure-coding substrate: systematic (n, k) MDS codes (DESIGN.md S2).
+
+Implements the paper's section III-A storage model: data split into k
+blocks, n - k parity blocks ``b_j = sum_i alpha_ji b_i`` over GF(2^w), any
+k of n blocks sufficient to reconstruct, plus the in-place delta-update
+path that Algorithm 1 relies on.
+"""
+
+from repro.erasure.code import MDSCode
+from repro.erasure.generator import (
+    CONSTRUCTIONS,
+    build_generator,
+    systematic_cauchy,
+    systematic_vandermonde,
+    verify_mds,
+)
+from repro.erasure.lagrange import lagrange_coefficients, lagrange_reconstruct
+from repro.erasure.stripe import StripeLayout, join_payload, split_payload
+from repro.erasure.update import UpdatePlan, plan_update, update_io_cost
+
+__all__ = [
+    "MDSCode",
+    "lagrange_coefficients",
+    "lagrange_reconstruct",
+    "CONSTRUCTIONS",
+    "build_generator",
+    "systematic_vandermonde",
+    "systematic_cauchy",
+    "verify_mds",
+    "StripeLayout",
+    "split_payload",
+    "join_payload",
+    "UpdatePlan",
+    "plan_update",
+    "update_io_cost",
+]

@@ -1,0 +1,265 @@
+"""(n, k) MDS erasure code with systematic layout and in-place delta updates.
+
+This is the code of the paper's section III-A: k original data blocks
+``b_1..b_k`` plus n-k parity blocks
+
+    b_j = sum_{i=1..k} alpha_{j,i} b_i        (eq. 1)
+
+with arithmetic over GF(2^w). Beyond the usual encode/decode/repair, the
+class exposes the *delta update* used by Algorithm 1: when data block i
+changes by ``delta = new ^ old``, each parity becomes
+
+    b_j' = b_j + alpha_{j,i} * delta
+
+which is exactly the ``N_j.add(alpha_ji . (x - chunk))`` RPC of the paper.
+
+Indexing convention: blocks carry *global* indices 0..n-1; indices < k are
+data blocks, indices >= k are parity blocks. (The paper numbers from 1; we
+use 0-based throughout the code base.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodeError
+from repro.gf.field import GF256, GF2m
+from repro.gf.linalg import matmul, solve
+from repro.erasure.generator import build_generator, verify_mds
+
+__all__ = ["MDSCode"]
+
+
+class MDSCode:
+    """Systematic (n, k) MDS erasure code over GF(2^w).
+
+    Parameters
+    ----------
+    n:
+        Total number of blocks in a stripe (data + parity).
+    k:
+        Number of data blocks. Any k of the n blocks reconstruct the stripe;
+        the code tolerates n - k erasures.
+    field:
+        The GF(2^w) instance; defaults to the shared GF(2^8).
+    construction:
+        ``"vandermonde"`` (default) or ``"cauchy"``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> code = MDSCode(6, 4)
+    >>> data = np.arange(4 * 16, dtype=np.uint8).reshape(4, 16)
+    >>> stripe = code.encode(data)
+    >>> lost = [0, 5]                      # lose a data and a parity block
+    >>> keep = [i for i in range(6) if i not in lost]
+    >>> rec = code.decode(keep, stripe[keep])
+    >>> bool(np.array_equal(rec, data))
+    True
+    """
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        field: GF2m | None = None,
+        construction: str = "vandermonde",
+    ) -> None:
+        self.field = field if field is not None else GF256
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if n < k:
+            raise ConfigurationError(f"need n >= k, got n={n}, k={k}")
+        self.n = n
+        self.k = k
+        self.m = n - k
+        self.construction = construction
+        self.generator = build_generator(self.field, n, k, construction)
+        self.generator.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MDSCode(n={self.n}, k={self.k}, "
+            f"field=GF(2^{self.field.width}), construction={self.construction!r})"
+        )
+
+    @property
+    def parity_matrix(self) -> np.ndarray:
+        """The (n-k, k) matrix of coefficients alpha_{j,i} from eq. (1)."""
+        return self.generator[self.k :]
+
+    def coefficient(self, j: int, i: int) -> int:
+        """alpha_{j,i}: weight of data block i inside parity block j.
+
+        ``j`` is a global parity index (k <= j < n); ``i`` a data index.
+        """
+        if not self.k <= j < self.n:
+            raise ConfigurationError(
+                f"parity index must be in [{self.k}, {self.n}), got {j}"
+            )
+        if not 0 <= i < self.k:
+            raise ConfigurationError(f"data index must be in [0, {self.k}), got {i}")
+        return int(self.generator[j, i])
+
+    def is_data(self, index: int) -> bool:
+        """True iff the global block index designates an original data block."""
+        if not 0 <= index < self.n:
+            raise ConfigurationError(f"block index must be in [0, {self.n}), got {index}")
+        return index < self.k
+
+    # ------------------------------------------------------------------ #
+    # encode
+    # ------------------------------------------------------------------ #
+
+    def _coerce_data(self, data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=self.field.dtype)
+        if data.ndim != 2 or data.shape[0] != self.k:
+            raise ConfigurationError(
+                f"data must have shape (k={self.k}, L), got {data.shape}"
+            )
+        return data
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode (k, L) data into the full (n, L) stripe.
+
+        Rows 0..k-1 are the data verbatim (systematic); rows k..n-1 the
+        parity blocks of eq. (1).
+        """
+        data = self._coerce_data(data)
+        stripe = np.empty((self.n, data.shape[1]), dtype=self.field.dtype)
+        stripe[: self.k] = data
+        if self.m:
+            stripe[self.k :] = matmul(self.field, self.parity_matrix, data)
+        return stripe
+
+    def encode_parity(self, data: np.ndarray) -> np.ndarray:
+        """Only the (n-k, L) parity rows for the given (k, L) data."""
+        data = self._coerce_data(data)
+        if not self.m:
+            return np.empty((0, data.shape[1]), dtype=self.field.dtype)
+        return matmul(self.field, self.parity_matrix, data)
+
+    def encode_block(self, index: int, data: np.ndarray) -> np.ndarray:
+        """The single stripe row with global ``index`` for the given data."""
+        data = self._coerce_data(data)
+        if not 0 <= index < self.n:
+            raise ConfigurationError(f"block index must be in [0, {self.n}), got {index}")
+        if index < self.k:
+            return data[index].copy()
+        return self.field.dot(self.generator[index], data)
+
+    # ------------------------------------------------------------------ #
+    # decode / repair
+    # ------------------------------------------------------------------ #
+
+    def _gather(self, indices, fragments) -> tuple[list[int], np.ndarray]:
+        indices = [int(i) for i in indices]
+        if len(set(indices)) != len(indices):
+            raise DecodeError(f"duplicate fragment indices: {indices}")
+        for i in indices:
+            if not 0 <= i < self.n:
+                raise DecodeError(f"fragment index {i} out of range [0, {self.n})")
+        fragments = np.asarray(fragments, dtype=self.field.dtype)
+        if fragments.ndim != 2 or fragments.shape[0] != len(indices):
+            raise DecodeError(
+                f"fragments must have shape ({len(indices)}, L), got {fragments.shape}"
+            )
+        if len(indices) < self.k:
+            raise DecodeError(
+                f"need at least k={self.k} fragments, got {len(indices)}"
+            )
+        return indices, fragments
+
+    def decode(self, indices, fragments) -> np.ndarray:
+        """Reconstruct the (k, L) data from any >= k fragments.
+
+        ``indices`` are global block indices; ``fragments`` the matching
+        rows. Exactly k of them are used (the first k given); the MDS
+        property guarantees that any such square system is solvable.
+        """
+        indices, fragments = self._gather(indices, fragments)
+        use = indices[: self.k]
+        frag = fragments[: self.k]
+        # Fast path: all k data blocks present among the chosen rows.
+        if all(i < self.k for i in use) and sorted(use) == list(range(self.k)):
+            out = np.empty_like(frag)
+            for pos, i in enumerate(use):
+                out[i] = frag[pos]
+            return out
+        sub = self.generator[use]
+        return solve(self.field, sub, frag)
+
+    def reconstruct_block(self, index: int, indices, fragments) -> np.ndarray:
+        """Reconstruct the single block with global ``index``.
+
+        Uses the fragment directly when present; otherwise decodes from k
+        fragments and re-encodes the target row. This is the ``decode(i, id,
+        V)`` step of Algorithm 2 (Case 2).
+        """
+        if not 0 <= index < self.n:
+            raise ConfigurationError(f"block index must be in [0, {self.n}), got {index}")
+        idx_list = [int(i) for i in indices]
+        if index in idx_list:
+            fragments = np.asarray(fragments, dtype=self.field.dtype)
+            return fragments[idx_list.index(index)].copy()
+        data = self.decode(indices, fragments)
+        if index < self.k:
+            return data[index]
+        return self.field.dot(self.generator[index], data)
+
+    def repair(self, lost, indices, fragments) -> np.ndarray:
+        """Exact repair: recompute the rows in ``lost`` from >= k survivors.
+
+        Returns an array of shape (len(lost), L) with the original contents
+        of the lost blocks (exact repair in the paper's taxonomy).
+        """
+        lost = [int(i) for i in lost]
+        data = self.decode(indices, fragments)
+        out = np.empty((len(lost), data.shape[1]), dtype=self.field.dtype)
+        for pos, index in enumerate(lost):
+            if index < self.k:
+                out[pos] = data[index]
+            else:
+                out[pos] = self.field.dot(self.generator[index], data)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # in-place delta updates (Algorithm 1 support)
+    # ------------------------------------------------------------------ #
+
+    def delta(self, old_block: np.ndarray, new_block: np.ndarray) -> np.ndarray:
+        """``new - old`` over the field (XOR); the paper's ``x - chunk``."""
+        old_block = np.asarray(old_block, dtype=self.field.dtype)
+        new_block = np.asarray(new_block, dtype=self.field.dtype)
+        if old_block.shape != new_block.shape:
+            raise ConfigurationError("old and new blocks must have equal shape")
+        return np.bitwise_xor(new_block, old_block)
+
+    def parity_delta(self, j: int, i: int, delta: np.ndarray) -> np.ndarray:
+        """The buffer ``alpha_{j,i} * delta`` a parity node must XOR in."""
+        coeff = self.coefficient(j, i)
+        return self.field.scalar_mul(coeff, np.asarray(delta, dtype=self.field.dtype))
+
+    def apply_parity_delta(
+        self, parity_block: np.ndarray, j: int, i: int, delta: np.ndarray
+    ) -> None:
+        """In-place parity update ``b_j ^= alpha_{j,i} * delta``."""
+        self.field.addmul_into(
+            parity_block, self.coefficient(j, i), np.asarray(delta, dtype=self.field.dtype)
+        )
+
+    # ------------------------------------------------------------------ #
+    # verification
+    # ------------------------------------------------------------------ #
+
+    def verify_mds(self, **kwargs) -> bool:
+        """Check that every k-row submatrix of the generator is invertible."""
+        return verify_mds(self.field, self.generator, **kwargs)
+
+    def storage_overhead(self) -> float:
+        """Stored bytes per byte of data: n / k (the paper's eq. 15 ratio)."""
+        return self.n / self.k

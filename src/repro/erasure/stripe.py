@@ -1,0 +1,127 @@
+"""Stripe layout helpers: mapping bytes <-> blocks <-> nodes.
+
+A *stripe* is one codeword of the (n, k) code: k data blocks plus n-k
+parity blocks, one block per storage node. This module holds the pure
+bookkeeping that both the protocol engines and the virtual-disk middleware
+need:
+
+* padding / splitting a byte payload into k equal blocks and back,
+* the node-placement convention (data block i on node i, parity block j on
+  node j, matching the paper's {N_1..N_k} data / {N_k+1..N_n} parity),
+* the per-block trapezoid membership (block i's consistency group is
+  {N_i} u {N_k+1..N_n}, the paper's section III-B.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StripeLayout", "split_payload", "join_payload"]
+
+
+def split_payload(payload: bytes, k: int) -> tuple[np.ndarray, int]:
+    """Split a byte payload into a (k, L) uint8 array, zero-padded.
+
+    Returns the array and the original length (needed to strip the padding
+    on the way back). L is ceil(len(payload) / k), minimum 1 so that empty
+    payloads still produce well-formed stripes.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    block_len = max(1, -(-raw.size // k))
+    padded = np.zeros(k * block_len, dtype=np.uint8)
+    padded[: raw.size] = raw
+    return padded.reshape(k, block_len), raw.size
+
+
+def join_payload(blocks: np.ndarray, length: int) -> bytes:
+    """Inverse of :func:`split_payload`."""
+    blocks = np.asarray(blocks, dtype=np.uint8)
+    if blocks.ndim != 2:
+        raise ConfigurationError(f"blocks must be 2-D, got shape {blocks.shape}")
+    flat = blocks.reshape(-1)
+    if not 0 <= length <= flat.size:
+        raise ConfigurationError(
+            f"length {length} out of range for {flat.size} stored bytes"
+        )
+    return flat[:length].tobytes()
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Placement of one stripe's blocks onto cluster nodes.
+
+    Parameters
+    ----------
+    n, k:
+        Code parameters.
+    node_ids:
+        The n node identifiers holding blocks 0..n-1, in block order.
+        Defaults to ``0..n-1``.
+    """
+
+    n: int
+    k: int
+    node_ids: tuple[int, ...] = dataclass_field(default=())
+
+    def __post_init__(self) -> None:
+        if self.k < 1 or self.n < self.k:
+            raise ConfigurationError(f"invalid (n={self.n}, k={self.k})")
+        ids = self.node_ids or tuple(range(self.n))
+        if len(ids) != self.n:
+            raise ConfigurationError(
+                f"need {self.n} node ids, got {len(ids)}"
+            )
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("node ids must be distinct")
+        object.__setattr__(self, "node_ids", tuple(int(i) for i in ids))
+
+    # -- block/node mapping ------------------------------------------- #
+
+    def node_of_block(self, index: int) -> int:
+        """Node holding the block with global index ``index``."""
+        if not 0 <= index < self.n:
+            raise ConfigurationError(
+                f"block index must be in [0, {self.n}), got {index}"
+            )
+        return self.node_ids[index]
+
+    def block_of_node(self, node_id: int) -> int:
+        """Global block index stored on ``node_id``."""
+        try:
+            return self.node_ids.index(node_id)
+        except ValueError:
+            raise ConfigurationError(
+                f"node {node_id} holds no block of this stripe"
+            ) from None
+
+    @property
+    def data_nodes(self) -> tuple[int, ...]:
+        """Nodes holding original data blocks (the paper's N_1..N_k)."""
+        return self.node_ids[: self.k]
+
+    @property
+    def parity_nodes(self) -> tuple[int, ...]:
+        """Nodes holding parity blocks (the paper's N_k+1..N_n)."""
+        return self.node_ids[self.k :]
+
+    def consistency_group(self, i: int) -> tuple[int, ...]:
+        """Nodes participating in block i's trapezoid: {N_i, N_k+1..N_n}.
+
+        This is the Nbnode = n - k + 1 node set of the paper's eq. (5).
+        """
+        if not 0 <= i < self.k:
+            raise ConfigurationError(
+                f"data block index must be in [0, {self.k}), got {i}"
+            )
+        return (self.node_ids[i],) + self.parity_nodes
+
+    @property
+    def group_size(self) -> int:
+        """n - k + 1, the paper's Nbnode (eq. 5)."""
+        return self.n - self.k + 1

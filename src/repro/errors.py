@@ -1,0 +1,100 @@
+"""Exception hierarchy for the TRAP-ERC reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common failure classes (configuration errors,
+quorum failures, decode failures, node faults).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "FieldError",
+    "SingularMatrixError",
+    "CodeError",
+    "DecodeError",
+    "QuorumError",
+    "WriteQuorumError",
+    "ReadQuorumError",
+    "NodeUnavailableError",
+    "StaleNodeError",
+    "ConsistencyError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed with invalid parameters.
+
+    Raised eagerly at construction time (e.g. an (n, k) pair with k > n, a
+    trapezoid whose node count does not match n - k + 1, or a write-quorum
+    vector violating ``1 <= w_l <= s_l``).
+    """
+
+
+class FieldError(ReproError, ValueError):
+    """Invalid finite-field operation (unknown width, division by zero...)."""
+
+
+class SingularMatrixError(FieldError):
+    """A matrix over GF(2^w) was singular where an inverse was required."""
+
+
+class CodeError(ReproError):
+    """Erasure-code level failure."""
+
+
+class DecodeError(CodeError):
+    """Fewer than k consistent fragments were available for decoding."""
+
+
+class QuorumError(ReproError):
+    """A quorum-protocol operation could not assemble a required quorum."""
+
+
+class WriteQuorumError(QuorumError):
+    """Algorithm 1 failed: some level had fewer than w_l successful writes."""
+
+    def __init__(self, level: int, achieved: int, required: int) -> None:
+        self.level = level
+        self.achieved = achieved
+        self.required = required
+        super().__init__(
+            f"write quorum failed at level {level}: "
+            f"{achieved} successful writes < w_l = {required}"
+        )
+
+
+class ReadQuorumError(QuorumError):
+    """Algorithm 2 failed: no level reached r_l = s_l - w_l + 1 responses."""
+
+
+class NodeUnavailableError(ReproError):
+    """An RPC was issued to a failed (fail-stop) node."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        super().__init__(f"node {node_id} is unavailable (fail-stop)")
+
+
+class StaleNodeError(ReproError):
+    """A parity delta was rejected because the contribution version did not
+    match (Algorithm 1, line 26 guard)."""
+
+
+class ConsistencyError(ReproError):
+    """A read observed a value older than the last acknowledged write.
+
+    This is the invariant the protocol exists to protect; seeing this error
+    in a simulation means the configuration is unsafe (or a bug).
+    """
+
+
+class SimulationError(ReproError):
+    """Generic failure inside the simulation substrate."""

@@ -1,0 +1,190 @@
+"""Dense linear algebra over GF(2^w).
+
+Provides the matrix tools the erasure layer is built from: multiplication,
+Gauss-Jordan inversion, rank, solving, and the structured matrices used to
+build MDS generator matrices (Vandermonde, Cauchy).
+
+All matrices are plain numpy arrays with the field's dtype; the field object
+is passed explicitly (no global state), which keeps the functions pure and
+trivially parallelizable across independent stripes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FieldError, SingularMatrixError
+from repro.gf.field import GF2m
+
+__all__ = [
+    "identity",
+    "matmul",
+    "matvec",
+    "inverse",
+    "rank",
+    "solve",
+    "is_invertible",
+    "vandermonde",
+    "cauchy",
+]
+
+
+def identity(field: GF2m, n: int) -> np.ndarray:
+    """The n x n identity matrix over the field."""
+    return np.eye(n, dtype=field.dtype)
+
+
+def _check_matrix(field: GF2m, a: np.ndarray, name: str) -> np.ndarray:
+    a = np.asarray(a, dtype=field.dtype)
+    if a.ndim != 2:
+        raise FieldError(f"{name} must be 2-D, got shape {a.shape}")
+    return a
+
+
+def matmul(field: GF2m, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^w).
+
+    Implemented as an XOR-accumulated sequence of outer products over the
+    shared dimension; each outer product is fully vectorized, so the Python
+    loop length is only the inner dimension (k and n-k are small in the
+    paper's regime while block length L is large).
+    """
+    a = _check_matrix(field, a, "a")
+    b = _check_matrix(field, b, "b")
+    if a.shape[1] != b.shape[0]:
+        raise FieldError(f"shape mismatch for matmul: {a.shape} x {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=field.dtype)
+    for t in range(a.shape[1]):
+        contrib = field.mul(a[:, t][:, None], b[t, :][None, :])
+        np.bitwise_xor(out, contrib, out=out)
+    return out
+
+
+def matvec(field: GF2m, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Matrix-vector product over GF(2^w)."""
+    a = _check_matrix(field, a, "a")
+    x = np.asarray(x, dtype=field.dtype)
+    if x.ndim != 1 or a.shape[1] != x.shape[0]:
+        raise FieldError(f"shape mismatch for matvec: {a.shape} x {x.shape}")
+    prod = field.mul(a, x[None, :])
+    out = np.zeros(a.shape[0], dtype=field.dtype)
+    for t in range(a.shape[1]):
+        np.bitwise_xor(out, prod[:, t], out=out)
+    return out
+
+
+def _eliminate(field: GF2m, work: np.ndarray) -> int:
+    """Forward-eliminate ``work`` in place; returns the rank.
+
+    Row-reduces with arbitrary nonzero pivots (no magnitude concerns in a
+    finite field).
+    """
+    rows, cols = work.shape
+    r = 0
+    for c in range(cols):
+        if r == rows:
+            break
+        pivot_rows = np.nonzero(work[r:, c])[0]
+        if pivot_rows.size == 0:
+            continue
+        p = r + int(pivot_rows[0])
+        if p != r:
+            work[[r, p]] = work[[p, r]]
+        inv_p = int(field.inv(work[r, c]))
+        work[r] = field.scalar_mul(inv_p, work[r])
+        # Zero the column everywhere else in a single vectorized pass.
+        col = work[:, c].copy()
+        col[r] = 0
+        nz = np.nonzero(col)[0]
+        if nz.size:
+            scaled = field.mul(col[nz][:, None], work[r][None, :])
+            work[nz] = np.bitwise_xor(work[nz], scaled)
+        r += 1
+    return r
+
+
+def rank(field: GF2m, a: np.ndarray) -> int:
+    """Rank of a matrix over GF(2^w)."""
+    work = _check_matrix(field, a, "a").copy()
+    return _eliminate(field, work)
+
+
+def inverse(field: GF2m, a: np.ndarray) -> np.ndarray:
+    """Inverse of a square matrix over GF(2^w) by Gauss-Jordan.
+
+    Raises
+    ------
+    SingularMatrixError
+        If the matrix is singular.
+    """
+    a = _check_matrix(field, a, "a")
+    n = a.shape[0]
+    if a.shape[0] != a.shape[1]:
+        raise FieldError(f"inverse requires a square matrix, got {a.shape}")
+    work = np.concatenate([a.copy(), identity(field, n)], axis=1)
+    r = _eliminate(field, work)
+    if r < n or np.any(work[:, :n] != identity(field, n)):
+        raise SingularMatrixError(f"matrix of shape {a.shape} is singular")
+    return work[:, n:].copy()
+
+
+def is_invertible(field: GF2m, a: np.ndarray) -> bool:
+    """True iff the square matrix is invertible over the field."""
+    a = _check_matrix(field, a, "a")
+    if a.shape[0] != a.shape[1]:
+        return False
+    return rank(field, a) == a.shape[0]
+
+
+def solve(field: GF2m, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``a @ x = b`` over GF(2^w) for square invertible ``a``.
+
+    ``b`` may be a vector (n,) or a matrix (n, L) of right-hand sides; the
+    multi-RHS form is what decode uses (one column per byte position).
+    """
+    a_inv = inverse(field, a)
+    b = np.asarray(b, dtype=field.dtype)
+    if b.ndim == 1:
+        return matvec(field, a_inv, b)
+    return matmul(field, a_inv, b)
+
+
+def vandermonde(field: GF2m, rows: int, cols: int, points=None) -> np.ndarray:
+    """Vandermonde matrix V[i, j] = points[i]^j over GF(2^w).
+
+    Any ``cols`` rows built on distinct points are linearly independent,
+    which is the classical route to an MDS generator matrix.
+    """
+    if points is None:
+        if rows > field.order:
+            raise FieldError(
+                f"need {rows} distinct points but field has {field.order} elements"
+            )
+        points = np.arange(rows, dtype=field.dtype)
+    points = np.asarray(points, dtype=field.dtype)
+    if points.shape != (rows,):
+        raise FieldError(f"points must have shape ({rows},)")
+    if len(np.unique(points)) != rows:
+        raise FieldError("Vandermonde points must be distinct")
+    out = np.empty((rows, cols), dtype=field.dtype)
+    out[:, 0] = 1
+    for j in range(1, cols):
+        out[:, j] = field.mul(out[:, j - 1], points)
+    return out
+
+
+def cauchy(field: GF2m, xs, ys) -> np.ndarray:
+    """Cauchy matrix C[i, j] = 1 / (xs[i] + ys[j]) over GF(2^w).
+
+    Requires all xs distinct, all ys distinct, and xs disjoint from ys;
+    every square submatrix of a Cauchy matrix is invertible, which makes
+    ``[I ; C]`` an MDS generator.
+    """
+    xs = np.asarray(xs, dtype=field.dtype)
+    ys = np.asarray(ys, dtype=field.dtype)
+    if len(np.unique(xs)) != xs.size or len(np.unique(ys)) != ys.size:
+        raise FieldError("Cauchy points must be distinct within xs and ys")
+    if np.intersect1d(xs, ys).size:
+        raise FieldError("Cauchy xs and ys must be disjoint")
+    denom = np.bitwise_xor(xs[:, None], ys[None, :])
+    return field.inv(denom)

@@ -1,0 +1,186 @@
+"""Binary-polynomial utilities and primitive polynomials for GF(2^w).
+
+Polynomials over GF(2) are represented as Python integers whose bits are the
+coefficients: ``x^4 + x + 1`` is ``0b10011 = 0x13``. This module provides
+
+* carry-less polynomial arithmetic (multiply, mod, gcd, powmod),
+* irreducibility (Rabin's test) and primitivity tests,
+* a registry of default primitive polynomials for widths 2..16, backed by a
+  deterministic search so that *any* width in range works even if it is not
+  in the seeded table.
+
+These are exactly the tools needed to construct the GF(2^h) arithmetic the
+paper's equation (1) relies on ("arithmetic is over some finite field,
+usually GF(2^h)").
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import FieldError
+
+__all__ = [
+    "poly_degree",
+    "poly_mul",
+    "poly_mod",
+    "poly_mulmod",
+    "poly_powmod",
+    "poly_gcd",
+    "is_irreducible",
+    "is_primitive",
+    "find_primitive_poly",
+    "default_primitive_poly",
+    "SEED_PRIMITIVE_POLYS",
+]
+
+#: Well-known primitive polynomials (Plank's coding tables / CCSDS usage).
+#: Every entry is verified primitive by the test suite; unlisted widths are
+#: found by :func:`find_primitive_poly`.
+SEED_PRIMITIVE_POLYS: dict[int, int] = {
+    2: 0x7,  # x^2 + x + 1
+    3: 0xB,  # x^3 + x + 1
+    4: 0x13,  # x^4 + x + 1
+    8: 0x11D,  # x^8 + x^4 + x^3 + x^2 + 1 (the Reed-Solomon classic)
+    16: 0x1100B,  # x^16 + x^12 + x^3 + x + 1
+}
+
+MIN_WIDTH = 2
+MAX_WIDTH = 16
+
+
+def poly_degree(f: int) -> int:
+    """Degree of the binary polynomial ``f`` (-1 for the zero polynomial)."""
+    return f.bit_length() - 1
+
+
+def poly_mul(f: int, g: int) -> int:
+    """Carry-less product of two binary polynomials."""
+    result = 0
+    while g:
+        if g & 1:
+            result ^= f
+        f <<= 1
+        g >>= 1
+    return result
+
+
+def poly_mod(f: int, m: int) -> int:
+    """Remainder of ``f`` modulo ``m`` over GF(2)."""
+    if m == 0:
+        raise FieldError("polynomial modulus must be nonzero")
+    dm = poly_degree(m)
+    while poly_degree(f) >= dm:
+        f ^= m << (poly_degree(f) - dm)
+    return f
+
+
+def poly_mulmod(f: int, g: int, m: int) -> int:
+    """``f * g mod m`` over GF(2)."""
+    return poly_mod(poly_mul(f, g), m)
+
+
+def poly_powmod(f: int, e: int, m: int) -> int:
+    """``f ** e mod m`` over GF(2) via square-and-multiply."""
+    result = 1
+    f = poly_mod(f, m)
+    while e:
+        if e & 1:
+            result = poly_mulmod(result, f, m)
+        f = poly_mulmod(f, f, m)
+        e >>= 1
+    return result
+
+
+def poly_gcd(f: int, g: int) -> int:
+    """Greatest common divisor of two binary polynomials."""
+    while g:
+        f, g = g, poly_mod(f, g)
+    return f
+
+
+def _prime_factors(n: int) -> list[int]:
+    """Distinct prime factors of ``n`` by trial division (n <= 2^16 here)."""
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def is_irreducible(f: int) -> bool:
+    """Rabin's irreducibility test for a binary polynomial ``f``.
+
+    ``f`` of degree w is irreducible over GF(2) iff ``x^(2^w) == x (mod f)``
+    and, for every prime divisor p of w, ``gcd(x^(2^(w/p)) - x, f) == 1``.
+    """
+    w = poly_degree(f)
+    if w <= 0:
+        return False
+    if w == 1:
+        return True
+    x = 0b10
+    # x^(2^w) mod f via repeated squaring of x.
+    t = x
+    for _ in range(w):
+        t = poly_mulmod(t, t, f)
+    if t != x:
+        return False
+    for p in _prime_factors(w):
+        t = x
+        for _ in range(w // p):
+            t = poly_mulmod(t, t, f)
+        if poly_gcd(t ^ x, f) != 1:
+            return False
+    return True
+
+
+def is_primitive(f: int) -> bool:
+    """True iff ``f`` is primitive: irreducible and ``x`` generates the
+    multiplicative group of GF(2)[x]/(f), i.e. ord(x) = 2^w - 1."""
+    w = poly_degree(f)
+    if w < 1 or not is_irreducible(f):
+        return False
+    order = (1 << w) - 1
+    for p in _prime_factors(order):
+        if poly_powmod(0b10, order // p, f) == 1:
+            return False
+    return True
+
+
+@lru_cache(maxsize=None)
+def find_primitive_poly(width: int) -> int:
+    """Smallest primitive polynomial of the given degree.
+
+    Deterministic: scans candidates ``2^width + c`` for odd ``c`` (a
+    polynomial with zero constant term is divisible by x, hence reducible).
+    """
+    if not MIN_WIDTH <= width <= MAX_WIDTH:
+        raise FieldError(
+            f"field width must be in [{MIN_WIDTH}, {MAX_WIDTH}], got {width}"
+        )
+    base = 1 << width
+    for c in range(1, base, 2):
+        candidate = base | c
+        if is_primitive(candidate):
+            return candidate
+    raise FieldError(f"no primitive polynomial of degree {width} found")
+
+
+def default_primitive_poly(width: int) -> int:
+    """Default primitive polynomial for ``GF(2^width)``.
+
+    Uses the seeded literature values when available, otherwise the smallest
+    primitive polynomial of that degree.
+    """
+    if not MIN_WIDTH <= width <= MAX_WIDTH:
+        raise FieldError(
+            f"field width must be in [{MIN_WIDTH}, {MAX_WIDTH}], got {width}"
+        )
+    return SEED_PRIMITIVE_POLYS.get(width) or find_primitive_poly(width)

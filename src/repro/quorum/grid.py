@@ -1,0 +1,93 @@
+"""Grid quorum protocol (Cheung, Ammar, Ahamad 1990 — the paper's ref. [4]).
+
+Nodes form an R x C grid (position = row * C + col). A read quorum covers
+one node from every column; a write quorum is one *complete* column plus
+one node from every other column. Any write's full column meets any read's
+column cover, and two writes' full columns each intersect the other's
+cover, giving both intersection properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.quorum.base import QuorumSystem
+
+__all__ = ["GridSystem"]
+
+
+class GridSystem(QuorumSystem):
+    """R x C grid quorums."""
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ConfigurationError(
+                f"grid needs rows, cols >= 1, got {rows} x {cols}"
+            )
+        self.rows = rows
+        self.cols = cols
+        self.size = rows * cols
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GridSystem(rows={self.rows}, cols={self.cols})"
+
+    def _column(self, pos: int) -> int:
+        return pos % self.cols
+
+    def column_positions(self, col: int) -> list[int]:
+        return [r * self.cols + col for r in range(self.rows)]
+
+    def is_read_quorum(self, subset) -> bool:
+        subset = self._check_positions(subset)
+        covered = {self._column(p) for p in subset}
+        return len(covered) == self.cols
+
+    def is_write_quorum(self, subset) -> bool:
+        subset = self._check_positions(subset)
+        if not self.is_read_quorum(subset):
+            return False
+        for col in range(self.cols):
+            if all(p in subset for p in self.column_positions(col)):
+                return True
+        return False
+
+    def find_read_quorum(self, alive: set[int]) -> frozenset[int] | None:
+        alive = self._check_positions(alive)
+        chosen = []
+        for col in range(self.cols):
+            members = [p for p in self.column_positions(col) if p in alive]
+            if not members:
+                return None
+            chosen.append(members[0])
+        return frozenset(chosen)
+
+    def find_write_quorum(self, alive: set[int]) -> frozenset[int] | None:
+        alive = self._check_positions(alive)
+        full_col = None
+        for col in range(self.cols):
+            if all(p in alive for p in self.column_positions(col)):
+                full_col = col
+                break
+        if full_col is None:
+            return None
+        chosen = set(self.column_positions(full_col))
+        for col in range(self.cols):
+            if col == full_col:
+                continue
+            members = [p for p in self.column_positions(col) if p in alive]
+            if not members:
+                return None
+            chosen.add(members[0])
+        return frozenset(chosen)
+
+    def write_availability(self, p) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        col_full = p**self.rows
+        col_any = 1.0 - (1.0 - p) ** self.rows
+        # all columns covered, minus the case where none is fully alive
+        return col_any**self.cols - (col_any - col_full) ** self.cols
+
+    def read_availability(self, p) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        return (1.0 - (1.0 - p) ** self.rows) ** self.cols

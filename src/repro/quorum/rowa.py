@@ -1,0 +1,53 @@
+"""ROWA: Read One, Write All.
+
+The baseline the paper contrasts quorum systems against: any single node
+serves a read, every node must acknowledge a write. Reads are maximally
+available and cheap; a single failed node blocks all writes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.quorum.base import QuorumSystem
+
+__all__ = ["RowaSystem"]
+
+
+class RowaSystem(QuorumSystem):
+    """Read quorum = any one node; write quorum = all nodes."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        self.size = size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RowaSystem(size={self.size})"
+
+    def is_write_quorum(self, subset) -> bool:
+        return len(self._check_positions(subset)) == self.size
+
+    def is_read_quorum(self, subset) -> bool:
+        return len(self._check_positions(subset)) >= 1
+
+    def find_write_quorum(self, alive: set[int]) -> frozenset[int] | None:
+        alive = self._check_positions(alive)
+        if len(alive) < self.size:
+            return None
+        return frozenset(alive)
+
+    def find_read_quorum(self, alive: set[int]) -> frozenset[int] | None:
+        alive = self._check_positions(alive)
+        if not alive:
+            return None
+        return frozenset([min(alive)])
+
+    def write_availability(self, p) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        return p**self.size
+
+    def read_availability(self, p) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        return 1.0 - (1.0 - p) ** self.size

@@ -1,0 +1,291 @@
+"""Trapezoid quorum geometry (the paper's section III-B.2).
+
+Nodes are arranged on a logical trapezoid of h+1 levels; level l holds
+
+    s_l = a*l + b          (a >= 0, b >= 1, 0 <= l <= h)
+
+positions. A write quorum takes w_l nodes in *every* level, with the
+mandatory absolute majority ``w_0 = floor(b/2) + 1`` at level 0, which is
+what guarantees WQ1 ∩ WQ2 != {} (paper's proof in III-B.3). A read
+(version-check) quorum takes ``r_l = s_l - w_l + 1`` nodes in *some* level;
+``r_l + w_l > s_l`` forces RQ ∩ WQ != {} within that level.
+
+Positions are logical indices ``0..total-1`` assigned level by level; the
+protocol engines place the data node N_i at position 0 (level 0) and spread
+the parity nodes over the remaining positions, following the paper's
+Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.quorum.base import QuorumSystem
+
+__all__ = [
+    "TrapezoidShape",
+    "TrapezoidQuorum",
+    "TrapezoidSystem",
+    "shapes_for_nbnode",
+    "default_shape_for_nbnode",
+]
+
+
+@dataclass(frozen=True)
+class TrapezoidShape:
+    """The (a, b, h) geometry: level l has ``a*l + b`` positions."""
+
+    a: int
+    b: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.a < 0:
+            raise ConfigurationError(f"a must be >= 0, got {self.a}")
+        if self.b < 1:
+            raise ConfigurationError(f"b must be >= 1, got {self.b}")
+        if self.h < 0:
+            raise ConfigurationError(f"h must be >= 0, got {self.h}")
+
+    @property
+    def levels(self) -> range:
+        """Iterable of level indices 0..h."""
+        return range(self.h + 1)
+
+    def level_size(self, level: int) -> int:
+        """s_l = a*l + b."""
+        if not 0 <= level <= self.h:
+            raise ConfigurationError(f"level must be in [0, {self.h}], got {level}")
+        return self.a * level + self.b
+
+    @property
+    def level_sizes(self) -> tuple[int, ...]:
+        """(s_0, ..., s_h)."""
+        return tuple(self.level_size(l) for l in self.levels)
+
+    @property
+    def total_nodes(self) -> int:
+        """Nbnode = sum_l s_l (paper's eq. 4)."""
+        return sum(self.level_sizes)
+
+    def level_of(self, position: int) -> int:
+        """Level containing logical position ``position``."""
+        if not 0 <= position < self.total_nodes:
+            raise ConfigurationError(
+                f"position must be in [0, {self.total_nodes}), got {position}"
+            )
+        offset = 0
+        for l in self.levels:
+            offset += self.level_size(l)
+            if position < offset:
+                return l
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def positions(self, level: int) -> range:
+        """Logical positions belonging to ``level`` (contiguous)."""
+        size = self.level_size(level)
+        start = sum(self.level_size(l) for l in range(level))
+        return range(start, start + size)
+
+    def ascii_art(self) -> str:
+        """Text rendering of the trapezoid (used by the Fig. 1 bench)."""
+        width = self.level_size(self.h)
+        lines = []
+        for l in self.levels:
+            marks = " ".join(f"{pos:3d}" for pos in self.positions(l))
+            lines.append(f"l={l} s_l={self.level_size(l):2d} |" + marks.center(4 * width))
+        return "\n".join(lines)
+
+
+def shapes_for_nbnode(
+    nbnode: int, *, max_h: int | None = None
+) -> list[TrapezoidShape]:
+    """All (a, b, h) triples whose trapezoid holds exactly ``nbnode`` nodes.
+
+    Solves ``(h+1)*b + a*h*(h+1)/2 = nbnode`` over a >= 0, b >= 1, h >= 0.
+    Degenerate single-level shapes (h = 0, where ``a`` is meaningless and
+    normalized to 0) are included — they reduce the protocol to a majority
+    vote on b nodes.
+    """
+    if nbnode < 1:
+        raise ConfigurationError(f"nbnode must be >= 1, got {nbnode}")
+    if max_h is None:
+        max_h = nbnode
+    shapes = []
+    for h in range(0, max_h + 1):
+        if h == 0:
+            shapes.append(TrapezoidShape(0, nbnode, 0))
+            continue
+        tri = h * (h + 1) // 2
+        for b in range(1, nbnode // (h + 1) + 1):
+            rem = nbnode - (h + 1) * b
+            if rem < 0:
+                break
+            if rem % tri == 0:
+                shapes.append(TrapezoidShape(rem // tri, b, h))
+    return shapes
+
+
+def default_shape_for_nbnode(nbnode: int) -> TrapezoidShape:
+    """A canonical shape for a node budget: prefers the paper's style.
+
+    Preference order: growing trapezoids (a > 0) with the most levels but
+    level-0 of at least 3 nodes; falls back to the flat single-level shape.
+    The paper's running example Nbnode = 15 resolves to (a=2, b=3, h=2) —
+    exactly Figure 1.
+    """
+    shapes = shapes_for_nbnode(nbnode)
+    candidates = [s for s in shapes if s.a > 0 and s.b >= 3]
+    if candidates:
+        # Most levels first; among those, narrowest level 0 (cheap quorums).
+        candidates.sort(key=lambda s: (-s.h, s.b, s.a))
+        return candidates[0]
+    return TrapezoidShape(0, nbnode, 0)
+
+
+@dataclass(frozen=True)
+class TrapezoidQuorum:
+    """A trapezoid shape plus its write-quorum vector (w_0, ..., w_h).
+
+    ``w_0`` is forced to ``floor(b/2) + 1`` (the paper's safety condition);
+    upper levels accept any ``1 <= w_l <= s_l``.
+    """
+
+    shape: TrapezoidShape
+    w: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        shape = self.shape
+        w = tuple(int(x) for x in self.w)
+        if len(w) != shape.h + 1:
+            raise ConfigurationError(
+                f"w must have h+1 = {shape.h + 1} entries, got {len(w)}"
+            )
+        mandatory = shape.b // 2 + 1
+        if w[0] != mandatory:
+            raise ConfigurationError(
+                f"w_0 must be floor(b/2)+1 = {mandatory}, got {w[0]}"
+            )
+        for l in range(1, shape.h + 1):
+            if not 1 <= w[l] <= shape.level_size(l):
+                raise ConfigurationError(
+                    f"need 1 <= w_{l} <= s_{l} = {shape.level_size(l)}, got {w[l]}"
+                )
+        object.__setattr__(self, "w", w)
+
+    @classmethod
+    def uniform(cls, shape: TrapezoidShape, w: int | None = None) -> "TrapezoidQuorum":
+        """The paper's eq. (16) parameterization: w_0 mandatory, w_l = w for
+        l >= 1. Defaults w to the per-level majority-ish midpoint s_1 // 2 + 1
+        when omitted."""
+        w0 = shape.b // 2 + 1
+        if shape.h == 0:
+            return cls(shape, (w0,))
+        if w is None:
+            w = shape.level_size(1) // 2 + 1
+        return cls(shape, (w0,) + (int(w),) * shape.h)
+
+    # -- derived quantities -------------------------------------------- #
+
+    def r(self, level: int) -> int:
+        """Read (version-check) threshold r_l = s_l - w_l + 1."""
+        return self.shape.level_size(level) - self.w[level] + 1
+
+    @property
+    def read_thresholds(self) -> tuple[int, ...]:
+        return tuple(self.r(l) for l in self.shape.levels)
+
+    @property
+    def min_write_size(self) -> int:
+        """|WQ| = sum_l w_l (paper's eq. 6)."""
+        return sum(self.w)
+
+    @property
+    def min_read_size(self) -> int:
+        """Size of the cheapest version-check quorum: min_l r_l."""
+        return min(self.read_thresholds)
+
+    # -- alive-count predicates (shared by analysis, MC and protocol) --- #
+
+    def write_predicate(self, alive_per_level) -> bool:
+        """Write succeeds iff every level has >= w_l alive nodes."""
+        counts = list(alive_per_level)
+        if len(counts) != self.shape.h + 1:
+            raise ConfigurationError("alive_per_level must have h+1 entries")
+        return all(c >= wl for c, wl in zip(counts, self.w))
+
+    def read_check_predicate(self, alive_per_level) -> bool:
+        """Version check succeeds iff some level has >= r_l alive nodes."""
+        counts = list(alive_per_level)
+        if len(counts) != self.shape.h + 1:
+            raise ConfigurationError("alive_per_level must have h+1 entries")
+        return any(c >= self.r(l) for l, c in enumerate(counts))
+
+
+class TrapezoidSystem(QuorumSystem):
+    """QuorumSystem facade over a :class:`TrapezoidQuorum`.
+
+    Models the *full-replication* reading of the trapezoid protocol
+    (TRAP-FR): a read quorum is a version-check quorum (any level with r_l
+    nodes), a write quorum takes w_l nodes per level.
+    """
+
+    def __init__(self, quorum: TrapezoidQuorum) -> None:
+        self.quorum = quorum
+        self.shape = quorum.shape
+        self.size = self.shape.total_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.shape
+        return (
+            f"TrapezoidSystem(a={s.a}, b={s.b}, h={s.h}, w={self.quorum.w})"
+        )
+
+    def _level_counts(self, subset: frozenset[int]) -> list[int]:
+        counts = [0] * (self.shape.h + 1)
+        for pos in subset:
+            counts[self.shape.level_of(pos)] += 1
+        return counts
+
+    def is_write_quorum(self, subset) -> bool:
+        subset = self._check_positions(subset)
+        return self.quorum.write_predicate(self._level_counts(subset))
+
+    def is_read_quorum(self, subset) -> bool:
+        subset = self._check_positions(subset)
+        return self.quorum.read_check_predicate(self._level_counts(subset))
+
+    def find_write_quorum(self, alive: set[int]) -> frozenset[int] | None:
+        alive = self._check_positions(alive)
+        chosen: list[int] = []
+        for l in self.shape.levels:
+            members = [p for p in self.shape.positions(l) if p in alive]
+            if len(members) < self.quorum.w[l]:
+                return None
+            chosen.extend(members[: self.quorum.w[l]])
+        return frozenset(chosen)
+
+    def find_read_quorum(self, alive: set[int]) -> frozenset[int] | None:
+        # Scan levels 0..h in order, like Algorithm 2.
+        alive = self._check_positions(alive)
+        for l in self.shape.levels:
+            members = [p for p in self.shape.positions(l) if p in alive]
+            need = self.quorum.r(l)
+            if len(members) >= need:
+                return frozenset(members[:need])
+        return None
+
+    # Closed forms live in repro.analysis; delegate lazily to avoid a
+    # package-level import cycle.
+    def write_availability(self, p) -> np.ndarray:
+        from repro.analysis.availability import write_availability
+
+        return write_availability(self.quorum, p)
+
+    def read_availability(self, p) -> np.ndarray:
+        from repro.analysis.availability import read_availability_fr
+
+        return read_availability_fr(self.quorum, p)

@@ -1,0 +1,88 @@
+"""Tree quorum protocol (Agrawal & El Abbadi 1991 — the paper's ref. [1]).
+
+Nodes are the vertices of a complete binary tree (breadth-first numbering,
+root = 0). A quorum for the subtree rooted at v is either
+
+* {v} together with a quorum of *one* of v's child subtrees, or
+* (bypassing a failed v) quorums of *both* child subtrees;
+
+a leaf's quorum is the leaf itself. Any two such quorums intersect, so the
+same structure serves reads and writes (the protocol was designed for
+mutual exclusion / replicated data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.quorum.base import QuorumSystem
+
+__all__ = ["TreeSystem"]
+
+
+class TreeSystem(QuorumSystem):
+    """Complete binary tree of the given height (height 0 = single node)."""
+
+    def __init__(self, height: int) -> None:
+        if height < 0:
+            raise ConfigurationError(f"height must be >= 0, got {height}")
+        self.height = height
+        self.size = (1 << (height + 1)) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TreeSystem(height={self.height})"
+
+    def _children(self, v: int) -> tuple[int, int] | None:
+        left = 2 * v + 1
+        if left >= self.size:
+            return None
+        return left, left + 1
+
+    def _find(self, v: int, alive: frozenset[int]) -> frozenset[int] | None:
+        kids = self._children(v)
+        if kids is None:
+            return frozenset([v]) if v in alive else None
+        left, right = kids
+        if v in alive:
+            for child in (left, right):
+                sub = self._find(child, alive)
+                if sub is not None:
+                    return frozenset([v]) | sub
+        ql = self._find(left, alive)
+        if ql is None:
+            return None
+        qr = self._find(right, alive)
+        if qr is None:
+            return None
+        return ql | qr
+
+    def find_write_quorum(self, alive: set[int]) -> frozenset[int] | None:
+        return self._find(0, self._check_positions(alive))
+
+    def find_read_quorum(self, alive: set[int]) -> frozenset[int] | None:
+        return self.find_write_quorum(alive)
+
+    def is_write_quorum(self, subset) -> bool:
+        # A subset contains a quorum iff treating it as the alive set lets
+        # the recursive construction succeed (the recursion explores every
+        # structural alternative).
+        return self._find(0, self._check_positions(subset)) is not None
+
+    def is_read_quorum(self, subset) -> bool:
+        return self.is_write_quorum(subset)
+
+    def _availability(self, p: np.ndarray, height: int) -> np.ndarray:
+        if height == 0:
+            return p
+        sub = self._availability(p, height - 1)
+        alive_path = 1.0 - (1.0 - sub) ** 2  # v alive: quorum in >= 1 child
+        bypass = sub**2  # v failed: quorums in both children
+        return p * alive_path + (1.0 - p) * bypass
+
+    def write_availability(self, p) -> np.ndarray:
+        p = np.asarray(p, dtype=np.float64)
+        return self._availability(p, self.height)
+
+    def read_availability(self, p) -> np.ndarray:
+        return self.write_availability(p)

@@ -1,0 +1,135 @@
+"""Weighted voting (Gifford 1979): the general threshold quorum scheme.
+
+Each node carries a vote weight; a read quorum gathers at least r votes
+and a write quorum at least w votes, with
+
+    r + w > total      (read/write intersection, the paper's eq. 2)
+    2w    > total      (write/write intersection, the paper's eq. 3)
+
+Majority is the special case of unit weights and r = w = floor(n/2) + 1;
+ROWA is r = 1, w = total. The scheme generalizes the threshold ("r"
+notation) the paper uses when discussing the trapezoid in the "general
+threshold scheme context".
+"""
+
+from __future__ import annotations
+
+
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.quorum.base import QuorumSystem
+
+__all__ = ["WeightedVotingSystem"]
+
+
+class WeightedVotingSystem(QuorumSystem):
+    """Vote-threshold quorums over weighted nodes."""
+
+    def __init__(self, weights, r: int, w: int) -> None:
+        self.weights = [int(x) for x in weights]
+        if not self.weights:
+            raise ConfigurationError("need at least one node")
+        if any(x < 0 for x in self.weights):
+            raise ConfigurationError("weights must be non-negative")
+        total = sum(self.weights)
+        if total < 1:
+            raise ConfigurationError("total votes must be >= 1")
+        if not 1 <= r <= total or not 1 <= w <= total:
+            raise ConfigurationError(
+                f"thresholds must be in [1, {total}], got r={r}, w={w}"
+            )
+        if r + w <= total:
+            raise ConfigurationError(
+                f"need r + w > total votes for RQ/WQ intersection "
+                f"(r={r}, w={w}, total={total})"
+            )
+        if 2 * w <= total:
+            raise ConfigurationError(
+                f"need 2w > total votes for WQ/WQ intersection (w={w}, total={total})"
+            )
+        self.size = len(self.weights)
+        self.total_votes = total
+        self.r = int(r)
+        self.w = int(w)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WeightedVotingSystem(weights={self.weights}, r={self.r}, w={self.w})"
+        )
+
+    @classmethod
+    def majority(cls, size: int) -> "WeightedVotingSystem":
+        """Unit weights, r = w = floor(size/2) + 1 (Thomas's scheme)."""
+        t = size // 2 + 1
+        return cls([1] * size, t, t)
+
+    @classmethod
+    def rowa(cls, size: int) -> "WeightedVotingSystem":
+        """Unit weights, r = 1, w = size (Read One Write All)."""
+        return cls([1] * size, 1, size)
+
+    # ------------------------------------------------------------------ #
+
+    def _votes(self, subset: frozenset[int]) -> int:
+        return sum(self.weights[i] for i in subset)
+
+    def is_read_quorum(self, subset) -> bool:
+        return self._votes(self._check_positions(subset)) >= self.r
+
+    def is_write_quorum(self, subset) -> bool:
+        return self._votes(self._check_positions(subset)) >= self.w
+
+    def _find(self, alive: set[int], threshold: int) -> frozenset[int] | None:
+        alive = self._check_positions(alive)
+        # Greedy: heaviest nodes first gives a minimal-cardinality quorum.
+        ordered = sorted(alive, key=lambda i: -self.weights[i])
+        chosen: list[int] = []
+        votes = 0
+        for i in ordered:
+            if votes >= threshold:
+                break
+            if self.weights[i] == 0:
+                continue
+            chosen.append(i)
+            votes += self.weights[i]
+        if votes >= threshold:
+            return frozenset(chosen)
+        return None
+
+    def find_read_quorum(self, alive: set[int]) -> frozenset[int] | None:
+        return self._find(alive, self.r)
+
+    def find_write_quorum(self, alive: set[int]) -> frozenset[int] | None:
+        return self._find(alive, self.w)
+
+    # ------------------------------------------------------------------ #
+
+    def _threshold_availability(self, p, threshold: int) -> np.ndarray:
+        """P(total alive votes >= threshold) by dynamic programming.
+
+        Weighted sums of independent Bernoullis have no closed form, so
+        build the exact vote-total distribution with a convolution DP —
+        O(size * total_votes), fine for realistic cluster sizes.
+        """
+        p = np.asarray(p, dtype=np.float64)
+        scalar = p.ndim == 0
+        p = np.atleast_1d(p)
+        # dist[v] = P(alive vote total == v), per p value.
+        dist = np.zeros((self.total_votes + 1, p.size))
+        dist[0] = 1.0
+        for weight in self.weights:
+            if weight == 0:
+                continue
+            shifted = np.zeros_like(dist)
+            shifted[weight:] = dist[: self.total_votes + 1 - weight]
+            dist = dist * (1.0 - p)[None, :] + shifted * p[None, :]
+        out = dist[threshold:].sum(axis=0)
+        return out[0] if scalar else out
+
+    def read_availability(self, p) -> np.ndarray:
+        return self._threshold_availability(p, self.r)
+
+    def write_availability(self, p) -> np.ndarray:
+        return self._threshold_availability(p, self.w)

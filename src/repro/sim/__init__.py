@@ -1,0 +1,61 @@
+"""Simulation and measurement layer (DESIGN.md S7).
+
+Three evaluation instruments of increasing fidelity:
+
+* :mod:`repro.sim.montecarlo` — vectorized snapshot-model predicate
+  sampling (validates the closed forms of :mod:`repro.analysis`),
+* :mod:`repro.sim.protocol_mc` — per-trial execution of the real protocol
+  engines (validates that the code implements the analyzed predicates),
+* :mod:`repro.sim.trace_sim` — discrete-event history-model runs with
+  staleness and repair (quantifies what the paper's model idealizes away).
+"""
+
+from repro.sim.metrics import MCEstimate, OperationTally
+from repro.sim.montecarlo import (
+    level_membership_matrix,
+    mc_read_availability_erc,
+    mc_read_availability_fr,
+    mc_write_availability,
+)
+from repro.sim.comparative import (
+    ComparisonResult,
+    ScheduleStep,
+    make_schedule,
+    run_comparison,
+)
+from repro.sim.protocol_mc import ProtocolMonteCarlo
+from repro.sim.sweep import SweepRecord, availability_sweep, records_to_csv
+from repro.sim.trace_sim import TraceSimConfig, TraceSimulation
+from repro.sim.workloads import (
+    OpKind,
+    Operation,
+    sequential_workload,
+    uniform_workload,
+    vm_disk_workload,
+    zipf_workload,
+)
+
+__all__ = [
+    "MCEstimate",
+    "OperationTally",
+    "level_membership_matrix",
+    "mc_write_availability",
+    "mc_read_availability_fr",
+    "mc_read_availability_erc",
+    "ProtocolMonteCarlo",
+    "ScheduleStep",
+    "ComparisonResult",
+    "make_schedule",
+    "run_comparison",
+    "SweepRecord",
+    "availability_sweep",
+    "records_to_csv",
+    "TraceSimConfig",
+    "TraceSimulation",
+    "OpKind",
+    "Operation",
+    "uniform_workload",
+    "sequential_workload",
+    "zipf_workload",
+    "vm_disk_workload",
+]

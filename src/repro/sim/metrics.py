@@ -1,0 +1,108 @@
+"""Estimation metrics: Monte-Carlo estimates with confidence intervals.
+
+All Monte-Carlo entry points return :class:`MCEstimate` so that tests and
+benchmarks can assert agreement with closed forms *statistically* (via the
+confidence interval) instead of with brittle fixed tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MCEstimate", "OperationTally"]
+
+_Z95 = 1.959963984540054  # standard normal 97.5% quantile
+
+
+@dataclass(frozen=True)
+class MCEstimate:
+    """A Bernoulli-proportion estimate from ``trials`` samples."""
+
+    successes: int
+    trials: int
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {self.trials}")
+        if not 0 <= self.successes <= self.trials:
+            raise ConfigurationError(
+                f"successes {self.successes} out of range [0, {self.trials}]"
+            )
+
+    @property
+    def mean(self) -> float:
+        return self.successes / self.trials
+
+    @property
+    def stderr(self) -> float:
+        m = self.mean
+        return float(np.sqrt(m * (1.0 - m) / self.trials))
+
+    def ci(self, z: float = _Z95) -> tuple[float, float]:
+        """Wilson score interval (robust near 0 and 1) at ``z`` sigmas."""
+        n = self.trials
+        m = self.mean
+        z2 = z**2
+        denom = 1.0 + z2 / n
+        center = (m + z2 / (2 * n)) / denom
+        half = (z * np.sqrt(m * (1.0 - m) / n + z2 / (4 * n * n))) / denom
+        return (max(0.0, center - half), min(1.0, center + half))
+
+    def ci95(self) -> tuple[float, float]:
+        """The conventional 95% Wilson interval."""
+        return self.ci(_Z95)
+
+    def contains(self, value: float, z: float = _Z95) -> bool:
+        """True iff ``value`` lies in the z-sigma confidence interval.
+
+        Statistical test suites should pass a generous ``z`` (e.g. 4):
+        with dozens of 95% intervals checked per run, spurious 2-sigma
+        misses are expected by construction.
+        """
+        lo, hi = self.ci(z)
+        return lo <= value <= hi
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lo, hi = self.ci95()
+        return f"{self.mean:.4f} [{lo:.4f}, {hi:.4f}] (n={self.trials})"
+
+
+@dataclass
+class OperationTally:
+    """Counters for protocol-level simulations (history model)."""
+
+    reads_attempted: int = 0
+    reads_succeeded: int = 0
+    reads_direct: int = 0
+    reads_decoded: int = 0
+    writes_attempted: int = 0
+    writes_succeeded: int = 0
+    consistency_violations: int = 0
+    repairs: int = 0
+    messages: int = 0
+
+    def read_availability(self) -> MCEstimate:
+        return MCEstimate(self.reads_succeeded, max(1, self.reads_attempted))
+
+    def write_availability(self) -> MCEstimate:
+        return MCEstimate(self.writes_succeeded, max(1, self.writes_attempted))
+
+    def decode_fraction(self) -> float:
+        """Share of successful reads that needed reconstruction."""
+        if self.reads_succeeded == 0:
+            return 0.0
+        return self.reads_decoded / self.reads_succeeded
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "read_availability": self.read_availability().mean,
+            "write_availability": self.write_availability().mean,
+            "decode_fraction": self.decode_fraction(),
+            "consistency_violations": float(self.consistency_violations),
+            "repairs": float(self.repairs),
+            "messages": float(self.messages),
+        }

@@ -1,0 +1,100 @@
+"""Experiment sweeps: evaluate protocols across a parameter grid.
+
+A small declarative layer used by benchmarks and examples to produce
+comparison tables: sweep node availability (and optionally the quorum
+parameter w) across evaluation methods, returning tidy records that
+render to CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.availability import (
+    read_availability_erc,
+    read_availability_fr,
+    write_availability,
+)
+from repro.analysis.exact import exact_read_erc
+from repro.cluster.rng import make_rng
+from repro.errors import ConfigurationError
+from repro.quorum.trapezoid import TrapezoidQuorum
+from repro.sim.montecarlo import mc_read_availability_erc, mc_write_availability
+
+__all__ = ["SweepRecord", "availability_sweep", "records_to_csv"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (p, metric, method) evaluation."""
+
+    p: float
+    metric: str  # "write" | "read_fr" | "read_erc"
+    method: str  # "closed_form" | "exact" | "monte_carlo"
+    value: float
+
+
+def availability_sweep(
+    quorum: TrapezoidQuorum,
+    n: int,
+    k: int,
+    ps,
+    *,
+    mc_trials: int = 0,
+    rng=None,
+) -> list[SweepRecord]:
+    """Evaluate write/read availability across ``ps`` with every method.
+
+    ``mc_trials = 0`` disables the Monte-Carlo column (closed forms and
+    exact enumeration are deterministic and fast).
+    """
+    ps = [float(p) for p in np.atleast_1d(np.asarray(ps, dtype=np.float64))]
+    if mc_trials < 0:
+        raise ConfigurationError(f"mc_trials must be >= 0, got {mc_trials}")
+    rng = make_rng(rng)
+    records: list[SweepRecord] = []
+    for p in ps:
+        records.append(
+            SweepRecord(p, "write", "closed_form", float(write_availability(quorum, p)))
+        )
+        records.append(
+            SweepRecord(p, "read_fr", "closed_form", float(read_availability_fr(quorum, p)))
+        )
+        records.append(
+            SweepRecord(
+                p, "read_erc", "closed_form", float(read_availability_erc(quorum, n, k, p))
+            )
+        )
+        records.append(
+            SweepRecord(p, "read_erc", "exact", float(exact_read_erc(quorum, n, k, p)))
+        )
+        if mc_trials:
+            records.append(
+                SweepRecord(
+                    p,
+                    "write",
+                    "monte_carlo",
+                    mc_write_availability(quorum, p, trials=mc_trials, rng=rng).mean,
+                )
+            )
+            records.append(
+                SweepRecord(
+                    p,
+                    "read_erc",
+                    "monte_carlo",
+                    mc_read_availability_erc(
+                        quorum, n, k, p, trials=mc_trials, rng=rng
+                    ).mean,
+                )
+            )
+    return records
+
+
+def records_to_csv(records) -> str:
+    """Render sweep records as a CSV string (header included)."""
+    lines = ["p,metric,method,value"]
+    for rec in records:
+        lines.append(f"{rec.p},{rec.metric},{rec.method},{rec.value:.6f}")
+    return "\n".join(lines) + "\n"

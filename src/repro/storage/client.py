@@ -1,0 +1,76 @@
+"""A retrying disk client: what a VM's block driver would look like.
+
+Wraps :class:`VirtualDisk` with bounded retries and periodic anti-entropy,
+turning the protocol's fail-fast quorum operations into the blocking
+semantics a guest filesystem expects, while preserving strict consistency
+(a retried write simply re-runs Algorithm 1 at a higher version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.storage.volume import VirtualDisk
+
+__all__ = ["ClientStats", "DiskClient"]
+
+
+@dataclass
+class ClientStats:
+    """Operation outcomes as seen by the guest."""
+
+    reads: int = 0
+    writes: int = 0
+    read_retries: int = 0
+    write_retries: int = 0
+    read_failures: int = 0
+    write_failures: int = 0
+    repair_passes: int = 0
+
+
+class DiskClient:
+    """Bounded-retry facade over a :class:`VirtualDisk`."""
+
+    def __init__(
+        self,
+        disk: VirtualDisk,
+        max_retries: int = 2,
+        repair_on_failure: bool = True,
+    ) -> None:
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {max_retries}")
+        self.disk = disk
+        self.max_retries = int(max_retries)
+        self.repair_on_failure = bool(repair_on_failure)
+        self.stats = ClientStats()
+
+    def read(self, block: int) -> bytes | None:
+        """Read with retries (+ optional repair between attempts)."""
+        self.stats.reads += 1
+        for attempt in range(self.max_retries + 1):
+            data = self.disk.read(block)
+            if data is not None:
+                return data
+            if attempt < self.max_retries:
+                self.stats.read_retries += 1
+                self._maybe_repair()
+        self.stats.read_failures += 1
+        return None
+
+    def write(self, block: int, data: bytes) -> bool:
+        """Write with retries (+ optional repair between attempts)."""
+        self.stats.writes += 1
+        for attempt in range(self.max_retries + 1):
+            if self.disk.write(block, data):
+                return True
+            if attempt < self.max_retries:
+                self.stats.write_retries += 1
+                self._maybe_repair()
+        self.stats.write_failures += 1
+        return False
+
+    def _maybe_repair(self) -> None:
+        if self.repair_on_failure:
+            self.stats.repair_passes += 1
+            self.disk.repair_all()

@@ -1,0 +1,68 @@
+"""Placement policies: spreading parity roles across the cluster.
+
+With the identity layout every stripe puts its parity blocks on the same
+n - k nodes, which concentrates delta-update traffic there (the RAID-4
+problem). Rotating the block-to-node mapping per stripe (RAID-5 style)
+spreads both the parity write load and the level-0 read pressure.
+
+Policies produce a :class:`~repro.erasure.stripe.StripeLayout` per stripe
+index; :class:`~repro.storage.volume.VirtualDisk` accepts a policy.
+"""
+
+from __future__ import annotations
+
+from repro.erasure.stripe import StripeLayout
+from repro.errors import ConfigurationError
+
+__all__ = ["PlacementPolicy", "IdentityPlacement", "RotatingPlacement"]
+
+
+class PlacementPolicy:
+    """Maps a stripe index to a block -> node layout."""
+
+    def __init__(self, n: int, k: int, num_nodes: int) -> None:
+        if k < 1 or n < k:
+            raise ConfigurationError(f"invalid (n={n}, k={k})")
+        if num_nodes < n:
+            raise ConfigurationError(
+                f"cluster of {num_nodes} nodes cannot host n={n} blocks"
+            )
+        self.n = n
+        self.k = k
+        self.num_nodes = num_nodes
+
+    def layout_for(self, stripe_index: int) -> StripeLayout:  # pragma: no cover
+        raise NotImplementedError
+
+    def parity_load(self, num_stripes: int) -> dict[int, int]:
+        """Node id -> number of stripes whose parity it stores."""
+        load: dict[int, int] = {node: 0 for node in range(self.num_nodes)}
+        for s in range(num_stripes):
+            for node in self.layout_for(s).parity_nodes:
+                load[node] += 1
+        return load
+
+
+class IdentityPlacement(PlacementPolicy):
+    """Every stripe uses nodes 0..n-1 in block order (RAID-4 style)."""
+
+    def layout_for(self, stripe_index: int) -> StripeLayout:
+        if stripe_index < 0:
+            raise ConfigurationError("stripe_index must be >= 0")
+        return StripeLayout(self.n, self.k, tuple(range(self.n)))
+
+
+class RotatingPlacement(PlacementPolicy):
+    """Rotate the node assignment by one per stripe (RAID-5 style).
+
+    Stripe s places block b on node ``(b + s) % num_nodes``; with
+    num_nodes >= n the assignment is always collision-free, and over
+    num_nodes consecutive stripes every node serves every role equally
+    often when num_nodes == n.
+    """
+
+    def layout_for(self, stripe_index: int) -> StripeLayout:
+        if stripe_index < 0:
+            raise ConfigurationError("stripe_index must be >= 0")
+        ids = tuple((b + stripe_index) % self.num_nodes for b in range(self.n))
+        return StripeLayout(self.n, self.k, ids)

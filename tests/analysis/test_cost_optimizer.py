@@ -1,0 +1,152 @@
+"""Tests for the message-cost models and the configuration optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    expected_read_check_polls,
+    optimize_config,
+    quorum_size_summary,
+    read_messages_erc_decode,
+    read_messages_erc_direct,
+    write_messages_erc,
+)
+from repro.errors import ConfigurationError
+from repro.quorum import TrapezoidQuorum, TrapezoidShape
+
+
+QUORUM96 = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)  # (9, 6)
+
+
+class TestCostModels:
+    def test_direct_read_budget(self):
+        # r_0 = 1: 2 polls... r_0 = s_0 - w_0 + 1 = 1 -> 2 msg polls + 2 + 2.
+        cost = read_messages_erc_direct(QUORUM96)
+        assert cost["total"] == 2 * 1 + 4
+
+    def test_decode_read_budget(self):
+        cost = read_messages_erc_decode(QUORUM96, 9, 6)
+        # gather = (n-k) + (k-1) = 3 + 5 = 8 fragment RPCs; polls bounded
+        # by the whole 4-node trapezoid.
+        assert cost["fragment_reads"] == 16
+        assert cost["total"] == 2 * 4 + 2 + 16
+
+    def test_write_budget(self):
+        cost = write_messages_erc(QUORUM96, 9, 6)
+        assert cost["write_rpcs"] == 2 * 4  # one RPC per group node
+        assert cost["total"] == cost["read_before_write"] + 8
+
+    def test_geometry_validated(self):
+        with pytest.raises(ConfigurationError):
+            write_messages_erc(QUORUM96, 9, 5)
+        with pytest.raises(ConfigurationError):
+            read_messages_erc_decode(QUORUM96, 8, 6)
+
+    def test_quorum_size_summary(self):
+        s = quorum_size_summary(QUORUM96)
+        assert s == {
+            "write_quorum_size": 3,  # w = (1, 2)
+            "min_read_quorum_size": 1,
+            "group_size": 4,
+        }
+
+    def test_expected_polls_bounds(self):
+        p = np.linspace(0.1, 0.99, 20)
+        polls = expected_read_check_polls(QUORUM96, p)
+        total_nodes = QUORUM96.shape.total_nodes
+        assert np.all(polls >= QUORUM96.shape.level_size(0) - 1e-12)
+        assert np.all(polls <= total_nodes + 1e-12)
+        # More availability => fewer fall-throughs => fewer polls.
+        assert polls[0] >= polls[-1]
+
+    def test_measured_messages_within_model(self):
+        """The executable engine must respect the analytic budgets."""
+        from repro.cluster import Cluster
+        from repro.core import TrapErcProtocol
+        from repro.erasure import MDSCode
+
+        cluster = Cluster(9)
+        proto = TrapErcProtocol(cluster, MDSCode(9, 6), QUORUM96)
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, size=(6, 8), dtype=np.int64).astype(np.uint8)
+        proto.initialize(data)
+
+        read = proto.read_block(0)
+        assert read.messages <= read_messages_erc_direct(QUORUM96)["total"]
+
+        write = proto.write_block(0, rng.integers(0, 256, 8, dtype=np.int64).astype(np.uint8))
+        assert write.messages <= write_messages_erc(QUORUM96, 9, 6)["total"]
+
+        cluster.fail(0)
+        decode = proto.read_block(0)
+        assert decode.success
+        assert decode.messages <= read_messages_erc_decode(QUORUM96, 9, 6)["total"]
+
+
+class TestOptimizer:
+    def test_result_structure(self):
+        result = optimize_config(9, 6, 0.7)
+        assert result.evaluated > 0
+        assert result.pareto
+        for point in result.pareto:
+            assert 0.0 <= point.write <= 1.0
+            assert 0.0 <= point.read <= 1.0
+
+    def test_winners_are_consistent(self):
+        result = optimize_config(9, 6, 0.7)
+        assert result.best_for_writes.write >= result.best_balanced.write - 1e-12
+        assert result.best_for_reads.read >= result.best_balanced.read - 1e-12
+        assert result.best_balanced.balanced >= min(
+            result.best_for_writes.balanced, result.best_for_reads.balanced
+        ) - 1e-12
+
+    def test_pareto_points_not_dominated(self):
+        result = optimize_config(9, 6, 0.6)
+        for a in result.pareto:
+            for b in result.pareto:
+                if a is b:
+                    continue
+                dominates = (
+                    b.write >= a.write and b.read >= a.read
+                ) and (b.write > a.write or b.read > a.read)
+                assert not dominates
+
+    def test_minimal_thresholds_win_writes(self):
+        # The write-optimal configuration minimizes thresholds: a b = 1
+        # base (w_0 = 1) with w_l = 1 upper levels beats the flat
+        # majority, whose w_0 = floor(Nbnode/2) + 1 is much stricter.
+        result = optimize_config(9, 6, 0.7)
+        best = result.best_for_writes
+        assert best.shape.b == 1
+        assert all(w == 1 for w in best.w)
+        flat = TrapezoidQuorum.uniform(TrapezoidShape(0, 4, 0))
+        from repro.analysis import write_availability
+
+        assert best.write >= float(write_availability(flat, 0.7)) + 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimize_config(9, 6, 0.0)
+        with pytest.raises(ConfigurationError):
+            optimize_config(5, 6, 0.5)
+
+    def test_paper_config_is_dominated(self):
+        # Reproduction finding: the paper's calibrated Figure-3
+        # configuration ((2,3,1), w=(2,3)) is NOT Pareto-optimal under
+        # the exact Algorithm-2 read availability — e.g. shape (6,1,1)
+        # with w=(1,4) achieves the same write availability (0.25 at
+        # p=0.5) with strictly better reads. Recorded in EXPERIMENTS.md.
+        from repro.analysis import exact_read_erc, write_availability
+
+        paper = TrapezoidQuorum(TrapezoidShape(2, 3, 1), (2, 3))
+        paper_write = float(write_availability(paper, 0.5))
+        paper_read = float(exact_read_erc(paper, 15, 8, 0.5))
+        result = optimize_config(15, 8, 0.5, max_h=2)
+        dominators = [
+            pt
+            for pt in result.pareto
+            if pt.write >= paper_write - 1e-12 and pt.read > paper_read + 1e-6
+        ]
+        assert dominators, "expected a configuration dominating the paper's"

@@ -1,0 +1,100 @@
+"""Tests for the Φ combinator (paper eq. 7)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import at_least, exactly, phi
+from repro.errors import ConfigurationError
+
+
+def phi_reference(z: int, i: int, j: int, p: float) -> float:
+    """Literal transcription of eq. (7) for cross-checking."""
+    return sum(
+        math.comb(z, m) * p**m * (1 - p) ** (z - m)
+        for m in range(max(i, 0), min(j, z) + 1)
+    )
+
+
+class TestPhi:
+    def test_full_range_is_one(self):
+        p = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(phi(7, 0, 7, p), np.ones_like(p), atol=1e-12)
+
+    def test_empty_range_is_zero(self):
+        p = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(phi(7, 5, 4, p), np.zeros_like(p))
+        np.testing.assert_allclose(phi(7, 0, -1, p), np.zeros_like(p))
+
+    def test_clamps_to_support(self):
+        p = 0.3
+        assert phi(5, -3, 99, p) == pytest.approx(1.0)
+        assert phi(5, 3, 99, p) == pytest.approx(phi_reference(5, 3, 5, p))
+
+    def test_matches_reference(self):
+        for z in (1, 4, 9):
+            for i in range(z + 1):
+                for j in range(i, z + 1):
+                    for p in (0.0, 0.2, 0.5, 0.9, 1.0):
+                        assert phi(z, i, j, p) == pytest.approx(
+                            phi_reference(z, i, j, p), abs=1e-12
+                        ), (z, i, j, p)
+
+    def test_z_zero(self):
+        # Zero nodes: exactly zero are available with probability 1.
+        assert phi(0, 0, 0, 0.3) == pytest.approx(1.0)
+        assert phi(0, 1, 1, 0.3) == pytest.approx(0.0)
+
+    def test_negative_z_raises(self):
+        with pytest.raises(ConfigurationError):
+            phi(-1, 0, 0, 0.5)
+
+    def test_p_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            phi(3, 0, 1, 1.5)
+        with pytest.raises(ConfigurationError):
+            phi(3, 0, 1, -0.1)
+
+    def test_vectorized_over_p(self):
+        p = np.linspace(0, 1, 23)
+        out = phi(6, 2, 4, p)
+        assert out.shape == p.shape
+        for idx in (0, 7, 22):
+            assert out[idx] == pytest.approx(phi_reference(6, 2, 4, p[idx]))
+
+    def test_at_least(self):
+        p = 0.7
+        assert at_least(6, 4, p) == pytest.approx(phi_reference(6, 4, 6, p))
+
+    def test_at_least_zero_threshold(self):
+        assert at_least(6, 0, 0.01) == pytest.approx(1.0)
+
+    def test_exactly(self):
+        p = 0.4
+        assert exactly(5, 2, p) == pytest.approx(math.comb(5, 2) * 0.4**2 * 0.6**3)
+
+    def test_exactly_out_of_support(self):
+        assert exactly(5, 6, 0.4) == pytest.approx(0.0)
+        assert exactly(5, -1, 0.4) == pytest.approx(0.0)
+
+    @settings(max_examples=60)
+    @given(
+        z=st.integers(0, 12),
+        i=st.integers(-2, 13),
+        j=st.integers(-2, 13),
+        p=st.floats(0, 1),
+    )
+    def test_property_matches_reference(self, z, i, j, p):
+        assert phi(z, i, j, p) == pytest.approx(phi_reference(z, i, j, p), abs=1e-9)
+
+    @settings(max_examples=40)
+    @given(z=st.integers(1, 10), i=st.integers(1, 10))
+    def test_at_least_monotone_decreasing_in_threshold(self, z, i):
+        p = 0.6
+        if i <= z:
+            assert at_least(z, i, p) <= at_least(z, i - 1, p) + 1e-12

@@ -1,0 +1,137 @@
+"""Tests for the figure-series generators and runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    FIG_K,
+    FIG_N,
+    FIG_SHAPE,
+    FigureSeries,
+    all_series,
+    default_p_grid,
+    fig1_layout,
+    fig2_series,
+    fig3_series,
+    fig4_quorum,
+    fig4_series,
+    fig5_series,
+    fig_quorum,
+    run_all,
+    scan_fig3_configs,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCanonicalConfig:
+    def test_constants(self):
+        assert (FIG_N, FIG_K) == (15, 8)
+        assert FIG_SHAPE.level_sizes == (3, 5)
+        assert FIG_SHAPE.total_nodes == FIG_N - FIG_K + 1
+
+    def test_fig_quorum_default(self):
+        q = fig_quorum()
+        assert q.w == (2, 3)
+        assert q.read_thresholds == (2, 3)
+
+    def test_fig4_quorum_majority_per_level(self):
+        q = fig4_quorum(8)
+        assert q.w == (2, 3)  # coincides with the anchor configuration
+        q12 = fig4_quorum(12)
+        assert q12.shape.total_nodes == 4
+
+    def test_p_grid(self):
+        grid = default_p_grid()
+        assert grid[0] == pytest.approx(0.05)
+        assert grid[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(grid) > 0)
+
+
+class TestFigureSeries:
+    def test_column_shape_validated(self):
+        with pytest.raises(ConfigurationError):
+            FigureSeries("x", "p", np.arange(3.0), {"bad": np.arange(4.0)})
+
+    def test_render_text_contains_data(self):
+        series = fig5_series()
+        text = series.render_text()
+        assert "Figure 5" in text
+        assert "TRAP-ERC (n/k)" in text
+        assert "1.8750" in text  # k = 8 anchor
+
+    def test_csv_roundtrip(self, tmp_path):
+        series = fig2_series(np.array([0.5, 0.9]))
+        path = tmp_path / "fig2.csv"
+        series.to_csv(path)
+        rows = path.read_text().strip().split("\n")
+        assert rows[0].startswith("p,")
+        assert len(rows) == 3
+
+
+class TestSeriesContents:
+    def test_fig1_mentions_shape(self):
+        assert "s_l = 2l + 3" in fig1_layout()
+
+    def test_fig2_five_curves(self):
+        series = fig2_series()
+        assert list(series.columns) == [f"w={w}" for w in range(1, 6)]
+
+    def test_fig3_columns(self):
+        series = fig3_series()
+        assert set(series.columns) == {
+            "TRAP-FR (eq.10)",
+            "TRAP-ERC (eq.13)",
+            "TRAP-ERC (exact)",
+        }
+
+    def test_fig4_custom_ks(self):
+        series = fig4_series(ks=(8, 4))
+        assert list(series.columns) == ["n-k=7", "n-k=11"]
+
+    def test_fig5_custom_ks(self):
+        series = fig5_series(ks=[3, 5])
+        assert series.x.tolist() == [3.0, 5.0]
+
+    def test_all_series_returns_four(self):
+        assert len(all_series()) == 4
+
+
+class TestRunner:
+    def test_run_all_writes_artifacts(self, tmp_path):
+        paths = run_all(tmp_path, quiet=True)
+        names = {p.name for p in paths}
+        assert names == {
+            "fig1_layout.txt",
+            "fig2.csv",
+            "fig3.csv",
+            "fig4.csv",
+            "fig5.csv",
+        }
+        for p in paths:
+            assert p.exists() and p.stat().st_size > 0
+
+    def test_results_dir_env(self, tmp_path, monkeypatch):
+        from repro.bench import results_dir
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "custom"))
+        out = results_dir()
+        assert out == tmp_path / "custom"
+        assert out.exists()
+
+
+class TestCalibration:
+    def test_scan_returns_sorted(self):
+        results = scan_fig3_configs(top=5)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores)
+
+    def test_winner_hits_anchors(self):
+        best = scan_fig3_configs(top=1)[0]
+        assert best.fr_at_anchor == pytest.approx(0.75, abs=1e-6)
+        assert best.erc_at_anchor == pytest.approx(0.635, abs=1e-3)
+
+    def test_restricted_k_scan(self):
+        results = scan_fig3_configs(ks=[4], top=3)
+        assert all(r.k == 4 for r in results)

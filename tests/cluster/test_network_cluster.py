@@ -1,0 +1,267 @@
+"""Tests for the network fabric, failure models and cluster facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BernoulliSnapshot,
+    Cluster,
+    EventKind,
+    FailureEvent,
+    FailureTrace,
+    FixedLatency,
+    Network,
+    Simulator,
+    UniformLatency,
+    exponential_trace,
+    make_rng,
+    spawn_rngs,
+)
+from repro.errors import ConfigurationError, NodeUnavailableError, SimulationError
+
+
+def payload(seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).integers(0, 256, 16, dtype=np.int64).astype(np.uint8)
+
+
+class TestNetwork:
+    def test_rpc_counts_messages(self):
+        cluster = Cluster(3)
+        cluster.rpc(0, "put_data", "k", payload(), 0)
+        assert cluster.network.stats.messages == 2
+        assert cluster.network.stats.by_kind["put_data"] == 1
+        assert cluster.network.stats.bytes_sent == 16
+
+    def test_rpc_to_failed_node(self):
+        cluster = Cluster(3)
+        cluster.fail(1)
+        with pytest.raises(NodeUnavailableError):
+            cluster.rpc(1, "data_version", "k")
+        assert cluster.network.stats.rpc_failures == 1
+
+    def test_partition_blocks_reachable_node(self):
+        cluster = Cluster(3)
+        cluster.network.partition([2])
+        with pytest.raises(NodeUnavailableError):
+            cluster.rpc(2, "data_version", "k")
+        cluster.network.heal()
+        assert cluster.rpc(2, "data_version", "k") == -1
+
+    def test_partial_heal(self):
+        net = Network()
+        net.partition([0, 1])
+        net.heal([0])
+        cluster = Cluster(2, network=net)
+        assert net.is_reachable(cluster.node(0))
+        assert not net.is_reachable(cluster.node(1))
+
+    def test_latency_accumulates(self):
+        net = Network(latency=FixedLatency(0.001))
+        cluster = Cluster(2, network=net)
+        cluster.rpc(0, "data_version", "k")
+        cluster.rpc(1, "data_version", "k")
+        assert net.stats.virtual_latency == pytest.approx(0.004)
+
+    def test_uniform_latency_bounds(self):
+        model = UniformLatency(0.001, 0.002)
+        rng = make_rng(0)
+        for _ in range(50):
+            assert 0.001 <= model.sample(rng) <= 0.002
+
+    def test_stats_reset(self):
+        cluster = Cluster(2)
+        cluster.rpc(0, "data_version", "k")
+        cluster.reset_stats()
+        assert cluster.network.stats.messages == 0
+
+
+class TestCluster:
+    def test_size_and_ids(self):
+        cluster = Cluster(5)
+        assert len(cluster) == 5
+        assert cluster.alive_ids == [0, 1, 2, 3, 4]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(0)
+        with pytest.raises(ConfigurationError):
+            Cluster(3).node(3)
+
+    def test_fail_recover(self):
+        cluster = Cluster(4)
+        cluster.fail_many([1, 3])
+        assert cluster.failed_ids == [1, 3]
+        cluster.recover(1)
+        assert cluster.failed_ids == [3]
+        cluster.recover_all()
+        assert cluster.failed_ids == []
+
+    def test_apply_alive_vector(self):
+        cluster = Cluster(4)
+        cluster.apply_alive_vector(np.array([True, False, True, False]))
+        assert cluster.alive_ids == [0, 2]
+        cluster.apply_alive_vector(np.array([False, True, True, True]))
+        assert cluster.alive_ids == [1, 2, 3]
+
+    def test_apply_alive_vector_shape_check(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(3).apply_alive_vector(np.array([True, False]))
+
+
+class TestBernoulliSnapshot:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliSnapshot(1.5, 3)
+        with pytest.raises(ConfigurationError):
+            BernoulliSnapshot(0.5, 0)
+
+    def test_extreme_p(self):
+        rng = make_rng(1)
+        assert BernoulliSnapshot(1.0, 5).sample(rng).all()
+        assert not BernoulliSnapshot(0.0, 5).sample(rng).any()
+
+    def test_sample_many_shape(self):
+        out = BernoulliSnapshot(0.5, 7).sample_many(100, make_rng(2))
+        assert out.shape == (100, 7)
+        assert out.dtype == bool
+
+    def test_sample_many_mean_close_to_p(self):
+        out = BernoulliSnapshot(0.7, 10).sample_many(20000, make_rng(3))
+        assert abs(out.mean() - 0.7) < 0.01
+
+    def test_trials_validation(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliSnapshot(0.5, 3).sample_many(0, make_rng(0))
+
+
+class TestFailureTrace:
+    def test_alive_at(self):
+        trace = FailureTrace(
+            2,
+            [
+                FailureEvent(1.0, 0, EventKind.FAIL),
+                FailureEvent(2.0, 0, EventKind.REPAIR),
+            ],
+        )
+        assert trace.alive_at(0, 0.5)
+        assert not trace.alive_at(0, 1.5)
+        assert trace.alive_at(0, 2.5)
+        assert trace.alive_at(1, 1.5)
+
+    def test_alive_vector(self):
+        trace = FailureTrace(3, [FailureEvent(1.0, 2, EventKind.FAIL)])
+        assert trace.alive_vector(0.5).tolist() == [True, True, True]
+        assert trace.alive_vector(1.0).tolist() == [True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FailureTrace(1, [FailureEvent(1.0, 3, EventKind.FAIL)])
+        with pytest.raises(ConfigurationError):
+            FailureTrace(1, [FailureEvent(-1.0, 0, EventKind.FAIL)])
+
+    def test_availability_of(self):
+        trace = FailureTrace(
+            1,
+            [
+                FailureEvent(2.0, 0, EventKind.FAIL),
+                FailureEvent(3.0, 0, EventKind.REPAIR),
+            ],
+        )
+        assert trace.availability_of(0, 4.0) == pytest.approx(0.75)
+
+    def test_exponential_trace_hits_target_availability(self):
+        # availability = mtbf / (mtbf + mttr) = 0.8
+        trace = exponential_trace(20, mtbf=8.0, mttr=2.0, horizon=3000.0, rng=make_rng(4))
+        measured = np.mean([trace.availability_of(i, 3000.0) for i in range(20)])
+        assert abs(measured - 0.8) < 0.03
+
+    def test_exponential_trace_validation(self):
+        with pytest.raises(ConfigurationError):
+            exponential_trace(2, mtbf=0, mttr=1, horizon=10)
+        with pytest.raises(ConfigurationError):
+            exponential_trace(2, mtbf=1, mttr=1, horizon=0)
+
+    def test_events_alternate_per_node(self):
+        trace = exponential_trace(5, mtbf=5.0, mttr=1.0, horizon=200.0, rng=make_rng(5))
+        for node in range(5):
+            kinds = [ev.kind for ev in trace.events if ev.node_id == node]
+            for a, b in zip(kinds, kinds[1:]):
+                assert a != b, "fail/repair events must alternate"
+
+
+class TestSimulator:
+    def test_ordering(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(2.0, lambda: order.append("b"))
+        sim.schedule_at(1.0, lambda: order.append("a"))
+        sim.schedule_at(2.0, lambda: order.append("c"))  # FIFO among ties
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 2.0
+        assert sim.processed == 3
+
+    def test_schedule_in(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_in(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5]
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        sim.run_until(3.0)
+        assert fired == [1]
+        assert sim.now == 3.0
+        sim.run_until(6.0)
+        assert fired == [1, 5]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def recurring():
+            seen.append(sim.now)
+            if sim.now < 3:
+                sim.schedule_in(1.0, recurring)
+
+        sim.schedule_at(1.0, recurring)
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_max_events(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule_at(float(t), lambda: None)
+        sim.run(max_events=3)
+        assert sim.processed == 3
+
+
+class TestRngHelpers:
+    def test_make_rng_passthrough(self):
+        rng = make_rng(7)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_deterministic(self):
+        assert make_rng(7).integers(1000) == make_rng(7).integers(1000)
+
+    def test_spawn_rngs_independent(self):
+        parent = make_rng(9)
+        children = spawn_rngs(parent, 3)
+        assert len(children) == 3
+        draws = [c.integers(10**9) for c in children]
+        assert len(set(draws)) == 3

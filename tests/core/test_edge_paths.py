@@ -1,0 +1,139 @@
+"""Edge-path tests: wiped disks, INVALID answers, mid-read failures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import ReadCase, RepairService, TrapErcProtocol, TrapFrProtocol
+from repro.erasure import MDSCode
+from repro.quorum import TrapezoidQuorum, TrapezoidShape
+
+L = 16
+
+
+def make_erc(w: int = 2):
+    cluster = Cluster(9)
+    code = MDSCode(9, 6)
+    quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), w)
+    proto = TrapErcProtocol(cluster, code, quorum)
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, size=(6, L), dtype=np.int64).astype(np.uint8)
+    proto.initialize(data)
+    return cluster, proto, data
+
+
+class TestWipedNodes:
+    def test_wiped_parity_not_counted_in_check(self):
+        """A wiped node answers but is INVALID; the version check must not
+        count it (counting it would break the intersection argument)."""
+        cluster, proto, _ = make_erc()
+        # Block 0's trapezoid: level 0 = {0}, level 1 = {6, 7, 8}, r=(1,2).
+        cluster.fail(0)
+        cluster.fail(6)
+        cluster.recover(6, wipe=True)  # alive but record-less
+        cluster.fail(7)  # only node 8 has a valid record at level 1
+        result = proto.read_block(0)
+        assert not result.success  # 1 valid answer < r_1 = 2
+
+    def test_wiped_parity_counted_after_repair(self):
+        cluster, proto, _ = make_erc()
+        cluster.fail(6)
+        cluster.recover(6, wipe=True)
+        RepairService(proto).repair_parity_node(6)
+        cluster.fail(0)
+        cluster.fail(7)
+        result = proto.read_block(0)
+        assert result.success
+        assert result.case == ReadCase.DECODE
+
+    def test_wiped_data_node_forces_decode(self):
+        cluster, proto, data = make_erc()
+        cluster.fail(2)
+        cluster.recover(2, wipe=True)
+        result = proto.read_block(2)
+        assert result.success
+        assert result.case == ReadCase.DECODE
+        assert np.array_equal(result.value, data[2])
+
+    def test_wiped_data_node_repairable(self):
+        cluster, proto, data = make_erc()
+        cluster.fail(2)
+        cluster.recover(2, wipe=True)
+        assert RepairService(proto).repair_data_node(2)
+        result = proto.read_block(2)
+        assert result.case == ReadCase.DIRECT
+        assert np.array_equal(result.value, data[2])
+
+
+class TestMidOperationFailures:
+    def test_node_dying_between_check_and_decode(self):
+        """Fail the only fresh data sources right after the check: the
+        read must fail cleanly with a decode reason, never crash."""
+        cluster, proto, _ = make_erc()
+        cluster.fail(0)
+        # Keep the check quorum alive (parities) but starve the decode
+        # pool: kill data nodes until < k rows remain.
+        cluster.fail_many([1, 2])
+        result = proto.read_block(0)
+        # pool: parities 6,7,8 + data 3,4,5 = 6 = k -> succeeds; kill one more
+        assert result.success
+        cluster.fail(3)
+        result = proto.read_block(0)
+        assert not result.success
+        assert "decode failed" in result.reason
+
+    def test_partitioned_is_indistinguishable_from_dead(self):
+        cluster, proto, _ = make_erc()
+        cluster.network.partition([0])
+        r_part = proto.read_block(0)
+        cluster.network.heal()
+        cluster.fail(0)
+        r_dead = proto.read_block(0)
+        assert r_part.success == r_dead.success
+        assert r_part.case == r_dead.case == ReadCase.DECODE
+
+
+class TestFrEdgePaths:
+    def test_fr_wiped_replica_not_counted(self):
+        cluster = Cluster(9)
+        quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+        proto = TrapFrProtocol(cluster, 9, 6, quorum)
+        rng = np.random.default_rng(1)
+        proto.initialize(rng.integers(0, 256, size=(6, L), dtype=np.int64).astype(np.uint8))
+        cluster.fail(0)
+        cluster.fail(6)
+        cluster.recover(6, wipe=True)
+        cluster.fail(7)
+        assert not proto.read_block(0).success
+
+    def test_fr_version_check_skips_wiped(self):
+        cluster = Cluster(9)
+        quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+        proto = TrapFrProtocol(cluster, 9, 6, quorum)
+        rng = np.random.default_rng(2)
+        proto.initialize(rng.integers(0, 256, size=(6, L), dtype=np.int64).astype(np.uint8))
+        cluster.fail(6)
+        cluster.recover(6, wipe=True)
+        # Remaining valid replicas: 0 (level 0), 7, 8 (level 1) — fine.
+        result = proto.read_block(0)
+        assert result.success and result.version == 0
+
+
+class TestMessageCountsOnFailurePaths:
+    def test_failed_read_still_reports_messages(self):
+        cluster, proto, _ = make_erc()
+        cluster.fail_many([0, 6, 7, 8])
+        result = proto.read_block(0)
+        assert not result.success
+        assert result.messages > 0
+
+    def test_failed_write_reports_partial_acks(self):
+        cluster, proto, _ = make_erc()
+        cluster.fail_many([7, 8])  # level 1 has only node 6 left, w_1 = 2
+        rng = np.random.default_rng(3)
+        result = proto.write_block(0, rng.integers(0, 256, L, dtype=np.int64).astype(np.uint8))
+        assert not result.success
+        assert result.acks_per_level == [1, 1]
+        assert result.failed_level == 1

@@ -1,0 +1,159 @@
+"""Tests for the TRAP-FR full-replication protocol engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import ReadCase, TrapFrProtocol
+from repro.errors import ConfigurationError
+from repro.quorum import TrapezoidQuorum, TrapezoidShape
+
+L = 16
+
+
+def make_protocol(w: int | None = None):
+    """(9, 6): each block replicated on its 4-node group, levels (1, 3)."""
+    shape = TrapezoidShape(2, 1, 1)
+    quorum = TrapezoidQuorum.uniform(shape, w)
+    cluster = Cluster(9)
+    proto = TrapFrProtocol(cluster, 9, 6, quorum)
+    return cluster, proto
+
+
+def rand_data(seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(6, L), dtype=np.int64).astype(np.uint8)
+
+
+def rand_block(seed: int = 1) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=L, dtype=np.int64).astype(np.uint8)
+
+
+class TestBasics:
+    def test_initialize_and_read(self):
+        _, proto = make_protocol()
+        data = rand_data(0)
+        proto.initialize(data)
+        for i in range(6):
+            r = proto.read_block(i)
+            assert r.success and r.version == 0
+            assert np.array_equal(r.value, data[i])
+
+    def test_initialize_shape_check(self):
+        _, proto = make_protocol()
+        with pytest.raises(ConfigurationError):
+            proto.initialize(np.zeros((5, L), dtype=np.uint8))
+
+    def test_replicas_on_whole_group(self):
+        cluster, proto = make_protocol()
+        data = rand_data(1)
+        proto.initialize(data)
+        for node_id in (2, 6, 7, 8):  # block 2's group
+            payload, v = cluster.node(node_id).read_data(proto.replica_key(2))
+            assert v == 0 and np.array_equal(payload, data[2])
+
+    def test_write_then_read(self):
+        _, proto = make_protocol()
+        proto.initialize(rand_data(2))
+        new = rand_block(3)
+        res = proto.write_block(1, new)
+        assert res.success and res.version == 1
+        r = proto.read_block(1)
+        assert r.version == 1 and np.array_equal(r.value, new)
+
+    def test_index_validation(self):
+        _, proto = make_protocol()
+        with pytest.raises(ConfigurationError):
+            proto.write_block(6, rand_block())
+        with pytest.raises(ConfigurationError):
+            proto.read_block(6)
+
+    def test_layout_mismatch(self):
+        from repro.erasure import StripeLayout
+
+        cluster = Cluster(9)
+        quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1))
+        with pytest.raises(ConfigurationError):
+            TrapFrProtocol(cluster, 9, 6, quorum, layout=StripeLayout(8, 5))
+
+
+class TestFailureBehaviour:
+    def test_any_fresh_replica_serves_read(self):
+        cluster, proto = make_protocol()
+        data = rand_data(4)
+        proto.initialize(data)
+        new = rand_block(5)
+        assert proto.write_block(0, new).success
+        cluster.fail(0)  # N_0 down: replicas on 6,7,8 still serve
+        r = proto.read_block(0)
+        assert r.success
+        assert np.array_equal(r.value, new)
+        assert r.case == ReadCase.DIRECT
+
+    def test_write_fails_on_level0_loss(self):
+        cluster, proto = make_protocol()
+        proto.initialize(rand_data(6))
+        cluster.fail(0)
+        res = proto.write_block(0, rand_block(7))
+        assert not res.success
+        assert res.failed_level == 0
+
+    def test_read_fails_without_quorum(self):
+        cluster, proto = make_protocol()
+        proto.initialize(rand_data(8))
+        cluster.fail_many([0, 6, 7, 8])
+        r = proto.read_block(0)
+        assert not r.success
+
+    def test_stale_replica_not_served(self):
+        cluster, proto = make_protocol(w=1)
+        data = rand_data(9)
+        proto.initialize(data)
+        cluster.fail(8)  # replica on 8 misses the write
+        new = rand_block(10)
+        assert proto.write_block(0, new).success
+        cluster.recover(8)
+        # Even if the check counts node 8, the payload must be version 1.
+        for _ in range(5):
+            r = proto.read_block(0)
+            assert r.success
+            assert r.version == 1
+            assert np.array_equal(r.value, new)
+
+    def test_latest_version(self):
+        cluster, proto = make_protocol()
+        proto.initialize(rand_data(11))
+        assert proto.latest_version(0) == 0
+        proto.write_block(0, rand_block(12))
+        assert proto.latest_version(0) == 1
+        cluster.fail_many([0, 6, 7, 8])
+        assert proto.latest_version(0) is None
+
+
+class TestConsistencyChurn:
+    def test_acked_writes_never_lost(self):
+        rng = np.random.default_rng(7)
+        cluster, proto = make_protocol(w=2)
+        data = rand_data(13)
+        proto.initialize(data)
+        committed = {i: (0, data[i].copy()) for i in range(6)}
+        for step in range(120):
+            cluster.recover_all()
+            down = rng.choice(9, size=rng.integers(0, 3), replace=False)
+            cluster.fail_many(down.tolist())
+            i = int(rng.integers(0, 6))
+            if rng.random() < 0.5:
+                value = rng.integers(0, 256, L, dtype=np.int64).astype(np.uint8)
+                res = proto.write_block(i, value)
+                if res.success:
+                    committed[i] = (res.version, value.copy())
+            else:
+                res = proto.read_block(i)
+                if res.success:
+                    version, value = committed[i]
+                    assert res.version >= version, f"step {step}: stale read"
+                    if res.version == version:
+                        assert np.array_equal(res.value, value), f"step {step}"

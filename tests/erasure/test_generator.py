@@ -1,0 +1,86 @@
+"""Tests for MDS generator-matrix constructions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gf import GF256, GF2m, identity
+from repro.erasure.generator import (
+    CONSTRUCTIONS,
+    build_generator,
+    systematic_cauchy,
+    systematic_vandermonde,
+    verify_mds,
+)
+
+PARAMS = [(3, 1), (4, 2), (5, 3), (6, 4), (9, 6), (12, 8), (15, 8), (15, 12)]
+
+
+@pytest.mark.parametrize("construction", sorted(CONSTRUCTIONS))
+class TestConstructions:
+    @pytest.mark.parametrize("n,k", PARAMS)
+    def test_systematic(self, construction, n, k):
+        g = build_generator(GF256, n, k, construction)
+        assert g.shape == (n, k)
+        assert np.array_equal(g[:k], identity(GF256, k))
+
+    @pytest.mark.parametrize("n,k", [(4, 2), (6, 4), (9, 6), (8, 3)])
+    def test_mds_exhaustive(self, construction, n, k):
+        g = build_generator(GF256, n, k, construction)
+        assert verify_mds(GF256, g)
+
+    def test_k_equals_n(self, construction):
+        g = build_generator(GF256, 4, 4, construction)
+        assert np.array_equal(g, identity(GF256, 4))
+
+    def test_k_equals_one(self, construction):
+        # (n, 1) is replication: every coefficient must be nonzero.
+        g = build_generator(GF256, 5, 1, construction)
+        assert np.all(g != 0)
+        assert verify_mds(GF256, g)
+
+    def test_small_field(self, construction):
+        gf = GF2m(4)
+        g = build_generator(gf, 10, 6, construction)
+        assert verify_mds(gf, g)
+
+    def test_rejects_bad_params(self, construction):
+        with pytest.raises(ConfigurationError):
+            build_generator(GF256, 2, 3, construction)
+        with pytest.raises(ConfigurationError):
+            build_generator(GF256, 3, 0, construction)
+
+    def test_field_capacity_limit(self, construction):
+        gf = GF2m(2)  # only 4 elements
+        with pytest.raises(ConfigurationError):
+            build_generator(gf, 5, 2, construction)
+
+
+class TestBuildGenerator:
+    def test_unknown_construction(self):
+        with pytest.raises(ConfigurationError):
+            build_generator(GF256, 6, 4, "fountain")
+
+    def test_vandermonde_differs_from_cauchy(self):
+        gv = systematic_vandermonde(GF256, 6, 3)
+        gc = systematic_cauchy(GF256, 6, 3)
+        assert not np.array_equal(gv, gc)
+
+    def test_verify_mds_detects_violation(self):
+        # Duplicate a parity row: the two equal rows form a singular pair
+        # with any k-2 others, so the check must fail.
+        g = systematic_vandermonde(GF256, 6, 3).copy()
+        g[4] = g[5]
+        assert not verify_mds(GF256, g)
+
+    def test_verify_mds_sampled_path(self):
+        g = systematic_cauchy(GF256, 24, 12)
+        assert verify_mds(GF256, g, exhaustive_limit=10, samples=60)
+
+    def test_paper_fig1_parameters(self):
+        # The paper's running example: Nbnode = n - k + 1 = 15.
+        # With k = 8 that is n = 22: a (22, 8) code must be constructible.
+        g = build_generator(GF256, 22, 8, "vandermonde")
+        assert verify_mds(GF256, g, exhaustive_limit=0, samples=200)

@@ -1,0 +1,300 @@
+"""Unit and property tests for GF(2^w) elementwise arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.gf import GF256, GF2m
+
+WIDTHS = [2, 3, 4, 8, 16]
+
+
+@pytest.fixture(params=WIDTHS, ids=[f"w{w}" for w in WIDTHS])
+def field(request) -> GF2m:
+    return GF2m(request.param)
+
+
+class TestConstruction:
+    def test_default_is_gf256(self):
+        gf = GF2m()
+        assert gf.width == 8
+        assert gf.order == 256
+        assert gf.poly == 0x11D
+
+    def test_shared_instance(self):
+        assert GF256 == GF2m(8)
+
+    def test_eq_and_hash(self):
+        assert GF2m(4) == GF2m(4)
+        assert GF2m(4) != GF2m(8)
+        assert hash(GF2m(4)) == hash(GF2m(4))
+
+    def test_bad_width(self):
+        with pytest.raises(FieldError):
+            GF2m(1)
+        with pytest.raises(FieldError):
+            GF2m(17)
+
+    def test_non_primitive_poly_rejected(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but not primitive.
+        with pytest.raises(FieldError):
+            GF2m(4, poly=0b11111)
+
+    def test_reducible_poly_rejected(self):
+        with pytest.raises(FieldError):
+            GF2m(4, poly=0b10101)
+
+    def test_wrong_degree_poly_rejected(self):
+        with pytest.raises(FieldError):
+            GF2m(8, poly=0x13)
+
+    def test_dtype_choice(self):
+        assert GF2m(8).dtype == np.uint8
+        assert GF2m(16).dtype == np.uint16
+        assert GF2m(4).dtype == np.uint8
+
+    def test_elements(self, field):
+        e = field.elements()
+        assert e.shape == (field.order,)
+        assert e[0] == 0 and e[-1] == field.order - 1
+
+
+class TestScalarOps:
+    def test_add_is_xor(self, field):
+        assert int(field.add(3, 1)) == 2
+
+    def test_sub_equals_add(self, field):
+        assert int(field.sub(3, 1)) == int(field.add(3, 1))
+
+    def test_mul_zero(self, field):
+        assert int(field.mul(0, 5 % field.order)) == 0
+        assert int(field.mul(5 % field.order, 0)) == 0
+
+    def test_mul_one(self, field):
+        for a in [1, 2, field.order - 1]:
+            assert int(field.mul(1, a)) == a
+
+    def test_gf256_known_products(self):
+        # Classic AES-adjacent sanity values for poly 0x11D.
+        gf = GF256
+        assert int(gf.mul(2, 2)) == 4
+        assert int(gf.mul(0x80, 2)) == 0x1D  # wraps through the polynomial
+        assert int(gf.mul(3, 7)) == 9  # (x+1)(x^2+x+1) = x^3+1
+
+    def test_inv_of_one(self, field):
+        assert int(field.inv(1)) == 1
+
+    def test_inv_zero_raises(self, field):
+        with pytest.raises(FieldError):
+            field.inv(0)
+
+    def test_div_by_zero_raises(self, field):
+        with pytest.raises(FieldError):
+            field.div(1, 0)
+
+    def test_div_zero_numerator(self, field):
+        assert int(field.div(0, 3)) == 0
+
+    def test_pow_zero_exponent(self, field):
+        assert int(field.pow(3, 0)) == 1
+        assert int(field.pow(0, 0)) == 1  # convention
+
+    def test_pow_matches_repeated_mul(self, field):
+        a = 3
+        acc = 1
+        for e in range(1, 8):
+            acc = int(field.mul(acc, a))
+            assert int(field.pow(a, e)) == acc
+
+    def test_pow_negative_raises(self, field):
+        with pytest.raises(FieldError):
+            field.pow(2, -1)
+
+    def test_out_of_range_rejected(self, field):
+        with pytest.raises(FieldError):
+            field.mul(field.order, 1)
+        with pytest.raises(FieldError):
+            field.mul(-1, 1)
+
+
+class TestFieldAxiomsExhaustive:
+    """Exhaustive verification on small fields: GF(2^2)..GF(2^4)."""
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_multiplication_group(self, width):
+        gf = GF2m(width)
+        elems = list(range(1, gf.order))
+        # Closure + inverse + associativity on the full multiplication table.
+        for a in elems:
+            inv_a = int(gf.inv(a))
+            assert int(gf.mul(a, inv_a)) == 1
+            for b in elems:
+                ab = int(gf.mul(a, b))
+                assert 1 <= ab < gf.order
+                for c in elems[:5]:
+                    assert int(gf.mul(ab, c)) == int(gf.mul(a, gf.mul(b, c)))
+
+    @pytest.mark.parametrize("width", [2, 3, 4])
+    def test_distributivity_exhaustive(self, width):
+        gf = GF2m(width)
+        e = gf.elements()
+        a = e[:, None, None]
+        b = e[None, :, None]
+        c = e[None, None, :]
+        lhs = gf.mul(a, np.bitwise_xor(b, c))
+        rhs = np.bitwise_xor(gf.mul(a, b), gf.mul(a, c))
+        assert np.array_equal(lhs, rhs)
+
+    @pytest.mark.parametrize("width", [2, 3, 4, 8])
+    def test_every_nonzero_element_is_generator_power(self, width):
+        gf = GF2m(width)
+        powers = {1}
+        x = 1
+        for _ in range(gf.q1 - 1):
+            x = int(gf.mul(x, gf.generator))
+            powers.add(x)
+        assert powers == set(range(1, gf.order))
+
+
+class TestVectorizedOps:
+    def test_mul_broadcasts(self, field):
+        a = field.elements()[: min(field.order, 64)]
+        out = field.mul(a[:, None], a[None, :])
+        assert out.shape == (a.size, a.size)
+        # spot-check against scalar path
+        assert int(out[1, 2]) == int(field.mul(a[1], a[2]))
+
+    def test_mul_matches_scalar_loop(self, field):
+        rng = np.random.default_rng(7)
+        a = field.random_elements(rng, 100)
+        b = field.random_elements(rng, 100)
+        vec = field.mul(a, b)
+        for i in range(100):
+            assert int(vec[i]) == int(field.mul(int(a[i]), int(b[i])))
+
+    def test_inv_vectorized(self, field):
+        a = np.arange(1, field.order, dtype=field.dtype)
+        inv = field.inv(a)
+        assert np.all(field.mul(a, inv) == 1)
+
+    def test_div_vectorized_matches_mul_inv(self, field):
+        rng = np.random.default_rng(8)
+        a = field.random_elements(rng, 50)
+        b = field.random_elements(rng, 50, nonzero=True)
+        assert np.array_equal(field.div(a, b), field.mul(a, field.inv(b)))
+
+    def test_scalar_mul_zero_scalar(self, field):
+        vec = field.elements()[:8]
+        assert np.all(field.scalar_mul(0, vec) == 0)
+
+    def test_scalar_mul_one_copies(self, field):
+        vec = field.elements()[:8]
+        out = field.scalar_mul(1, vec)
+        assert np.array_equal(out, vec)
+        out[0] = 1  # must not alias the input
+        assert vec[0] == 0
+
+    def test_scalar_mul_matches_mul(self, field):
+        rng = np.random.default_rng(9)
+        vec = field.random_elements(rng, 257 % field.order + 32)
+        for c in [2, 3, field.order - 1]:
+            assert np.array_equal(
+                field.scalar_mul(c, vec), field.mul(np.full_like(vec, c), vec)
+            )
+
+    def test_scalar_mul_out_of_range(self, field):
+        with pytest.raises(FieldError):
+            field.scalar_mul(field.order, field.elements()[:4])
+
+    def test_addmul_into(self, field):
+        rng = np.random.default_rng(10)
+        dst = field.random_elements(rng, 64)
+        src = field.random_elements(rng, 64)
+        expect = np.bitwise_xor(dst, field.scalar_mul(3, src))
+        field.addmul_into(dst, 3, src)
+        assert np.array_equal(dst, expect)
+
+    def test_addmul_into_zero_scalar_is_noop(self, field):
+        rng = np.random.default_rng(11)
+        dst = field.random_elements(rng, 16)
+        before = dst.copy()
+        field.addmul_into(dst, 0, field.random_elements(rng, 16))
+        assert np.array_equal(dst, before)
+
+    def test_addmul_requires_field_dtype(self, field):
+        dst = np.zeros(4, dtype=np.int64)
+        with pytest.raises(FieldError):
+            field.addmul_into(dst, 1, np.zeros(4, dtype=field.dtype))
+
+    def test_dot_matches_manual(self, field):
+        rng = np.random.default_rng(12)
+        coeffs = field.random_elements(rng, 4)
+        vectors = field.random_elements(rng, (4, 32))
+        out = field.dot(coeffs, vectors)
+        manual = np.zeros(32, dtype=field.dtype)
+        for i in range(4):
+            manual ^= field.scalar_mul(int(coeffs[i]), vectors[i])
+        assert np.array_equal(out, manual)
+
+    def test_dot_shape_validation(self, field):
+        with pytest.raises(FieldError):
+            field.dot(field.elements()[:3], field.random_elements(
+                np.random.default_rng(0), (4, 8)))
+
+    def test_outer(self, field):
+        a = field.elements()[1:3]
+        b = field.elements()[1:4]
+        out = field.outer(a, b)
+        assert out.shape == (a.size, b.size)
+        assert int(out[0, 0]) == int(field.mul(a[0], b[0]))
+
+
+# --------------------------------------------------------------------- #
+# hypothesis property tests
+# --------------------------------------------------------------------- #
+
+elem8 = st.integers(min_value=0, max_value=255)
+nz8 = st.integers(min_value=1, max_value=255)
+
+
+class TestGF256Properties:
+    @given(elem8, elem8, elem8)
+    def test_mul_associative(self, a, b, c):
+        gf = GF256
+        assert int(gf.mul(gf.mul(a, b), c)) == int(gf.mul(a, gf.mul(b, c)))
+
+    @given(elem8, elem8)
+    def test_mul_commutative(self, a, b):
+        assert int(GF256.mul(a, b)) == int(GF256.mul(b, a))
+
+    @given(elem8, elem8, elem8)
+    def test_distributive(self, a, b, c):
+        gf = GF256
+        assert int(gf.mul(a, b ^ c)) == int(gf.mul(a, b)) ^ int(gf.mul(a, c))
+
+    @given(nz8)
+    def test_inverse_roundtrip(self, a):
+        assert int(GF256.mul(a, GF256.inv(a))) == 1
+
+    @given(nz8, elem8)
+    def test_div_mul_roundtrip(self, b, a):
+        assert int(GF256.mul(GF256.div(a, b), b)) == a
+
+    @given(elem8, st.integers(min_value=0, max_value=600))
+    def test_pow_additive_in_exponent(self, a, e):
+        gf = GF256
+        assert int(gf.mul(gf.pow(a, e), gf.pow(a, 3))) == int(gf.pow(a, e + 3))
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=16), elem8, elem8)
+    def test_axioms_hold_across_widths(self, width, a, b):
+        gf = GF2m(width)
+        a %= gf.order
+        b %= gf.order
+        assert int(gf.mul(a, b)) == int(gf.mul(b, a))
+        if a:
+            assert int(gf.mul(a, gf.inv(a))) == 1

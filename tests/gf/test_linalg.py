@@ -1,0 +1,249 @@
+"""Tests for dense linear algebra over GF(2^w)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError, SingularMatrixError
+from repro.gf import (
+    GF256,
+    GF2m,
+    cauchy,
+    identity,
+    inverse,
+    is_invertible,
+    matmul,
+    matvec,
+    rank,
+    solve,
+    vandermonde,
+)
+
+
+@pytest.fixture
+def gf() -> GF2m:
+    return GF256
+
+
+def random_invertible(gf: GF2m, n: int, rng: np.random.Generator) -> np.ndarray:
+    while True:
+        a = gf.random_elements(rng, (n, n))
+        if is_invertible(gf, a):
+            return a
+
+
+class TestMatmul:
+    def test_identity_neutral(self, gf):
+        rng = np.random.default_rng(0)
+        a = gf.random_elements(rng, (4, 4))
+        eye = identity(gf, 4)
+        assert np.array_equal(matmul(gf, a, eye), a)
+        assert np.array_equal(matmul(gf, eye, a), a)
+
+    def test_shapes(self, gf):
+        rng = np.random.default_rng(1)
+        a = gf.random_elements(rng, (2, 5))
+        b = gf.random_elements(rng, (5, 3))
+        assert matmul(gf, a, b).shape == (2, 3)
+
+    def test_shape_mismatch(self, gf):
+        with pytest.raises(FieldError):
+            matmul(gf, np.zeros((2, 3), dtype=gf.dtype), np.zeros((2, 3), dtype=gf.dtype))
+
+    def test_non_2d_rejected(self, gf):
+        with pytest.raises(FieldError):
+            matmul(gf, np.zeros(3, dtype=gf.dtype), np.zeros((3, 3), dtype=gf.dtype))
+
+    def test_matches_scalar_definition(self, gf):
+        rng = np.random.default_rng(2)
+        a = gf.random_elements(rng, (3, 4))
+        b = gf.random_elements(rng, (4, 2))
+        c = matmul(gf, a, b)
+        for i in range(3):
+            for j in range(2):
+                acc = 0
+                for t in range(4):
+                    acc ^= int(gf.mul(a[i, t], b[t, j]))
+                assert int(c[i, j]) == acc
+
+    def test_associative(self, gf):
+        rng = np.random.default_rng(3)
+        a = gf.random_elements(rng, (3, 3))
+        b = gf.random_elements(rng, (3, 3))
+        c = gf.random_elements(rng, (3, 3))
+        assert np.array_equal(
+            matmul(gf, matmul(gf, a, b), c), matmul(gf, a, matmul(gf, b, c))
+        )
+
+    def test_matvec_matches_matmul(self, gf):
+        rng = np.random.default_rng(4)
+        a = gf.random_elements(rng, (5, 3))
+        x = gf.random_elements(rng, 3)
+        assert np.array_equal(matvec(gf, a, x), matmul(gf, a, x[:, None])[:, 0])
+
+    def test_matvec_shape_mismatch(self, gf):
+        with pytest.raises(FieldError):
+            matvec(gf, np.zeros((2, 3), dtype=gf.dtype), np.zeros(2, dtype=gf.dtype))
+
+
+class TestInverse:
+    def test_identity_inverse(self, gf):
+        eye = identity(gf, 5)
+        assert np.array_equal(inverse(gf, eye), eye)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    def test_inverse_roundtrip(self, gf, n):
+        rng = np.random.default_rng(n)
+        a = random_invertible(gf, n, rng)
+        a_inv = inverse(gf, a)
+        assert np.array_equal(matmul(gf, a, a_inv), identity(gf, n))
+        assert np.array_equal(matmul(gf, a_inv, a), identity(gf, n))
+
+    def test_singular_raises(self, gf):
+        a = np.zeros((3, 3), dtype=gf.dtype)
+        a[0, 0] = 1
+        with pytest.raises(SingularMatrixError):
+            inverse(gf, a)
+
+    def test_duplicate_rows_singular(self, gf):
+        rng = np.random.default_rng(5)
+        a = gf.random_elements(rng, (3, 3))
+        a[2] = a[0]
+        with pytest.raises(SingularMatrixError):
+            inverse(gf, a)
+
+    def test_non_square_raises(self, gf):
+        with pytest.raises(FieldError):
+            inverse(gf, np.zeros((2, 3), dtype=gf.dtype))
+
+    def test_input_not_mutated(self, gf):
+        rng = np.random.default_rng(6)
+        a = random_invertible(gf, 4, rng)
+        before = a.copy()
+        inverse(gf, a)
+        assert np.array_equal(a, before)
+
+
+class TestRankSolve:
+    def test_rank_identity(self, gf):
+        assert rank(gf, identity(gf, 6)) == 6
+
+    def test_rank_zero_matrix(self, gf):
+        assert rank(gf, np.zeros((3, 4), dtype=gf.dtype)) == 0
+
+    def test_rank_deficient(self, gf):
+        rng = np.random.default_rng(7)
+        a = gf.random_elements(rng, (4, 4))
+        a[3] = np.bitwise_xor(a[0], a[1])  # dependent row
+        assert rank(gf, a) < 4
+
+    def test_rank_rectangular(self, gf):
+        v = vandermonde(gf, 6, 3)
+        assert rank(gf, v) == 3
+
+    def test_is_invertible_true(self, gf):
+        rng = np.random.default_rng(8)
+        assert is_invertible(gf, random_invertible(gf, 4, rng))
+
+    def test_is_invertible_non_square(self, gf):
+        assert not is_invertible(gf, np.zeros((2, 3), dtype=gf.dtype))
+
+    def test_solve_vector(self, gf):
+        rng = np.random.default_rng(9)
+        a = random_invertible(gf, 5, rng)
+        x = gf.random_elements(rng, 5)
+        b = matvec(gf, a, x)
+        assert np.array_equal(solve(gf, a, b), x)
+
+    def test_solve_multi_rhs(self, gf):
+        rng = np.random.default_rng(10)
+        a = random_invertible(gf, 4, rng)
+        x = gf.random_elements(rng, (4, 7))
+        b = matmul(gf, a, x)
+        assert np.array_equal(solve(gf, a, b), x)
+
+
+class TestStructuredMatrices:
+    def test_vandermonde_shape_and_first_column(self, gf):
+        v = vandermonde(gf, 5, 3)
+        assert v.shape == (5, 3)
+        assert np.all(v[:, 0] == 1)
+
+    def test_vandermonde_powers(self, gf):
+        pts = np.array([2, 3, 5], dtype=gf.dtype)
+        v = vandermonde(gf, 3, 4, points=pts)
+        for i, p in enumerate(pts):
+            for j in range(4):
+                assert int(v[i, j]) == int(gf.pow(int(p), j))
+
+    def test_vandermonde_any_k_rows_invertible(self, gf):
+        from itertools import combinations
+
+        v = vandermonde(gf, 7, 3)
+        for rows in combinations(range(7), 3):
+            assert is_invertible(gf, v[list(rows)])
+
+    def test_vandermonde_distinct_points_required(self, gf):
+        with pytest.raises(FieldError):
+            vandermonde(gf, 3, 2, points=np.array([1, 1, 2], dtype=gf.dtype))
+
+    def test_vandermonde_too_many_rows(self):
+        gf4 = GF2m(4)
+        with pytest.raises(FieldError):
+            vandermonde(gf4, 17, 3)
+
+    def test_cauchy_every_submatrix_invertible(self, gf):
+        from itertools import combinations
+
+        xs = np.arange(4, 8, dtype=gf.dtype)
+        ys = np.arange(0, 4, dtype=gf.dtype)
+        c = cauchy(gf, xs, ys)
+        assert c.shape == (4, 4)
+        for size in (1, 2, 3, 4):
+            for rows in combinations(range(4), size):
+                for cols in combinations(range(4), size):
+                    sub = c[np.ix_(rows, cols)]
+                    assert is_invertible(gf, sub)
+
+    def test_cauchy_disjointness_required(self, gf):
+        with pytest.raises(FieldError):
+            cauchy(gf, [1, 2], [2, 3])
+
+    def test_cauchy_distinct_required(self, gf):
+        with pytest.raises(FieldError):
+            cauchy(gf, [1, 1], [2, 3])
+
+
+class TestLinalgProperties:
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_inverse_roundtrip_property(self, n, seed):
+        gf = GF256
+        rng = np.random.default_rng(seed)
+        a = random_invertible(gf, n, rng)
+        assert np.array_equal(matmul(gf, a, inverse(gf, a)), identity(gf, n))
+
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_rank_bounded(self, m, n, seed):
+        gf = GF256
+        rng = np.random.default_rng(seed)
+        a = gf.random_elements(rng, (m, n))
+        r = rank(gf, a)
+        assert 0 <= r <= min(m, n)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_product_rank_bound(self, n, seed):
+        gf = GF256
+        rng = np.random.default_rng(seed)
+        a = gf.random_elements(rng, (n, n))
+        b = gf.random_elements(rng, (n, n))
+        assert rank(gf, matmul(gf, a, b)) <= min(rank(gf, a), rank(gf, b))

@@ -1,0 +1,152 @@
+"""Unit tests for binary-polynomial arithmetic and primitivity testing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FieldError
+from repro.gf.polynomials import (
+    SEED_PRIMITIVE_POLYS,
+    default_primitive_poly,
+    find_primitive_poly,
+    is_irreducible,
+    is_primitive,
+    poly_degree,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_mulmod,
+    poly_powmod,
+)
+
+
+class TestPolyArithmetic:
+    def test_degree_zero_poly(self):
+        assert poly_degree(0) == -1
+
+    def test_degree_constant(self):
+        assert poly_degree(1) == 0
+
+    def test_degree_x4(self):
+        assert poly_degree(0x13) == 4
+
+    def test_mul_by_zero(self):
+        assert poly_mul(0x13, 0) == 0
+
+    def test_mul_by_one(self):
+        assert poly_mul(0x13, 1) == 0x13
+
+    def test_mul_x_times_x(self):
+        # x * x = x^2
+        assert poly_mul(0b10, 0b10) == 0b100
+
+    def test_mul_is_carryless(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2) (cross terms cancel)
+        assert poly_mul(0b11, 0b11) == 0b101
+
+    def test_mul_commutative(self):
+        assert poly_mul(0b1011, 0b110) == poly_mul(0b110, 0b1011)
+
+    def test_mod_smaller_is_identity(self):
+        assert poly_mod(0b101, 0b10011) == 0b101
+
+    def test_mod_self_is_zero(self):
+        assert poly_mod(0x13, 0x13) == 0
+
+    def test_mod_zero_modulus_raises(self):
+        with pytest.raises(FieldError):
+            poly_mod(0b101, 0)
+
+    def test_mulmod_reduces(self):
+        m = 0x13  # x^4 + x + 1
+        # x^3 * x = x^4 = x + 1 (mod m)
+        assert poly_mulmod(0b1000, 0b10, m) == 0b11
+
+    def test_powmod_identity(self):
+        assert poly_powmod(0b10, 0, 0x13) == 1
+
+    def test_powmod_order_of_generator(self):
+        # In GF(2^4) built on a primitive polynomial, x has order 15.
+        assert poly_powmod(0b10, 15, 0x13) == 1
+        assert poly_powmod(0b10, 5, 0x13) != 1
+        assert poly_powmod(0b10, 3, 0x13) != 1
+
+    def test_gcd_with_zero(self):
+        assert poly_gcd(0x13, 0) == 0x13
+
+    def test_gcd_coprime(self):
+        # x and x + 1 are coprime.
+        assert poly_gcd(0b10, 0b11) == 1
+
+    def test_gcd_common_factor(self):
+        # x^2 + x = x(x+1); gcd with x is x.
+        assert poly_gcd(0b110, 0b10) == 0b10
+
+
+class TestIrreducibility:
+    def test_x2_x_1_is_irreducible(self):
+        assert is_irreducible(0b111)
+
+    def test_x2_1_is_reducible(self):
+        # x^2 + 1 = (x + 1)^2 over GF(2).
+        assert not is_irreducible(0b101)
+
+    def test_degree_one_is_irreducible(self):
+        assert is_irreducible(0b10)  # x
+        assert is_irreducible(0b11)  # x + 1
+
+    def test_constant_not_irreducible(self):
+        assert not is_irreducible(1)
+        assert not is_irreducible(0)
+
+    def test_x4_x_1_is_irreducible(self):
+        assert is_irreducible(0x13)
+
+    def test_x4_x2_1_is_reducible(self):
+        # x^4 + x^2 + 1 = (x^2 + x + 1)^2.
+        assert not is_irreducible(0b10101)
+
+    def test_count_of_irreducible_quartics(self):
+        # Number of monic irreducible polynomials of degree 4 over GF(2) is 3.
+        count = sum(
+            1 for c in range(16) if is_irreducible((1 << 4) | c)
+        )
+        assert count == 3
+
+
+class TestPrimitivity:
+    def test_all_seed_polys_are_primitive(self):
+        for width, poly in SEED_PRIMITIVE_POLYS.items():
+            assert poly_degree(poly) == width
+            assert is_primitive(poly), f"seed poly for width {width}"
+
+    def test_irreducible_but_not_primitive(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible; x has order 5, not 15.
+        f = 0b11111
+        assert is_irreducible(f)
+        assert not is_primitive(f)
+
+    def test_reducible_not_primitive(self):
+        assert not is_primitive(0b101)
+
+    @pytest.mark.parametrize("width", range(2, 17))
+    def test_find_primitive_poly_all_widths(self, width):
+        poly = find_primitive_poly(width)
+        assert poly_degree(poly) == width
+        assert is_primitive(poly)
+
+    def test_find_primitive_poly_bad_width(self):
+        with pytest.raises(FieldError):
+            find_primitive_poly(1)
+        with pytest.raises(FieldError):
+            find_primitive_poly(17)
+
+    @pytest.mark.parametrize("width", range(2, 17))
+    def test_default_primitive_poly(self, width):
+        poly = default_primitive_poly(width)
+        assert poly_degree(poly) == width
+        assert is_primitive(poly)
+
+    def test_default_uses_seed_values(self):
+        assert default_primitive_poly(8) == 0x11D
+        assert default_primitive_poly(16) == 0x1100B

@@ -1,0 +1,145 @@
+"""Negative tests: the verifier must catch broken quorum systems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quorum import QuorumSystem, verify_intersection
+
+
+class BrokenDisjointWrites(QuorumSystem):
+    """Write quorums {0} and {1} never intersect: violates eq. (3)."""
+
+    def __init__(self) -> None:
+        self.size = 2
+
+    def is_write_quorum(self, subset):
+        return len(self._check_positions(subset)) >= 1
+
+    def is_read_quorum(self, subset):
+        return len(self._check_positions(subset)) >= 1
+
+    def find_write_quorum(self, alive):
+        alive = self._check_positions(alive)
+        return frozenset([min(alive)]) if alive else None
+
+    def find_read_quorum(self, alive):
+        return self.find_write_quorum(alive)
+
+
+class BrokenReadWrite(QuorumSystem):
+    """Reads use node 0, writes use node 1: violates eq. (2)."""
+
+    def __init__(self) -> None:
+        self.size = 2
+
+    def is_write_quorum(self, subset):
+        return 1 in self._check_positions(subset)
+
+    def is_read_quorum(self, subset):
+        return 0 in self._check_positions(subset)
+
+    def find_write_quorum(self, alive):
+        return frozenset([1]) if 1 in self._check_positions(alive) else None
+
+    def find_read_quorum(self, alive):
+        return frozenset([0]) if 0 in self._check_positions(alive) else None
+
+
+class LyingFinder(QuorumSystem):
+    """find_write_quorum returns sets that are not write quorums."""
+
+    def __init__(self) -> None:
+        self.size = 3
+
+    def is_write_quorum(self, subset):
+        return len(self._check_positions(subset)) == 3
+
+    def is_read_quorum(self, subset):
+        return len(self._check_positions(subset)) >= 1
+
+    def find_write_quorum(self, alive):
+        alive = self._check_positions(alive)
+        return frozenset(list(alive)[:1]) if alive else None
+
+    def find_read_quorum(self, alive):
+        alive = self._check_positions(alive)
+        return frozenset(list(alive)[:1]) if alive else None
+
+
+class OutOfAliveFinder(QuorumSystem):
+    """Returns quorums containing failed nodes."""
+
+    def __init__(self) -> None:
+        self.size = 2
+
+    def is_write_quorum(self, subset):
+        return len(self._check_positions(subset)) >= 1
+
+    def is_read_quorum(self, subset):
+        return len(self._check_positions(subset)) >= 1
+
+    def find_write_quorum(self, alive):
+        return frozenset([0, 1])  # ignores aliveness
+
+    def find_read_quorum(self, alive):
+        return frozenset([0, 1])
+
+
+class TestVerifierCatchesViolations:
+    def test_disjoint_writes_rejected(self):
+        assert not verify_intersection(BrokenDisjointWrites())
+
+    def test_disjoint_read_write_rejected(self):
+        assert not verify_intersection(BrokenReadWrite())
+
+    def test_lying_finder_rejected(self):
+        assert not verify_intersection(LyingFinder())
+
+    def test_out_of_alive_finder_rejected(self):
+        assert not verify_intersection(OutOfAliveFinder())
+
+
+class TestEnumerationGuard:
+    def test_default_enumeration_caps_size(self):
+        class Big(QuorumSystem):
+            def __init__(self):
+                self.size = 30
+
+            def is_write_quorum(self, subset):
+                return True
+
+            def is_read_quorum(self, subset):
+                return True
+
+            def find_write_quorum(self, alive):
+                return frozenset()
+
+            def find_read_quorum(self, alive):
+                return frozenset()
+
+        with pytest.raises(ConfigurationError):
+            Big().write_availability(0.5)
+
+    def test_enumeration_values_sane(self):
+        class One(QuorumSystem):
+            def __init__(self):
+                self.size = 1
+
+            def is_write_quorum(self, subset):
+                return len(subset) == 1
+
+            def is_read_quorum(self, subset):
+                return len(subset) == 1
+
+            def find_write_quorum(self, alive):
+                return frozenset(alive) if alive else None
+
+            def find_read_quorum(self, alive):
+                return frozenset(alive) if alive else None
+
+        sys_one = One()
+        np.testing.assert_allclose(sys_one.write_availability(0.3), 0.3)
+        np.testing.assert_allclose(sys_one.read_availability(np.array([0.2, 0.9])), [0.2, 0.9])

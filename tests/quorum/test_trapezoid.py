@@ -1,0 +1,273 @@
+"""Tests for the trapezoid quorum geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.quorum import (
+    TrapezoidQuorum,
+    TrapezoidShape,
+    TrapezoidSystem,
+    default_shape_for_nbnode,
+    shapes_for_nbnode,
+    verify_intersection,
+)
+
+
+class TestTrapezoidShape:
+    def test_paper_fig1(self):
+        # Figure 1: Nbnode = 15, s_l = 2l + 3 (a=2, b=3, h=2).
+        shape = TrapezoidShape(2, 3, 2)
+        assert shape.level_sizes == (3, 5, 7)
+        assert shape.total_nodes == 15
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TrapezoidShape(-1, 3, 2)
+        with pytest.raises(ConfigurationError):
+            TrapezoidShape(1, 0, 2)
+        with pytest.raises(ConfigurationError):
+            TrapezoidShape(1, 1, -1)
+
+    def test_flat_shape(self):
+        shape = TrapezoidShape(0, 5, 0)
+        assert shape.level_sizes == (5,)
+        assert shape.total_nodes == 5
+
+    def test_rectangle_shape(self):
+        # a = 0 with h > 0 gives equal-size levels (a "rectangle").
+        shape = TrapezoidShape(0, 4, 2)
+        assert shape.level_sizes == (4, 4, 4)
+
+    def test_positions_partition_universe(self):
+        shape = TrapezoidShape(2, 3, 2)
+        seen = []
+        for l in shape.levels:
+            seen.extend(shape.positions(l))
+        assert seen == list(range(15))
+
+    def test_level_of_matches_positions(self):
+        shape = TrapezoidShape(1, 2, 3)
+        for l in shape.levels:
+            for pos in shape.positions(l):
+                assert shape.level_of(pos) == l
+
+    def test_level_of_bounds(self):
+        shape = TrapezoidShape(1, 2, 1)
+        with pytest.raises(ConfigurationError):
+            shape.level_of(shape.total_nodes)
+
+    def test_level_size_bounds(self):
+        shape = TrapezoidShape(1, 2, 1)
+        with pytest.raises(ConfigurationError):
+            shape.level_size(2)
+
+    def test_ascii_art_mentions_all_levels(self):
+        art = TrapezoidShape(2, 3, 2).ascii_art()
+        assert "l=0" in art and "l=2" in art
+
+
+class TestShapesForNbnode:
+    def test_contains_paper_shape(self):
+        shapes = shapes_for_nbnode(15)
+        assert TrapezoidShape(2, 3, 2) in shapes
+
+    def test_all_shapes_sum_correctly(self):
+        for nb in [1, 4, 8, 15, 21]:
+            for shape in shapes_for_nbnode(nb):
+                assert shape.total_nodes == nb
+
+    def test_flat_always_present(self):
+        for nb in [1, 7, 15]:
+            assert TrapezoidShape(0, nb, 0) in shapes_for_nbnode(nb)
+
+    def test_invalid_nbnode(self):
+        with pytest.raises(ConfigurationError):
+            shapes_for_nbnode(0)
+
+    def test_default_shape_is_paper_shape_for_15(self):
+        assert default_shape_for_nbnode(15) == TrapezoidShape(2, 3, 2)
+
+    def test_default_shape_small_budget(self):
+        shape = default_shape_for_nbnode(3)
+        assert shape.total_nodes == 3
+
+    @settings(max_examples=40)
+    @given(st.integers(1, 40))
+    def test_default_shape_total_matches(self, nb):
+        assert default_shape_for_nbnode(nb).total_nodes == nb
+
+
+class TestTrapezoidQuorum:
+    def test_w0_enforced(self):
+        shape = TrapezoidShape(2, 3, 2)
+        with pytest.raises(ConfigurationError):
+            TrapezoidQuorum(shape, (1, 2, 2))  # w_0 must be 2
+        q = TrapezoidQuorum(shape, (2, 2, 2))
+        assert q.w == (2, 2, 2)
+
+    def test_w_length_checked(self):
+        shape = TrapezoidShape(2, 3, 2)
+        with pytest.raises(ConfigurationError):
+            TrapezoidQuorum(shape, (2, 2))
+
+    def test_w_range_checked(self):
+        shape = TrapezoidShape(2, 3, 2)
+        with pytest.raises(ConfigurationError):
+            TrapezoidQuorum(shape, (2, 0, 2))
+        with pytest.raises(ConfigurationError):
+            TrapezoidQuorum(shape, (2, 6, 2))  # s_1 = 5
+
+    def test_uniform_matches_eq16(self):
+        shape = TrapezoidShape(2, 3, 2)
+        q = TrapezoidQuorum.uniform(shape, 4)
+        assert q.w == (2, 4, 4)
+
+    def test_uniform_default_w(self):
+        shape = TrapezoidShape(2, 3, 2)
+        q = TrapezoidQuorum.uniform(shape)
+        assert q.w[0] == 2
+        assert all(1 <= q.w[l] <= shape.level_size(l) for l in shape.levels)
+
+    def test_uniform_flat_shape(self):
+        q = TrapezoidQuorum.uniform(TrapezoidShape(0, 5, 0))
+        assert q.w == (3,)
+
+    def test_read_thresholds(self):
+        q = TrapezoidQuorum(TrapezoidShape(2, 3, 2), (2, 3, 5))
+        # r_l = s_l - w_l + 1 with s = (3, 5, 7)
+        assert q.read_thresholds == (2, 3, 3)
+
+    def test_quorum_sizes(self):
+        q = TrapezoidQuorum(TrapezoidShape(2, 3, 2), (2, 3, 5))
+        assert q.min_write_size == 10  # eq. 6
+        assert q.min_read_size == 2
+
+    def test_write_predicate(self):
+        q = TrapezoidQuorum(TrapezoidShape(2, 3, 2), (2, 2, 2))
+        assert q.write_predicate([2, 2, 2])
+        assert q.write_predicate([3, 5, 7])
+        assert not q.write_predicate([1, 5, 7])
+        assert not q.write_predicate([2, 2, 1])
+
+    def test_read_check_predicate(self):
+        q = TrapezoidQuorum(TrapezoidShape(2, 3, 2), (2, 2, 2))
+        # r = (2, 4, 6)
+        assert q.read_check_predicate([2, 0, 0])
+        assert q.read_check_predicate([0, 4, 0])
+        assert not q.read_check_predicate([1, 3, 5])
+
+    def test_predicate_length_validation(self):
+        q = TrapezoidQuorum.uniform(TrapezoidShape(2, 3, 2))
+        with pytest.raises(ConfigurationError):
+            q.write_predicate([1, 2])
+        with pytest.raises(ConfigurationError):
+            q.read_check_predicate([1, 2, 3, 4])
+
+
+class TestTrapezoidSystem:
+    @pytest.fixture
+    def system(self) -> TrapezoidSystem:
+        return TrapezoidSystem(TrapezoidQuorum(TrapezoidShape(2, 3, 2), (2, 2, 2)))
+
+    def test_size(self, system):
+        assert system.size == 15
+
+    def test_write_quorum_predicate(self, system):
+        # 2 from level 0 (positions 0-2), 2 from level 1 (3-7), 2 from level 2 (8-14)
+        assert system.is_write_quorum({0, 1, 3, 4, 8, 9})
+        assert not system.is_write_quorum({0, 3, 4, 8, 9})  # level 0 short
+
+    def test_read_quorum_predicate(self, system):
+        # r = (2, 4, 6): level 0 with 2 responsive is enough
+        assert system.is_read_quorum({0, 2})
+        assert system.is_read_quorum({3, 4, 5, 6})
+        assert not system.is_read_quorum({0, 3, 4, 8})
+
+    def test_find_write_quorum(self, system):
+        alive = set(range(15))
+        wq = system.find_write_quorum(alive)
+        assert wq is not None and system.is_write_quorum(wq)
+        assert len(wq) == system.quorum.min_write_size
+
+    def test_find_write_quorum_failure(self, system):
+        # Kill level 0 entirely: no write quorum can exist.
+        alive = set(range(3, 15))
+        assert system.find_write_quorum(alive) is None
+
+    def test_find_read_quorum_prefers_low_levels(self, system):
+        rq = system.find_read_quorum(set(range(15)))
+        assert rq is not None
+        assert rq <= set(system.shape.positions(0))
+
+    def test_find_read_quorum_higher_level(self, system):
+        # Only level 2 has enough alive nodes for its threshold r_2 = 6.
+        alive = set(range(8, 14))
+        rq = system.find_read_quorum(alive)
+        assert rq == frozenset(range(8, 14))
+
+    def test_find_read_quorum_failure(self, system):
+        assert system.find_read_quorum({0, 3, 8}) is None
+
+    def test_intersection_properties(self, system):
+        assert verify_intersection(system, max_enumeration=2**15 + 1)
+
+    def test_intersection_many_configs(self):
+        for shape, w in [
+            (TrapezoidShape(2, 3, 2), 1),
+            (TrapezoidShape(2, 3, 2), 5),
+            (TrapezoidShape(1, 1, 3), 1),
+            (TrapezoidShape(0, 7, 0), None),
+            (TrapezoidShape(3, 1, 2), 2),
+        ]:
+            quorum = TrapezoidQuorum.uniform(shape, w)
+            system = TrapezoidSystem(quorum)
+            assert verify_intersection(system), (shape, w)
+
+    def test_out_of_range_positions_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            system.is_write_quorum({0, 99})
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.data(),
+        params=st.tuples(st.integers(0, 3), st.integers(1, 5), st.integers(0, 3)),
+    )
+    def test_two_write_quorums_always_intersect(self, data, params):
+        a, b, h = params
+        shape = TrapezoidShape(a, b, h)
+        quorum = TrapezoidQuorum.uniform(
+            shape, data.draw(st.integers(1, shape.level_size(min(1, shape.h)))) if shape.h else None
+        )
+        system = TrapezoidSystem(quorum)
+        n = system.size
+        alive1 = {i for i in range(n) if data.draw(st.booleans())}
+        alive2 = {i for i in range(n) if data.draw(st.booleans())}
+        w1 = system.find_write_quorum(alive1)
+        w2 = system.find_write_quorum(alive2)
+        if w1 is not None and w2 is not None:
+            assert w1 & w2, "two write quorums must share a node (eq. 3)"
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.data(),
+        params=st.tuples(st.integers(0, 3), st.integers(1, 5), st.integers(0, 3)),
+    )
+    def test_read_write_quorums_always_intersect(self, data, params):
+        a, b, h = params
+        shape = TrapezoidShape(a, b, h)
+        quorum = TrapezoidQuorum.uniform(
+            shape, data.draw(st.integers(1, shape.level_size(min(1, shape.h)))) if shape.h else None
+        )
+        system = TrapezoidSystem(quorum)
+        n = system.size
+        alive1 = {i for i in range(n) if data.draw(st.booleans())}
+        alive2 = {i for i in range(n) if data.draw(st.booleans())}
+        wq = system.find_write_quorum(alive1)
+        rq = system.find_read_quorum(alive2)
+        if wq is not None and rq is not None:
+            assert rq & wq, "read and write quorums must share a node (eq. 2)"

@@ -1,0 +1,129 @@
+"""Tests for the weighted-voting quorum system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.quorum import MajoritySystem, RowaSystem, WeightedVotingSystem, verify_intersection
+
+P = np.linspace(0.05, 0.95, 10)
+
+
+class TestConstruction:
+    def test_safety_conditions_enforced(self):
+        # r + w must exceed total.
+        with pytest.raises(ConfigurationError):
+            WeightedVotingSystem([1, 1, 1], r=1, w=2)
+        # 2w must exceed total.
+        with pytest.raises(ConfigurationError):
+            WeightedVotingSystem([1, 1, 1, 1], r=3, w=2)
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ConfigurationError):
+            WeightedVotingSystem([1, 1, 1], r=0, w=3)
+        with pytest.raises(ConfigurationError):
+            WeightedVotingSystem([1, 1, 1], r=4, w=3)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeightedVotingSystem([1, -1, 1], r=1, w=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeightedVotingSystem([], r=1, w=1)
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeightedVotingSystem([0, 0], r=1, w=1)
+
+
+class TestSpecialCases:
+    def test_majority_factory_matches_majority_system(self):
+        voting = WeightedVotingSystem.majority(5)
+        majority = MajoritySystem(5)
+        np.testing.assert_allclose(
+            voting.write_availability(P), majority.write_availability(P), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            voting.read_availability(P), majority.read_availability(P), atol=1e-12
+        )
+
+    def test_rowa_factory_matches_rowa_system(self):
+        voting = WeightedVotingSystem.rowa(4)
+        rowa = RowaSystem(4)
+        np.testing.assert_allclose(
+            voting.write_availability(P), rowa.write_availability(P), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            voting.read_availability(P), rowa.read_availability(P), atol=1e-12
+        )
+
+
+class TestPredicatesAndQuorums:
+    def test_weighted_quorum_membership(self):
+        # Node 0 carries 3 votes of 7 total; w = 4.
+        sys = WeightedVotingSystem([3, 1, 1, 1, 1], r=4, w=4)
+        assert sys.is_write_quorum({0, 1})  # 4 votes
+        assert not sys.is_write_quorum({1, 2, 3})  # 3 votes
+        assert sys.is_read_quorum({0, 4})
+
+    def test_zero_weight_node_is_useless(self):
+        sys = WeightedVotingSystem([2, 0, 1], r=2, w=2)
+        assert not sys.is_write_quorum({1})
+        wq = sys.find_write_quorum({0, 1, 2})
+        assert 1 not in wq
+
+    def test_find_prefers_heavy_nodes(self):
+        sys = WeightedVotingSystem([3, 1, 1, 1, 1], r=4, w=4)
+        wq = sys.find_write_quorum(set(range(5)))
+        assert 0 in wq
+        assert len(wq) == 2
+
+    def test_find_returns_none_when_short(self):
+        sys = WeightedVotingSystem([1, 1, 1], r=2, w=2)
+        assert sys.find_write_quorum({2}) is None
+
+    def test_intersection_properties(self):
+        assert verify_intersection(WeightedVotingSystem([3, 1, 1, 1, 1], r=4, w=4))
+        assert verify_intersection(WeightedVotingSystem.majority(6))
+
+
+class TestAvailabilityDP:
+    def test_matches_enumeration_weighted(self):
+        sys = WeightedVotingSystem([3, 1, 2, 1], r=4, w=4)
+        np.testing.assert_allclose(
+            sys.write_availability(P),
+            sys._enumerate_availability(P, sys.is_write_quorum),
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            sys.read_availability(P),
+            sys._enumerate_availability(P, sys.is_read_quorum),
+            atol=1e-12,
+        )
+
+    def test_scalar_p(self):
+        sys = WeightedVotingSystem.majority(5)
+        out = sys.write_availability(0.5)
+        assert np.ndim(out) == 0
+        assert out == pytest.approx(0.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        weights=st.lists(st.integers(0, 3), min_size=2, max_size=6).filter(
+            lambda ws: sum(ws) >= 2
+        ),
+        p=st.floats(0.05, 0.95),
+    )
+    def test_dp_matches_enumeration_property(self, weights, p):
+        total = sum(weights)
+        w = total // 2 + 1
+        r = total - w + 1
+        sys = WeightedVotingSystem(weights, r=r, w=w)
+        direct = float(sys.write_availability(p))
+        enum = float(sys._enumerate_availability(np.asarray(p), sys.is_write_quorum))
+        assert direct == pytest.approx(enum, abs=1e-10)

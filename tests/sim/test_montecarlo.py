@@ -1,0 +1,117 @@
+"""Tests for the vectorized Monte-Carlo estimators and metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    exact_read_erc,
+    read_availability_fr,
+    write_availability,
+)
+from repro.errors import ConfigurationError
+from repro.quorum import TrapezoidQuorum, TrapezoidShape
+from repro.sim import (
+    MCEstimate,
+    level_membership_matrix,
+    mc_read_availability_erc,
+    mc_read_availability_fr,
+    mc_write_availability,
+)
+
+SHAPE = TrapezoidShape(2, 3, 1)  # the calibrated Fig-3 trapezoid (n=15, k=8)
+QUORUM = TrapezoidQuorum.uniform(SHAPE, 3)
+TRIALS = 60_000
+
+
+class TestMCEstimate:
+    def test_mean(self):
+        assert MCEstimate(25, 100).mean == 0.25
+
+    def test_ci_contains_mean(self):
+        est = MCEstimate(250, 1000)
+        lo, hi = est.ci95()
+        assert lo <= est.mean <= hi
+
+    def test_ci_shrinks_with_trials(self):
+        small = MCEstimate(25, 100)
+        large = MCEstimate(2500, 10000)
+        assert (large.ci95()[1] - large.ci95()[0]) < (
+            small.ci95()[1] - small.ci95()[0]
+        )
+
+    def test_extreme_proportions_stay_in_unit_interval(self):
+        lo, hi = MCEstimate(0, 50).ci95()
+        assert lo == pytest.approx(0.0, abs=1e-12) and hi < 0.2
+        lo, hi = MCEstimate(50, 50).ci95()
+        assert hi == pytest.approx(1.0, abs=1e-12) and lo > 0.8
+
+    def test_wider_z_widens_interval(self):
+        est = MCEstimate(400, 1000)
+        lo95, hi95 = est.ci(1.96)
+        lo4, hi4 = est.ci(4.0)
+        assert lo4 < lo95 and hi4 > hi95
+
+    def test_contains(self):
+        est = MCEstimate(500, 1000)
+        assert est.contains(0.5)
+        assert not est.contains(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MCEstimate(1, 0)
+        with pytest.raises(ConfigurationError):
+            MCEstimate(5, 4)
+
+
+class TestLevelMembership:
+    def test_matrix_shape_and_partition(self):
+        m = level_membership_matrix(QUORUM)
+        assert m.shape == (2, 8)
+        assert np.all(m.sum(axis=0) == 1)  # each position on exactly one level
+        assert m.sum(axis=1).tolist() == [3, 5]
+
+
+class TestWriteMC:
+    @pytest.mark.parametrize("p", [0.3, 0.5, 0.8, 0.95])
+    def test_matches_closed_form(self, p):
+        est = mc_write_availability(QUORUM, p, trials=TRIALS, rng=1)
+        assert est.contains(float(write_availability(QUORUM, p)), z=4)
+
+    def test_extremes(self):
+        assert mc_write_availability(QUORUM, 1.0, trials=500, rng=2).mean == 1.0
+        assert mc_write_availability(QUORUM, 0.0, trials=500, rng=3).mean == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mc_write_availability(QUORUM, 1.5, trials=10)
+        with pytest.raises(ConfigurationError):
+            mc_write_availability(QUORUM, 0.5, trials=0)
+
+
+class TestReadMC:
+    @pytest.mark.parametrize("p", [0.3, 0.5, 0.8, 0.95])
+    def test_fr_matches_closed_form(self, p):
+        est = mc_read_availability_fr(QUORUM, p, trials=TRIALS, rng=4)
+        assert est.contains(float(read_availability_fr(QUORUM, p)), z=4)
+
+    @pytest.mark.parametrize("p", [0.3, 0.5, 0.8, 0.95])
+    def test_erc_matches_exact_enumeration(self, p):
+        # The MC samples the exact Algorithm-2 predicate, so it must agree
+        # with exact_read_erc (not with the paper's approximate eq. 13).
+        est = mc_read_availability_erc(QUORUM, 15, 8, p, trials=TRIALS, rng=5)
+        assert est.contains(float(exact_read_erc(QUORUM, 15, 8, p)), z=4)
+
+    def test_erc_geometry_validated(self):
+        with pytest.raises(ConfigurationError):
+            mc_read_availability_erc(QUORUM, 12, 8, 0.5, trials=10)
+
+    def test_erc_extremes(self):
+        assert mc_read_availability_erc(QUORUM, 15, 8, 1.0, trials=500, rng=6).mean == 1.0
+        assert mc_read_availability_erc(QUORUM, 15, 8, 0.0, trials=500, rng=7).mean == 0.0
+
+    def test_reproducible_with_same_seed(self):
+        a = mc_read_availability_erc(QUORUM, 15, 8, 0.6, trials=5000, rng=42)
+        b = mc_read_availability_erc(QUORUM, 15, 8, 0.6, trials=5000, rng=42)
+        assert a.successes == b.successes

@@ -1,0 +1,67 @@
+"""Protocol-level Monte Carlo vs analysis: the strongest agreement check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import exact_read_erc, read_availability_fr, write_availability
+from repro.errors import ConfigurationError
+from repro.quorum import TrapezoidQuorum, TrapezoidShape
+from repro.sim import ProtocolMonteCarlo
+
+# Small configuration so several hundred full protocol executions are fast:
+# (7, 4): Nbnode = 4, shape (2, 1, 1) -> levels (1, 3).
+SHAPE = TrapezoidShape(2, 1, 1)
+QUORUM = TrapezoidQuorum.uniform(SHAPE, 2)
+
+
+@pytest.fixture(scope="module")
+def mc() -> ProtocolMonteCarlo:
+    return ProtocolMonteCarlo(7, 4, QUORUM, rng=11)
+
+
+class TestProtocolReadAvailability:
+    @pytest.mark.parametrize("p", [0.5, 0.8])
+    def test_erc_read_matches_exact(self, mc, p):
+        est = mc.read_availability(p, trials=600, protocol="erc")
+        assert est.contains(float(exact_read_erc(QUORUM, 7, 4, p)), z=4), str(est)
+
+    @pytest.mark.parametrize("p", [0.5, 0.8])
+    def test_fr_read_matches_eq10(self, mc, p):
+        est = mc.read_availability(p, trials=600, protocol="fr")
+        assert est.contains(float(read_availability_fr(QUORUM, p)), z=4), str(est)
+
+    def test_read_block_parameter(self, mc):
+        est = mc.read_availability(0.9, trials=200, protocol="erc", block=3)
+        assert est.mean > 0.8
+
+
+class TestProtocolWriteAvailability:
+    @pytest.mark.parametrize("p", [0.6, 0.9])
+    def test_erc_write_matches_eq9(self, mc, p):
+        est = mc.write_availability(p, trials=250, protocol="erc")
+        assert est.contains(float(write_availability(QUORUM, p)), z=4), str(est)
+
+    def test_fr_write_matches_eq8(self, mc):
+        est = mc.write_availability(0.7, trials=250, protocol="fr")
+        assert est.contains(float(write_availability(QUORUM, 0.7)), z=4), str(est)
+
+    def test_write_erc_equals_fr_statistically(self, mc):
+        # Eq. 8 == eq. 9: same write availability for both protocols.
+        erc = mc.write_availability(0.7, trials=250, protocol="erc")
+        fr = mc.write_availability(0.7, trials=250, protocol="fr")
+        lo_e, hi_e = erc.ci95()
+        lo_f, hi_f = fr.ci95()
+        assert max(lo_e, lo_f) <= min(hi_e, hi_f), "CIs must overlap"
+
+
+class TestValidation:
+    def test_bad_protocol_name(self, mc):
+        with pytest.raises(ConfigurationError):
+            mc.read_availability(0.5, trials=10, protocol="raid")
+
+    def test_bad_p(self, mc):
+        with pytest.raises(ConfigurationError):
+            mc.read_availability(1.5, trials=10)
+        with pytest.raises(ConfigurationError):
+            mc.write_availability(-0.1, trials=10)

@@ -1,0 +1,68 @@
+"""Tests for the experiment sweep utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import exact_read_erc, write_availability
+from repro.errors import ConfigurationError
+from repro.quorum import TrapezoidQuorum, TrapezoidShape
+from repro.sim import availability_sweep, records_to_csv
+
+QUORUM = TrapezoidQuorum.uniform(TrapezoidShape(2, 3, 1), 3)
+
+
+class TestAvailabilitySweep:
+    def test_records_cover_grid_and_methods(self):
+        records = availability_sweep(QUORUM, 15, 8, [0.5, 0.9])
+        ps = {r.p for r in records}
+        metrics = {r.metric for r in records}
+        methods = {r.method for r in records}
+        assert ps == {0.5, 0.9}
+        assert metrics == {"write", "read_fr", "read_erc"}
+        assert methods == {"closed_form", "exact"}
+        assert len(records) == 2 * 4
+
+    def test_values_match_direct_computation(self):
+        records = availability_sweep(QUORUM, 15, 8, [0.6])
+        by_key = {(r.metric, r.method): r.value for r in records}
+        assert by_key[("write", "closed_form")] == pytest.approx(
+            float(write_availability(QUORUM, 0.6))
+        )
+        assert by_key[("read_erc", "exact")] == pytest.approx(
+            float(exact_read_erc(QUORUM, 15, 8, 0.6))
+        )
+
+    def test_mc_column_optional(self):
+        records = availability_sweep(QUORUM, 15, 8, [0.7], mc_trials=5000, rng=0)
+        methods = {r.method for r in records}
+        assert "monte_carlo" in methods
+        mc_read = next(
+            r for r in records if r.method == "monte_carlo" and r.metric == "read_erc"
+        )
+        assert mc_read.value == pytest.approx(
+            float(exact_read_erc(QUORUM, 15, 8, 0.7)), abs=0.05
+        )
+
+    def test_mc_trials_validated(self):
+        with pytest.raises(ConfigurationError):
+            availability_sweep(QUORUM, 15, 8, [0.5], mc_trials=-1)
+
+    def test_scalar_p_accepted(self):
+        records = availability_sweep(QUORUM, 15, 8, 0.5)
+        assert {r.p for r in records} == {0.5}
+
+
+class TestCsvRendering:
+    def test_csv_shape(self):
+        records = availability_sweep(QUORUM, 15, 8, [0.5, 0.8])
+        csv = records_to_csv(records)
+        lines = csv.strip().split("\n")
+        assert lines[0] == "p,metric,method,value"
+        assert len(lines) == 1 + len(records)
+        for line in lines[1:]:
+            parts = line.split(",")
+            assert len(parts) == 4
+            float(parts[0])
+            float(parts[3])

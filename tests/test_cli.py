@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestLayoutCommand:
+    def test_renders_paper_shape(self, capsys):
+        assert main(["layout", "--a", "2", "--b", "3", "--height", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "total nodes  : 15" in out
+        assert "l=2" in out
+        assert "w=(2," in out
+
+
+class TestCalibrateCommand:
+    def test_top_configs_printed(self, capsys):
+        assert main(["calibrate", "--n", "15", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "k= 8 shape=(a=2,b=3,h=1) w=3" in out
+        assert out.count("score") == 2
+
+
+class TestAvailabilityCommand:
+    def test_csv_output(self, capsys):
+        code = main(
+            [
+                "availability",
+                "--n", "15", "--k", "8",
+                "--a", "2", "--b", "3", "--height", "1",
+                "--w", "3", "--p", "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p,metric,method,value" in out
+        assert "0.5,read_fr,closed_form,0.750000" in out
+
+    def test_with_mc_column(self, capsys):
+        main(
+            [
+                "availability",
+                "--n", "9", "--k", "6",
+                "--a", "2", "--b", "1", "--height", "1",
+                "--p", "0.7", "--mc-trials", "2000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "monte_carlo" in out
+
+
+class TestOptimizeCommand:
+    def test_optimize_output(self, capsys):
+        assert main(["optimize", "--n", "9", "--k", "6", "--p", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "best for writes" in out
+        assert "Pareto front" in out
+
+
+class TestFiguresCommand:
+    def test_writes_csvs(self, tmp_path, capsys):
+        assert main(["figures", "--out", str(tmp_path), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3.csv" in out
+        assert (tmp_path / "fig2.csv").exists()
+        assert (tmp_path / "fig5.csv").exists()
+        header = (tmp_path / "fig3.csv").read_text().splitlines()[0]
+        assert header.startswith("p,")

@@ -1,0 +1,224 @@
+"""Full-stack integration tests: every layer working together.
+
+These scenarios compose the substrates end to end — GF arithmetic under
+the erasure codec, the codec under the protocol engines, the engines
+under the virtual disk and the trace simulator — and assert system-level
+invariants that no single-layer unit test can see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import exact_read_erc, write_availability
+from repro.cluster import Cluster, FixedLatency, Network, exponential_trace
+from repro.core import RepairService, TrapErcProtocol, TrapFrProtocol
+from repro.erasure import MDSCode, join_payload, split_payload
+from repro.quorum import TrapezoidQuorum, TrapezoidShape, verify_intersection, TrapezoidSystem
+from repro.sim import TraceSimConfig, TraceSimulation
+from repro.storage import DiskClient, VirtualDisk
+
+
+class TestBytesToProtocolRoundtrip:
+    def test_payload_through_full_stack(self):
+        """bytes -> split -> stripe -> protocol -> decode -> bytes."""
+        payload = b"The quick brown fox jumps over the lazy dog" * 3
+        k = 6
+        blocks, length = split_payload(payload, k)
+        cluster = Cluster(9)
+        code = MDSCode(9, 6)
+        quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+        proto = TrapErcProtocol(cluster, code, quorum)
+        proto.initialize(blocks)
+        # Degrade the cluster to the tolerance limit and read everything
+        # back through decode paths only.
+        cluster.fail_many([0, 1])
+        out_blocks = []
+        for i in range(k):
+            result = proto.read_block(i)
+            assert result.success
+            out_blocks.append(result.value)
+        assert join_payload(np.stack(out_blocks), length) == payload
+
+
+class TestErcVsFrEquivalence:
+    def test_same_visible_history_on_same_cluster_events(self):
+        """ERC and FR engines exposed to identical failure schedules must
+        produce identical visible histories (success pattern + values)."""
+        rng = np.random.default_rng(3)
+        quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+        data = rng.integers(0, 256, size=(6, 16), dtype=np.int64).astype(np.uint8)
+
+        cluster_a = Cluster(9)
+        erc = TrapErcProtocol(cluster_a, MDSCode(9, 6), quorum)
+        erc.initialize(data)
+        cluster_b = Cluster(9)
+        fr = TrapFrProtocol(cluster_b, 9, 6, quorum)
+        fr.initialize(data)
+
+        for step in range(60):
+            down = rng.choice(9, size=rng.integers(0, 3), replace=False).tolist()
+            for cluster in (cluster_a, cluster_b):
+                cluster.recover_all()
+                cluster.fail_many(down)
+            i = int(rng.integers(0, 6))
+            if rng.random() < 0.5:
+                value = rng.integers(0, 256, 16, dtype=np.int64).astype(np.uint8)
+                ra = erc.write_block(i, value)
+                rb = fr.write_block(i, value)
+                # Write availability is structurally identical (eq. 8 = 9)
+                # ... except ERC's read-before-write can fail when FR's
+                # version check succeeds; both engines must agree when the
+                # ERC read prerequisite holds.
+                if ra.success or rb.success:
+                    assert ra.success == rb.success or not ra.success, step
+            else:
+                ra = erc.read_block(i)
+                rb = fr.read_block(i)
+                if ra.success and rb.success:
+                    assert ra.version == rb.version, step
+                    assert np.array_equal(ra.value, rb.value), step
+
+
+class TestLatencyAndTrafficAccounting:
+    def test_virtual_latency_accumulates_through_protocol(self):
+        network = Network(latency=FixedLatency(0.001))
+        cluster = Cluster(9, network=network)
+        quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+        proto = TrapErcProtocol(cluster, MDSCode(9, 6), quorum)
+        rng = np.random.default_rng(4)
+        proto.initialize(rng.integers(0, 256, size=(6, 8), dtype=np.int64).astype(np.uint8))
+        before = network.stats.virtual_latency
+        proto.read_block(0)
+        assert network.stats.virtual_latency > before
+
+    def test_bytes_accounting_scales_with_block_size(self):
+        results = {}
+        for block in (64, 512):
+            cluster = Cluster(9)
+            quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+            proto = TrapErcProtocol(cluster, MDSCode(9, 6), quorum)
+            rng = np.random.default_rng(5)
+            proto.initialize(
+                rng.integers(0, 256, size=(6, block), dtype=np.int64).astype(np.uint8)
+            )
+            cluster.reset_stats()
+            proto.write_block(0, rng.integers(0, 256, block, dtype=np.int64).astype(np.uint8))
+            results[block] = cluster.network.stats.bytes_sent
+        assert results[512] > results[64] * 4
+
+
+class TestDiskUnderTraceDrivenFailures:
+    def test_disk_with_repair_survives_full_trace(self):
+        """A virtual disk under a long failure trace with periodic repair
+        never violates consistency and keeps serving most operations."""
+        rng = np.random.default_rng(6)
+        cluster = Cluster(9)
+        disk = VirtualDisk(cluster, num_blocks=12, block_size=64, n=9, k=6)
+        disk.format()
+        client = DiskClient(disk, max_retries=1, repair_on_failure=True)
+        trace = exponential_trace(9, mtbf=50.0, mttr=8.0, horizon=300.0, rng=7)
+
+        written: dict[int, bytes] = {}
+        indeterminate: dict[int, set[bytes]] = {}
+        t = 0.0
+        ok_ops = 0
+        total_ops = 0
+        while t < 300.0:
+            cluster.apply_alive_vector(trace.alive_vector(t))
+            block = int(rng.integers(0, 12))
+            total_ops += 1
+            if rng.random() < 0.5:
+                payload = bytes(rng.integers(0, 256, 64, dtype=np.int64).astype(np.uint8))
+                if client.write(block, payload):
+                    written[block] = payload
+                    indeterminate[block] = set()
+                    ok_ops += 1
+                else:
+                    indeterminate.setdefault(block, set()).add(payload)
+            else:
+                data = client.read(block)
+                if data is not None:
+                    ok_ops += 1
+                    if block in written:
+                        assert data == written[block] or data in indeterminate.get(
+                            block, set()
+                        ), f"consistency violation at t={t}"
+            t += rng.exponential(2.0)
+        assert ok_ops / total_ops > 0.5  # the system stayed mostly usable
+
+
+class TestAnalysisMatchesTraceSimulation:
+    """Snapshot formulas vs trace-driven reality (EXPERIMENTS.md).
+
+    Key reproduction finding: the paper's write-availability analysis
+    silently assumes recovered nodes are fresh. In a trace-driven run a
+    parity that misses one delta rejects every later delta for that
+    block (Alg. 1 line 26), so write availability COLLAPSES without a
+    repair process — while read availability is essentially unaffected
+    (reads only need any quorum plus a consistent decode pool).
+    """
+
+    MTBF, MTTR = 40.0, 10.0  # long-run p = 0.8
+    QUORUM = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+
+    def _run(self, read_fraction: float, repair_interval, seed: int):
+        trace = exponential_trace(
+            7, mtbf=self.MTBF, mttr=self.MTTR, horizon=2500.0, rng=seed
+        )
+        config = TraceSimConfig(
+            horizon=2500.0,
+            op_rate=2.0,
+            read_fraction=read_fraction,
+            repair_interval=repair_interval,
+        )
+        return TraceSimulation(7, 4, self.QUORUM, trace, config, rng=seed + 1).run()
+
+    def test_write_availability_collapses_without_repair(self):
+        p = self.MTBF / (self.MTBF + self.MTTR)
+        predicted = float(write_availability(self.QUORUM, p))
+        no_repair = self._run(0.0, None, seed=8).write_availability().mean
+        with_repair = self._run(0.0, 5.0, seed=8).write_availability().mean
+        assert predicted > 0.7
+        assert no_repair < 0.1, "staleness should nearly kill writes"
+        assert with_repair > 0.55, "repair should mostly restore writes"
+        # The snapshot formula is an upper bound even with repair
+        # (staleness windows + the embedded read-before-write).
+        assert with_repair <= predicted + 0.02
+
+    def test_more_frequent_repair_helps_writes(self):
+        coarse = self._run(0.0, 5.0, seed=8).write_availability().mean
+        fine = self._run(0.0, 1.0, seed=8).write_availability().mean
+        assert fine >= coarse - 0.01
+
+    def test_read_availability_trace_vs_exact(self):
+        p = self.MTBF / (self.MTBF + self.MTTR)
+        predicted = float(exact_read_erc(self.QUORUM, 7, 4, p))
+        for repair in (None, 5.0):
+            measured = self._run(1.0, repair, seed=10).read_availability()
+            assert abs(measured.mean - predicted) < 0.02, (repair, measured)
+
+
+class TestQuorumSystemsAgreeWithProtocols:
+    def test_trapezoid_system_predicates_match_protocol_outcomes(self):
+        """The abstract TrapezoidSystem predicate and the executable FR
+        engine must agree on which alive-sets allow reads and writes."""
+        quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+        system = TrapezoidSystem(quorum)
+        assert verify_intersection(system)
+        cluster = Cluster(9)
+        proto = TrapFrProtocol(cluster, 9, 6, quorum)
+        rng = np.random.default_rng(12)
+        proto.initialize(rng.integers(0, 256, size=(6, 8), dtype=np.int64).astype(np.uint8))
+
+        group = proto.placement.group_nodes(0)  # block 0's trapezoid nodes
+        for mask in range(16):
+            alive_positions = {pos for pos in range(4) if mask >> pos & 1}
+            cluster.recover_all()
+            cluster.fail_many([group[pos] for pos in range(4) if pos not in alive_positions])
+            can_read = proto.read_block(0).success
+            can_write = proto.write_block(0, np.zeros(8, dtype=np.uint8)).success
+            assert can_read == system.is_read_quorum(alive_positions), mask
+            assert can_write == system.is_write_quorum(alive_positions), mask
+        cluster.recover_all()
