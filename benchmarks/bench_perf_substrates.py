@@ -89,6 +89,34 @@ class TestErasureCodec:
         out = benchmark(code96.repair, [0], survivors, stripe[survivors])
         assert np.array_equal(out[0], stripe[0])
 
+    def test_decode_repeated_survivor_set_cached(self, benchmark, code96, data96):
+        # The decode-plan-cache hot path: same survivor set every call.
+        stripe = code96.encode(data96)
+        keep = [1, 2, 4, 5, 7, 8]
+        frag = np.ascontiguousarray(stripe[keep])
+        code96.decode(keep, frag)  # warm the plan cache
+        out = benchmark(code96.decode, keep, frag)
+        assert np.array_equal(out, data96)
+
+    def test_encode_batch_16_stripes_small_blocks(self, benchmark, code96):
+        rng = np.random.default_rng(6)
+        batch = rng.integers(0, 256, size=(16, 6, 4096), dtype=np.int64).astype(
+            np.uint8
+        )
+        stripes = benchmark(code96.encode_batch, batch)
+        assert stripes.shape == (16, 9, 4096)
+
+    def test_decode_batch_16_stripes_small_blocks(self, benchmark, code96):
+        rng = np.random.default_rng(7)
+        batch = rng.integers(0, 256, size=(16, 6, 4096), dtype=np.int64).astype(
+            np.uint8
+        )
+        stripes = code96.encode_batch(batch)
+        keep = [0, 2, 4, 6, 7, 8]
+        frag = np.ascontiguousarray(stripes[:, keep])
+        out = benchmark(code96.decode_batch, keep, frag)
+        assert np.array_equal(out, batch)
+
 
 class TestMonteCarloThroughput:
     def test_mc_write_100k(self, benchmark):

@@ -7,6 +7,7 @@ renders and persists everything (also exposed as ``python -m repro.bench``).
 """
 
 from repro.bench.calibrate import CalibrationResult, scan_fig3_configs
+from repro.bench.perf import DEFAULT_SIZES, TINY_SIZES, run_perf, write_perf_json
 from repro.bench.figures import (
     FIG_K,
     FIG_N,
@@ -43,4 +44,8 @@ __all__ = [
     "all_series",
     "run_all",
     "results_dir",
+    "DEFAULT_SIZES",
+    "TINY_SIZES",
+    "run_perf",
+    "write_perf_json",
 ]

@@ -1,9 +1,55 @@
-"""CLI entry point: ``python -m repro.bench`` regenerates every figure."""
+"""CLI entry point: ``python -m repro.bench``.
 
+Without arguments, regenerates every paper figure (tables + CSVs).
+With ``--json PATH``, runs the perf harness instead and writes the
+machine-readable throughput document (see ``docs/PERFORMANCE.md``):
+
+    python -m repro.bench --json BENCH_perf.json
+    python -m repro.bench --json BENCH_perf.json --tiny   # smoke sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.perf import TINY_SIZES, write_perf_json
 from repro.bench.runner import run_all
 
-if __name__ == "__main__":
-    paths = run_all()
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate paper figures, or run the perf harness.",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="run the perf harness and write its JSON document to PATH",
+    )
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="perf harness only: tiny sizes (sub-second smoke run)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress table output"
+    )
+    args = parser.parse_args(argv)
+
+    if args.json is not None:
+        path = write_perf_json(
+            args.json, sizes=TINY_SIZES if args.tiny else None, quiet=args.quiet
+        )
+        print(f"Wrote: {path}")
+        return 0
+
+    paths = run_all(quiet=args.quiet)
     print("Wrote:")
     for path in paths:
         print(f"  {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,227 @@
+"""Machine-readable perf harness: kernel + protocol throughput numbers.
+
+``python -m repro.bench --json BENCH_perf.json`` runs every measurement
+and writes one JSON document so the perf trajectory of the hot paths is
+tracked from PR to PR (and regressions fail fast in the smoke test,
+which runs the same harness on tiny sizes).
+
+The document has three sections:
+
+* ``config``  — the sizes the harness ran at;
+* ``results`` — per-benchmark throughput (MB/s of *useful* payload — data
+  bytes encoded/decoded/updated — or trials/s for the Monte-Carlo
+  estimators), plus the raw seconds-per-call;
+* ``speedups`` — measured ratios of the batched kernels against inline
+  re-implementations of the seed (pre-kernel) code paths: Gauss-Jordan
+  per decode + outer-product matmul. These are the numbers the
+  acceptance criteria quote.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.erasure.code import MDSCode
+from repro.gf.field import GF256
+from repro.gf.linalg import inverse, matmul_reference
+from repro.quorum.trapezoid import TrapezoidQuorum, default_shape_for_nbnode
+from repro.sim.montecarlo import mc_read_availability_erc, mc_write_availability
+
+__all__ = ["run_perf", "write_perf_json", "DEFAULT_SIZES", "TINY_SIZES"]
+
+#: Production-shaped sizes: the acceptance benchmark (k=8, L=64 KiB) plus
+#: a stripe batch wide enough to show dispatch amortization.
+DEFAULT_SIZES = {
+    "n": 12,
+    "k": 8,
+    "block_length": 1 << 16,  # 64 KiB blocks
+    "stripes": 16,
+    "small_block_length": 1 << 10,  # dispatch-bound regime for the batch APIs
+    "small_stripes": 256,
+    "decode_repeats": 32,
+    "encode_repeats": 16,
+    "mc_trials": 200_000,
+}
+
+#: Tiny sizes for the tier-1-adjacent smoke target (< 1 s total).
+TINY_SIZES = {
+    "n": 6,
+    "k": 4,
+    "block_length": 256,
+    "stripes": 3,
+    "small_block_length": 64,
+    "small_stripes": 8,
+    "decode_repeats": 3,
+    "encode_repeats": 3,
+    "mc_trials": 2_000,
+}
+
+
+def _time_call(fn, repeats: int) -> float:
+    """Best-of-runs seconds per call (one warmup call outside the clock)."""
+    fn()
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _entry(seconds: float, payload_bytes: int) -> dict:
+    return {
+        "seconds_per_call": seconds,
+        "payload_bytes": payload_bytes,
+        "mb_per_s": payload_bytes / seconds / 1e6 if seconds > 0 else None,
+    }
+
+
+def _seed_encode(code: MDSCode, data: np.ndarray) -> np.ndarray:
+    """The seed (pre-kernel) encode: outer-product reference matmul."""
+    stripe = np.empty((code.n, data.shape[1]), dtype=code.field.dtype)
+    stripe[: code.k] = data
+    if code.m:
+        stripe[code.k :] = matmul_reference(code.field, code.parity_matrix, data)
+    return stripe
+
+
+def _seed_decode(code: MDSCode, indices: list[int], frag: np.ndarray) -> np.ndarray:
+    """The seed decode: Gauss-Jordan inversion on every call + reference matmul."""
+    sub = code.generator[indices]
+    return matmul_reference(code.field, inverse(code.field, sub), frag)
+
+
+def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
+    """Run every benchmark; returns the JSON-ready document as a dict."""
+    cfg = dict(DEFAULT_SIZES if sizes is None else sizes)
+    n, k = cfg["n"], cfg["k"]
+    length = cfg["block_length"]
+    stripes = cfg["stripes"]
+    rng = np.random.default_rng(rng_seed)
+
+    code = MDSCode(n, k)
+    batch = (
+        rng.integers(0, 256, size=(stripes, k, length), dtype=np.int64)
+        .astype(np.uint8)
+    )
+    data = batch[0]
+    data_bytes = k * length
+    results: dict[str, dict] = {}
+
+    # -- encode ------------------------------------------------------- #
+    enc_reps = cfg["encode_repeats"]
+    t_seed_enc = _time_call(lambda: _seed_encode(code, data), enc_reps)
+    results["encode_seed"] = _entry(t_seed_enc, data_bytes)
+    t_enc = _time_call(lambda: code.encode(data), enc_reps)
+    results["encode"] = _entry(t_enc, data_bytes)
+    t_enc_batch = _time_call(lambda: code.encode_batch(batch), max(1, enc_reps // 4))
+    results["encode_batch"] = _entry(t_enc_batch, stripes * data_bytes)
+
+    # -- small-block batch (the dispatch-bound regime fusion targets) -- #
+    s_len = cfg["small_block_length"]
+    s_count = cfg["small_stripes"]
+    small = (
+        rng.integers(0, 256, size=(s_count, k, s_len), dtype=np.int64)
+        .astype(np.uint8)
+    )
+    small_bytes = s_count * k * s_len
+
+    def encode_loop() -> None:
+        for stripe_data in small:
+            code.encode(stripe_data)
+
+    t_small_loop = _time_call(encode_loop, max(1, enc_reps // 4))
+    results["encode_small_loop"] = _entry(t_small_loop, small_bytes)
+    t_small_batch = _time_call(
+        lambda: code.encode_batch(small), max(1, enc_reps // 4)
+    )
+    results["encode_small_batch"] = _entry(t_small_batch, small_bytes)
+
+    # -- decode (repeated survivor set: the acceptance benchmark) ------ #
+    stripe = code.encode(data)
+    lost = [(3 * t) % n for t in range(code.m)] if code.m else []
+    survivors = [i for i in range(n) if i not in lost][:k]
+    frag = np.ascontiguousarray(stripe[survivors])
+    dec_reps = cfg["decode_repeats"]
+    t_seed_dec = _time_call(lambda: _seed_decode(code, survivors, frag), dec_reps)
+    results["decode_seed"] = _entry(t_seed_dec, data_bytes)
+    code.clear_plan_cache()
+    t_dec = _time_call(lambda: code.decode(survivors, frag), dec_reps)
+    results["decode_repeated"] = _entry(t_dec, data_bytes)
+    stripe_batch = code.encode_batch(batch)
+    frag_batch = np.ascontiguousarray(stripe_batch[:, survivors])
+    t_dec_batch = _time_call(
+        lambda: code.decode_batch(survivors, frag_batch), max(1, dec_reps // 4)
+    )
+    results["decode_batch"] = _entry(t_dec_batch, stripes * data_bytes)
+    results["decode_plan_cache"] = code.plan_cache_info()
+
+    # -- delta update (Algorithm 1's parity fold) ---------------------- #
+    delta = rng.integers(0, 256, size=length, dtype=np.int64).astype(np.uint8)
+    parity = stripe[k].copy() if code.m else np.zeros(length, dtype=np.uint8)
+
+    def update() -> None:
+        for j in range(code.k, code.n):
+            code.apply_parity_delta(parity, j, 0, delta)
+
+    t_upd = _time_call(update, enc_reps)
+    results["update_deltas"] = _entry(t_upd, max(1, code.m) * length)
+
+    # -- Monte-Carlo estimators --------------------------------------- #
+    quorum = TrapezoidQuorum.uniform(default_shape_for_nbnode(n - k + 1))
+    trials = cfg["mc_trials"]
+    t_mc_w = _time_call(
+        lambda: mc_write_availability(quorum, 0.9, trials=trials, rng=123), 3
+    )
+    results["mc_write"] = {
+        "seconds_per_call": t_mc_w,
+        "trials": trials,
+        "trials_per_s": trials / t_mc_w,
+    }
+    t_mc_r = _time_call(
+        lambda: mc_read_availability_erc(quorum, n, k, 0.9, trials=trials, rng=123),
+        3,
+    )
+    results["mc_read_erc"] = {
+        "seconds_per_call": t_mc_r,
+        "trials": trials,
+        "trials_per_s": trials / t_mc_r,
+    }
+
+    speedups = {
+        "decode_repeated_vs_seed": t_seed_dec / t_dec,
+        "decode_batch_vs_seed": (t_seed_dec * stripes) / t_dec_batch,
+        "encode_vs_seed": t_seed_enc / t_enc,
+        "encode_batch_vs_seed": (t_seed_enc * stripes) / t_enc_batch,
+        "encode_small_batch_vs_loop": t_small_loop / t_small_batch,
+    }
+    return {
+        "schema": "repro-bench-perf/1",
+        "config": cfg,
+        "results": results,
+        "speedups": speedups,
+    }
+
+
+def write_perf_json(
+    path: str | Path, sizes: dict | None = None, quiet: bool = False
+) -> Path:
+    """Run the harness and write ``path``; returns the path."""
+    doc = run_perf(sizes=sizes)
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    if not quiet:
+        for name, entry in doc["results"].items():
+            mbs = entry.get("mb_per_s")
+            tps = entry.get("trials_per_s")
+            if mbs is not None:
+                print(f"{name:24s} {mbs:10.1f} MB/s")
+            elif tps is not None:
+                print(f"{name:24s} {tps:10.0f} trials/s")
+        for name, ratio in doc["speedups"].items():
+            print(f"{name:28s} {ratio:6.1f}x")
+    return path

@@ -12,6 +12,8 @@ Commands
     Search the (shape, w) space for a deployment target.
 ``layout``
     Render a trapezoid layout.
+``perf``
+    Run the perf harness and write BENCH_perf.json.
 """
 
 from __future__ import annotations
@@ -58,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     lay.add_argument("--a", type=int, required=True)
     lay.add_argument("--b", type=int, required=True)
     lay.add_argument("--height", type=int, required=True)
+
+    perf = sub.add_parser("perf", help="run the perf harness (BENCH_perf.json)")
+    perf.add_argument("--json", default="BENCH_perf.json", help="output path")
+    perf.add_argument("--tiny", action="store_true", help="sub-second smoke sizes")
+    perf.add_argument("--quiet", action="store_true", help="suppress the table")
     return parser
 
 
@@ -122,6 +129,16 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from repro.bench.perf import TINY_SIZES, write_perf_json
+
+    path = write_perf_json(
+        args.json, sizes=TINY_SIZES if args.tiny else None, quiet=args.quiet
+    )
+    print(f"Wrote: {path}")
+    return 0
+
+
 def _cmd_layout(args) -> int:
     from repro.quorum import TrapezoidQuorum, TrapezoidShape
 
@@ -140,6 +157,7 @@ _COMMANDS = {
     "availability": _cmd_availability,
     "optimize": _cmd_optimize,
     "layout": _cmd_layout,
+    "perf": _cmd_perf,
 }
 
 

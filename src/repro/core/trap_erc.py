@@ -126,7 +126,20 @@ class TrapErcProtocol:
         Bootstrap path (not a quorum write): requires all n nodes up, like
         a volume-creation step in a real deployment.
         """
-        stripe = self.code.encode(data)
+        self.load_stripe(self.code.encode(data))
+
+    def load_stripe(self, stripe: np.ndarray) -> None:
+        """Load an already-encoded (n, L) stripe at version 0.
+
+        Lets callers that encode many stripes in one batch (``MDSCode.
+        encode_batch``) or reload a cached stripe (Monte-Carlo trial
+        resets) skip the per-call encode entirely.
+        """
+        stripe = np.asarray(stripe, dtype=self.code.field.dtype)
+        if stripe.ndim != 2 or stripe.shape[0] != self.code.n:
+            raise ConfigurationError(
+                f"stripe must have shape (n={self.code.n}, L), got {stripe.shape}"
+            )
         zero_versions = np.zeros(self.code.k, dtype=np.int64)
         for i in range(self.code.k):
             node_id = self.layout.node_of_block(i)
@@ -356,6 +369,8 @@ class TrapErcProtocol:
                 if v == vv[m]:
                     rows.append((m, payload))
             if len(rows) >= self.code.k:
+                # reconstruct_block rides the decode-plan cache: trials and
+                # stripes that see the same survivor set skip Gauss-Jordan.
                 indices = [idx for idx, _ in rows[: self.code.k]]
                 frags = np.stack([buf for _, buf in rows[: self.code.k]])
                 return self.code.reconstruct_block(i, indices, frags)

@@ -6,7 +6,7 @@ k of n blocks sufficient to reconstruct, plus the in-place delta-update
 path that Algorithm 1 relies on.
 """
 
-from repro.erasure.code import MDSCode
+from repro.erasure.code import DecodePlan, MDSCode
 from repro.erasure.generator import (
     CONSTRUCTIONS,
     build_generator,
@@ -15,10 +15,17 @@ from repro.erasure.generator import (
     verify_mds,
 )
 from repro.erasure.lagrange import lagrange_coefficients, lagrange_reconstruct
-from repro.erasure.stripe import StripeLayout, join_payload, split_payload
+from repro.erasure.stripe import (
+    StripeLayout,
+    join_payload,
+    join_payload_batch,
+    split_payload,
+    split_payload_batch,
+)
 from repro.erasure.update import UpdatePlan, plan_update, update_io_cost
 
 __all__ = [
+    "DecodePlan",
     "MDSCode",
     "lagrange_coefficients",
     "lagrange_reconstruct",
@@ -30,6 +37,8 @@ __all__ = [
     "StripeLayout",
     "split_payload",
     "join_payload",
+    "split_payload_batch",
+    "join_payload_batch",
     "UpdatePlan",
     "plan_update",
     "update_io_cost",

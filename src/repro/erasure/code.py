@@ -20,14 +20,58 @@ use 0-based throughout the code base.)
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass, field as dataclass_field
+
 import numpy as np
 
 from repro.errors import ConfigurationError, DecodeError
 from repro.gf.field import GF256, GF2m
-from repro.gf.linalg import matmul, solve
+from repro.gf.kernels import gf_matmul
+from repro.gf.linalg import inverse
 from repro.erasure.generator import build_generator, verify_mds
 
-__all__ = ["MDSCode"]
+__all__ = ["DecodePlan", "MDSCode"]
+
+#: Stripes with blocks up to this many symbols are fused into one kernel
+#: dispatch by the batch APIs; beyond it the per-call dispatch is already
+#: amortized and the fusion copy would only cost memory bandwidth.
+FUSE_MAX_BLOCK = 1 << 13
+
+
+@dataclass(frozen=True)
+class DecodePlan:
+    """A cached decode: everything derived from one survivor set.
+
+    Repeated decodes against the same k survivors (common across stripes
+    of one volume and across Monte-Carlo trials, where the same failure
+    pattern recurs) skip Gauss-Jordan entirely. Beyond the inverted
+    generator submatrix, the plan precomputes the systematic structure:
+    survivor *data* rows pass through decode verbatim (``present``), so
+    only the ``missing`` data rows pay for a kernel dispatch — against
+    the (|missing|, k) slice ``solve_rows`` instead of the full inverse.
+    Combined "re-encode" rows (``generator[target] @ inverse``) are
+    cached lazily so single-block repair never materializes the full
+    data matrix.
+    """
+
+    indices: tuple[int, ...]  # sorted survivor rows the plan solves from
+    matrix: np.ndarray  # (k, k) inverse of generator[indices]
+    present: tuple[tuple[int, int], ...]  # (data index, row position) pairs
+    missing: tuple[int, ...]  # data indices absent from the survivors
+    solve_rows: np.ndarray  # matrix[missing], the only rows decode multiplies
+    _recode_rows: dict = dataclass_field(default_factory=dict, repr=False)
+
+    def recode_row(self, code: "MDSCode", target: int) -> np.ndarray:
+        """(k,) row r with ``block[target] = r @ fragments`` (cached)."""
+        row = self._recode_rows.get(target)
+        if row is None:
+            row = gf_matmul(
+                code.field, code.generator[target][None, :], self.matrix
+            )[0]
+            row.setflags(write=False)
+            self._recode_rows[target] = row
+        return row
 
 
 class MDSCode:
@@ -64,18 +108,27 @@ class MDSCode:
         k: int,
         field: GF2m | None = None,
         construction: str = "vandermonde",
+        plan_cache_size: int = 128,
     ) -> None:
         self.field = field if field is not None else GF256
         if k < 1:
             raise ConfigurationError(f"k must be >= 1, got {k}")
         if n < k:
             raise ConfigurationError(f"need n >= k, got n={n}, k={k}")
+        if plan_cache_size < 0:
+            raise ConfigurationError(
+                f"plan_cache_size must be >= 0, got {plan_cache_size}"
+            )
         self.n = n
         self.k = k
         self.m = n - k
         self.construction = construction
         self.generator = build_generator(self.field, n, k, construction)
         self.generator.setflags(write=False)
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: OrderedDict[tuple[int, ...], DecodePlan] = OrderedDict()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # ------------------------------------------------------------------ #
     # structure
@@ -133,7 +186,7 @@ class MDSCode:
         stripe = np.empty((self.n, data.shape[1]), dtype=self.field.dtype)
         stripe[: self.k] = data
         if self.m:
-            stripe[self.k :] = matmul(self.field, self.parity_matrix, data)
+            stripe[self.k :] = gf_matmul(self.field, self.parity_matrix, data)
         return stripe
 
     def encode_parity(self, data: np.ndarray) -> np.ndarray:
@@ -141,7 +194,45 @@ class MDSCode:
         data = self._coerce_data(data)
         if not self.m:
             return np.empty((0, data.shape[1]), dtype=self.field.dtype)
-        return matmul(self.field, self.parity_matrix, data)
+        return gf_matmul(self.field, self.parity_matrix, data)
+
+    def _coerce_batch(self, data: np.ndarray, rows: int, name: str) -> np.ndarray:
+        data = np.asarray(data, dtype=self.field.dtype)
+        if data.ndim != 3 or data.shape[1] != rows:
+            raise ConfigurationError(
+                f"{name} must have shape (S, {rows}, L), got {data.shape}"
+            )
+        return data
+
+    def encode_batch(self, data: np.ndarray) -> np.ndarray:
+        """Encode S stripes at once: (S, k, L) data -> (S, n, L) stripes.
+
+        For small blocks (L <= ``FUSE_MAX_BLOCK``) the S stripes are
+        fused into one (k, S*L) operand so the parity computation is a
+        single kernel dispatch regardless of S — the per-call overhead
+        that dominates small-stripe encodes is paid once per batch. For
+        large blocks the kernel is already bandwidth-bound, so the batch
+        loops per stripe and skips the fusion copy.
+        """
+        data = self._coerce_batch(data, self.k, "data")
+        s, _, length = data.shape
+        stripes = np.empty((s, self.n, length), dtype=self.field.dtype)
+        stripes[:, : self.k] = data
+        if self.m and s:
+            if length <= FUSE_MAX_BLOCK:
+                fused = np.ascontiguousarray(data.transpose(1, 0, 2)).reshape(
+                    self.k, s * length
+                )
+                parity = gf_matmul(self.field, self.parity_matrix, fused)
+                stripes[:, self.k :] = (
+                    parity.reshape(self.m, s, length).transpose(1, 0, 2)
+                )
+            else:
+                for idx in range(s):
+                    stripes[idx, self.k :] = gf_matmul(
+                        self.field, self.parity_matrix, data[idx]
+                    )
+        return stripes
 
     def encode_block(self, index: int, data: np.ndarray) -> np.ndarray:
         """The single stripe row with global ``index`` for the given data."""
@@ -174,31 +265,158 @@ class MDSCode:
             )
         return indices, fragments
 
+    def decode_plan(self, indices) -> DecodePlan:
+        """The cached :class:`DecodePlan` for a survivor set (>= k indices).
+
+        Only the first k indices are used (matching :meth:`decode`); the
+        key is the *sorted* survivor tuple, so every ordering of the same
+        set shares one Gauss-Jordan inversion. An LRU of
+        ``plan_cache_size`` plans is kept (a volume with rotating
+        placements or a Monte-Carlo sweep cycles through a handful of
+        failure patterns, so hit rates are near 1 after warmup).
+        """
+        use = sorted(int(i) for i in indices[: self.k])
+        if len(use) != self.k:
+            raise DecodeError(f"need at least k={self.k} fragments, got {len(use)}")
+        for i in use:
+            if not 0 <= i < self.n:
+                raise DecodeError(f"fragment index {i} out of range [0, {self.n})")
+        if len(set(use)) != self.k:
+            raise DecodeError(f"duplicate fragment indices: {use}")
+        key = tuple(use)
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            self.plan_cache_hits += 1
+            self._plan_cache.move_to_end(key)
+            return plan
+        self.plan_cache_misses += 1
+        matrix = inverse(self.field, self.generator[use])
+        matrix.setflags(write=False)
+        present = tuple((i, pos) for pos, i in enumerate(use) if i < self.k)
+        missing = tuple(sorted(set(range(self.k)) - {i for i, _ in present}))
+        solve_rows = np.ascontiguousarray(matrix[list(missing)])
+        solve_rows.setflags(write=False)
+        plan = DecodePlan(
+            indices=key,
+            matrix=matrix,
+            present=present,
+            missing=missing,
+            solve_rows=solve_rows,
+        )
+        if self.plan_cache_size:
+            self._plan_cache[key] = plan
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        return plan
+
+    def plan_cache_info(self) -> dict[str, int]:
+        """Cache counters: hits / misses / current size / capacity."""
+        return {
+            "hits": self.plan_cache_hits,
+            "misses": self.plan_cache_misses,
+            "size": len(self._plan_cache),
+            "maxsize": self.plan_cache_size,
+        }
+
+    def clear_plan_cache(self) -> None:
+        """Drop every cached plan and reset the counters."""
+        self._plan_cache.clear()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+
+    @staticmethod
+    def _sort_rows(use: list[int], frag: np.ndarray) -> tuple[list[int], np.ndarray]:
+        """Reorder fragment rows to the sorted-index order plans expect."""
+        order = sorted(range(len(use)), key=use.__getitem__)
+        if order == list(range(len(use))):
+            return use, frag
+        return [use[pos] for pos in order], frag[order]
+
     def decode(self, indices, fragments) -> np.ndarray:
         """Reconstruct the (k, L) data from any >= k fragments.
 
         ``indices`` are global block indices; ``fragments`` the matching
         rows. Exactly k of them are used (the first k given); the MDS
-        property guarantees that any such square system is solvable.
+        property guarantees that any such square system is solvable. The
+        inverted system comes from the :meth:`decode_plan` cache, so only
+        the first decode of a given survivor set pays for Gauss-Jordan.
         """
         indices, fragments = self._gather(indices, fragments)
-        use = indices[: self.k]
-        frag = fragments[: self.k]
+        use, frag = self._sort_rows(indices[: self.k], fragments[: self.k])
         # Fast path: all k data blocks present among the chosen rows.
-        if all(i < self.k for i in use) and sorted(use) == list(range(self.k)):
-            out = np.empty_like(frag)
-            for pos, i in enumerate(use):
-                out[i] = frag[pos]
-            return out
-        sub = self.generator[use]
-        return solve(self.field, sub, frag)
+        if use == list(range(self.k)):
+            return frag.copy()
+        plan = self.decode_plan(use)
+        return self._apply_plan(plan, frag)
+
+    def _apply_plan(self, plan: DecodePlan, frag: np.ndarray) -> np.ndarray:
+        """Systematic decode: copy survivor data rows, solve the missing.
+
+        ``frag`` rows are in plan (sorted-index) order; output is (k, L).
+        Only the |missing| absent data rows touch the kernel — for the
+        common partial-loss survivor sets that is a fraction of the full
+        (k, k) x (k, L) product the naive solve performs.
+        """
+        out = np.empty((self.k, frag.shape[1]), dtype=self.field.dtype)
+        for i, pos in plan.present:
+            out[i] = frag[pos]
+        if plan.missing:
+            out[list(plan.missing)] = gf_matmul(self.field, plan.solve_rows, frag)
+        return out
+
+    def decode_batch(self, indices, fragments) -> np.ndarray:
+        """Decode S stripes that share one survivor set: (S, >=k, L) -> (S, k, L).
+
+        ``indices`` are the global block indices of the fragment rows,
+        identical for every stripe in the batch (the common case: one
+        failure pattern across a whole volume). All stripes are fused
+        into a single (k, S*L) solve against the cached plan.
+        """
+        idx_list = [int(i) for i in indices]
+        fragments = self._coerce_batch(fragments, len(idx_list), "fragments")
+        if len(set(idx_list)) != len(idx_list):
+            raise DecodeError(f"duplicate fragment indices: {idx_list}")
+        for i in idx_list:
+            if not 0 <= i < self.n:
+                raise DecodeError(f"fragment index {i} out of range [0, {self.n})")
+        if len(idx_list) < self.k:
+            raise DecodeError(
+                f"need at least k={self.k} fragments, got {len(idx_list)}"
+            )
+        s, _, length = fragments.shape
+        use = idx_list[: self.k]
+        frag = fragments[:, : self.k]
+        order = sorted(range(self.k), key=use.__getitem__)
+        if order != list(range(self.k)):
+            use = [use[pos] for pos in order]
+            frag = frag[:, order]
+        if use == list(range(self.k)):
+            return frag.copy()
+        if not s:
+            return np.empty((0, self.k, length), dtype=self.field.dtype)
+        plan = self.decode_plan(use)
+        if length <= FUSE_MAX_BLOCK:
+            # Fuse the batch into one (k, S*L) operand: a single kernel
+            # dispatch (and one plan lookup) regardless of the stripe count.
+            fused = np.ascontiguousarray(frag.transpose(1, 0, 2)).reshape(
+                self.k, s * length
+            )
+            data = self._apply_plan(plan, fused)
+            return np.ascontiguousarray(
+                data.reshape(self.k, s, length).transpose(1, 0, 2)
+            )
+        out = np.empty((s, self.k, length), dtype=self.field.dtype)
+        for idx in range(s):
+            out[idx] = self._apply_plan(plan, frag[idx])
+        return out
 
     def reconstruct_block(self, index: int, indices, fragments) -> np.ndarray:
         """Reconstruct the single block with global ``index``.
 
-        Uses the fragment directly when present; otherwise decodes from k
-        fragments and re-encodes the target row. This is the ``decode(i, id,
-        V)`` step of Algorithm 2 (Case 2).
+        Uses the fragment directly when present; otherwise combines the
+        cached plan with the target's generator row into one (1, k) x
+        (k, L) product — the full data matrix is never materialized.
+        This is the ``decode(i, id, V)`` step of Algorithm 2 (Case 2).
         """
         if not 0 <= index < self.n:
             raise ConfigurationError(f"block index must be in [0, {self.n}), got {index}")
@@ -206,26 +424,40 @@ class MDSCode:
         if index in idx_list:
             fragments = np.asarray(fragments, dtype=self.field.dtype)
             return fragments[idx_list.index(index)].copy()
-        data = self.decode(indices, fragments)
-        if index < self.k:
-            return data[index]
-        return self.field.dot(self.generator[index], data)
+        indices, fragments = self._gather(idx_list, fragments)
+        use, frag = self._sort_rows(indices[: self.k], fragments[: self.k])
+        if use == list(range(self.k)):
+            if index < self.k:
+                return frag[index].copy()
+            row = self.generator[index][None, :]
+        else:
+            row = self.decode_plan(use).recode_row(self, index)[None, :]
+        return gf_matmul(self.field, row, frag)[0]
 
     def repair(self, lost, indices, fragments) -> np.ndarray:
         """Exact repair: recompute the rows in ``lost`` from >= k survivors.
 
         Returns an array of shape (len(lost), L) with the original contents
-        of the lost blocks (exact repair in the paper's taxonomy).
+        of the lost blocks (exact repair in the paper's taxonomy). All lost
+        rows are rebuilt in one stacked-recode-row product against the
+        cached plan.
         """
         lost = [int(i) for i in lost]
-        data = self.decode(indices, fragments)
-        out = np.empty((len(lost), data.shape[1]), dtype=self.field.dtype)
-        for pos, index in enumerate(lost):
-            if index < self.k:
-                out[pos] = data[index]
-            else:
-                out[pos] = self.field.dot(self.generator[index], data)
-        return out
+        for index in lost:
+            if not 0 <= index < self.n:
+                raise ConfigurationError(
+                    f"block index must be in [0, {self.n}), got {index}"
+                )
+        indices, fragments = self._gather(indices, fragments)
+        use, frag = self._sort_rows(indices[: self.k], fragments[: self.k])
+        if not lost:
+            return np.empty((0, frag.shape[1]), dtype=self.field.dtype)
+        if use == list(range(self.k)):
+            rows = self.generator[lost]
+        else:
+            plan = self.decode_plan(use)
+            rows = np.stack([plan.recode_row(self, index) for index in lost])
+        return gf_matmul(self.field, rows, frag)
 
     # ------------------------------------------------------------------ #
     # in-place delta updates (Algorithm 1 support)

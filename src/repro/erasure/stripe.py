@@ -20,7 +20,13 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["StripeLayout", "split_payload", "join_payload"]
+__all__ = [
+    "StripeLayout",
+    "split_payload",
+    "join_payload",
+    "split_payload_batch",
+    "join_payload_batch",
+]
 
 
 def split_payload(payload: bytes, k: int) -> tuple[np.ndarray, int]:
@@ -50,6 +56,40 @@ def join_payload(blocks: np.ndarray, length: int) -> bytes:
             f"length {length} out of range for {flat.size} stored bytes"
         )
     return flat[:length].tobytes()
+
+
+def split_payload_batch(
+    payloads: list[bytes] | tuple[bytes, ...], k: int
+) -> tuple[np.ndarray, list[int]]:
+    """Split S payloads into one (S, k, L) batch for ``encode_batch``.
+
+    All payloads share a common block length L = ceil(max_len / k)
+    (minimum 1), zero-padded — the layout production stripe writers use so
+    a whole batch is encoded in one kernel dispatch. Returns the batch and
+    the original lengths (for :func:`join_payload_batch`).
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if not payloads:
+        return np.zeros((0, k, 1), dtype=np.uint8), []
+    lengths = [len(p) for p in payloads]
+    block_len = max(1, -(-max(lengths) // k))
+    batch = np.zeros((len(payloads), k * block_len), dtype=np.uint8)
+    for row, payload in zip(batch, payloads):
+        row[: len(payload)] = np.frombuffer(payload, dtype=np.uint8)
+    return batch.reshape(len(payloads), k, block_len), lengths
+
+
+def join_payload_batch(blocks: np.ndarray, lengths: list[int]) -> list[bytes]:
+    """Inverse of :func:`split_payload_batch` for a (S, k, L) batch."""
+    blocks = np.asarray(blocks, dtype=np.uint8)
+    if blocks.ndim != 3:
+        raise ConfigurationError(f"blocks must be 3-D, got shape {blocks.shape}")
+    if blocks.shape[0] != len(lengths):
+        raise ConfigurationError(
+            f"batch holds {blocks.shape[0]} stripes but {len(lengths)} lengths given"
+        )
+    return [join_payload(stripe, length) for stripe, length in zip(blocks, lengths)]
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,13 @@ from repro.gf.bitmatrix import (
     xor_count,
 )
 from repro.gf.field import GF256, GF2m
+from repro.gf.kernels import (
+    gf_matmul,
+    gf_matvec,
+    gf_scaled_rows,
+    xor_blocks,
+    xor_into,
+)
 from repro.gf.split import SplitTableMultiplier, split_tables
 from repro.gf.linalg import (
     cauchy,
@@ -20,7 +27,9 @@ from repro.gf.linalg import (
     inverse,
     is_invertible,
     matmul,
+    matmul_reference,
     matvec,
+    matvec_reference,
     rank,
     solve,
     vandermonde,
@@ -43,9 +52,16 @@ __all__ = [
     "xor_count",
     "SplitTableMultiplier",
     "split_tables",
+    "gf_matmul",
+    "gf_matvec",
+    "gf_scaled_rows",
+    "xor_into",
+    "xor_blocks",
     "identity",
     "matmul",
+    "matmul_reference",
     "matvec",
+    "matvec_reference",
     "inverse",
     "rank",
     "solve",

@@ -148,15 +148,14 @@ class GF2m:
 
     def _coerce(self, a) -> np.ndarray:
         arr = np.asarray(a)
-        if arr.dtype != self.dtype:
-            if np.any(np.asarray(arr, dtype=np.int64) >= self.order) or np.any(
-                np.asarray(arr, dtype=np.int64) < 0
-            ):
-                raise FieldError(
-                    f"value out of range for GF(2^{self.width})"
-                )
-            arr = arr.astype(self.dtype)
-        return arr
+        if arr.dtype == self.dtype:
+            # Already carrying the field dtype: every representable value is
+            # a field element, so no range check (and no int64 copies).
+            return arr
+        as_int = np.asarray(arr, dtype=np.int64)
+        if np.any((as_int < 0) | (as_int >= self.order)):
+            raise FieldError(f"value out of range for GF(2^{self.width})")
+        return as_int.astype(self.dtype)
 
     # ------------------------------------------------------------------ #
     # scalar / elementwise arithmetic
@@ -229,6 +228,20 @@ class GF2m:
             self._mul_table.setflags(write=False)
         return self._mul_table
 
+    def mul_table(self) -> np.ndarray:
+        """The full (order x order) multiplication table (w <= 8 only).
+
+        This is the substrate of the batched kernels in
+        :mod:`repro.gf.kernels`: a product array is one fancy-index gather
+        ``table[a, b]``. Read-only; 64 KiB for the default GF(2^8).
+        """
+        if self.width > 8:
+            raise FieldError(
+                f"full multiplication table is only built for w <= 8, "
+                f"got w = {self.width}"
+            )
+        return self._full_mul_table()
+
     def scalar_mul(self, c: int, vec) -> np.ndarray:
         """``c * vec`` for a scalar c and an array vec.
 
@@ -259,7 +272,9 @@ class GF2m:
         c = int(c)
         if c == 0:
             return
-        np.bitwise_xor(dst, self.scalar_mul(c, src), out=dst)
+        from repro.gf.kernels import xor_into  # lazy: kernels imports field
+
+        xor_into(dst, self.scalar_mul(c, src))
 
     def dot(self, coeffs, vectors) -> np.ndarray:
         """GF linear combination ``XOR_i coeffs[i] * vectors[i]``.

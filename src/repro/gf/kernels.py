@@ -1,0 +1,199 @@
+"""Batched GF(2^w) kernels: the throughput layer under the erasure stack.
+
+The reference implementations in :mod:`repro.gf.linalg` are written for
+clarity: :func:`~repro.gf.linalg.matmul_reference` XOR-accumulates one
+outer product per inner index, and every outer product pays the full
+exp/log + zero-masking cost of :meth:`GF2m.mul`. That is fine for the
+small matrices of the analysis layer but leaves an order of magnitude on
+the table for the storage hot paths, where one operand is a short
+coefficient matrix (k or n - k rows) and the other a wide block matrix
+(L = tens of KiB columns, possibly many stripes side by side).
+
+This module holds the production kernels (all bit-identical to the
+reference paths; the property tests in ``tests/gf/test_kernels.py``
+enforce that):
+
+* :func:`gf_matmul` / :func:`gf_matvec` — for w <= 8 each inner index
+  contributes one fancy-index gather (``np.take``) out of an (m, 256)
+  slice of the field's full multiplication table — the slice lives in L1,
+  so the gather runs at memory speed — XOR-folded into the accumulator:
+  no int64 temporaries, no zero masking, one uint8 pass per inner index.
+  (A single 3-D ``table[a[:, :, None], b[None, :, :]]`` gather +
+  ``bitwise_xor.reduce`` computes the same thing in one expression but
+  measures ~4x slower: broadcasting the index arrays dominates.) For
+  w > 8 the full table would be gigabytes, so the kernel falls back to a
+  per-inner-index exp/log gather that still avoids the elementwise
+  ``mul`` overhead where it can.
+* :func:`xor_into` / :func:`xor_blocks` — the parity-delta fold
+  ``dst ^= src`` re-viewed as machine words (uint64) when alignment
+  allows, which is how production RS codecs fold deltas.
+* :func:`gf_scaled_rows` — row-wise scalar multiple gather used by the
+  batched encoders.
+
+All kernels take the field object explicitly (no global state), matching
+the conventions of :mod:`repro.gf.linalg`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.gf.field import GF2m
+
+__all__ = [
+    "gf_matmul",
+    "gf_matvec",
+    "gf_scaled_rows",
+    "xor_into",
+    "xor_blocks",
+]
+
+
+def _as_field_matrix(field: GF2m, a, name: str) -> np.ndarray:
+    a = np.asarray(a, dtype=field.dtype)
+    if a.ndim != 2:
+        raise FieldError(f"{name} must be 2-D, got shape {a.shape}")
+    return a
+
+
+def _matmul_small(field: GF2m, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """w <= 8 kernel: one table-row gather per inner index, XOR-folded.
+
+    ``table[a[:, t]]`` selects the m multiplication-table rows for inner
+    index t (m x 256 bytes, L1-resident); ``np.take(..., b[t], axis=1)``
+    then gathers all m partial-product rows in one call. No zero-masking
+    is needed: the table already encodes ``0 * x = 0``. The Python loop
+    length is only the shared dimension (k or n - k in the paper's
+    regime), never the block length.
+    """
+    table = field.mul_table()
+    out = np.take(table[a[:, 0]], b[0], axis=1)
+    for t in range(1, a.shape[1]):
+        contrib = np.take(table[a[:, t]], b[t], axis=1)
+        np.bitwise_xor(out, contrib, out=out)
+    return out
+
+
+def _matmul_wide_field(field: GF2m, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """w > 8 fallback: per-inner-index exp/log gather (no full table).
+
+    The loop length is the shared dimension (k or n - k in the paper's
+    regime); each iteration is a single-pass gather ``exp[log a + log b]``
+    with the zero rows/columns handled up front instead of per element.
+    """
+    m, t = a.shape
+    cols = b.shape[1]
+    out = np.zeros((m, cols), dtype=field.dtype)
+    log = field._log
+    exp = field._exp
+    for idx in range(t):
+        a_col = a[:, idx]
+        nz_rows = np.nonzero(a_col)[0]
+        if nz_rows.size == 0:
+            continue
+        b_row = b[idx]
+        la = log[a_col[nz_rows]][:, None]
+        contrib = exp[la + log[b_row][None, :]]
+        # exp/log is only valid for nonzero operands; zero the columns
+        # where b is 0 (a is already filtered to nonzero rows).
+        contrib[:, b_row == 0] = 0
+        out[nz_rows] = np.bitwise_xor(out[nz_rows], contrib)
+    return out
+
+
+def gf_matmul(field: GF2m, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^w), bit-identical to the reference matmul.
+
+    Fast path (w <= 8): fancy-index gather into the full multiplication
+    table + ``bitwise_xor.reduce`` over the shared dimension. Fallback
+    (w > 8): exp/log gathers per inner index.
+    """
+    a = _as_field_matrix(field, a, "a")
+    b = _as_field_matrix(field, b, "b")
+    if a.shape[1] != b.shape[0]:
+        raise FieldError(f"shape mismatch for matmul: {a.shape} x {b.shape}")
+    if a.shape[1] == 0:
+        return np.zeros((a.shape[0], b.shape[1]), dtype=field.dtype)
+    if field.width <= 8:
+        return _matmul_small(field, a, b)
+    return _matmul_wide_field(field, a, b)
+
+
+def gf_matvec(field: GF2m, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Matrix-vector product over GF(2^w) through the batched kernel."""
+    a = _as_field_matrix(field, a, "a")
+    x = np.asarray(x, dtype=field.dtype)
+    if x.ndim != 1 or a.shape[1] != x.shape[0]:
+        raise FieldError(f"shape mismatch for matvec: {a.shape} x {x.shape}")
+    return gf_matmul(field, a, x[:, None])[:, 0]
+
+
+def gf_scaled_rows(field: GF2m, coeffs, vec) -> np.ndarray:
+    """Rows ``coeffs[i] * vec`` for a coefficient vector and one block.
+
+    Shape: coeffs (m,) x vec (L,) -> (m, L). For w <= 8 this is a single
+    2-D gather (each output row is one row-slice of the multiplication
+    table indexed by the block); the parity-delta fan-out of Algorithm 1
+    is exactly this shape.
+    """
+    coeffs = np.asarray(coeffs, dtype=field.dtype)
+    vec = np.asarray(vec, dtype=field.dtype)
+    if coeffs.ndim != 1 or vec.ndim != 1:
+        raise FieldError("gf_scaled_rows expects coeffs (m,) and vec (L,)")
+    if field.width <= 8:
+        return field.mul_table()[coeffs[:, None], vec[None, :]]
+    return field.mul(coeffs[:, None], vec[None, :])
+
+
+# --------------------------------------------------------------------- #
+# word-view XOR folds
+# --------------------------------------------------------------------- #
+
+
+def _word_view(arr: np.ndarray) -> np.ndarray | None:
+    """uint64 view of a byte-sized contiguous array, or None if not viewable."""
+    if arr.dtype.itemsize != 1 or not arr.flags.c_contiguous:
+        return None
+    if (arr.size % 8) or (arr.ctypes.data % 8):
+        return None
+    # Flatten first: viewing uint64 directly requires the *last axis* to be
+    # word-divisible, while a flat view only needs the total size to be.
+    return arr.reshape(-1).view(np.uint64)
+
+
+def xor_into(dst: np.ndarray, src: np.ndarray) -> None:
+    """In-place ``dst ^= src`` folding 8 bytes per XOR when alignment allows.
+
+    This is the parity-delta fold of Algorithm 1 (``b_j ^= alpha_ji * delta``)
+    once the scaled delta buffer exists; for uint8 blocks whose length is a
+    multiple of 8 the fold runs over a uint64 word view.
+    """
+    if dst.shape != src.shape:
+        raise FieldError(f"xor_into shape mismatch: {dst.shape} vs {src.shape}")
+    if dst.dtype != src.dtype:
+        src = np.asarray(src, dtype=dst.dtype)
+    dw = _word_view(dst)
+    sw = _word_view(src)
+    if dw is not None and sw is not None:
+        np.bitwise_xor(dw, sw, out=dw)
+        return
+    np.bitwise_xor(dst, src, out=dst)
+
+
+def xor_blocks(blocks: np.ndarray) -> np.ndarray:
+    """XOR-fold the rows of a (m, L) array into one (L,) block.
+
+    Uses the uint64 word view when the row stride allows; the pure-XOR
+    aggregation path of flat (replication-style) parity and of the
+    coefficient-1 rows in batched encodes.
+    """
+    blocks = np.ascontiguousarray(blocks)
+    if blocks.ndim != 2:
+        raise FieldError(f"xor_blocks expects a 2-D array, got {blocks.shape}")
+    if blocks.dtype.itemsize == 1 and blocks.shape[1] % 8 == 0:
+        wide = _word_view(blocks.reshape(-1))
+        if wide is not None:
+            words = wide.reshape(blocks.shape[0], -1)
+            return np.bitwise_xor.reduce(words, axis=0).view(blocks.dtype)
+    return np.bitwise_xor.reduce(blocks, axis=0)

@@ -15,11 +15,14 @@ import numpy as np
 
 from repro.errors import FieldError, SingularMatrixError
 from repro.gf.field import GF2m
+from repro.gf.kernels import gf_matmul, gf_matvec
 
 __all__ = [
     "identity",
     "matmul",
+    "matmul_reference",
     "matvec",
+    "matvec_reference",
     "inverse",
     "rank",
     "solve",
@@ -41,13 +44,14 @@ def _check_matrix(field: GF2m, a: np.ndarray, name: str) -> np.ndarray:
     return a
 
 
-def matmul(field: GF2m, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Matrix product over GF(2^w).
+def matmul_reference(field: GF2m, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference matrix product over GF(2^w).
 
     Implemented as an XOR-accumulated sequence of outer products over the
     shared dimension; each outer product is fully vectorized, so the Python
-    loop length is only the inner dimension (k and n-k are small in the
-    paper's regime while block length L is large).
+    loop length is only the inner dimension. This is the ground truth the
+    batched kernels in :mod:`repro.gf.kernels` are property-tested against;
+    hot paths go through :func:`matmul`, which dispatches to those kernels.
     """
     a = _check_matrix(field, a, "a")
     b = _check_matrix(field, b, "b")
@@ -60,8 +64,13 @@ def matmul(field: GF2m, a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
-def matvec(field: GF2m, a: np.ndarray, x: np.ndarray) -> np.ndarray:
-    """Matrix-vector product over GF(2^w)."""
+def matmul(field: GF2m, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2^w) (batched table-gather kernel)."""
+    return gf_matmul(field, a, b)
+
+
+def matvec_reference(field: GF2m, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Reference matrix-vector product over GF(2^w) (see matmul_reference)."""
     a = _check_matrix(field, a, "a")
     x = np.asarray(x, dtype=field.dtype)
     if x.ndim != 1 or a.shape[1] != x.shape[0]:
@@ -71,6 +80,11 @@ def matvec(field: GF2m, a: np.ndarray, x: np.ndarray) -> np.ndarray:
     for t in range(a.shape[1]):
         np.bitwise_xor(out, prod[:, t], out=out)
     return out
+
+
+def matvec(field: GF2m, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Matrix-vector product over GF(2^w) (batched kernel)."""
+    return gf_matvec(field, a, x)
 
 
 def _eliminate(field: GF2m, work: np.ndarray) -> int:

@@ -19,6 +19,7 @@ Figure 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -61,34 +62,49 @@ class TrapezoidShape:
             raise ConfigurationError(f"level must be in [0, {self.h}], got {level}")
         return self.a * level + self.b
 
-    @property
+    @cached_property
     def level_sizes(self) -> tuple[int, ...]:
         """(s_0, ..., s_h)."""
-        return tuple(self.level_size(l) for l in self.levels)
+        return tuple(self.a * l + self.b for l in self.levels)
 
-    @property
+    @cached_property
+    def _offsets(self) -> tuple[int, ...]:
+        """Cumulative level offsets: level l spans [_offsets[l], _offsets[l+1]).
+
+        Precomputed once per shape so :meth:`level_of` and
+        :meth:`positions` are O(1) lookups instead of per-call re-sums —
+        both sit on the hot paths of ``TrapezoidSystem._level_counts``
+        and the Monte-Carlo membership matrix.
+        """
+        acc = [0]
+        for size in self.level_sizes:
+            acc.append(acc[-1] + size)
+        return tuple(acc)
+
+    @cached_property
+    def _position_levels(self) -> np.ndarray:
+        """(total_nodes,) array mapping logical position -> level (read-only)."""
+        table = np.repeat(np.arange(self.h + 1, dtype=np.int64), self.level_sizes)
+        table.setflags(write=False)
+        return table
+
+    @cached_property
     def total_nodes(self) -> int:
         """Nbnode = sum_l s_l (paper's eq. 4)."""
-        return sum(self.level_sizes)
+        return self._offsets[-1]
 
     def level_of(self, position: int) -> int:
-        """Level containing logical position ``position``."""
+        """Level containing logical position ``position`` (O(1))."""
         if not 0 <= position < self.total_nodes:
             raise ConfigurationError(
                 f"position must be in [0, {self.total_nodes}), got {position}"
             )
-        offset = 0
-        for l in self.levels:
-            offset += self.level_size(l)
-            if position < offset:
-                return l
-        raise AssertionError("unreachable")  # pragma: no cover
+        return int(self._position_levels[position])
 
     def positions(self, level: int) -> range:
-        """Logical positions belonging to ``level`` (contiguous)."""
-        size = self.level_size(level)
-        start = sum(self.level_size(l) for l in range(level))
-        return range(start, start + size)
+        """Logical positions belonging to ``level`` (contiguous, O(1))."""
+        self.level_size(level)  # bounds check
+        return range(self._offsets[level], self._offsets[level + 1])
 
     def ascii_art(self) -> str:
         """Text rendering of the trapezoid (used by the Fig. 1 bench)."""
@@ -245,10 +261,10 @@ class TrapezoidSystem(QuorumSystem):
         )
 
     def _level_counts(self, subset: frozenset[int]) -> list[int]:
-        counts = [0] * (self.shape.h + 1)
-        for pos in subset:
-            counts[self.shape.level_of(pos)] += 1
-        return counts
+        if not subset:
+            return [0] * (self.shape.h + 1)
+        levels = self.shape._position_levels[list(subset)]
+        return np.bincount(levels, minlength=self.shape.h + 1).tolist()
 
     def is_write_quorum(self, subset) -> bool:
         subset = self._check_positions(subset)

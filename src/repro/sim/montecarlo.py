@@ -10,6 +10,8 @@ evaluations (closed form / exact enumeration / Monte Carlo).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.analysis.availability import validate_erc_geometry
@@ -26,13 +28,24 @@ __all__ = [
 ]
 
 
-def level_membership_matrix(quorum: TrapezoidQuorum) -> np.ndarray:
-    """(h+1, Nbnode) 0/1 matrix: M[l, pos] = 1 iff pos is on level l."""
+@lru_cache(maxsize=256)
+def _membership_matrix_cached(quorum: TrapezoidQuorum) -> np.ndarray:
     shape = quorum.shape
     m = np.zeros((shape.h + 1, shape.total_nodes), dtype=np.int64)
     for l in shape.levels:
         m[l, list(shape.positions(l))] = 1
+    m.setflags(write=False)
     return m
+
+
+def level_membership_matrix(quorum: TrapezoidQuorum) -> np.ndarray:
+    """(h+1, Nbnode) 0/1 matrix: M[l, pos] = 1 iff pos is on level l.
+
+    Cached per quorum (hashable frozen dataclass): every ``mc_*``
+    estimator and the availability sweeps reuse one read-only matrix
+    instead of rebuilding it per call.
+    """
+    return _membership_matrix_cached(quorum)
 
 
 def _check_args(p: float, trials: int) -> None:
@@ -42,14 +55,26 @@ def _check_args(p: float, trials: int) -> None:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
 
 
+def _sample_level_counts(
+    quorum: TrapezoidQuorum, p: float, trials: int, rng
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared sampler: one (trials, Nbnode) alive draw + per-level counts.
+
+    Returns ``(alive, counts)`` with ``counts[t, l]`` the number of alive
+    nodes of trial t on level l — the quantity all three estimators'
+    predicates are expressed in.
+    """
+    alive = rng.random((trials, quorum.shape.total_nodes)) < p
+    counts = alive @ level_membership_matrix(quorum).T  # (trials, h+1)
+    return alive, counts
+
+
 def mc_write_availability(
     quorum: TrapezoidQuorum, p: float, trials: int = 100_000, rng=None
 ) -> MCEstimate:
     """Estimate eq. (8)/(9): every level musters >= w_l alive nodes."""
     _check_args(p, trials)
-    rng = make_rng(rng)
-    alive = rng.random((trials, quorum.shape.total_nodes)) < p
-    counts = alive @ level_membership_matrix(quorum).T  # (trials, h+1)
+    _, counts = _sample_level_counts(quorum, p, trials, make_rng(rng))
     ok = np.all(counts >= np.asarray(quorum.w), axis=1)
     return MCEstimate(int(ok.sum()), trials)
 
@@ -59,9 +84,7 @@ def mc_read_availability_fr(
 ) -> MCEstimate:
     """Estimate eq. (10): some level musters >= r_l alive nodes."""
     _check_args(p, trials)
-    rng = make_rng(rng)
-    alive = rng.random((trials, quorum.shape.total_nodes)) < p
-    counts = alive @ level_membership_matrix(quorum).T
+    _, counts = _sample_level_counts(quorum, p, trials, make_rng(rng))
     ok = np.any(counts >= np.asarray(quorum.read_thresholds), axis=1)
     return MCEstimate(int(ok.sum()), trials)
 
@@ -84,10 +107,8 @@ def mc_read_availability_erc(
     validate_erc_geometry(quorum, n, k)
     _check_args(p, trials)
     rng = make_rng(rng)
-    nb = quorum.shape.total_nodes
-    trap_alive = rng.random((trials, nb)) < p
+    trap_alive, counts = _sample_level_counts(quorum, p, trials, rng)
     other_alive_count = (rng.random((trials, k - 1)) < p).sum(axis=1)
-    counts = trap_alive @ level_membership_matrix(quorum).T
     check_ok = np.any(counts >= np.asarray(quorum.read_thresholds), axis=1)
     ni_alive = trap_alive[:, 0]
     parity_alive = trap_alive[:, 1:].sum(axis=1)

@@ -7,6 +7,19 @@ and measures the empirical success rate. Under the snapshot model (state
 fully synced before each trial) the two must agree, which is the
 strongest internal-consistency check the reproduction has: formula,
 predicate sampler and executable protocol all describing the same system.
+
+Hot-path engineering (the per-trial protocol work is irreducible, but the
+harness around it is not):
+
+* the (trials, n) alive matrix is sampled in one vectorized draw instead
+  of one RNG dispatch per trial;
+* the version-0 stripes are encoded once (``MDSCode.encode_batch``) and
+  trial resets replay the cached codewords via ``load_stripe`` — the
+  seed implementation re-encoded the stripe after every write trial;
+* with ``stripes > 1`` the harness drives several stripes under
+  RAID-style rotated placements in the same trial, so one failure draw
+  exercises many survivor sets and the decode-plan cache, the way a
+  volume-level sweep does.
 """
 
 from __future__ import annotations
@@ -18,6 +31,7 @@ from repro.cluster.rng import make_rng
 from repro.core.trap_erc import TrapErcProtocol
 from repro.core.trap_fr import TrapFrProtocol
 from repro.erasure.code import MDSCode
+from repro.erasure.stripe import StripeLayout
 from repro.errors import ConfigurationError
 from repro.quorum.trapezoid import TrapezoidQuorum
 from repro.sim.metrics import MCEstimate
@@ -37,6 +51,11 @@ class ProtocolMonteCarlo:
     block_length:
         Payload length in symbols (small by default: availability does not
         depend on it).
+    stripes:
+        Number of independent stripes driven per trial (default 1, the
+        paper's single-stripe setting). Stripe s uses the rotated
+        placement ``node_ids = (s, s+1, ..) mod n``, so different stripes
+        decode through different survivor sets of the same alive vector.
     """
 
     def __init__(
@@ -46,77 +65,116 @@ class ProtocolMonteCarlo:
         quorum: TrapezoidQuorum,
         block_length: int = 8,
         rng=None,
+        stripes: int = 1,
     ) -> None:
+        if stripes < 1:
+            raise ConfigurationError(f"stripes must be >= 1, got {stripes}")
         self.rng = make_rng(rng)
         self.n = n
         self.k = k
         self.quorum = quorum
+        self.stripes = stripes
         self.cluster = Cluster(n)
         self.code = MDSCode(n, k)
-        self.erc = TrapErcProtocol(self.cluster, self.code, quorum, stripe_id="mc-erc")
-        self.fr = TrapFrProtocol(self.cluster, n, k, quorum, stripe_id="mc-fr")
+        self.ercs: list[TrapErcProtocol] = []
+        self.frs: list[TrapFrProtocol] = []
+        for s in range(stripes):
+            layout = StripeLayout(
+                n, k, tuple((b + s) % n for b in range(n))
+            )
+            self.ercs.append(
+                TrapErcProtocol(
+                    self.cluster, self.code, quorum,
+                    layout=layout, stripe_id=f"mc-erc-{s}",
+                )
+            )
+            self.frs.append(
+                TrapFrProtocol(
+                    self.cluster, n, k, quorum,
+                    layout=layout, stripe_id=f"mc-fr-{s}",
+                )
+            )
+        # Back-compat single-stripe handles (stripe 0).
+        self.erc = self.ercs[0]
+        self.fr = self.frs[0]
         self.data = (
-            self.rng.integers(0, 256, size=(k, block_length), dtype=np.int64)
+            self.rng.integers(0, 256, size=(stripes, k, block_length), dtype=np.int64)
             .astype(np.uint8)
         )
+        # Version-0 codewords, encoded once for every trial reset.
+        self._stripe_cache = self.code.encode_batch(self.data)
         self._load()
 
     def _load(self) -> None:
         self.cluster.recover_all()
-        self.erc.initialize(self.data)
-        self.fr.initialize(self.data)
+        for erc, fr, stripe, data in zip(
+            self.ercs, self.frs, self._stripe_cache, self.data
+        ):
+            erc.load_stripe(stripe)
+            fr.initialize(data)
 
-    def _sample_alive(self, p: float) -> np.ndarray:
-        return self.rng.random(self.n) < p
+    def _sample_alive_matrix(self, p: float, trials: int) -> np.ndarray:
+        """(trials, n) Bernoulli(p) alive matrix in one vectorized draw."""
+        return self.rng.random((trials, self.n)) < p
 
     # ------------------------------------------------------------------ #
 
     def read_availability(
         self, p: float, trials: int = 400, protocol: str = "erc", block: int = 0
     ) -> MCEstimate:
-        """Fraction of trials in which a read of ``block`` succeeds.
+        """Fraction of (trial, stripe) reads of ``block`` that succeed.
 
-        Reads do not mutate state, so the stripe stays synced across
+        Reads do not mutate state, so the stripes stay synced across
         trials (pure snapshot model).
         """
         if not 0.0 <= p <= 1.0:
             raise ConfigurationError(f"p must be in [0, 1], got {p}")
-        engine = self._engine(protocol)
+        engines = self._engines(protocol)
+        alive = self._sample_alive_matrix(p, trials)
         successes = 0
-        for _ in range(trials):
-            self.cluster.apply_alive_vector(self._sample_alive(p))
-            result = engine.read_block(block)
-            if result.success:
-                successes += 1
+        for t in range(trials):
+            self.cluster.apply_alive_vector(alive[t])
+            for engine in engines:
+                result = engine.read_block(block)
+                if result.success:
+                    successes += 1
         self.cluster.recover_all()
-        return MCEstimate(successes, trials)
+        return MCEstimate(successes, trials * len(engines))
 
     def write_availability(
         self, p: float, trials: int = 200, protocol: str = "erc", block: int = 0
     ) -> MCEstimate:
-        """Fraction of trials in which a write of ``block`` succeeds.
+        """Fraction of (trial, stripe) writes of ``block`` that succeed.
 
         Writes mutate state (including partially-failed ones), so the
-        stripe is re-initialized after every trial to keep trials i.i.d.
-        under the snapshot model.
+        stripes are re-loaded from the cached version-0 codewords after
+        every trial to keep trials i.i.d. under the snapshot model.
         """
         if not 0.0 <= p <= 1.0:
             raise ConfigurationError(f"p must be in [0, 1], got {p}")
-        engine = self._engine(protocol)
-        length = self.data.shape[1]
+        engines = self._engines(protocol)
+        length = self.data.shape[2]
+        alive = self._sample_alive_matrix(p, trials)
         successes = 0
         for t in range(trials):
-            self.cluster.apply_alive_vector(self._sample_alive(p))
-            value = self.rng.integers(0, 256, length, dtype=np.int64).astype(np.uint8)
-            result = engine.write_block(block, value)
-            if result.success:
-                successes += 1
-            self._load()  # reset to a synced version-0 stripe
-        return MCEstimate(successes, trials)
+            self.cluster.apply_alive_vector(alive[t])
+            for engine in engines:
+                value = (
+                    self.rng.integers(0, 256, length, dtype=np.int64).astype(np.uint8)
+                )
+                result = engine.write_block(block, value)
+                if result.success:
+                    successes += 1
+            self._load()  # reset to synced version-0 stripes
+        return MCEstimate(successes, trials * len(engines))
+
+    def _engines(self, protocol: str) -> list:
+        if protocol == "erc":
+            return self.ercs
+        if protocol == "fr":
+            return self.frs
+        raise ConfigurationError(f"protocol must be 'erc' or 'fr', got {protocol!r}")
 
     def _engine(self, protocol: str):
-        if protocol == "erc":
-            return self.erc
-        if protocol == "fr":
-            return self.fr
-        raise ConfigurationError(f"protocol must be 'erc' or 'fr', got {protocol!r}")
+        """Single-stripe engine accessor (stripe 0), kept for callers."""
+        return self._engines(protocol)[0]

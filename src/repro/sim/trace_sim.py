@@ -22,6 +22,7 @@ from repro.cluster.rng import make_rng
 from repro.core.repair import RepairService
 from repro.core.trap_erc import TrapErcProtocol
 from repro.erasure.code import MDSCode
+from repro.erasure.stripe import StripeLayout
 from repro.errors import ConfigurationError
 from repro.quorum.trapezoid import TrapezoidQuorum
 from repro.sim.metrics import OperationTally
@@ -40,6 +41,7 @@ class TraceSimConfig:
     repair_interval: float | None = None  # None disables anti-entropy
     block_length: int = 8
     wipe_on_repair: bool = False  # True models disk replacement
+    stripes: int = 1  # logical blocks = stripes * k (volume-style runs)
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -50,10 +52,20 @@ class TraceSimConfig:
             raise ConfigurationError("read_fraction must be in [0, 1]")
         if self.repair_interval is not None and self.repair_interval <= 0:
             raise ConfigurationError("repair_interval must be positive")
+        if self.stripes < 1:
+            raise ConfigurationError("stripes must be >= 1")
 
 
 class TraceSimulation:
-    """Drive one TRAP-ERC stripe through a failure trace."""
+    """Drive TRAP-ERC stripes through a failure trace.
+
+    With ``config.stripes == 1`` (default) this is the paper's
+    single-stripe setting. With more stripes the run models a small
+    volume: logical block b lives in stripe ``b // k`` as data block
+    ``b % k`` under a rotated placement, all stripes share the cluster
+    and the failure trace, and initialization encodes the whole volume
+    in one ``MDSCode.encode_batch`` dispatch.
+    """
 
     def __init__(
         self,
@@ -74,19 +86,41 @@ class TraceSimulation:
         self.trace = trace
         self.cluster = Cluster(n)
         self.code = MDSCode(n, k)
-        self.protocol = TrapErcProtocol(self.cluster, self.code, quorum)
-        self.repair = RepairService(self.protocol)
+        self.protocols: list[TrapErcProtocol] = []
+        for s in range(self.config.stripes):
+            layout = StripeLayout(n, k, tuple((b + s) % n for b in range(n)))
+            self.protocols.append(
+                TrapErcProtocol(
+                    self.cluster, self.code, quorum,
+                    layout=layout, stripe_id=f"trace-{s}",
+                )
+            )
+        self.protocol = self.protocols[0]  # single-stripe handle
+        self.repairs = [RepairService(proto) for proto in self.protocols]
+        self.repair = self.repairs[0]
         self.workload = workload
         self.tally = OperationTally()
-        # Oracle of acknowledged writes: block -> (version, payload).
+        # Oracle of acknowledged writes: logical block -> (version, payload).
         self._committed: dict[int, tuple[int, np.ndarray]] = {}
+
+    @property
+    def num_logical_blocks(self) -> int:
+        """Addressable blocks of the run: stripes * k."""
+        return self.config.stripes * self.code.k
 
     # ------------------------------------------------------------------ #
 
     def _initial_data(self) -> np.ndarray:
         return (
             self.rng.integers(
-                0, 256, size=(self.code.k, self.config.block_length), dtype=np.int64
+                0,
+                256,
+                size=(
+                    self.config.stripes,
+                    self.code.k,
+                    self.config.block_length,
+                ),
+                dtype=np.int64,
             ).astype(np.uint8)
         )
 
@@ -106,23 +140,25 @@ class TraceSimulation:
             reps = -(-count // len(self.workload))
             return (self.workload * reps)[:count]
         return uniform_workload(
-            count, self.code.k, self.config.read_fraction, rng=self.rng
+            count, self.num_logical_blocks, self.config.read_fraction, rng=self.rng
         )
 
     # ------------------------------------------------------------------ #
 
     def _execute(self, op: Operation) -> None:
-        i = op.block % self.code.k
+        logical = op.block % self.num_logical_blocks
+        protocol = self.protocols[logical // self.code.k]
+        i = logical % self.code.k
         if op.kind is OpKind.READ:
             self.tally.reads_attempted += 1
-            result = self.protocol.read_block(i)
+            result = protocol.read_block(i)
             if result.success:
                 self.tally.reads_succeeded += 1
                 if result.case is not None and result.case.value == "decode":
                     self.tally.reads_decoded += 1
                 else:
                     self.tally.reads_direct += 1
-                committed = self._committed.get(i)
+                committed = self._committed.get(logical)
                 if committed is not None:
                     version, payload = committed
                     if result.version < version or (
@@ -136,13 +172,14 @@ class TraceSimulation:
             value = payload_rng.integers(
                 0, 256, self.config.block_length, dtype=np.int64
             ).astype(np.uint8)
-            result = self.protocol.write_block(i, value)
+            result = protocol.write_block(i, value)
             if result.success:
                 self.tally.writes_succeeded += 1
-                self._committed[i] = (result.version, value.copy())
+                self._committed[logical] = (result.version, value.copy())
 
     def _repair_pass(self) -> None:
-        self.tally.repairs += self.repair.sync_all()
+        for repair in self.repairs:
+            self.tally.repairs += repair.sync_all()
 
     # ------------------------------------------------------------------ #
 
@@ -150,9 +187,12 @@ class TraceSimulation:
         """Execute the full simulation; returns the operation tally."""
         sim = Simulator()
         data = self._initial_data()
-        self.protocol.initialize(data)
-        for i in range(self.code.k):
-            self._committed[i] = (0, data[i].copy())
+        # One batched encode for the whole volume, then per-stripe loads.
+        stripes = self.code.encode_batch(data)
+        for s, protocol in enumerate(self.protocols):
+            protocol.load_stripe(stripes[s])
+            for i in range(self.code.k):
+                self._committed[s * self.code.k + i] = (0, data[s, i].copy())
 
         for ev in self.trace.events:
             if ev.time >= self.config.horizon:

@@ -1,0 +1,80 @@
+"""Tier-1-adjacent smoke test: the perf harness runs on tiny sizes.
+
+Runs the same code paths as ``python -m repro.bench --json`` so a kernel
+or harness regression fails fast in the normal test run, without paying
+for production-sized blocks.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import TINY_SIZES, run_perf, write_perf_json
+
+
+@pytest.fixture(scope="module")
+def perf_doc() -> dict:
+    return run_perf(sizes=TINY_SIZES)
+
+
+class TestPerfHarness:
+    def test_document_structure(self, perf_doc):
+        assert perf_doc["schema"] == "repro-bench-perf/1"
+        assert perf_doc["config"]["k"] == TINY_SIZES["k"]
+        for name in (
+            "encode",
+            "encode_seed",
+            "encode_batch",
+            "encode_small_loop",
+            "encode_small_batch",
+            "decode_seed",
+            "decode_repeated",
+            "decode_batch",
+            "update_deltas",
+            "mc_write",
+            "mc_read_erc",
+        ):
+            assert name in perf_doc["results"], name
+
+    def test_throughputs_positive(self, perf_doc):
+        for name, entry in perf_doc["results"].items():
+            if "mb_per_s" in entry:
+                assert entry["mb_per_s"] > 0, name
+            if "trials_per_s" in entry:
+                assert entry["trials_per_s"] > 0, name
+
+    def test_speedups_present_and_positive(self, perf_doc):
+        speedups = perf_doc["speedups"]
+        for name in (
+            "decode_repeated_vs_seed",
+            "decode_batch_vs_seed",
+            "encode_vs_seed",
+            "encode_batch_vs_seed",
+            "encode_small_batch_vs_loop",
+        ):
+            assert speedups[name] > 0, name
+
+    def test_plan_cache_observed(self, perf_doc):
+        cache = perf_doc["results"]["decode_plan_cache"]
+        # Repeated decode of one survivor set: exactly one inversion.
+        assert cache["misses"] == 1
+        assert cache["hits"] >= 1
+
+    def test_json_round_trip(self, tmp_path):
+        path = write_perf_json(tmp_path / "perf.json", sizes=TINY_SIZES, quiet=True)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro-bench-perf/1"
+        assert doc["speedups"]
+
+
+class TestCliEntry:
+    def test_main_json_flag(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "BENCH_perf.json"
+        assert main(["--json", str(out), "--tiny", "--quiet"]) == 0
+        assert out.exists()
+        captured = capsys.readouterr()
+        assert "Wrote:" in captured.out

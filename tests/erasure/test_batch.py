@@ -1,0 +1,273 @@
+"""Tests for the stripe-batched APIs and the decode-plan cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.erasure.code as code_mod
+from repro.errors import ConfigurationError, DecodeError
+from repro.gf import GF2m, inverse, matmul_reference
+from repro.erasure import (
+    MDSCode,
+    join_payload_batch,
+    split_payload_batch,
+)
+
+
+def make_batch(s: int, k: int, length: int = 16, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(s, k, length), dtype=np.int64).astype(np.uint8)
+
+
+def seed_decode(code: MDSCode, indices, frag) -> np.ndarray:
+    """The pre-kernel decode path: fresh Gauss-Jordan + reference matmul."""
+    sub = code.generator[list(indices)]
+    return matmul_reference(code.field, inverse(code.field, sub), frag)
+
+
+class TestEncodeBatch:
+    @pytest.mark.parametrize("s", [0, 1, 5])
+    def test_matches_per_stripe_encode(self, s):
+        code = MDSCode(9, 6)
+        batch = make_batch(s, 6)
+        out = code.encode_batch(batch)
+        assert out.shape == (s, 9, 16)
+        for i in range(s):
+            assert np.array_equal(out[i], code.encode(batch[i]))
+
+    def test_large_blocks_take_loop_path(self, monkeypatch):
+        monkeypatch.setattr(code_mod, "FUSE_MAX_BLOCK", 8)
+        code = MDSCode(6, 4)
+        batch = make_batch(3, 4, length=32, seed=1)
+        out = code.encode_batch(batch)
+        for i in range(3):
+            assert np.array_equal(out[i], code.encode(batch[i]))
+
+    def test_no_parity_code(self):
+        code = MDSCode(4, 4)
+        batch = make_batch(2, 4, seed=2)
+        assert np.array_equal(code.encode_batch(batch), batch)
+
+    def test_bad_shape(self):
+        code = MDSCode(6, 4)
+        with pytest.raises(ConfigurationError):
+            code.encode_batch(np.zeros((2, 5, 8), dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            code.encode_batch(np.zeros((4, 8), dtype=np.uint8))
+
+
+class TestDecodeBatch:
+    def test_matches_per_stripe_decode(self):
+        code = MDSCode(9, 6)
+        batch = make_batch(4, 6, seed=3)
+        stripes = code.encode_batch(batch)
+        keep = [0, 2, 4, 6, 7, 8]
+        out = code.decode_batch(keep, stripes[:, keep])
+        assert np.array_equal(out, batch)
+        for i in range(4):
+            assert np.array_equal(out[i], code.decode(keep, stripes[i][keep]))
+
+    def test_all_data_fast_path(self):
+        code = MDSCode(9, 6)
+        batch = make_batch(3, 6, seed=4)
+        stripes = code.encode_batch(batch)
+        idx = list(range(6))[::-1]
+        out = code.decode_batch(idx, stripes[:, idx])
+        assert np.array_equal(out, batch)
+
+    def test_large_blocks_take_loop_path(self, monkeypatch):
+        monkeypatch.setattr(code_mod, "FUSE_MAX_BLOCK", 8)
+        code = MDSCode(6, 4)
+        batch = make_batch(3, 4, length=32, seed=5)
+        stripes = code.encode_batch(batch)
+        keep = [1, 3, 4, 5]
+        assert np.array_equal(code.decode_batch(keep, stripes[:, keep]), batch)
+
+    def test_extra_fragments_ignored(self):
+        code = MDSCode(8, 4)
+        batch = make_batch(2, 4, seed=6)
+        stripes = code.encode_batch(batch)
+        idx = list(range(8))
+        assert np.array_equal(code.decode_batch(idx, stripes), batch)
+
+    def test_empty_batch(self):
+        code = MDSCode(6, 4)
+        out = code.decode_batch([1, 2, 4, 5], np.zeros((0, 4, 8), dtype=np.uint8))
+        assert out.shape == (0, 4, 8)
+
+    def test_errors(self):
+        code = MDSCode(6, 4)
+        frag = np.zeros((2, 3, 8), dtype=np.uint8)
+        with pytest.raises(DecodeError):
+            code.decode_batch([0, 1, 2], frag)  # too few
+        with pytest.raises(DecodeError):
+            code.decode_batch([0, 0, 1, 2], np.zeros((2, 4, 8), dtype=np.uint8))
+        with pytest.raises(DecodeError):
+            code.decode_batch([0, 1, 2, 9], np.zeros((2, 4, 8), dtype=np.uint8))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        nk=st.tuples(st.integers(2, 9), st.integers(1, 9)).filter(
+            lambda t: t[0] >= t[1]
+        ),
+        s=st.integers(1, 4),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_property_roundtrip_matches_seed_path(self, nk, s, seed):
+        n, k = nk
+        code = MDSCode(n, k)
+        rng = np.random.default_rng(seed)
+        batch = rng.integers(0, 256, size=(s, k, 12), dtype=np.int64).astype(np.uint8)
+        stripes = code.encode_batch(batch)
+        idx = rng.choice(n, size=k, replace=False).tolist()
+        out = code.decode_batch(idx, stripes[:, idx])
+        assert np.array_equal(out, batch)
+        for i in range(s):
+            assert np.array_equal(
+                out[i], seed_decode(code, idx, stripes[i][idx])
+            )
+
+
+class TestDecodePlanCache:
+    def test_repeated_decodes_hit_cache(self):
+        code = MDSCode(9, 6)
+        batch = make_batch(1, 6, seed=7)
+        stripe = code.encode(batch[0])
+        keep = [1, 2, 4, 5, 7, 8]
+        for _ in range(5):
+            assert np.array_equal(code.decode(keep, stripe[keep]), batch[0])
+        info = code.plan_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 4 and info["size"] == 1
+
+    def test_survivor_order_shares_one_plan(self):
+        code = MDSCode(9, 6)
+        data = make_batch(1, 6, seed=8)[0]
+        stripe = code.encode(data)
+        keep = [1, 2, 4, 5, 7, 8]
+        assert np.array_equal(code.decode(keep, stripe[keep]), data)
+        shuffled = [8, 4, 1, 7, 2, 5]
+        assert np.array_equal(code.decode(shuffled, stripe[shuffled]), data)
+        info = code.plan_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 1
+
+    def test_lru_eviction(self):
+        code = MDSCode(8, 4, plan_cache_size=2)
+        data = make_batch(1, 4, seed=9)[0]
+        stripe = code.encode(data)
+        sets = [[1, 2, 3, 4], [2, 3, 4, 5], [3, 4, 5, 6]]
+        for keep in sets:
+            assert np.array_equal(code.decode(keep, stripe[keep]), data)
+        info = code.plan_cache_info()
+        assert info["size"] == 2 and info["misses"] == 3
+        # The first survivor set was evicted: decoding it again re-inverts.
+        assert np.array_equal(code.decode(sets[0], stripe[sets[0]]), data)
+        assert code.plan_cache_misses == 4
+
+    def test_cache_disabled(self):
+        code = MDSCode(8, 4, plan_cache_size=0)
+        data = make_batch(1, 4, seed=10)[0]
+        stripe = code.encode(data)
+        keep = [1, 3, 5, 7]
+        for _ in range(3):
+            assert np.array_equal(code.decode(keep, stripe[keep]), data)
+        info = code.plan_cache_info()
+        assert info["size"] == 0 and info["misses"] == 3 and info["hits"] == 0
+
+    def test_clear_plan_cache(self):
+        code = MDSCode(8, 4)
+        data = make_batch(1, 4, seed=11)[0]
+        stripe = code.encode(data)
+        keep = [0, 2, 5, 6]
+        code.decode(keep, stripe[keep])
+        code.clear_plan_cache()
+        assert code.plan_cache_info() == {
+            "hits": 0, "misses": 0, "size": 0, "maxsize": 128,
+        }
+
+    def test_plan_requires_k_indices(self):
+        code = MDSCode(6, 4)
+        with pytest.raises(DecodeError):
+            code.decode_plan([0, 1, 2])
+
+    def test_plan_rejects_bad_indices(self):
+        # Regression: negative/out-of-range/duplicate survivors must raise,
+        # not silently cache a plan over the wrong generator rows.
+        code = MDSCode(6, 4)
+        with pytest.raises(DecodeError):
+            code.decode_plan([-1, 0, 1, 2])
+        with pytest.raises(DecodeError):
+            code.decode_plan([0, 1, 2, 6])
+        with pytest.raises(DecodeError):
+            code.decode_plan([0, 0, 1, 2])
+        assert code.plan_cache_info()["size"] == 0
+
+    def test_plan_structure(self):
+        code = MDSCode(9, 6)
+        plan = code.decode_plan([8, 1, 4, 7, 2, 5])
+        assert plan.indices == (1, 2, 4, 5, 7, 8)
+        assert plan.missing == (0, 3)
+        assert dict(plan.present) == {1: 0, 2: 1, 4: 2, 5: 3}
+        assert plan.solve_rows.shape == (2, 6)
+        assert np.array_equal(plan.solve_rows, plan.matrix[[0, 3]])
+
+    def test_recode_rows_cached_and_correct(self):
+        code = MDSCode(9, 6)
+        data = make_batch(1, 6, seed=12)[0]
+        stripe = code.encode(data)
+        keep = [0, 1, 2, 3, 4, 6]
+        plan = code.decode_plan(keep)
+        row = plan.recode_row(code, 8)
+        assert row is plan.recode_row(code, 8)  # cached object
+        out = code.reconstruct_block(8, keep, stripe[keep])
+        assert np.array_equal(out, stripe[8])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        width=st.sampled_from([4, 8, 16]),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_cached_decode_identical_to_seed_path_across_fields(self, width, seed):
+        gf = GF2m(width)
+        code = MDSCode(7, 4, field=gf)
+        rng = np.random.default_rng(seed)
+        data = gf.random_elements(rng, (4, 10))
+        stripe = code.encode(data)
+        idx = rng.choice(7, size=4, replace=False).tolist()
+        first = code.decode(idx, stripe[idx])
+        again = code.decode(idx, stripe[idx])  # cache hit
+        expect = seed_decode(code, idx, stripe[idx])
+        assert np.array_equal(first, expect)
+        assert np.array_equal(again, expect)
+
+
+class TestPayloadBatch:
+    def test_roundtrip(self):
+        payloads = [b"hello world", b"", b"x" * 37]
+        batch, lengths = split_payload_batch(payloads, k=4)
+        assert batch.shape[0] == 3 and batch.shape[1] == 4
+        assert join_payload_batch(batch, lengths) == payloads
+
+    def test_empty_batch(self):
+        batch, lengths = split_payload_batch([], k=3)
+        assert batch.shape == (0, 3, 1) and lengths == []
+        assert join_payload_batch(batch, lengths) == []
+
+    def test_encode_decode_through_batch(self):
+        code = MDSCode(6, 4)
+        payloads = [bytes([i] * (10 + i)) for i in range(5)]
+        batch, lengths = split_payload_batch(payloads, k=4)
+        stripes = code.encode_batch(batch)
+        keep = [0, 2, 4, 5]
+        out = code.decode_batch(keep, stripes[:, keep])
+        assert join_payload_batch(out, lengths) == payloads
+
+    def test_errors(self):
+        with pytest.raises(ConfigurationError):
+            split_payload_batch([b"x"], k=0)
+        with pytest.raises(ConfigurationError):
+            join_payload_batch(np.zeros((2, 4), dtype=np.uint8), [1, 2])
+        with pytest.raises(ConfigurationError):
+            join_payload_batch(np.zeros((2, 4, 2), dtype=np.uint8), [1])

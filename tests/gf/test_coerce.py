@@ -1,0 +1,43 @@
+"""Regression tests for GF2m._coerce (single-pass validation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FieldError
+from repro.gf import GF256, GF2m
+
+
+class TestCoerce:
+    def test_out_of_range_rejected(self):
+        gf = GF2m(4)
+        with pytest.raises(FieldError):
+            gf.add([0, 16], [1, 2])  # 16 >= 2^4
+        with pytest.raises(FieldError):
+            gf.mul(np.array([300], dtype=np.int64), np.array([1], dtype=np.int64))
+        with pytest.raises(FieldError):
+            gf.add(np.array([-1]), np.array([0]))
+
+    def test_in_dtype_array_passes_through_without_copy(self):
+        arr = np.arange(8, dtype=np.uint8)
+        out = GF256._coerce(arr)
+        assert out is arr  # no copy, no validation pass for field-dtype input
+
+    def test_python_ints_and_lists_coerced(self):
+        assert int(GF256.add(250, 5)) == 250 ^ 5
+        out = GF256.add([1, 2], [3, 4])
+        assert out.dtype == np.uint8
+        assert out.tolist() == [1 ^ 3, 2 ^ 4]
+
+    def test_boundary_values(self):
+        gf = GF2m(4)
+        assert int(gf.add(15, 15)) == 0  # top element of the field is fine
+        with pytest.raises(FieldError):
+            gf.add(16, 0)
+
+    def test_wide_field_range(self):
+        gf = GF2m(12)
+        assert int(gf.add(4095, 0)) == 4095
+        with pytest.raises(FieldError):
+            gf.add(4096, 0)

@@ -1,0 +1,178 @@
+"""Property tests: batched kernels are bit-identical to the references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.gf import (
+    GF256,
+    GF2m,
+    gf_matmul,
+    gf_matvec,
+    gf_scaled_rows,
+    matmul,
+    matmul_reference,
+    matvec,
+    matvec_reference,
+    xor_blocks,
+    xor_into,
+)
+
+
+class TestGfMatmulIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        width=st.sampled_from([2, 3, 4, 8, 9, 12, 16]),
+        m=st.integers(1, 6),
+        t=st.integers(1, 6),
+        cols=st.integers(1, 80),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_matches_reference_all_widths(self, width, m, t, cols, seed):
+        gf = GF2m(width)
+        rng = np.random.default_rng(seed)
+        a = gf.random_elements(rng, (m, t))
+        b = gf.random_elements(rng, (t, cols))
+        assert np.array_equal(gf_matmul(gf, a, b), matmul_reference(gf, a, b))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        width=st.sampled_from([4, 8, 12, 16]),
+        m=st.integers(1, 5),
+        t=st.integers(1, 5),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_matvec_matches_reference(self, width, m, t, seed):
+        gf = GF2m(width)
+        rng = np.random.default_rng(seed)
+        a = gf.random_elements(rng, (m, t))
+        x = gf.random_elements(rng, t)
+        assert np.array_equal(gf_matvec(gf, a, x), matvec_reference(gf, a, x))
+
+    def test_zero_operands(self):
+        gf = GF256
+        a = np.zeros((3, 4), dtype=np.uint8)
+        b = np.zeros((4, 7), dtype=np.uint8)
+        assert not gf_matmul(gf, a, b).any()
+
+    def test_sparse_rows_wide_field(self):
+        # w > 8 fallback: zero rows/columns exercise the masking logic.
+        gf = GF2m(12)
+        rng = np.random.default_rng(0)
+        a = gf.random_elements(rng, (4, 5))
+        a[1] = 0
+        a[:, 2] = 0
+        b = gf.random_elements(rng, (5, 9))
+        b[3] = 0
+        assert np.array_equal(gf_matmul(gf, a, b), matmul_reference(gf, a, b))
+
+    def test_linalg_matmul_dispatches_to_kernel(self):
+        gf = GF256
+        rng = np.random.default_rng(1)
+        a = gf.random_elements(rng, (3, 3))
+        b = gf.random_elements(rng, (3, 10))
+        assert np.array_equal(matmul(gf, a, b), gf_matmul(gf, a, b))
+        x = gf.random_elements(rng, 3)
+        assert np.array_equal(matvec(gf, a, x), gf_matvec(gf, a, x))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FieldError):
+            gf_matmul(GF256, np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))
+        with pytest.raises(FieldError):
+            gf_matvec(GF256, np.zeros((2, 3), dtype=np.uint8), np.zeros(2, dtype=np.uint8))
+        with pytest.raises(FieldError):
+            gf_matmul(GF256, np.zeros(3, dtype=np.uint8), np.zeros((3, 3), dtype=np.uint8))
+
+
+class TestScaledRows:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        width=st.sampled_from([4, 8, 16]),
+        m=st.integers(1, 6),
+        length=st.integers(1, 50),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_matches_elementwise_mul(self, width, m, length, seed):
+        gf = GF2m(width)
+        rng = np.random.default_rng(seed)
+        coeffs = gf.random_elements(rng, m)
+        vec = gf.random_elements(rng, length)
+        expect = gf.mul(coeffs[:, None], vec[None, :])
+        assert np.array_equal(gf_scaled_rows(gf, coeffs, vec), expect)
+
+    def test_rejects_matrices(self):
+        with pytest.raises(FieldError):
+            gf_scaled_rows(GF256, np.zeros((2, 2), dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+
+class TestXorFolds:
+    @pytest.mark.parametrize("length", [1, 7, 8, 9, 16, 63, 64, 65, 1024])
+    def test_xor_into_matches_plain_xor(self, length):
+        rng = np.random.default_rng(length)
+        dst = rng.integers(0, 256, length, dtype=np.int64).astype(np.uint8)
+        src = rng.integers(0, 256, length, dtype=np.int64).astype(np.uint8)
+        expect = dst ^ src
+        xor_into(dst, src)
+        assert np.array_equal(dst, expect)
+
+    def test_xor_into_unaligned_view(self):
+        rng = np.random.default_rng(0)
+        buf = rng.integers(0, 256, 33, dtype=np.int64).astype(np.uint8)
+        dst = buf[1:33]  # 32 bytes, but offset 1 from the allocation
+        src = rng.integers(0, 256, 32, dtype=np.int64).astype(np.uint8)
+        expect = dst ^ src
+        xor_into(dst, src)
+        assert np.array_equal(dst, expect)
+
+    def test_xor_into_non_contiguous(self):
+        rng = np.random.default_rng(1)
+        mat = rng.integers(0, 256, (4, 16), dtype=np.int64).astype(np.uint8)
+        dst = mat[:, 3]  # strided view
+        src = rng.integers(0, 256, 4, dtype=np.int64).astype(np.uint8)
+        expect = dst ^ src
+        xor_into(dst, src)
+        assert np.array_equal(mat[:, 3], expect)
+
+    def test_xor_into_shape_mismatch(self):
+        with pytest.raises(FieldError):
+            xor_into(np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8))
+
+    @pytest.mark.parametrize("shape", [(4, 10), (5, 8), (3, 3), (2, 2, 6)])
+    def test_xor_into_multidimensional(self, shape):
+        # Regression: 2-D operands whose last axis is not word-divisible
+        # must still fold (flat word view or plain-XOR fallback).
+        rng = np.random.default_rng(17)
+        dst = rng.integers(0, 256, shape, dtype=np.int64).astype(np.uint8)
+        src = rng.integers(0, 256, shape, dtype=np.int64).astype(np.uint8)
+        expect = dst ^ src
+        xor_into(dst, src)
+        assert np.array_equal(dst, expect)
+
+    @pytest.mark.parametrize("shape", [(1, 8), (3, 16), (5, 7), (2, 1), (4, 64)])
+    def test_xor_blocks_matches_reduce(self, shape):
+        rng = np.random.default_rng(shape[0] * 100 + shape[1])
+        blocks = rng.integers(0, 256, shape, dtype=np.int64).astype(np.uint8)
+        assert np.array_equal(
+            xor_blocks(blocks), np.bitwise_xor.reduce(blocks, axis=0)
+        )
+
+    def test_xor_blocks_rejects_non_2d(self):
+        with pytest.raises(FieldError):
+            xor_blocks(np.zeros(8, dtype=np.uint8))
+
+
+class TestFieldKernelSupport:
+    def test_mul_table_rejected_for_wide_fields(self):
+        with pytest.raises(FieldError):
+            GF2m(12).mul_table()
+
+    def test_mul_table_read_only_and_correct(self):
+        table = GF256.mul_table()
+        with pytest.raises(ValueError):
+            table[0, 0] = 1
+        assert int(table[2, 3]) == int(GF256.mul(2, 3))
+        assert not table[0].any() and not table[:, 0].any()

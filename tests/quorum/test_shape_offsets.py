@@ -1,0 +1,62 @@
+"""The precomputed level offsets must match the naive per-call re-sums."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.quorum import TrapezoidShape
+
+
+def naive_level_of(shape: TrapezoidShape, position: int) -> int:
+    offset = 0
+    for l in shape.levels:
+        offset += shape.level_size(l)
+        if position < offset:
+            return l
+    raise AssertionError
+
+
+class TestOffsets:
+    @settings(max_examples=60, deadline=None)
+    @given(a=st.integers(0, 5), b=st.integers(1, 7), h=st.integers(0, 6))
+    def test_level_of_matches_naive(self, a, b, h):
+        shape = TrapezoidShape(a, b, h)
+        for pos in range(shape.total_nodes):
+            assert shape.level_of(pos) == naive_level_of(shape, pos)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=st.integers(0, 5), b=st.integers(1, 7), h=st.integers(0, 6))
+    def test_positions_contiguous_partition(self, a, b, h):
+        shape = TrapezoidShape(a, b, h)
+        seen = []
+        for l in shape.levels:
+            pos = shape.positions(l)
+            assert len(pos) == shape.level_size(l)
+            seen.extend(pos)
+        assert seen == list(range(shape.total_nodes))
+
+    def test_total_nodes_figure1(self):
+        # The paper's running example: (a=2, b=3, h=2) -> 3 + 5 + 7 = 15.
+        shape = TrapezoidShape(2, 3, 2)
+        assert shape.total_nodes == 15
+        assert shape.level_sizes == (3, 5, 7)
+        assert shape.level_of(0) == 0
+        assert shape.level_of(3) == 1
+        assert shape.level_of(14) == 2
+
+    def test_bounds_still_enforced(self):
+        shape = TrapezoidShape(1, 2, 2)
+        with pytest.raises(ConfigurationError):
+            shape.level_of(-1)
+        with pytest.raises(ConfigurationError):
+            shape.level_of(shape.total_nodes)
+        with pytest.raises(ConfigurationError):
+            shape.positions(shape.h + 1)
+
+    def test_position_levels_read_only(self):
+        shape = TrapezoidShape(1, 3, 2)
+        with pytest.raises(ValueError):
+            shape._position_levels[0] = 5

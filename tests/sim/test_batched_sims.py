@@ -1,0 +1,135 @@
+"""Tests for the batched simulation paths: cached membership matrices,
+multi-stripe protocol MC, and multi-stripe trace runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.failures import FailureTrace
+from repro.errors import ConfigurationError
+from repro.quorum import TrapezoidQuorum, TrapezoidShape, default_shape_for_nbnode
+from repro.sim import (
+    ProtocolMonteCarlo,
+    TraceSimConfig,
+    TraceSimulation,
+    level_membership_matrix,
+    mc_write_availability,
+)
+
+
+def quorum_for(n: int, k: int) -> TrapezoidQuorum:
+    return TrapezoidQuorum.uniform(default_shape_for_nbnode(n - k + 1))
+
+
+class TestMembershipCache:
+    def test_same_quorum_returns_cached_object(self):
+        q = TrapezoidQuorum.uniform(TrapezoidShape(2, 3, 2))
+        m1 = level_membership_matrix(q)
+        m2 = level_membership_matrix(q)
+        assert m1 is m2  # cached, not rebuilt
+
+    def test_equal_quorums_share_entry(self):
+        q1 = TrapezoidQuorum.uniform(TrapezoidShape(2, 3, 2))
+        q2 = TrapezoidQuorum.uniform(TrapezoidShape(2, 3, 2))
+        assert level_membership_matrix(q1) is level_membership_matrix(q2)
+
+    def test_matrix_read_only(self):
+        q = TrapezoidQuorum.uniform(TrapezoidShape(1, 3, 1))
+        with pytest.raises(ValueError):
+            level_membership_matrix(q)[0, 0] = 7
+
+    def test_matrix_contents(self):
+        q = TrapezoidQuorum.uniform(TrapezoidShape(2, 3, 2))
+        m = level_membership_matrix(q)
+        assert m.shape == (3, 15)
+        assert m.sum() == 15  # every position on exactly one level
+        assert np.array_equal(m.sum(axis=1), [3, 5, 7])
+
+    def test_estimator_still_correct(self):
+        q = TrapezoidQuorum.uniform(TrapezoidShape(0, 3, 0))
+        # Single level of 3 with w0 = 2: availability at p=1 must be 1.
+        est = mc_write_availability(q, 1.0, trials=100, rng=0)
+        assert est.successes == 100
+
+
+class TestMultiStripeProtocolMC:
+    def test_stripes_multiply_trial_count(self):
+        mc = ProtocolMonteCarlo(6, 4, quorum_for(6, 4), rng=0, stripes=3)
+        est = mc.read_availability(1.0, trials=10)
+        assert est.trials == 30
+        assert est.successes == 30
+
+    def test_write_availability_all_up(self):
+        mc = ProtocolMonteCarlo(6, 4, quorum_for(6, 4), rng=1, stripes=2)
+        est = mc.write_availability(1.0, trials=5)
+        assert est.trials == 10 and est.successes == 10
+
+    def test_rotated_layouts_distinct(self):
+        mc = ProtocolMonteCarlo(6, 4, quorum_for(6, 4), rng=2, stripes=3)
+        layouts = {erc.layout.node_ids for erc in mc.ercs}
+        assert len(layouts) == 3
+
+    def test_single_stripe_backcompat(self):
+        mc = ProtocolMonteCarlo(6, 4, quorum_for(6, 4), rng=3)
+        assert mc.erc is mc.ercs[0] and mc.fr is mc.frs[0]
+        assert mc._engine("erc") is mc.erc
+        est = mc.read_availability(0.9, trials=20, protocol="fr")
+        assert est.trials == 20
+
+    def test_all_down_fails(self):
+        mc = ProtocolMonteCarlo(6, 4, quorum_for(6, 4), rng=4, stripes=2)
+        est = mc.read_availability(0.0, trials=5)
+        assert est.successes == 0
+
+    def test_invalid_stripes(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolMonteCarlo(6, 4, quorum_for(6, 4), stripes=0)
+
+    def test_decode_plan_cache_used_on_decode_reads(self):
+        mc = ProtocolMonteCarlo(6, 4, quorum_for(6, 4), rng=5)
+        mc.code.clear_plan_cache()
+        mc.cluster.fail(0)  # N_0 down -> reads of block 0 take the decode path
+        first = mc.erc.read_block(0)
+        second = mc.erc.read_block(0)
+        assert first.success and second.success
+        assert np.array_equal(first.value, second.value)
+        info = mc.code.plan_cache_info()
+        # Same survivor set twice: one Gauss-Jordan, then cache hits.
+        assert info["misses"] == 1 and info["hits"] >= 1
+
+
+class TestMultiStripeTraceSim:
+    def _trace(self, n: int) -> FailureTrace:
+        return FailureTrace(num_nodes=n, events=())
+
+    def test_volume_run_no_failures(self):
+        n, k = 6, 4
+        config = TraceSimConfig(horizon=50.0, op_rate=1.0, stripes=3)
+        sim = TraceSimulation(
+            n, k, quorum_for(n, k), self._trace(n), config=config, rng=0
+        )
+        assert sim.num_logical_blocks == 12
+        assert len(sim.protocols) == 3
+        tally = sim.run()
+        assert tally.consistency_violations == 0
+        assert tally.reads_attempted + tally.writes_attempted > 0
+        assert tally.reads_succeeded == tally.reads_attempted
+        assert tally.writes_succeeded == tally.writes_attempted
+
+    def test_single_stripe_default_unchanged(self):
+        n, k = 6, 4
+        sim = TraceSimulation(
+            n, k, quorum_for(n, k),
+            self._trace(n),
+            config=TraceSimConfig(horizon=30.0),
+            rng=1,
+        )
+        assert sim.num_logical_blocks == k
+        assert sim.protocol is sim.protocols[0]
+        tally = sim.run()
+        assert tally.consistency_violations == 0
+
+    def test_invalid_stripes_config(self):
+        with pytest.raises(ConfigurationError):
+            TraceSimConfig(stripes=0)
