@@ -1,0 +1,202 @@
+"""Minimal stand-in for the ``wheel`` package (offline toolchains).
+
+Some hermetic environments ship setuptools but not ``wheel``, which breaks
+PEP 517/660 installs: ``pip install -e . --no-build-isolation`` fails with
+``invalid command 'bdist_wheel'`` and ``--no-use-pep517`` is refused
+outright. ``setup.py`` loads this module when ``import wheel`` fails; it
+registers just enough of the wheel API for setuptools' ``dist_info`` and
+``editable_wheel`` commands to complete:
+
+* a ``bdist_wheel`` command with ``get_tag()`` (always ``py3-none-any`` —
+  this project is pure Python), ``write_wheelfile()`` and ``egg2dist()``
+  (PKG-INFO -> METADATA, requires.txt -> Requires-Dist);
+* ``wheel.wheelfile.WheelFile``: a ZipFile that hashes written members
+  and appends the RECORD on close, per the wheel spec.
+
+When the real ``wheel`` distribution is available (any networked dev
+machine, CI) this module is never imported.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import shutil
+import sys
+import types
+import zipfile
+
+from distutils.core import Command
+
+_WHEEL_TAG = ("py3", "none", "any")
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    return "sha256=" + base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """ZipFile that maintains the dist-info RECORD, like wheel's own."""
+
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        super().__init__(file, mode, compression=compression)
+        stem = os.path.basename(str(file))
+        if stem.endswith(".whl"):
+            stem = stem[: -len(".whl")]
+        name, version = stem.split("-")[:2]
+        self.dist_info_path = f"{name}-{version}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._records: list[str] = []
+
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        arcname = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else zinfo_or_arcname
+        )
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        if arcname != self.record_path:
+            self._records.append(f"{arcname},{_record_hash(data)},{len(data)}")
+
+    def write(self, filename, arcname=None, *args, **kwargs):
+        super().write(filename, arcname, *args, **kwargs)
+        arcname = arcname if arcname is not None else os.path.basename(filename)
+        with open(filename, "rb") as handle:
+            data = handle.read()
+        if arcname != self.record_path:
+            self._records.append(f"{arcname},{_record_hash(data)},{len(data)}")
+
+    def write_files(self, base_dir):
+        """Add every file under ``base_dir`` (RECORD always last)."""
+        deferred = []
+        for root, _dirs, files in os.walk(base_dir):
+            for name in sorted(files):
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                if arcname == self.record_path:
+                    deferred.append((path, arcname))
+                else:
+                    self.write(path, arcname)
+        for path, arcname in deferred:
+            self.write(path, arcname)
+
+    def close(self):
+        if self.fp is not None and self.mode == "w":
+            record = "\n".join(self._records + [f"{self.record_path},,", ""])
+            super().writestr(self.record_path, record)
+        super().close()
+
+
+def _convert_requires(requires_path: str):
+    """requires.txt lines -> (Requires-Dist values, Provides-Extra names)."""
+    requires: list[str] = []
+    extras: list[str] = []
+    if not os.path.exists(requires_path):
+        return requires, extras
+    extra = marker = None
+    with open(requires_path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("[") and line.endswith("]"):
+                section = line[1:-1]
+                extra, _, marker = section.partition(":")
+                if extra:
+                    extras.append(extra)
+                continue
+            clauses = []
+            if marker:
+                clauses.append(f"({marker})" if " or " in marker else marker)
+            if extra:
+                clauses.append(f'extra == "{extra}"')
+            requires.append(line + ("; " + " and ".join(clauses) if clauses else ""))
+    return requires, extras
+
+
+class bdist_wheel(Command):
+    """The three entry points setuptools' PEP 660 path actually calls."""
+
+    description = "minimal bdist_wheel stand-in (editable installs only)"
+    user_options = []
+
+    def initialize_options(self):
+        self.dist_dir = None
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    def run(self):  # pragma: no cover - never used for full wheels
+        raise RuntimeError(
+            "building full wheels needs the real 'wheel' package; "
+            "this shim only supports editable installs"
+        )
+
+    def get_tag(self):
+        return _WHEEL_TAG
+
+    def wheel_file_lines(self):
+        return [
+            "Wheel-Version: 1.0",
+            "Generator: repro-wheel-shim (1.0)",
+            "Root-Is-Purelib: true",
+            f"Tag: {'-'.join(_WHEEL_TAG)}",
+            "",
+        ]
+
+    def write_wheelfile(self, dist_info_dir):
+        path = os.path.join(dist_info_dir, "WHEEL")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(self.wheel_file_lines()))
+
+    def egg2dist(self, egg_info_dir, dist_info_dir):
+        """Convert an .egg-info directory into a .dist-info directory."""
+        if os.path.exists(dist_info_dir):
+            shutil.rmtree(dist_info_dir)
+        os.makedirs(dist_info_dir)
+        with open(
+            os.path.join(egg_info_dir, "PKG-INFO"), encoding="utf-8"
+        ) as handle:
+            pkg_info = handle.read()
+        body = ""
+        if "\n\n" in pkg_info:
+            pkg_info, body = pkg_info.split("\n\n", 1)
+        headers = [line for line in pkg_info.splitlines() if line.strip()]
+        requires, extras = _convert_requires(
+            os.path.join(egg_info_dir, "requires.txt")
+        )
+        headers.extend(f"Provides-Extra: {name}" for name in extras)
+        headers.extend(f"Requires-Dist: {req}" for req in requires)
+        metadata = "\n".join(headers) + "\n"
+        if body:
+            metadata += "\n" + body
+        with open(
+            os.path.join(dist_info_dir, "METADATA"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(metadata)
+        self.write_wheelfile(dist_info_dir)
+        entry_points = os.path.join(egg_info_dir, "entry_points.txt")
+        if os.path.exists(entry_points):
+            shutil.copy(entry_points, os.path.join(dist_info_dir, "entry_points.txt"))
+        shutil.rmtree(egg_info_dir)
+
+
+def install_shim() -> dict:
+    """Register the fake ``wheel`` modules; return extra setup() kwargs."""
+    wheel_mod = types.ModuleType("wheel")
+    wheel_mod.__version__ = "0.0.shim"
+    wheelfile_mod = types.ModuleType("wheel.wheelfile")
+    wheelfile_mod.WheelFile = WheelFile
+    wheel_mod.wheelfile = wheelfile_mod
+    bdist_mod = types.ModuleType("wheel.bdist_wheel")
+    bdist_mod.bdist_wheel = bdist_wheel
+    wheel_mod.bdist_wheel = bdist_mod
+    sys.modules.setdefault("wheel", wheel_mod)
+    sys.modules.setdefault("wheel.wheelfile", wheelfile_mod)
+    sys.modules.setdefault("wheel.bdist_wheel", bdist_mod)
+    return {"cmdclass": {"bdist_wheel": bdist_wheel}}

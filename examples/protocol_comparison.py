@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Protocol comparison: TRAP-ERC vs TRAP-FR vs ROWA vs Majority.
 
-Runs the four protocol engines through an *identical* schedule of
-failures and operations (via `repro.sim.comparative`), on the same
-4-node budget: block 0's TRAP consistency group {0, 6, 7, 8} doubles as
-the replica set of the flat baselines. TRAP-ERC runs with its
-anti-entropy service, without which staleness collapses its write
-availability (see EXPERIMENTS.md).
+One declarative :class:`repro.api.SystemSpec` with a ``comparison``
+scenario drives all four registered protocol engines through an
+*identical* schedule of failures and operations (via
+``repro.sim.comparative``) on the same 4-node budget: ``num_blocks=1``
+pins every operation to block 0, whose TRAP consistency group
+{0, 6, 7, 8} doubles as the replica set of the flat baselines, so every
+protocol defends exactly the same node set. TRAP-ERC runs with its
+anti-entropy service (wired automatically by the registry), without which
+staleness collapses its write availability (see EXPERIMENTS.md).
 
 The comparison shows the design point the paper argues for: TRAP-ERC
 buys near-replication availability at erasure-coding storage cost,
@@ -15,64 +18,38 @@ paying in messages and decode work.
 Run:  python examples/protocol_comparison.py
 """
 
-import numpy as np
-
 from repro.analysis import storage_erc, storage_fr
-from repro.cluster import Cluster
-from repro.core import (
-    MajorityProtocol,
-    RepairService,
-    RowaProtocol,
-    TrapErcProtocol,
-    TrapFrProtocol,
+from repro.api import (
+    ScenarioRunner,
+    ScenarioSpec,
+    SystemSpec,
+    WorkloadSpec,
+    protocol_names,
 )
-from repro.erasure import MDSCode
-from repro.quorum import TrapezoidQuorum, TrapezoidShape
-from repro.sim import make_schedule, run_comparison
 
 N, K = 9, 6
 STEPS = 300
 BLOCK = 64
 
 
-def build():
-    quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
-    rng = np.random.default_rng(3)
-    data = rng.integers(0, 256, size=(K, BLOCK), dtype=np.int64).astype(np.uint8)
-    engines = {}
-    repair_fns = {}
-
-    c1 = Cluster(N)
-    erc = TrapErcProtocol(c1, MDSCode(N, K), quorum)
-    erc.initialize(data)
-    engines["TRAP-ERC"] = (c1, erc)
-    repair_fns["TRAP-ERC"] = RepairService(erc).sync_all
-
-    c2 = Cluster(N)
-    fr = TrapFrProtocol(c2, N, K, quorum)
-    fr.initialize(data)
-    engines["TRAP-FR"] = (c2, fr)
-
-    c3 = Cluster(N)
-    rowa = RowaProtocol(c3, [0, 6, 7, 8], "cmp")
-    rowa.initialize(data)
-    engines["ROWA"] = (c3, rowa)
-
-    c4 = Cluster(N)
-    major = MajorityProtocol(c4, [0, 6, 7, 8], "cmp")
-    major.initialize(data)
-    engines["Majority"] = (c4, major)
-    return engines, repair_fns
-
-
 def main() -> None:
-    engines, repair_fns = build()
-    # All ops hit block 0 so every protocol defends the same node set.
-    schedule = make_schedule(STEPS, N, 1, max_down=2, read_fraction=0.5, rng=4)
-    results = run_comparison(engines, schedule, BLOCK, repair_fns=repair_fns)
+    spec = SystemSpec.trapezoid(
+        n=N, k=K, a=2, b=1, h=1, w=2,
+        workload=WorkloadSpec(block_length=BLOCK, read_fraction=0.5),
+        scenario=ScenarioSpec(
+            kind="comparison",
+            steps=STEPS,
+            max_down=2,
+            protocols=("trap-erc", "trap-fr", "rowa", "majority"),
+            num_blocks=1,  # all ops on block 0: same node set for everyone
+        ),
+        seed=4,
+    )
+    result = ScenarioRunner(spec).run()
 
     print(f"{STEPS} operations on block 0, 0-2 random nodes down per step")
     print("(TRAP-ERC runs with anti-entropy between failure epochs)")
+    print(f"(registry protocols available: {', '.join(protocol_names())})")
     print()
     header = (
         f"{'protocol':>10} {'read avail':>11} {'write avail':>12} "
@@ -80,12 +57,13 @@ def main() -> None:
     )
     print(header)
     print("-" * len(header))
-    for name, res in results.items():
-        storage = storage_erc(N, K) if name == "TRAP-ERC" else storage_fr(N, K)
+    for name in spec.scenario.protocols:
+        res = result.data[name]
+        storage = storage_erc(N, K) if name == "trap-erc" else storage_fr(N, K)
         print(
-            f"{name:>10} {res.read_availability:>11.3f} "
-            f"{res.write_availability:>12.3f} {res.messages_per_read:>9.1f} "
-            f"{res.messages_per_write:>10.1f} {storage:>14.3f}"
+            f"{name:>10} {res['read_availability']:>11.3f} "
+            f"{res['write_availability']:>12.3f} {res['messages_per_read']:>9.1f} "
+            f"{res['messages_per_write']:>10.1f} {storage:>14.3f}"
         )
 
     print()
@@ -93,6 +71,9 @@ def main() -> None:
     print("ROWA: perfect reads, fragile writes. Majority: balanced, 4x storage.")
     print("TRAP-ERC: near-FR availability at 2.7x less storage, paying in")
     print("messages (embedded read + parity deltas) and repair traffic.")
+    print()
+    print("Reproduce from the CLI: write spec.to_json() to comparison.json,")
+    print("then run:  python -m repro.cli run --config comparison.json")
 
 
 if __name__ == "__main__":

@@ -1,42 +1,46 @@
 #!/usr/bin/env python3
 """Quickstart: strongly consistent reads/writes over an erasure-coded stripe.
 
-Builds a 9-node cluster storing a (9, 6) MDS stripe, arranges each data
-block's consistency group on a trapezoid, and demonstrates the TRAP-ERC
-protocol: quorum writes with in-place parity deltas (Algorithm 1), quorum
-reads with direct and decode paths (Algorithm 2), and recovery via the
-anti-entropy service.
+Declares the whole system — a 9-node cluster storing a (9, 6) MDS stripe
+with each block's consistency group on a trapezoid — as one
+:class:`repro.api.SystemSpec`, builds it through the facade's registry,
+and demonstrates the TRAP-ERC protocol: quorum writes with in-place
+parity deltas (Algorithm 1), quorum reads with direct and decode paths
+(Algorithm 2), and recovery via the anti-entropy service. The spec
+serializes to JSON, so the same configuration can be re-run with
+``python -m repro.cli run --config <file>``.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.cluster import Cluster
-from repro.core import ReadCase, RepairService, TrapErcProtocol
-from repro.erasure import MDSCode
-from repro.quorum import TrapezoidQuorum, TrapezoidShape
+from repro.api import SystemSpec, build_system
+from repro.core import ReadCase
 
 
 def main() -> None:
-    # --- setup: (9, 6) code, trapezoid with levels (1, 3), w = (1, 2) ----
-    cluster = Cluster(9)
-    code = MDSCode(9, 6)
-    quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
-    protocol = TrapErcProtocol(cluster, code, quorum)
-    repair = RepairService(protocol)
+    # --- declare: (9, 6) code, trapezoid with levels (1, 3), w = (1, 2) --
+    spec = SystemSpec.trapezoid(n=9, k=6, a=2, b=1, h=1, w=2, seed=0)
+    print("Declarative spec (JSON-serializable):")
+    print(" ", spec.to_json(indent=None)[:72], "...")
+    print()
+
+    # --- build: one factory call replaces the old hand-wiring ------------
+    system = build_system(spec)
+    protocol, cluster, code = system.engine, system.cluster, system.code
+    repair = system.repair
 
     print("Cluster   :", len(cluster), "nodes")
     print("Code      : (n=9, k=6) MDS over GF(2^8) — tolerates 3 erasures")
-    print("Trapezoid : levels", quorum.shape.level_sizes, "w =", quorum.w)
-    print("Group size: n - k + 1 =", protocol.layout.group_size, "nodes per block")
+    print("Trapezoid : levels", system.quorum.shape.level_sizes, "w =", system.quorum.w)
+    print("Group size: n - k + 1 =", system.layout.group_size, "nodes per block")
     print()
 
-    # --- load the initial stripe ----------------------------------------
-    rng = np.random.default_rng(0)
-    data = rng.integers(0, 256, size=(6, 32), dtype=np.int64).astype(np.uint8)
-    protocol.initialize(data)
-    print("Initialized 6 data blocks of 32 bytes (version 0 everywhere).")
+    # --- load the initial stripe (seeded from spec.seed) ------------------
+    data = system.initialize()
+    print(f"Initialized {code.k} data blocks of {data.shape[1]} bytes "
+          "(version 0 everywhere).")
 
     # --- a quorum write (Algorithm 1) ------------------------------------
     new_value = np.frombuffer(b"trapezoid quorum protocol hello!", dtype=np.uint8).copy()
@@ -66,7 +70,8 @@ def main() -> None:
     # --- writes survive parity failures up to the quorum bound -----------
     cluster.recover(2)
     cluster.fail(8)  # one parity down: w_1 = 2 of 3 still reachable
-    result = protocol.write_block(0, rng.integers(0, 256, 32, dtype=np.int64).astype(np.uint8))
+    value = system.rng.integers(0, 256, data.shape[1], dtype=np.int64).astype(np.uint8)
+    result = protocol.write_block(0, value)
     print(f"Write with parity 8 down -> success={result.success} (quorum met)")
 
     # --- the recovered node is stale until anti-entropy runs -------------
@@ -84,6 +89,8 @@ def main() -> None:
         "Storage per block: ERC n/k = %.3f blocks vs FR n-k+1 = %.0f blocks"
         % (storage_erc(9, 6), storage_fr(9, 6))
     )
+    print("Availability hooks: write avail at p=0.9 ->",
+          f"{float(system.write_availability(0.9)):.4f}")
     print("Done.")
 
 

@@ -1,11 +1,29 @@
-"""Legacy setup shim.
+"""Setup shim for offline toolchains. All metadata lives in pyproject.toml.
 
-The offline environment has no ``wheel`` package, which breaks PEP-517
-editable installs; with this shim ``pip install -e . --no-build-isolation
---no-use-pep517`` (and plain ``pip install -e .`` on newer toolchains)
-works everywhere. All metadata lives in pyproject.toml.
+On environments without the ``wheel`` distribution (hermetic containers),
+PEP 517/660 editable installs fail inside setuptools (``invalid command
+'bdist_wheel'``). This shim loads ``_wheel_shim`` — a minimal in-repo
+stand-in for the parts of ``wheel`` that editable installs need — so that
+
+    pip install -e . --no-build-isolation
+
+works everywhere. With the real ``wheel`` package installed the shim is
+inert and this file reduces to a plain ``setup()`` call.
 """
+
+import importlib.util
+import pathlib
 
 from setuptools import setup
 
-setup()
+extra_kwargs = {}
+try:  # pragma: no cover - depends on the host toolchain
+    import wheel  # noqa: F401
+except ImportError:
+    _shim_path = pathlib.Path(__file__).resolve().parent / "_wheel_shim.py"
+    _spec = importlib.util.spec_from_file_location("_wheel_shim", _shim_path)
+    _shim = importlib.util.module_from_spec(_spec)
+    _spec.loader.exec_module(_shim)
+    extra_kwargs = _shim.install_shim()
+
+setup(**extra_kwargs)

@@ -8,6 +8,10 @@ Library implementing and evaluating the protocol from
 
 Subpackages
 -----------
+``repro.api``
+    The unified facade: declarative ``SystemSpec`` (JSON round-trip),
+    quorum/protocol registries, ``build_system`` and ``ScenarioRunner``.
+    The canonical way to construct and run everything below.
 ``repro.gf``
     GF(2^w) arithmetic and linear algebra (substrate for erasure coding).
 ``repro.erasure``

@@ -1,0 +1,81 @@
+"""Unified facade (DESIGN.md S9): declarative specs, registries, runner.
+
+The canonical way to construct and run everything in the repo:
+
+* :mod:`repro.api.spec` — the frozen, JSON-round-trippable
+  :class:`SystemSpec` configuration tree (code, quorum, cluster, placement,
+  workload, scenario, one top-level ``seed``);
+* :mod:`repro.api.registry` — name registries for quorum systems
+  (``trapezoid``/``rowa``/``majority``/``grid``/``tree``/``voting``) and
+  protocol engines (``trap-erc``/``trap-fr``/``rowa``/``majority``);
+* :mod:`repro.api.build` — :func:`build_system`, composing the existing
+  constructors behind one factory, and the minimal
+  :class:`ProtocolEngine` protocol every engine satisfies;
+* :mod:`repro.api.runner` — :class:`ScenarioRunner`, executing MC
+  availability, protocol Monte-Carlo, trace simulations, comparisons and
+  sweeps from a spec into tidy JSON-dumpable results.
+
+Ten-line quickstart::
+
+    import numpy as np
+    from repro.api import SystemSpec, build_system
+
+    spec = SystemSpec.trapezoid(n=9, k=6, a=2, b=1, h=1, w=2, seed=7)
+    system = build_system(spec)
+    system.initialize()
+    value = np.full(32, 42, dtype=np.uint8)
+    print(system.engine.write_block(0, value).success)
+    print(system.engine.read_block(0).value[:4])
+
+See ``docs/API.md`` for the full spec schema and registry catalogue.
+"""
+
+from repro.api.build import BuiltSystem, ProtocolEngine, build_system
+from repro.api.registry import (
+    ProtocolEntry,
+    QuorumEntry,
+    build_quorum_system,
+    build_trapezoid_quorum,
+    protocol_entry,
+    protocol_names,
+    quorum_entry,
+    quorum_names,
+    register_protocol,
+    register_quorum,
+)
+from repro.api.runner import ScenarioResult, ScenarioRunner, run_spec
+from repro.api.spec import (
+    ClusterSpec,
+    CodeSpec,
+    PlacementSpec,
+    QuorumSpec,
+    ScenarioSpec,
+    SystemSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "CodeSpec",
+    "QuorumSpec",
+    "ClusterSpec",
+    "PlacementSpec",
+    "WorkloadSpec",
+    "ScenarioSpec",
+    "SystemSpec",
+    "QuorumEntry",
+    "ProtocolEntry",
+    "register_quorum",
+    "register_protocol",
+    "quorum_names",
+    "protocol_names",
+    "quorum_entry",
+    "protocol_entry",
+    "build_quorum_system",
+    "build_trapezoid_quorum",
+    "ProtocolEngine",
+    "BuiltSystem",
+    "build_system",
+    "ScenarioRunner",
+    "ScenarioResult",
+    "run_spec",
+]

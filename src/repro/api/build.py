@@ -1,0 +1,164 @@
+"""``build_system``: one factory from a :class:`SystemSpec` to a live system.
+
+This is the construction boilerplate that every entry point used to
+hand-wire (cluster + code + quorum + placement + engine + repair); the
+factory composes the existing constructors — it does not fork them — and
+returns a :class:`BuiltSystem` handle bundling all the pieces plus the
+derived deterministic RNG streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.api.registry import (
+    build_quorum_system,
+    build_trapezoid_quorum,
+    protocol_entry,
+)
+from repro.api.spec import SystemSpec
+from repro.cluster.cluster import Cluster
+from repro.cluster.rng import make_rng, spawn_rngs
+from repro.core.repair import RepairService
+from repro.core.results import ReadResult, WriteResult
+from repro.erasure.code import MDSCode
+from repro.erasure.stripe import StripeLayout
+from repro.errors import ConfigurationError
+from repro.quorum.base import QuorumSystem
+from repro.quorum.trapezoid import TrapezoidQuorum
+from repro.storage.placement import IdentityPlacement, RotatingPlacement
+
+__all__ = ["ProtocolEngine", "BuiltSystem", "build_system"]
+
+
+@runtime_checkable
+class ProtocolEngine(Protocol):
+    """Minimal surface every registered protocol engine exposes.
+
+    ``initialize`` loads version-0 blocks, ``read_block``/``write_block``
+    run one quorum operation and report success plus message cost.
+    Availability hooks (closed forms, quorum predicates) live on the
+    :class:`BuiltSystem` wrapper, which delegates to the spec's
+    :class:`~repro.quorum.base.QuorumSystem` geometry.
+    """
+
+    def initialize(self, data: np.ndarray) -> None: ...
+
+    def read_block(self, i: int) -> ReadResult: ...
+
+    def write_block(self, i: int, value: np.ndarray) -> WriteResult: ...
+
+
+def _layout_for(spec: SystemSpec, stripe_index: int) -> StripeLayout:
+    policies = {"identity": IdentityPlacement, "rotating": RotatingPlacement}
+    policy = policies[spec.placement.kind](
+        spec.code.n, spec.code.k, spec.cluster.num_nodes
+    )
+    return policy.layout_for(stripe_index)
+
+
+@dataclass
+class BuiltSystem:
+    """A live, ready-to-initialize system plus its construction context."""
+
+    spec: SystemSpec
+    cluster: Cluster
+    code: MDSCode
+    layout: StripeLayout
+    engine: ProtocolEngine
+    system: QuorumSystem
+    quorum: TrapezoidQuorum | None
+    repair: RepairService | None
+    rng: np.random.Generator = field(repr=False)
+
+    @property
+    def num_blocks(self) -> int:
+        """Addressable data blocks of the engine (k for every protocol)."""
+        return self.code.k
+
+    def initialize(self, data: np.ndarray | None = None) -> np.ndarray:
+        """Load version-0 blocks; random seeded data when none is given.
+
+        Returns the loaded (k, block_length) array so callers can use it
+        as the consistency oracle or share it across engines.
+        """
+        if data is None:
+            data = (
+                self.rng.integers(
+                    0, 256,
+                    size=(self.code.k, self.spec.workload.block_length),
+                    dtype=np.int64,
+                ).astype(np.uint8)
+            )
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[0] != self.code.k:
+            raise ConfigurationError(
+                f"data must have shape (k={self.code.k}, L), got {data.shape}"
+            )
+        self.engine.initialize(data)
+        return data
+
+    def repair_fn(self):
+        """Zero-argument anti-entropy callable, or None."""
+        return self.repair.sync_all if self.repair is not None else None
+
+    # -- availability hooks (delegate to the quorum geometry) ----------- #
+
+    def write_availability(self, p) -> np.ndarray:
+        """P(a write quorum exists) under i.i.d. node availability p."""
+        return self.system.write_availability(p)
+
+    def read_availability(self, p) -> np.ndarray:
+        """P(a read quorum exists) under i.i.d. node availability p."""
+        return self.system.read_availability(p)
+
+
+def build_system(spec: SystemSpec, stripe_index: int = 0) -> BuiltSystem:
+    """Construct the full system a spec describes (uninitialized).
+
+    The cluster, code, layout and engine are freshly built; the engine's
+    RNG stream is child 0 of ``spec.seed`` (scenario drivers use further
+    children, so initialization data and failure schedules never share a
+    stream). ``stripe_index`` selects the placement rotation for callers
+    driving several stripes.
+    """
+    entry = protocol_entry(spec.protocol)
+    group = spec.code.group_size
+    if entry.needs_trapezoid:
+        quorum = build_trapezoid_quorum(spec.quorum)
+        if quorum.shape.total_nodes != group:
+            raise ConfigurationError(
+                f"trapezoid holds {quorum.shape.total_nodes} nodes but "
+                f"(n={spec.code.n}, k={spec.code.k}) requires "
+                f"Nbnode = n - k + 1 = {group}"
+            )
+    else:
+        quorum = None
+    # The availability geometry: registry entries may supply their own
+    # (the flat baselines do, so the hooks model the engine's replica
+    # group); otherwise it is built from the spec's quorum section.
+    if entry.system_builder is not None:
+        system = entry.system_builder(spec)
+    else:
+        system = build_quorum_system(spec.quorum)
+
+    cluster = Cluster(spec.cluster.num_nodes)
+    code = MDSCode(spec.code.n, spec.code.k, construction=spec.code.construction)
+    layout = _layout_for(spec, stripe_index)
+    engine = entry.builder(spec, cluster, code, layout)
+    repair = RepairService(engine) if entry.supports_repair else None
+    (rng,) = spawn_rngs(make_rng(spec.seed), 1)
+    return BuiltSystem(
+        spec=spec,
+        cluster=cluster,
+        code=code,
+        layout=layout,
+        engine=engine,
+        system=system,
+        quorum=quorum,
+        repair=repair,
+        rng=rng,
+    )

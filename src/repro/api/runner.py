@@ -1,0 +1,402 @@
+"""Spec-driven scenario execution with tidy, JSON-dumpable results.
+
+:class:`ScenarioRunner` is the facade's execution engine: it takes one
+:class:`~repro.api.spec.SystemSpec`, dispatches on ``spec.scenario.kind``
+(smoke / availability / protocol_mc / trace / comparison / sweep) and
+returns a :class:`ScenarioResult` whose ``to_json()`` output embeds the
+originating spec — a results file is therefore a reproducible artifact:
+``SystemSpec.from_dict(result["spec"])`` re-runs the exact experiment.
+
+Determinism: all randomness is derived from ``spec.seed`` through
+:func:`repro.cluster.rng.spawn_rngs` child streams. Stream 0 is reserved
+for :func:`~repro.api.build.build_system` (engine/initialization data);
+the runner consumes streams 1+ for workloads, schedules, traces and
+Monte-Carlo sampling, so the individual sub-experiments stay independent
+and an identical spec reproduces identical numbers end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.api.build import BuiltSystem, build_system
+from repro.api.registry import build_trapezoid_quorum, protocol_entry, protocol_names
+from repro.api.spec import SystemSpec
+from repro.cluster.failures import exponential_trace
+from repro.cluster.rng import make_rng, spawn_rngs
+from repro.errors import ConfigurationError
+from repro.quorum.trapezoid import TrapezoidQuorum
+from repro.sim.comparative import make_schedule, run_comparison
+from repro.sim.metrics import MCEstimate
+from repro.sim.protocol_mc import ProtocolMonteCarlo
+from repro.sim.sweep import availability_sweep
+from repro.sim.trace_sim import TraceSimConfig, TraceSimulation
+from repro.sim.workloads import (
+    OpKind,
+    sequential_workload,
+    uniform_workload,
+    vm_disk_workload,
+    zipf_workload,
+)
+
+__all__ = ["ScenarioResult", "ScenarioRunner", "run_spec"]
+
+#: number of deterministic child streams carved out of ``spec.seed``
+_NUM_STREAMS = 8
+
+
+@dataclass
+class ScenarioResult:
+    """Tidy scenario output: the spec that produced it plus the data."""
+
+    kind: str
+    protocol: str
+    spec: dict
+    data: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "protocol": self.protocol,
+            "spec": self.spec,
+            "data": self.data,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioResult":
+        payload = json.loads(text)
+        return cls(
+            kind=payload["kind"],
+            protocol=payload["protocol"],
+            spec=payload["spec"],
+            data=payload["data"],
+        )
+
+    def replay_spec(self) -> SystemSpec:
+        """The embedded spec as a live object (for exact re-runs)."""
+        return SystemSpec.from_dict(self.spec)
+
+
+def _estimate_dict(est: MCEstimate) -> dict:
+    lo, hi = est.ci95()
+    return {
+        "mean": est.mean,
+        "successes": est.successes,
+        "trials": est.trials,
+        "ci95": [lo, hi],
+    }
+
+
+def _make_workload(spec: SystemSpec, num_blocks: int, rng) -> list:
+    wl = spec.workload
+    generators = {
+        "uniform": lambda: uniform_workload(
+            wl.num_ops, num_blocks, wl.read_fraction, rng=rng
+        ),
+        "sequential": lambda: sequential_workload(
+            wl.num_ops, num_blocks, wl.read_fraction, rng=rng
+        ),
+        "zipf": lambda: zipf_workload(
+            wl.num_ops, num_blocks, wl.read_fraction, alpha=wl.alpha, rng=rng
+        ),
+        "vm_disk": lambda: vm_disk_workload(
+            wl.num_ops,
+            num_blocks,
+            wl.read_fraction,
+            burst_length=wl.burst_length,
+            hot_fraction=wl.hot_fraction,
+            rng=rng,
+        ),
+    }
+    return generators[wl.kind]()
+
+
+class ScenarioRunner:
+    """Execute the scenario one spec describes."""
+
+    def __init__(self, spec: SystemSpec) -> None:
+        self.spec = spec
+        self._streams: list = []
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> ScenarioResult:
+        """Dispatch on ``spec.scenario.kind`` and return tidy results.
+
+        Idempotent: the seed-derived child streams are respawned on every
+        call, so ``run()`` twice on one runner returns identical results.
+        Stream 0 belongs to build_system; see the module docstring.
+        """
+        self._streams = spawn_rngs(make_rng(self.spec.seed), _NUM_STREAMS)
+        runners = {
+            "smoke": self._run_smoke,
+            "availability": self._run_availability,
+            "protocol_mc": self._run_protocol_mc,
+            "trace": self._run_trace,
+            "comparison": self._run_comparison,
+            "sweep": self._run_sweep,
+        }
+        data = runners[self.spec.scenario.kind]()
+        return ScenarioResult(
+            kind=self.spec.scenario.kind,
+            protocol=self.spec.protocol,
+            spec=self.spec.to_dict(),
+            data=data,
+        )
+
+    # ------------------------------------------------------------------ #
+    # scenario kinds
+    # ------------------------------------------------------------------ #
+
+    def _require_trapezoid(self) -> TrapezoidQuorum:
+        quorum = build_trapezoid_quorum(self.spec.quorum)
+        expected = self.spec.code.group_size
+        if quorum.shape.total_nodes != expected:
+            raise ConfigurationError(
+                f"trapezoid holds {quorum.shape.total_nodes} nodes but "
+                f"(n={self.spec.code.n}, k={self.spec.code.k}) requires "
+                f"Nbnode = n - k + 1 = {expected}"
+            )
+        return quorum
+
+    def _run_smoke(self) -> dict:
+        """Run the workload through the engine on a healthy cluster."""
+        built = build_system(self.spec)
+        built.initialize()
+        ops = _make_workload(self.spec, built.num_blocks, self._streams[1])
+        reads = writes = reads_ok = writes_ok = 0
+        for op in ops:
+            if op.kind is OpKind.READ:
+                reads += 1
+                reads_ok += bool(built.engine.read_block(op.block).success)
+            else:
+                writes += 1
+                value = (
+                    make_rng(op.payload_seed)
+                    .integers(
+                        0, 256, self.spec.workload.block_length, dtype=np.int64
+                    )
+                    .astype(np.uint8)
+                )
+                writes_ok += bool(built.engine.write_block(op.block, value).success)
+        return {
+            "reads": reads,
+            "reads_ok": reads_ok,
+            "writes": writes,
+            "writes_ok": writes_ok,
+            "messages": built.cluster.network.stats.messages,
+        }
+
+    def _run_availability(self) -> dict:
+        """Closed-form / exact / Monte-Carlo sweep over ``scenario.ps``."""
+        quorum = self._require_trapezoid()
+        records = availability_sweep(
+            quorum,
+            self.spec.code.n,
+            self.spec.code.k,
+            self.spec.scenario.ps,
+            mc_trials=self.spec.scenario.trials,
+            rng=self._streams[2],
+        )
+        return {"records": [asdict(r) for r in records]}
+
+    def _run_protocol_mc(self) -> dict:
+        """Per-trial execution of the real engine under sampled failures."""
+        p = self.spec.cluster.p
+        trials = self.spec.scenario.trials
+        if trials < 1:
+            raise ConfigurationError(
+                f"protocol_mc needs trials >= 1, got {trials} "
+                "(trials = 0 only disables the optional MC column of "
+                "availability/sweep scenarios)"
+            )
+        entry = protocol_entry(self.spec.protocol)
+        if entry.needs_trapezoid:
+            quorum = self._require_trapezoid()
+            mc = ProtocolMonteCarlo(
+                self.spec.code.n,
+                self.spec.code.k,
+                quorum,
+                block_length=self.spec.workload.block_length,
+                rng=self._streams[3],
+                stripes=self.spec.placement.stripes,
+            )
+            variant = "erc" if self.spec.protocol == "trap-erc" else "fr"
+            read = mc.read_availability(p, trials=trials, protocol=variant)
+            write = mc.write_availability(p, trials=trials, protocol=variant)
+        else:
+            read, write = self._generic_protocol_mc(p, trials)
+        return {
+            "p": p,
+            "read": _estimate_dict(read),
+            "write": _estimate_dict(write),
+        }
+
+    def _generic_protocol_mc(
+        self, p: float, trials: int
+    ) -> tuple[MCEstimate, MCEstimate]:
+        """Snapshot-model MC for engines ProtocolMonteCarlo doesn't cover.
+
+        Same discipline as :class:`ProtocolMonteCarlo`: one vectorized
+        alive draw, reads on synced state, full re-initialization after
+        every (state-mutating) write trial.
+        """
+        built = build_system(self.spec)
+        data = built.initialize()
+        rng = self._streams[3]
+        alive = rng.random((2 * trials, len(built.cluster))) < p
+        reads_ok = 0
+        for t in range(trials):
+            built.cluster.apply_alive_vector(alive[t])
+            reads_ok += bool(built.engine.read_block(0).success)
+        built.cluster.recover_all()
+        writes_ok = 0
+        length = self.spec.workload.block_length
+        for t in range(trials):
+            built.cluster.apply_alive_vector(alive[trials + t])
+            value = rng.integers(0, 256, length, dtype=np.int64).astype(np.uint8)
+            writes_ok += bool(built.engine.write_block(0, value).success)
+            built.cluster.recover_all()
+            built.initialize(data)  # reset to synced version-0 replicas
+        return MCEstimate(reads_ok, trials), MCEstimate(writes_ok, trials)
+
+    def _run_trace(self) -> dict:
+        """History-model run over an exponential failure trace."""
+        if self.spec.protocol != "trap-erc":
+            raise ConfigurationError(
+                "trace scenarios run the TRAP-ERC engine; set protocol to "
+                f"'trap-erc' (got {self.spec.protocol!r})"
+            )
+        cluster = self.spec.cluster
+        if cluster.failure != "exponential":
+            raise ConfigurationError(
+                "trace scenarios need cluster.failure = 'exponential' "
+                "with mtbf and mttr"
+            )
+        quorum = self._require_trapezoid()
+        scenario = self.spec.scenario
+        trace = exponential_trace(
+            self.spec.code.n,
+            cluster.mtbf,
+            cluster.mttr,
+            scenario.horizon,
+            rng=self._streams[4],
+        )
+        config = TraceSimConfig(
+            horizon=scenario.horizon,
+            op_rate=scenario.op_rate,
+            read_fraction=self.spec.workload.read_fraction,
+            repair_interval=scenario.repair_interval,
+            block_length=self.spec.workload.block_length,
+            stripes=self.spec.placement.stripes,
+        )
+        sim = TraceSimulation(
+            self.spec.code.n,
+            self.spec.code.k,
+            quorum,
+            trace,
+            config=config,
+            workload=(
+                None
+                if self.spec.workload.kind == "uniform"
+                else _make_workload(
+                    self.spec, config.stripes * self.spec.code.k, self._streams[5]
+                )
+            ),
+            rng=self._streams[6],
+        )
+        tally = sim.run()
+        return {**asdict(tally), "summary": tally.summary()}
+
+    def _run_comparison(self) -> dict:
+        """Registry protocols against one shared failure/op schedule."""
+        scenario = self.spec.scenario
+        names = scenario.protocols or protocol_names()
+        num_blocks = scenario.num_blocks or self.spec.code.k
+        if num_blocks > self.spec.code.k:
+            raise ConfigurationError(
+                f"num_blocks must be <= k = {self.spec.code.k}, got {num_blocks}"
+            )
+        shared_data = (
+            self._streams[1]
+            .integers(
+                0,
+                256,
+                size=(self.spec.code.k, self.spec.workload.block_length),
+                dtype=np.int64,
+            )
+            .astype(np.uint8)
+        )
+        engines = {}
+        repair_fns = {}
+        for name in names:
+            built = build_system(self.spec.replace(protocol=name))
+            built.initialize(shared_data)
+            engines[name] = (built.cluster, built.engine)
+            repair = built.repair_fn()
+            if repair is not None:
+                repair_fns[name] = repair
+        schedule = make_schedule(
+            scenario.steps,
+            self.spec.cluster.num_nodes,
+            num_blocks,
+            max_down=scenario.max_down,
+            read_fraction=self.spec.workload.read_fraction,
+            rng=self._streams[2],
+        )
+        results = run_comparison(
+            engines, schedule, self.spec.workload.block_length, repair_fns=repair_fns
+        )
+        return {
+            name: {
+                **asdict(res),
+                "read_availability": res.read_availability,
+                "write_availability": res.write_availability,
+                "messages_per_read": res.messages_per_read,
+                "messages_per_write": res.messages_per_write,
+            }
+            for name, res in results.items()
+        }
+
+    def _run_sweep(self) -> dict:
+        """The availability sweep across trapezoid ``w_values``."""
+        base = self._require_trapezoid()
+        shape = base.shape
+        if shape.h == 0:
+            # A single-level trapezoid has no free w (w_0 is mandatory):
+            # sweeping w_values over it would fabricate a dependence.
+            if self.spec.scenario.w_values is not None:
+                raise ConfigurationError(
+                    "w_values cannot be swept on an h = 0 trapezoid "
+                    "(w_0 = floor(b/2) + 1 is mandatory)"
+                )
+            w_values = (base.w[0],)
+        elif self.spec.scenario.w_values is not None:
+            w_values = self.spec.scenario.w_values
+        else:
+            w_values = tuple(range(1, shape.level_size(1) + 1))
+        children = spawn_rngs(self._streams[7], len(w_values))
+        records = []
+        for w, rng in zip(w_values, children):
+            quorum = TrapezoidQuorum.uniform(shape, w if shape.h > 0 else None)
+            for rec in availability_sweep(
+                quorum,
+                self.spec.code.n,
+                self.spec.code.k,
+                self.spec.scenario.ps,
+                mc_trials=self.spec.scenario.trials,
+                rng=rng,
+            ):
+                records.append({"w": w, **asdict(rec)})
+        return {"w_values": list(w_values), "records": records}
+
+
+def run_spec(spec: SystemSpec) -> ScenarioResult:
+    """One-call convenience: ``ScenarioRunner(spec).run()``."""
+    return ScenarioRunner(spec).run()

@@ -1,0 +1,463 @@
+"""Declarative system specification: the facade's serializable config tree.
+
+A :class:`SystemSpec` describes one complete experiment — code parameters,
+quorum geometry, cluster and failure model, placement, workload, scenario
+and a single top-level ``seed`` — as a tree of frozen dataclasses. Every
+node validates eagerly on construction, round-trips losslessly through
+``to_dict()/from_dict()`` (and therefore JSON), and is hashable, so specs
+can key caches and parameter sweeps.
+
+The spec layer is deliberately inert: it never imports the protocol
+engines. :mod:`repro.api.registry` maps the declarative names onto the
+concrete classes and :func:`repro.api.build.build_system` composes them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CodeSpec",
+    "QuorumSpec",
+    "ClusterSpec",
+    "PlacementSpec",
+    "WorkloadSpec",
+    "ScenarioSpec",
+    "SystemSpec",
+]
+
+
+# --------------------------------------------------------------------- #
+# serialization helpers shared by every spec node
+# --------------------------------------------------------------------- #
+
+
+def _jsonable(value):
+    """Recursively convert a spec field value to plain JSON types."""
+    if is_dataclass(value):
+        return {f.name: _jsonable(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _as_tuple(value, label: str):
+    """Coerce a JSON list (or scalar/tuple) back into a tuple, or None."""
+    if value is None:
+        return None
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    raise ConfigurationError(f"{label} must be a list, got {value!r}")
+
+
+class _SpecBase:
+    """Mixin: dict/JSON round-trip for frozen spec dataclasses."""
+
+    #: field name -> nested spec class (overridden by composite nodes)
+    _NESTED: dict[str, type] = {}
+    #: fields stored as tuples (JSON lists)
+    _TUPLES: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        """Plain-JSON-types dict (tuples become lists, specs become dicts)."""
+        return _jsonable(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_SpecBase":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"{cls.__name__} expects a mapping, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {cls.__name__} keys: {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        kwargs = {}
+        for key, value in data.items():
+            if key in cls._NESTED and value is not None:
+                value = cls._NESTED[key].from_dict(value)
+            elif key in cls._TUPLES:
+                value = _as_tuple(value, f"{cls.__name__}.{key}")
+            elif isinstance(value, list):
+                value = tuple(value)
+            kwargs[key] = value
+        return cls(**kwargs)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "_SpecBase":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid spec JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def replace(self, **changes) -> "_SpecBase":
+        """A copy with the given fields replaced (re-validates)."""
+        return replace(self, **changes)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(message)
+
+
+# --------------------------------------------------------------------- #
+# leaf specs
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CodeSpec(_SpecBase):
+    """The (n, k) MDS code over GF(2^8)."""
+
+    n: int = 9
+    k: int = 6
+    construction: str = "vandermonde"
+
+    def __post_init__(self) -> None:
+        _require(self.k >= 1, f"k must be >= 1, got {self.k}")
+        _require(self.n >= self.k, f"need n >= k, got n={self.n}, k={self.k}")
+        _require(
+            self.construction in ("vandermonde", "cauchy"),
+            f"unknown construction {self.construction!r}",
+        )
+
+    @property
+    def group_size(self) -> int:
+        """Nbnode = n - k + 1, the consistency-group size (paper eq. 5)."""
+        return self.n - self.k + 1
+
+
+@dataclass(frozen=True)
+class QuorumSpec(_SpecBase):
+    """Quorum-system geometry, keyed by registry ``kind``.
+
+    ``trapezoid``
+        ``a``, ``b``, ``h`` shape plus ``w`` (scalar eq.-16 uniform
+        parameter, an explicit per-level tuple, or None for the default).
+    ``rowa`` / ``majority``
+        ``size`` nodes.
+    ``grid``
+        ``rows`` x ``cols`` nodes.
+    ``tree``
+        complete binary tree of ``height``.
+    ``voting``
+        ``weights`` (or unit weights over ``size``) with ``read_votes`` /
+        ``write_votes`` thresholds.
+    """
+
+    _TUPLES = ("weights",)
+
+    kind: str = "trapezoid"
+    # trapezoid
+    a: int | None = None
+    b: int | None = None
+    h: int | None = None
+    w: int | tuple[int, ...] | None = None
+    # flat systems
+    size: int | None = None
+    rows: int | None = None
+    cols: int | None = None
+    height: int | None = None
+    weights: tuple[int, ...] | None = None
+    read_votes: int | None = None
+    write_votes: int | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.w, list):
+            object.__setattr__(self, "w", tuple(int(x) for x in self.w))
+        if self.weights is not None:
+            object.__setattr__(
+                self, "weights", tuple(int(x) for x in self.weights)
+            )
+        checks = {
+            "trapezoid": self._check_trapezoid,
+            "rowa": self._check_sized,
+            "majority": self._check_sized,
+            "grid": self._check_grid,
+            "tree": self._check_tree,
+            "voting": self._check_voting,
+        }
+        # Kinds beyond the built-ins are allowed here and validated at
+        # build time against the registry: the spec layer stays inert so
+        # register_quorum() can extend the declarative surface (custom
+        # kinds reuse whichever of the fields above they need).
+        check = checks.get(self.kind)
+        if check is not None:
+            check()
+
+    def _check_trapezoid(self) -> None:
+        _require(
+            self.a is not None and self.b is not None and self.h is not None,
+            "trapezoid quorum needs a, b and h",
+        )
+
+    def _check_sized(self) -> None:
+        _require(
+            self.size is not None and self.size >= 1,
+            f"{self.kind} quorum needs size >= 1",
+        )
+
+    def _check_grid(self) -> None:
+        _require(
+            self.rows is not None and self.cols is not None,
+            "grid quorum needs rows and cols",
+        )
+
+    def _check_tree(self) -> None:
+        _require(self.height is not None, "tree quorum needs height")
+
+    def _check_voting(self) -> None:
+        _require(
+            self.weights is not None or self.size is not None,
+            "voting quorum needs weights (or size for unit weights)",
+        )
+        _require(
+            self.read_votes is not None and self.write_votes is not None,
+            "voting quorum needs read_votes and write_votes",
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec(_SpecBase):
+    """Cluster size and failure model.
+
+    ``bernoulli``
+        i.i.d. per-node availability ``p`` (the paper's snapshot model).
+    ``exponential``
+        alternating-renewal fail/repair trace with means ``mtbf``/``mttr``
+        (history-model runs).
+    """
+
+    num_nodes: int = 9
+    failure: str = "bernoulli"
+    p: float = 0.9
+    mtbf: float | None = None
+    mttr: float | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.num_nodes >= 1, f"num_nodes must be >= 1, got {self.num_nodes}")
+        _require(
+            self.failure in ("bernoulli", "exponential"),
+            f"unknown failure model {self.failure!r}",
+        )
+        _require(0.0 <= self.p <= 1.0, f"p must be in [0, 1], got {self.p}")
+        if self.failure == "exponential":
+            _require(
+                self.mtbf is not None and self.mtbf > 0,
+                "exponential failure model needs mtbf > 0",
+            )
+            _require(
+                self.mttr is not None and self.mttr > 0,
+                "exponential failure model needs mttr > 0",
+            )
+
+
+@dataclass(frozen=True)
+class PlacementSpec(_SpecBase):
+    """Stripe-to-node placement policy."""
+
+    kind: str = "identity"
+    stripes: int = 1
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in ("identity", "rotating"),
+            f"unknown placement kind {self.kind!r}",
+        )
+        _require(self.stripes >= 1, f"stripes must be >= 1, got {self.stripes}")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec(_SpecBase):
+    """Operation mix driven through the engine (see repro.sim.workloads)."""
+
+    kind: str = "uniform"
+    num_ops: int = 200
+    read_fraction: float = 0.5
+    block_length: int = 32
+    alpha: float = 1.2  # zipf skew
+    burst_length: int = 8  # vm_disk bursts
+    hot_fraction: float = 0.2  # vm_disk hot set
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in ("uniform", "sequential", "zipf", "vm_disk"),
+            f"unknown workload kind {self.kind!r}",
+        )
+        _require(self.num_ops >= 1, f"num_ops must be >= 1, got {self.num_ops}")
+        _require(
+            0.0 <= self.read_fraction <= 1.0,
+            f"read_fraction must be in [0, 1], got {self.read_fraction}",
+        )
+        _require(
+            self.block_length >= 1,
+            f"block_length must be >= 1, got {self.block_length}",
+        )
+        _require(self.alpha > 0, f"alpha must be > 0, got {self.alpha}")
+        _require(
+            self.burst_length >= 1,
+            f"burst_length must be >= 1, got {self.burst_length}",
+        )
+        _require(
+            0.0 < self.hot_fraction <= 1.0,
+            f"hot_fraction must be in (0, 1], got {self.hot_fraction}",
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec(_SpecBase):
+    """What the :class:`~repro.api.runner.ScenarioRunner` executes.
+
+    ``smoke``
+        run the workload through the engine on a healthy cluster,
+    ``availability``
+        closed-form / exact / Monte-Carlo sweep over ``ps``,
+    ``protocol_mc``
+        per-trial execution of the real engine under sampled failures,
+    ``trace``
+        discrete-event history-model run (needs an exponential cluster),
+    ``comparison``
+        several registry protocols against one shared failure schedule
+        (``num_blocks = 1`` pins every operation to block 0, whose
+        consistency group every flat baseline replicates on — the
+        paper-faithful same-node-set comparison; the default ``None``
+        spreads operations over all k blocks),
+    ``sweep``
+        the availability sweep repeated across trapezoid ``w_values``.
+    """
+
+    _TUPLES = ("ps", "protocols", "w_values")
+
+    kind: str = "smoke"
+    ps: tuple[float, ...] = (0.5, 0.7, 0.9)
+    trials: int = 1000
+    steps: int = 200
+    max_down: int = 2
+    horizon: float = 200.0
+    op_rate: float = 1.0
+    repair_interval: float | None = None
+    protocols: tuple[str, ...] | None = None
+    w_values: tuple[int, ...] | None = None
+    num_blocks: int | None = None
+
+    def __post_init__(self) -> None:
+        kinds = ("smoke", "availability", "protocol_mc", "trace", "comparison", "sweep")
+        _require(
+            self.kind in kinds,
+            f"unknown scenario kind {self.kind!r} (expected one of {kinds})",
+        )
+        ps = tuple(float(p) for p in self.ps)
+        _require(len(ps) >= 1, "ps must contain at least one availability value")
+        _require(
+            all(0.0 <= p <= 1.0 for p in ps),
+            f"every p must be in [0, 1], got {ps}",
+        )
+        object.__setattr__(self, "ps", ps)
+        _require(self.trials >= 0, f"trials must be >= 0, got {self.trials}")
+        _require(self.steps >= 1, f"steps must be >= 1, got {self.steps}")
+        _require(self.max_down >= 0, f"max_down must be >= 0, got {self.max_down}")
+        _require(self.horizon > 0, f"horizon must be > 0, got {self.horizon}")
+        _require(self.op_rate > 0, f"op_rate must be > 0, got {self.op_rate}")
+        if self.repair_interval is not None:
+            _require(
+                self.repair_interval > 0,
+                f"repair_interval must be > 0, got {self.repair_interval}",
+            )
+        if self.protocols is not None:
+            protocols = tuple(str(p) for p in self.protocols)
+            _require(len(protocols) >= 1, "protocols must not be empty")
+            object.__setattr__(self, "protocols", protocols)
+        if self.w_values is not None:
+            w_values = tuple(int(w) for w in self.w_values)
+            _require(len(w_values) >= 1, "w_values must not be empty")
+            object.__setattr__(self, "w_values", w_values)
+        if self.num_blocks is not None:
+            _require(
+                self.num_blocks >= 1,
+                f"num_blocks must be >= 1, got {self.num_blocks}",
+            )
+
+
+# --------------------------------------------------------------------- #
+# the top-level spec
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SystemSpec(_SpecBase):
+    """One complete, reproducible experiment configuration.
+
+    ``protocol`` names an entry of the protocol registry
+    (:func:`repro.api.registry.protocol_names`); ``seed`` is the single
+    source of randomness — every schedule, workload, payload and
+    Monte-Carlo stream is derived from it, so an identical spec reproduces
+    identical results end to end.
+    """
+
+    _NESTED = {
+        "code": CodeSpec,
+        "quorum": QuorumSpec,
+        "cluster": ClusterSpec,
+        "placement": PlacementSpec,
+        "workload": WorkloadSpec,
+        "scenario": ScenarioSpec,
+    }
+
+    protocol: str = "trap-erc"
+    code: CodeSpec = field(default_factory=CodeSpec)
+    quorum: QuorumSpec | None = None
+    cluster: ClusterSpec | None = None
+    placement: PlacementSpec = field(default_factory=PlacementSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.quorum is None:
+            # Default geometry: the flat single-level trapezoid over the
+            # consistency group — always valid for any (n, k).
+            object.__setattr__(
+                self,
+                "quorum",
+                QuorumSpec(kind="trapezoid", a=0, b=self.code.group_size, h=0),
+            )
+        if self.cluster is None:
+            object.__setattr__(self, "cluster", ClusterSpec(num_nodes=self.code.n))
+        _require(
+            self.cluster.num_nodes >= self.code.n,
+            f"cluster of {self.cluster.num_nodes} nodes cannot host "
+            f"n={self.code.n} blocks",
+        )
+        _require(isinstance(self.seed, int), f"seed must be an int, got {self.seed!r}")
+
+    @classmethod
+    def trapezoid(
+        cls,
+        n: int,
+        k: int,
+        a: int,
+        b: int,
+        h: int,
+        w: int | tuple[int, ...] | None = None,
+        *,
+        protocol: str = "trap-erc",
+        **kwargs,
+    ) -> "SystemSpec":
+        """Convenience constructor for the paper's setting."""
+        return cls(
+            protocol=protocol,
+            code=CodeSpec(n=n, k=k),
+            quorum=QuorumSpec(kind="trapezoid", a=a, b=b, h=h, w=w),
+            **kwargs,
+        )

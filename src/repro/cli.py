@@ -2,6 +2,8 @@
 
 Commands
 --------
+``run``
+    Execute a JSON scenario file through the ``repro.api`` facade.
 ``figures``
     Regenerate every paper figure (tables to stdout, CSVs to results/).
 ``calibrate``
@@ -14,6 +16,10 @@ Commands
     Render a trapezoid layout.
 ``perf``
     Run the perf harness and write BENCH_perf.json.
+
+``availability`` and ``optimize`` accept ``--dump-config PATH``: they
+write the equivalent declarative :class:`repro.api.SystemSpec` JSON so
+the run can be reproduced (and extended) with ``repro run --config``.
 """
 
 from __future__ import annotations
@@ -32,6 +38,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    run = sub.add_parser("run", help="execute a JSON scenario via repro.api")
+    run.add_argument("--config", required=True, help="SystemSpec JSON file")
+    run.add_argument("--out", default=None, help="results JSON path (default stdout)")
+    run.add_argument("--quiet", action="store_true", help="suppress the summary line")
+
     fig = sub.add_parser("figures", help="regenerate every paper figure")
     fig.add_argument("--out", default=None, help="results directory")
     fig.add_argument("--quiet", action="store_true", help="suppress tables")
@@ -49,12 +60,24 @@ def build_parser() -> argparse.ArgumentParser:
     av.add_argument("--w", type=int, default=None, help="eq.16 uniform parameter")
     av.add_argument("--p", type=float, nargs="+", default=[0.5, 0.7, 0.9])
     av.add_argument("--mc-trials", type=int, default=0)
+    av.add_argument(
+        "--dump-config",
+        metavar="PATH",
+        default=None,
+        help="also write the equivalent SystemSpec JSON for `repro run`",
+    )
 
     opt = sub.add_parser("optimize", help="search shapes and quorum vectors")
     opt.add_argument("--n", type=int, required=True)
     opt.add_argument("--k", type=int, required=True)
     opt.add_argument("--p", type=float, required=True)
     opt.add_argument("--max-h", type=int, default=3)
+    opt.add_argument(
+        "--dump-config",
+        metavar="PATH",
+        default=None,
+        help="write the best-balanced configuration as SystemSpec JSON",
+    )
 
     lay = sub.add_parser("layout", help="render a trapezoid layout")
     lay.add_argument("--a", type=int, required=True)
@@ -66,6 +89,36 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--tiny", action="store_true", help="sub-second smoke sizes")
     perf.add_argument("--quiet", action="store_true", help="suppress the table")
     return parser
+
+
+def _cmd_run(args) -> int:
+    from pathlib import Path
+
+    from repro.api import ScenarioRunner, SystemSpec
+
+    spec = SystemSpec.from_json(Path(args.config).read_text())
+    result = ScenarioRunner(spec).run()
+    payload = result.to_json()
+    if args.out:
+        Path(args.out).write_text(payload + "\n")
+        if not args.quiet:
+            print(f"Wrote: {args.out}")
+    else:
+        print(payload)
+    if not args.quiet:
+        print(
+            f"# scenario={result.kind} protocol={result.protocol} "
+            f"seed={spec.seed}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _dump_spec(spec, path: str) -> None:
+    from pathlib import Path
+
+    Path(path).write_text(spec.to_json() + "\n")
+    print(f"Wrote config: {path}")
 
 
 def _cmd_figures(args) -> int:
@@ -97,6 +150,18 @@ def _cmd_availability(args) -> int:
 
     shape = TrapezoidShape(args.a, args.b, args.height)
     quorum = TrapezoidQuorum.uniform(shape, args.w)
+    if args.dump_config:
+        from repro.api import ScenarioSpec, SystemSpec
+
+        _dump_spec(
+            SystemSpec.trapezoid(
+                args.n, args.k, args.a, args.b, args.height, quorum.w,
+                scenario=ScenarioSpec(
+                    kind="availability", ps=tuple(args.p), trials=args.mc_trials
+                ),
+            ),
+            args.dump_config,
+        )
     print(
         f"(n={args.n}, k={args.k}), levels {shape.level_sizes}, w={quorum.w}, "
         f"r={quorum.read_thresholds}"
@@ -126,6 +191,17 @@ def _cmd_optimize(args) -> int:
     print(f"Pareto front ({len(result.pareto)}):")
     for pt in result.pareto:
         print("  ", fmt(pt))
+    if args.dump_config:
+        from repro.api import ScenarioSpec, SystemSpec
+
+        best = result.best_balanced
+        _dump_spec(
+            SystemSpec.trapezoid(
+                args.n, args.k, best.shape.a, best.shape.b, best.shape.h, best.w,
+                scenario=ScenarioSpec(kind="availability", ps=(args.p,)),
+            ),
+            args.dump_config,
+        )
     return 0
 
 
@@ -152,6 +228,7 @@ def _cmd_layout(args) -> int:
 
 
 _COMMANDS = {
+    "run": _cmd_run,
     "figures": _cmd_figures,
     "calibrate": _cmd_calibrate,
     "availability": _cmd_availability,

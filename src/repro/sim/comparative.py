@@ -4,8 +4,15 @@ Fair cross-protocol comparison requires every engine to see the *same*
 failures and the same operation sequence. This module generates a shared
 schedule (per-step down-sets plus an op tape) and replays it against any
 set of protocol engines, tallying availability and message costs — the
-machinery behind ``examples/protocol_comparison.py`` and the baseline
-benchmarks, exposed as a reusable library.
+machinery behind the ``comparison`` scenario of the ``repro.api``
+facade, ``examples/protocol_comparison.py`` and the baseline benchmarks,
+exposed as a reusable library.
+
+Reproducibility: :func:`make_schedule` derives everything (down-sets, op
+kinds, per-write payload seeds) from its ``rng`` argument — an int seed
+or Generator, coerced via :func:`repro.cluster.rng.make_rng` — and
+:func:`run_comparison` derives each write payload from the schedule's
+embedded ``payload_seed``, so one seed pins the entire experiment.
 """
 
 from __future__ import annotations
@@ -132,7 +139,7 @@ def run_comparison(
                 tally.reads_ok += bool(r.success)
                 tally.read_messages += r.messages
             else:
-                payload_rng = np.random.default_rng(step.payload_seed)
+                payload_rng = make_rng(step.payload_seed)
                 value = payload_rng.integers(
                     0, 256, block_length, dtype=np.int64
                 ).astype(np.uint8)

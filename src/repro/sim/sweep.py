@@ -1,9 +1,18 @@
 """Experiment sweeps: evaluate protocols across a parameter grid.
 
-A small declarative layer used by benchmarks and examples to produce
-comparison tables: sweep node availability (and optionally the quorum
-parameter w) across evaluation methods, returning tidy records that
-render to CSV.
+A small declarative layer used by benchmarks, examples and the
+``repro.api`` facade to produce comparison tables: sweep node
+availability (and optionally the quorum parameter w) across evaluation
+methods, returning tidy records that render to CSV.
+
+Reproducibility: the ``rng`` argument (an int seed or Generator, coerced
+via :func:`repro.cluster.rng.make_rng`) is the single randomness source.
+Each (p, metric) Monte-Carlo estimate runs on its own
+:func:`~repro.cluster.rng.spawn_rngs` child stream assigned by grid
+position, so a given seed reproduces identical estimates for the
+existing entries even when the ``ps`` grid is *extended* at the end —
+the property the spec-driven :class:`~repro.api.runner.ScenarioRunner`
+relies on. (Reordering the grid reorders the stream assignment.)
 """
 
 from __future__ import annotations
@@ -18,7 +27,7 @@ from repro.analysis.availability import (
     write_availability,
 )
 from repro.analysis.exact import exact_read_erc
-from repro.cluster.rng import make_rng
+from repro.cluster.rng import make_rng, spawn_rngs
 from repro.errors import ConfigurationError
 from repro.quorum.trapezoid import TrapezoidQuorum
 from repro.sim.montecarlo import mc_read_availability_erc, mc_write_availability
@@ -53,7 +62,9 @@ def availability_sweep(
     ps = [float(p) for p in np.atleast_1d(np.asarray(ps, dtype=np.float64))]
     if mc_trials < 0:
         raise ConfigurationError(f"mc_trials must be >= 0, got {mc_trials}")
-    rng = make_rng(rng)
+    # One independent child stream per (p, metric) MC estimate: values
+    # depend only on the seed, not on the position within the grid.
+    mc_rngs = iter(spawn_rngs(make_rng(rng), 2 * len(ps))) if mc_trials else None
     records: list[SweepRecord] = []
     for p in ps:
         records.append(
@@ -76,7 +87,9 @@ def availability_sweep(
                     p,
                     "write",
                     "monte_carlo",
-                    mc_write_availability(quorum, p, trials=mc_trials, rng=rng).mean,
+                    mc_write_availability(
+                        quorum, p, trials=mc_trials, rng=next(mc_rngs)
+                    ).mean,
                 )
             )
             records.append(
@@ -85,7 +98,7 @@ def availability_sweep(
                     "read_erc",
                     "monte_carlo",
                     mc_read_availability_erc(
-                        quorum, n, k, p, trials=mc_trials, rng=rng
+                        quorum, n, k, p, trials=mc_trials, rng=next(mc_rngs)
                     ).mean,
                 )
             )

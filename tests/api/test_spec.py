@@ -1,0 +1,175 @@
+"""Spec-tree validation and JSON round-trip property tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    ClusterSpec,
+    CodeSpec,
+    PlacementSpec,
+    QuorumSpec,
+    ScenarioSpec,
+    SystemSpec,
+    WorkloadSpec,
+)
+from repro.errors import ConfigurationError
+
+
+# --------------------------------------------------------------------- #
+# strategies for valid specs
+# --------------------------------------------------------------------- #
+
+codes = st.integers(1, 6).flatmap(
+    lambda k: st.integers(0, 6).map(lambda m: CodeSpec(n=k + m, k=k))
+)
+
+trapezoids = st.tuples(
+    st.integers(0, 3), st.integers(1, 5), st.integers(0, 3)
+).map(lambda abh: QuorumSpec(kind="trapezoid", a=abh[0], b=abh[1], h=abh[2]))
+
+flat_quorums = st.one_of(
+    st.integers(1, 9).map(lambda s: QuorumSpec(kind="rowa", size=s)),
+    st.integers(1, 9).map(lambda s: QuorumSpec(kind="majority", size=s)),
+    st.tuples(st.integers(1, 4), st.integers(1, 4)).map(
+        lambda rc: QuorumSpec(kind="grid", rows=rc[0], cols=rc[1])
+    ),
+    st.integers(0, 3).map(lambda h: QuorumSpec(kind="tree", height=h)),
+    st.integers(1, 7).map(
+        lambda s: QuorumSpec(
+            kind="voting", size=s, read_votes=s // 2 + 1, write_votes=s // 2 + 1
+        )
+    ),
+)
+
+scenarios = st.builds(
+    ScenarioSpec,
+    kind=st.sampled_from(
+        ["smoke", "availability", "protocol_mc", "trace", "comparison", "sweep"]
+    ),
+    ps=st.lists(
+        st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=4
+    ).map(tuple),
+    trials=st.integers(0, 100),
+    steps=st.integers(1, 50),
+)
+
+workloads = st.builds(
+    WorkloadSpec,
+    kind=st.sampled_from(["uniform", "sequential", "zipf", "vm_disk"]),
+    num_ops=st.integers(1, 500),
+    read_fraction=st.floats(0.0, 1.0, allow_nan=False),
+    block_length=st.integers(1, 128),
+)
+
+system_specs = st.builds(
+    SystemSpec,
+    protocol=st.sampled_from(["trap-erc", "trap-fr", "rowa", "majority"]),
+    code=codes,
+    quorum=st.one_of(st.none(), trapezoids, flat_quorums),
+    placement=st.builds(
+        PlacementSpec,
+        kind=st.sampled_from(["identity", "rotating"]),
+        stripes=st.integers(1, 4),
+    ),
+    workload=workloads,
+    scenario=scenarios,
+    seed=st.integers(-(2**31), 2**31),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(system_specs)
+    def test_dict_round_trip_is_lossless(self, spec):
+        assert SystemSpec.from_dict(spec.to_dict()) == spec
+
+    @settings(max_examples=100, deadline=None)
+    @given(system_specs)
+    def test_json_round_trip_is_lossless(self, spec):
+        again = SystemSpec.from_json(spec.to_json())
+        assert again == spec
+        # to_dict output must itself be valid, stable JSON content.
+        assert json.loads(again.to_json()) == spec.to_dict()
+
+    @settings(max_examples=50, deadline=None)
+    @given(system_specs)
+    def test_specs_are_hashable_and_stable(self, spec):
+        assert hash(spec) == hash(SystemSpec.from_dict(spec.to_dict()))
+
+    def test_cluster_spec_defaults_from_code(self):
+        spec = SystemSpec(code=CodeSpec(n=12, k=8))
+        assert spec.cluster.num_nodes == 12
+        assert spec.quorum.kind == "trapezoid"
+        # default geometry is the flat group-sized trapezoid
+        assert spec.quorum.b == 5 and spec.quorum.h == 0
+
+    def test_trapezoid_constructor(self):
+        spec = SystemSpec.trapezoid(9, 6, 2, 1, 1, 2, seed=3)
+        assert spec.quorum.a == 2 and spec.quorum.w == 2
+        assert spec.seed == 3
+
+
+class TestValidation:
+    def test_unknown_keys_rejected(self):
+        payload = SystemSpec().to_dict()
+        payload["frobnicate"] = 1
+        with pytest.raises(ConfigurationError, match="unknown SystemSpec keys"):
+            SystemSpec.from_dict(payload)
+
+    def test_nested_unknown_keys_rejected(self):
+        payload = SystemSpec().to_dict()
+        payload["code"]["q"] = 3
+        with pytest.raises(ConfigurationError, match="unknown CodeSpec keys"):
+            SystemSpec.from_dict(payload)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid spec JSON"):
+            SystemSpec.from_json("{nope")
+
+    def test_bad_code(self):
+        with pytest.raises(ConfigurationError):
+            CodeSpec(n=3, k=5)
+
+    def test_unknown_quorum_kind_deferred_to_build(self):
+        # The spec layer stays inert so register_quorum() can extend the
+        # declarative surface; unknown kinds fail at registry lookup.
+        from repro.api import build_quorum_system
+
+        spec = QuorumSpec(kind="pentagon", size=5)  # constructs fine
+        with pytest.raises(ConfigurationError, match="unknown quorum kind"):
+            build_quorum_system(spec)
+
+    def test_trapezoid_requires_shape(self):
+        with pytest.raises(ConfigurationError, match="needs a, b and h"):
+            QuorumSpec(kind="trapezoid", a=1)
+
+    def test_cluster_smaller_than_code_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot host"):
+            SystemSpec(code=CodeSpec(n=9, k=6), cluster=ClusterSpec(num_nodes=5))
+
+    def test_exponential_needs_rates(self):
+        with pytest.raises(ConfigurationError, match="mtbf"):
+            ClusterSpec(num_nodes=5, failure="exponential")
+
+    def test_scenario_ps_bounds(self):
+        with pytest.raises(ConfigurationError, match="every p"):
+            ScenarioSpec(ps=(1.5,))
+
+    def test_workload_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown workload kind"):
+            WorkloadSpec(kind="chaotic")
+
+    def test_replace_revalidates(self):
+        spec = SystemSpec()
+        with pytest.raises(ConfigurationError):
+            spec.replace(code=CodeSpec(n=9, k=6), cluster=ClusterSpec(num_nodes=2))
+
+    def test_w_list_coerced_to_tuple(self):
+        q = QuorumSpec(kind="trapezoid", a=2, b=1, h=1, w=[1, 2])
+        assert q.w == (1, 2)
+        assert QuorumSpec.from_dict(q.to_dict()) == q

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -68,6 +70,87 @@ class TestOptimizeCommand:
         out = capsys.readouterr().out
         assert "best for writes" in out
         assert "Pareto front" in out
+
+
+class TestRunCommand:
+    def _spec_file(self, tmp_path, protocol: str, **scenario):
+        from repro.api import ScenarioSpec, SystemSpec, WorkloadSpec
+
+        spec = SystemSpec.trapezoid(
+            9, 6, 2, 1, 1, 2,
+            protocol=protocol,
+            workload=WorkloadSpec(num_ops=20, block_length=8),
+            scenario=ScenarioSpec(**scenario) if scenario else ScenarioSpec(),
+            seed=5,
+        )
+        path = tmp_path / f"{protocol}.json"
+        path.write_text(spec.to_json())
+        return path
+
+    def test_run_every_registry_protocol(self, tmp_path, capsys):
+        from repro.api import protocol_names
+
+        for protocol in protocol_names():
+            config = self._spec_file(tmp_path, protocol)
+            assert main(["run", "--config", str(config), "--quiet"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["protocol"] == protocol
+            assert payload["data"]["reads_ok"] == payload["data"]["reads"]
+
+    def test_run_writes_results_file(self, tmp_path, capsys):
+        config = self._spec_file(
+            tmp_path, "trap-erc", kind="comparison", steps=15
+        )
+        out = tmp_path / "results.json"
+        assert main(["run", "--config", str(config), "--out", str(out), "--quiet"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "comparison"
+        assert set(payload["data"]) == {"majority", "rowa", "trap-erc", "trap-fr"}
+
+    def test_run_results_replay_identically(self, tmp_path, capsys):
+        config = self._spec_file(tmp_path, "trap-fr")
+        main(["run", "--config", str(config), "--quiet"])
+        first = capsys.readouterr().out
+        main(["run", "--config", str(config), "--quiet"])
+        assert capsys.readouterr().out == first
+
+
+class TestDumpConfig:
+    def test_availability_dump_config_round_trips(self, tmp_path, capsys):
+        dump = tmp_path / "spec.json"
+        assert main(
+            [
+                "availability",
+                "--n", "9", "--k", "6",
+                "--a", "2", "--b", "1", "--height", "1",
+                "--w", "2", "--p", "0.5", "--mc-trials", "100",
+                "--dump-config", str(dump),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["run", "--config", str(dump), "--quiet"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "availability"
+        assert payload["spec"]["scenario"]["trials"] == 100
+        methods = {r["method"] for r in payload["data"]["records"]}
+        assert "monte_carlo" in methods
+
+    def test_optimize_dump_config_is_runnable(self, tmp_path, capsys):
+        dump = tmp_path / "best.json"
+        assert main(
+            [
+                "optimize",
+                "--n", "9", "--k", "6", "--p", "0.7",
+                "--dump-config", str(dump),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["run", "--config", str(dump), "--quiet"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "availability"
+        assert payload["spec"]["code"] == {
+            "n": 9, "k": 6, "construction": "vandermonde",
+        }
 
 
 class TestFiguresCommand:
