@@ -13,12 +13,23 @@ from repro.analysis.availability import (
     read_availability_fr,
     validate_erc_geometry,
     write_availability,
+    write_availability_family,
 )
 from repro.analysis.exact import (
     counts_to_probability,
+    erc_subset_counts,
     exact_availability,
     exact_read_erc,
+    fold_read_erc,
     subset_counts,
+)
+from repro.analysis.occupancy import (
+    erc_level_counts,
+    erc_level_counts_family,
+    occupancy_cache_clear,
+    occupancy_cache_info,
+    predicate_counts,
+    predicate_counts_family,
 )
 from repro.analysis.cost import (
     expected_read_check_polls,
@@ -27,8 +38,13 @@ from repro.analysis.cost import (
     read_messages_erc_direct,
     write_messages_erc,
 )
-from repro.analysis.optimizer import ConfigPoint, OptimizationResult, optimize_config
-from repro.analysis.phi import at_least, exactly, phi
+from repro.analysis.optimizer import (
+    ConfigPoint,
+    OptimizationResult,
+    optimize_config,
+    optimize_config_sweep,
+)
+from repro.analysis.phi import at_least, at_least_table, exactly, phi
 from repro.analysis.recovery import (
     node_repair_bill,
     repair_amplification,
@@ -47,6 +63,7 @@ from repro.analysis.storage import (
 __all__ = [
     "phi",
     "at_least",
+    "at_least_table",
     "exactly",
     "write_messages_erc",
     "read_messages_erc_direct",
@@ -56,11 +73,13 @@ __all__ = [
     "ConfigPoint",
     "OptimizationResult",
     "optimize_config",
+    "optimize_config_sweep",
     "repair_traffic_erc",
     "repair_traffic_fr",
     "repair_amplification",
     "node_repair_bill",
     "write_availability",
+    "write_availability_family",
     "read_availability_fr",
     "read_availability_erc",
     "read_availability_erc_terms",
@@ -68,8 +87,16 @@ __all__ = [
     "validate_erc_geometry",
     "exact_availability",
     "exact_read_erc",
+    "fold_read_erc",
     "subset_counts",
+    "erc_subset_counts",
     "counts_to_probability",
+    "predicate_counts",
+    "predicate_counts_family",
+    "erc_level_counts",
+    "erc_level_counts_family",
+    "occupancy_cache_clear",
+    "occupancy_cache_info",
     "storage_fr",
     "storage_erc",
     "storage_saving",

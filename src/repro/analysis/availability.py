@@ -19,13 +19,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.phi import at_least, phi
+from repro.analysis.phi import at_least, at_least_table, phi
 from repro.errors import ConfigurationError
 from repro.quorum.trapezoid import TrapezoidQuorum
 
 __all__ = [
     "validate_erc_geometry",
     "write_availability",
+    "write_availability_family",
     "read_availability_fr",
     "erc_betas_lambdas",
     "read_availability_erc",
@@ -57,6 +58,36 @@ def write_availability(quorum: TrapezoidQuorum, p) -> np.ndarray:
     for l in quorum.shape.levels:
         out = out * at_least(quorum.shape.level_size(l), quorum.w[l], p)
     return out
+
+
+def write_availability_family(shape, vectors, p) -> np.ndarray:
+    """Eq. (9) for a whole family of write vectors against shared Φ tables.
+
+    ``vectors`` is a sequence of (h+1)-tuples over ``shape``; returns an
+    array with one leading row per vector, each row bit-identical to
+    ``write_availability(TrapezoidQuorum(shape, w), p)`` — the per-level
+    ``Φ_{s_l}(w_l, s_l)`` factors are computed once per (level, p) and
+    multiplied in the same level order as the per-quorum closed form.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    tables = [at_least_table(shape.level_size(l), p) for l in shape.levels]
+    rows = []
+    for w in vectors:
+        if len(w) != shape.h + 1:
+            raise ConfigurationError(
+                f"w must have h+1 = {shape.h + 1} entries, got {len(w)}"
+            )
+        for l in shape.levels:
+            if not 0 <= w[l] <= shape.level_size(l):
+                raise ConfigurationError(
+                    f"need 0 <= w_{l} <= s_{l} = {shape.level_size(l)}, "
+                    f"got {w[l]}"
+                )
+        out = np.ones_like(p)
+        for l in shape.levels:
+            out = out * tables[l][w[l]]
+        rows.append(out)
+    return np.stack(rows)
 
 
 def read_availability_fr(quorum: TrapezoidQuorum, p) -> np.ndarray:

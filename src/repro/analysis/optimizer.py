@@ -12,6 +12,15 @@ whole configuration space and returns the frontier:
 
 Exact read availability (not eq. 13) is used so the optimizer is not
 misled by the approximation's overshoot at high redundancy.
+
+The search runs on the level-occupancy engine
+(:mod:`repro.analysis.occupancy`): per shape, one grid pass scores the
+whole ``w``-vector family (the split subset-count tables are independent
+of p), and the p-dependent folds reuse those tables across every p value
+of a sweep — so :func:`optimize_config_sweep` over a grid of
+availabilities costs one table build per shape, not one subset
+enumeration per (shape, w, p). Results are bit-identical to the
+enumeration-reference point-by-point loop.
 """
 
 from __future__ import annotations
@@ -21,12 +30,18 @@ from itertools import product
 
 import numpy as np
 
-from repro.analysis.availability import write_availability
-from repro.analysis.exact import exact_read_erc
+from repro.analysis.availability import write_availability_family
+from repro.analysis.exact import fold_read_erc
+from repro.analysis.occupancy import erc_level_counts_family
 from repro.errors import ConfigurationError
-from repro.quorum.trapezoid import TrapezoidQuorum, TrapezoidShape, shapes_for_nbnode
+from repro.quorum.trapezoid import TrapezoidShape, shapes_for_nbnode
 
-__all__ = ["ConfigPoint", "OptimizationResult", "optimize_config"]
+__all__ = [
+    "ConfigPoint",
+    "OptimizationResult",
+    "optimize_config",
+    "optimize_config_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -73,35 +88,13 @@ def _w_vectors(shape: TrapezoidShape, max_vectors: int) -> list[tuple[int, ...]]
     return uniform
 
 
-def optimize_config(
-    n: int,
-    k: int,
-    p: float,
-    *,
-    max_h: int = 3,
-    max_vectors: int = 512,
-) -> OptimizationResult:
-    """Search every (shape, w) for the (n, k) group at availability p."""
-    if not 0.0 < p < 1.0:
-        raise ConfigurationError(f"p must be in (0, 1), got {p}")
-    nbnode = n - k + 1
-    if nbnode < 1:
-        raise ConfigurationError(f"invalid (n={n}, k={k})")
-    points: list[ConfigPoint] = []
-    for shape in shapes_for_nbnode(nbnode, max_h=max_h):
-        for w in _w_vectors(shape, max_vectors):
-            quorum = TrapezoidQuorum(shape, w)
-            points.append(
-                ConfigPoint(
-                    shape=shape,
-                    w=w,
-                    write=float(write_availability(quorum, p)),
-                    read=float(exact_read_erc(quorum, n, k, p)),
-                )
-            )
-    if not points:
-        raise ConfigurationError(f"no configurations exist for Nbnode={nbnode}")
+def _read_thresholds(shape: TrapezoidShape, w: tuple[int, ...]) -> tuple[int, ...]:
+    """r_l = s_l - w_l + 1 without constructing a TrapezoidQuorum."""
+    return tuple(shape.level_size(l) - w[l] + 1 for l in shape.levels)
 
+
+def _collect_result(points: list[ConfigPoint]) -> OptimizationResult:
+    """Winners + Pareto front, with the reference tie-breaking order."""
     pareto: list[ConfigPoint] = []
     for cand in points:
         dominated = any(
@@ -120,3 +113,68 @@ def optimize_config(
         pareto=tuple(pareto),
         evaluated=len(points),
     )
+
+
+def optimize_config_sweep(
+    n: int,
+    k: int,
+    ps,
+    *,
+    max_h: int = 3,
+    max_vectors: int = 512,
+) -> tuple[OptimizationResult, ...]:
+    """:func:`optimize_config` across a whole availability grid at once.
+
+    The (shape, w) space is scored in one vectorized pass per shape: the
+    p-independent split subset-count tables come from a single
+    family-sized occupancy-grid sweep, and only the cheap probability
+    folds are repeated per p. Returns one :class:`OptimizationResult` per
+    entry of ``ps``, each identical to calling ``optimize_config`` at
+    that p alone.
+    """
+    ps = [float(p) for p in np.atleast_1d(np.asarray(ps, dtype=np.float64))]
+    for p in ps:
+        if not 0.0 < p < 1.0:
+            raise ConfigurationError(f"p must be in (0, 1), got {p}")
+    nbnode = n - k + 1
+    if nbnode < 1:
+        raise ConfigurationError(f"invalid (n={n}, k={k})")
+    points: list[list[ConfigPoint]] = [[] for _ in ps]
+    p_grid = np.asarray(ps, dtype=np.float64)
+    for shape in shapes_for_nbnode(nbnode, max_h=max_h):
+        vectors = _w_vectors(shape, max_vectors)
+        thresholds = [_read_thresholds(shape, w) for w in vectors]
+        direct, decode = erc_level_counts_family(shape.level_sizes, thresholds)
+        # One Φ-table build per (shape, level): rows are (vector, p) grids.
+        writes = write_availability_family(shape, vectors, p_grid)
+        for i, p in enumerate(ps):
+            for j, w in enumerate(vectors):
+                points[i].append(
+                    ConfigPoint(
+                        shape=shape,
+                        w=w,
+                        write=float(writes[j][i]),
+                        read=float(
+                            fold_read_erc(
+                                direct[j], decode[j], nbnode, k, np.float64(p)
+                            )
+                        ),
+                    )
+                )
+    if not points[0]:
+        raise ConfigurationError(f"no configurations exist for Nbnode={nbnode}")
+    return tuple(_collect_result(pts) for pts in points)
+
+
+def optimize_config(
+    n: int,
+    k: int,
+    p: float,
+    *,
+    max_h: int = 3,
+    max_vectors: int = 512,
+) -> OptimizationResult:
+    """Search every (shape, w) for the (n, k) group at availability p."""
+    return optimize_config_sweep(
+        n, k, (p,), max_h=max_h, max_vectors=max_vectors
+    )[0]

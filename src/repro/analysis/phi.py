@@ -14,7 +14,7 @@ from scipy import stats
 
 from repro.errors import ConfigurationError
 
-__all__ = ["phi", "at_least", "exactly"]
+__all__ = ["phi", "at_least", "at_least_table", "exactly"]
 
 
 def _as_p(p) -> np.ndarray:
@@ -46,6 +46,20 @@ def phi(z: int, i: int, j: int, p) -> np.ndarray:
 def at_least(z: int, i: int, p) -> np.ndarray:
     """Φ_z(i, z): P(#available >= i). The common special case."""
     return phi(z, i, z, p)
+
+
+def at_least_table(z: int, p) -> np.ndarray:
+    """``at_least(z, i, p)`` for every threshold i in 0..z, stacked on axis 0.
+
+    Shared-table form used when one (level, p) pair is probed at many
+    thresholds (the optimizer's w-vector families): row i is exactly the
+    scalar ``at_least(z, i, p)``, so table lookups reproduce per-call
+    results bit for bit.
+    """
+    if z < 0:
+        raise ConfigurationError(f"z must be >= 0, got {z}")
+    p = _as_p(p)
+    return np.stack([at_least(z, i, p) for i in range(z + 1)])
 
 
 def exactly(z: int, m: int, p) -> np.ndarray:

@@ -2,7 +2,8 @@
 
 :class:`ScenarioRunner` is the facade's execution engine: it takes one
 :class:`~repro.api.spec.SystemSpec`, dispatches on ``spec.scenario.kind``
-(smoke / availability / protocol_mc / trace / comparison / sweep) and
+(smoke / availability / protocol_mc / trace / comparison / sweep /
+optimize) and
 returns a :class:`ScenarioResult` whose ``to_json()`` output embeds the
 originating spec — a results file is therefore a reproducible artifact:
 ``SystemSpec.from_dict(result["spec"])`` re-runs the exact experiment.
@@ -22,6 +23,7 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.analysis.optimizer import ConfigPoint, optimize_config_sweep
 from repro.api.build import BuiltSystem, build_system
 from repro.api.registry import build_trapezoid_quorum, protocol_entry, protocol_names
 from repro.api.spec import SystemSpec
@@ -141,6 +143,7 @@ class ScenarioRunner:
             "trace": self._run_trace,
             "comparison": self._run_comparison,
             "sweep": self._run_sweep,
+            "optimize": self._run_optimize,
         }
         data = runners[self.spec.scenario.kind]()
         return ScenarioResult(
@@ -395,6 +398,45 @@ class ScenarioRunner:
             ):
                 records.append({"w": w, **asdict(rec)})
         return {"w_values": list(w_values), "records": records}
+
+
+    def _run_optimize(self) -> dict:
+        """Occupancy-engine (shape, w) search across ``scenario.ps``.
+
+        Deterministic (no randomness consumed): the per-shape occupancy
+        tables are built once and every p of the grid folds against them,
+        so even wide sweeps stay interactive.
+        """
+        scenario = self.spec.scenario
+        results = optimize_config_sweep(
+            self.spec.code.n,
+            self.spec.code.k,
+            scenario.ps,
+            max_h=scenario.max_h,
+        )
+
+        def point(pt: ConfigPoint) -> dict:
+            return {
+                "shape": {"a": pt.shape.a, "b": pt.shape.b, "h": pt.shape.h},
+                "w": list(pt.w),
+                "write": pt.write,
+                "read": pt.read,
+            }
+
+        return {
+            "max_h": scenario.max_h,
+            "results": [
+                {
+                    "p": p,
+                    "evaluated": res.evaluated,
+                    "best_for_writes": point(res.best_for_writes),
+                    "best_for_reads": point(res.best_for_reads),
+                    "best_balanced": point(res.best_balanced),
+                    "pareto": [point(pt) for pt in res.pareto],
+                }
+                for p, res in zip(scenario.ps, results)
+            ],
+        }
 
 
 def run_spec(spec: SystemSpec) -> ScenarioResult:

@@ -334,7 +334,11 @@ class ScenarioSpec(_SpecBase):
         paper-faithful same-node-set comparison; the default ``None``
         spreads operations over all k blocks),
     ``sweep``
-        the availability sweep repeated across trapezoid ``w_values``.
+        the availability sweep repeated across trapezoid ``w_values``,
+    ``optimize``
+        the occupancy-engine configuration search over every (shape, w)
+        for the code's (n, k), one result per entry of ``ps`` (tables are
+        shared across the grid; ``max_h`` bounds the shape search).
     """
 
     _TUPLES = ("ps", "protocols", "w_values")
@@ -350,9 +354,18 @@ class ScenarioSpec(_SpecBase):
     protocols: tuple[str, ...] | None = None
     w_values: tuple[int, ...] | None = None
     num_blocks: int | None = None
+    max_h: int = 3
 
     def __post_init__(self) -> None:
-        kinds = ("smoke", "availability", "protocol_mc", "trace", "comparison", "sweep")
+        kinds = (
+            "smoke",
+            "availability",
+            "protocol_mc",
+            "trace",
+            "comparison",
+            "sweep",
+            "optimize",
+        )
         _require(
             self.kind in kinds,
             f"unknown scenario kind {self.kind!r} (expected one of {kinds})",
@@ -386,6 +399,12 @@ class ScenarioSpec(_SpecBase):
             _require(
                 self.num_blocks >= 1,
                 f"num_blocks must be >= 1, got {self.num_blocks}",
+            )
+        _require(self.max_h >= 0, f"max_h must be >= 0, got {self.max_h}")
+        if self.kind == "optimize":
+            _require(
+                all(0.0 < p < 1.0 for p in self.ps),
+                f"optimize needs every p strictly inside (0, 1), got {self.ps}",
             )
 
 

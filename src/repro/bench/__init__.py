@@ -49,3 +49,7 @@ __all__ = [
     "run_perf",
     "write_perf_json",
 ]
+
+# NOTE: repro.bench.compare (the CI regression gate) is deliberately not
+# re-exported here so `python -m repro.bench.compare` runs without the
+# found-in-sys.modules RuntimeWarning.

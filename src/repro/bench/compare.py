@@ -1,0 +1,132 @@
+"""Regression gate: compare two ``BENCH_perf.json`` documents.
+
+``python -m repro.bench.compare BASELINE FRESH [--max-regression 0.3]``
+re-reads the committed perf document and a freshly generated one and
+fails (exit 1) when any throughput metric regressed by more than the
+tolerance: ``mb_per_s`` / ``trials_per_s`` dropping, or — for entries
+that only report wall time, like the exact-enumeration and optimizer
+benchmarks — ``seconds_per_call`` rising. CI runs this after the perf
+smoke so a PR cannot silently slow a tracked hot path.
+
+Documents produced with different ``config`` sections measure different
+workloads; comparing them is meaningless, so that is an error by default
+(``--allow-config-mismatch`` to override, e.g. when resizing the harness
+on purpose).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DEFAULT_MAX_REGRESSION", "compare_docs", "main"]
+
+DEFAULT_MAX_REGRESSION = 0.30
+
+#: metric preference per results entry; (key, higher_is_better). Only the
+#: first key present is compared — mb_per_s and seconds_per_call are
+#: reciprocal views of one measurement.
+_METRIC_KEYS = (
+    ("mb_per_s", True),
+    ("trials_per_s", True),
+    ("seconds_per_call", False),
+)
+
+
+def _metric(entry) -> tuple[str, float, bool] | None:
+    """The comparable metric of one results entry, or None (counters)."""
+    if not isinstance(entry, dict):
+        return None
+    for key, higher_is_better in _METRIC_KEYS:
+        value = entry.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            return key, float(value), higher_is_better
+    return None
+
+
+def compare_docs(
+    baseline: dict,
+    fresh: dict,
+    *,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    require_matching_config: bool = True,
+) -> list[str]:
+    """Regression messages for every baseline metric the fresh run lost.
+
+    A metric regresses when its better-direction ratio falls below
+    ``1 - max_regression``; a baseline metric missing from the fresh
+    document counts as a regression (a silently dropped benchmark must
+    not pass the gate). Returns an empty list when the gate is green.
+    """
+    if not 0.0 < max_regression < 1.0:
+        raise ConfigurationError(
+            f"max_regression must be in (0, 1), got {max_regression}"
+        )
+    if require_matching_config and baseline.get("config") != fresh.get("config"):
+        raise ConfigurationError(
+            "baseline and fresh documents ran different configs; their "
+            "numbers are not comparable (regenerate with matching sizes "
+            "or pass --allow-config-mismatch)"
+        )
+    regressions: list[str] = []
+    for name, entry in baseline.get("results", {}).items():
+        base = _metric(entry)
+        if base is None:
+            continue
+        key, old, higher_is_better = base
+        fresh_entry = fresh.get("results", {}).get(name)
+        new_metric = _metric(fresh_entry)
+        if new_metric is None or new_metric[0] != key:
+            regressions.append(f"{name}: {key} missing from fresh document")
+            continue
+        new = new_metric[1]
+        ratio = new / old if higher_is_better else old / new
+        if ratio < 1.0 - max_regression:
+            regressions.append(
+                f"{name}: {key} regressed {old:.6g} -> {new:.6g} "
+                f"({(1.0 - ratio) * 100.0:.1f}% worse)"
+            )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.compare",
+        description="fail when a fresh perf document regresses the baseline",
+    )
+    parser.add_argument("baseline", help="committed BENCH_perf.json")
+    parser.add_argument("fresh", help="freshly generated perf JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="tolerated fractional loss per metric (default 0.3)",
+    )
+    parser.add_argument(
+        "--allow-config-mismatch",
+        action="store_true",
+        help="compare even when the two documents ran different sizes",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(Path(args.baseline).read_text())
+    fresh = json.loads(Path(args.fresh).read_text())
+    regressions = compare_docs(
+        baseline,
+        fresh,
+        max_regression=args.max_regression,
+        require_matching_config=not args.allow_config_mismatch,
+    )
+    if regressions:
+        print(f"{len(regressions)} perf regression(s) beyond {args.max_regression:.0%}:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"perf gate OK: no metric regressed beyond {args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,8 +13,9 @@ The document has three sections:
   estimators), plus the raw seconds-per-call;
 * ``speedups`` — measured ratios of the batched kernels against inline
   re-implementations of the seed (pre-kernel) code paths: Gauss-Jordan
-  per decode + outer-product matmul. These are the numbers the
-  acceptance criteria quote.
+  per decode + outer-product matmul, plus the exact-availability and
+  optimizer paths against the 2^Nbnode subset-enumeration seed. These
+  are the numbers the acceptance criteria quote.
 """
 
 from __future__ import annotations
@@ -25,10 +26,23 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.availability import write_availability
+from repro.analysis.exact import exact_read_erc
+from repro.analysis.occupancy import occupancy_cache_clear
+from repro.analysis.optimizer import (
+    ConfigPoint,
+    _collect_result,
+    _w_vectors,
+    optimize_config,
+)
 from repro.erasure.code import MDSCode
 from repro.gf.field import GF256
 from repro.gf.linalg import inverse, matmul_reference
-from repro.quorum.trapezoid import TrapezoidQuorum, default_shape_for_nbnode
+from repro.quorum.trapezoid import (
+    TrapezoidQuorum,
+    default_shape_for_nbnode,
+    shapes_for_nbnode,
+)
 from repro.sim.montecarlo import mc_read_availability_erc, mc_write_availability
 
 __all__ = ["run_perf", "write_perf_json", "DEFAULT_SIZES", "TINY_SIZES"]
@@ -45,6 +59,17 @@ DEFAULT_SIZES = {
     "decode_repeats": 32,
     "encode_repeats": 16,
     "mc_trials": 200_000,
+    # exact enumeration vs occupancy engine: the paper's Fig-1 trapezoid
+    # (Nbnode = 15, 2^15 subsets on the seed path).
+    "enum_n": 22,
+    "enum_k": 8,
+    "enum_repeats": 3,
+    # end-to-end optimizer: Nbnode = 13, ~60 (shape, w) points.
+    "opt_n": 20,
+    "opt_k": 8,
+    "opt_p": 0.9,
+    "opt_max_h": 2,
+    "opt_repeats": 1,
 }
 
 #: Tiny sizes for the tier-1-adjacent smoke target (< 1 s total).
@@ -58,6 +83,14 @@ TINY_SIZES = {
     "decode_repeats": 3,
     "encode_repeats": 3,
     "mc_trials": 2_000,
+    "enum_n": 12,
+    "enum_k": 4,
+    "enum_repeats": 2,
+    "opt_n": 10,
+    "opt_k": 6,
+    "opt_p": 0.8,
+    "opt_max_h": 2,
+    "opt_repeats": 1,
 }
 
 
@@ -93,6 +126,24 @@ def _seed_decode(code: MDSCode, indices: list[int], frag: np.ndarray) -> np.ndar
     """The seed decode: Gauss-Jordan inversion on every call + reference matmul."""
     sub = code.generator[indices]
     return matmul_reference(code.field, inverse(code.field, sub), frag)
+
+
+def _seed_optimize(n: int, k: int, p: float, max_h: int):
+    """The seed (pre-occupancy) optimizer: one 2^Nbnode subset enumeration
+    per (shape, w) candidate, exactly the old ``optimize_config`` loop."""
+    points = []
+    for shape in shapes_for_nbnode(n - k + 1, max_h=max_h):
+        for w in _w_vectors(shape, 512):
+            quorum = TrapezoidQuorum(shape, w)
+            points.append(
+                ConfigPoint(
+                    shape=shape,
+                    w=w,
+                    write=float(write_availability(quorum, p)),
+                    read=float(exact_read_erc(quorum, n, k, p, method="enumeration")),
+                )
+            )
+    return _collect_result(points)
 
 
 def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
@@ -192,12 +243,66 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         "trials_per_s": trials / t_mc_r,
     }
 
+    # -- exact availability: subset enumeration vs occupancy engine ---- #
+    e_n, e_k = cfg["enum_n"], cfg["enum_k"]
+    e_quorum = TrapezoidQuorum.uniform(default_shape_for_nbnode(e_n - e_k + 1))
+    e_reps = cfg["enum_repeats"]
+    t_enum_seed = _time_call(
+        lambda: exact_read_erc(e_quorum, e_n, e_k, 0.9, method="enumeration"),
+        e_reps,
+    )
+    results["exact_enum_seed"] = {
+        "seconds_per_call": t_enum_seed,
+        "nbnode": e_quorum.shape.total_nodes,
+    }
+
+    def exact_occupancy_cold() -> None:
+        occupancy_cache_clear()
+        exact_read_erc(e_quorum, e_n, e_k, 0.9)
+
+    t_enum_occ = _time_call(exact_occupancy_cold, e_reps)
+    results["exact_enum_occupancy"] = {
+        "seconds_per_call": t_enum_occ,
+        "nbnode": e_quorum.shape.total_nodes,
+    }
+    # Warm tables: the sweep/optimizer regime, where only the p fold runs.
+    t_enum_warm = _time_call(
+        lambda: exact_read_erc(e_quorum, e_n, e_k, 0.9), e_reps
+    )
+    results["exact_enum_occupancy_warm"] = {
+        "seconds_per_call": t_enum_warm,
+        "nbnode": e_quorum.shape.total_nodes,
+    }
+
+    # -- end-to-end configuration optimizer ---------------------------- #
+    o_n, o_k = cfg["opt_n"], cfg["opt_k"]
+    o_p, o_max_h = cfg["opt_p"], cfg["opt_max_h"]
+    o_reps = cfg["opt_repeats"]
+    t_opt_seed = _time_call(lambda: _seed_optimize(o_n, o_k, o_p, o_max_h), o_reps)
+    evaluated = optimize_config(o_n, o_k, o_p, max_h=o_max_h).evaluated
+    results["optimizer_seed"] = {
+        "seconds_per_call": t_opt_seed,
+        "evaluated": evaluated,
+    }
+
+    def optimize_cold() -> None:
+        occupancy_cache_clear()
+        optimize_config(o_n, o_k, o_p, max_h=o_max_h)
+
+    t_opt = _time_call(optimize_cold, o_reps)
+    results["optimizer"] = {
+        "seconds_per_call": t_opt,
+        "evaluated": evaluated,
+    }
+
     speedups = {
         "decode_repeated_vs_seed": t_seed_dec / t_dec,
         "decode_batch_vs_seed": (t_seed_dec * stripes) / t_dec_batch,
         "encode_vs_seed": t_seed_enc / t_enc,
         "encode_batch_vs_seed": (t_seed_enc * stripes) / t_enc_batch,
         "encode_small_batch_vs_loop": t_small_loop / t_small_batch,
+        "exact_enum_vs_seed": t_enum_seed / t_enum_occ,
+        "optimizer_vs_seed": t_opt_seed / t_opt,
     }
     return {
         "schema": "repro-bench-perf/1",

@@ -70,13 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
     opt = sub.add_parser("optimize", help="search shapes and quorum vectors")
     opt.add_argument("--n", type=int, required=True)
     opt.add_argument("--k", type=int, required=True)
-    opt.add_argument("--p", type=float, required=True)
+    opt.add_argument(
+        "--p", type=float, nargs="+", required=True,
+        help="one or more availabilities (occupancy tables are shared)",
+    )
     opt.add_argument("--max-h", type=int, default=3)
     opt.add_argument(
         "--dump-config",
         metavar="PATH",
         default=None,
-        help="write the best-balanced configuration as SystemSpec JSON",
+        help="write the search as an 'optimize' SystemSpec JSON for `repro run`",
     )
 
     lay = sub.add_parser("layout", help="render a trapezoid layout")
@@ -174,9 +177,10 @@ def _cmd_availability(args) -> int:
 
 
 def _cmd_optimize(args) -> int:
-    from repro.analysis import optimize_config
+    from repro.analysis import optimize_config_sweep
 
-    result = optimize_config(args.n, args.k, args.p, max_h=args.max_h)
+    ps = tuple(args.p)
+    results = optimize_config_sweep(args.n, args.k, ps, max_h=args.max_h)
 
     def fmt(pt) -> str:
         return (
@@ -184,21 +188,24 @@ def _cmd_optimize(args) -> int:
             f"write={pt.write:.4f} read={pt.read:.4f}"
         )
 
-    print(f"{result.evaluated} configurations evaluated")
-    print("best for writes :", fmt(result.best_for_writes))
-    print("best for reads  :", fmt(result.best_for_reads))
-    print("best balanced   :", fmt(result.best_balanced))
-    print(f"Pareto front ({len(result.pareto)}):")
-    for pt in result.pareto:
-        print("  ", fmt(pt))
+    for p, result in zip(ps, results):
+        print(f"p={p}: {result.evaluated} configurations evaluated")
+        print("best for writes :", fmt(result.best_for_writes))
+        print("best for reads  :", fmt(result.best_for_reads))
+        print("best balanced   :", fmt(result.best_balanced))
+        print(f"Pareto front ({len(result.pareto)}):")
+        for pt in result.pareto:
+            print("  ", fmt(pt))
     if args.dump_config:
         from repro.api import ScenarioSpec, SystemSpec
 
-        best = result.best_balanced
+        # The dumped spec records the winning geometry and replays the
+        # whole search through the vectorized 'optimize' scenario kind.
+        best = results[0].best_balanced
         _dump_spec(
             SystemSpec.trapezoid(
                 args.n, args.k, best.shape.a, best.shape.b, best.shape.h, best.w,
-                scenario=ScenarioSpec(kind="availability", ps=(args.p,)),
+                scenario=ScenarioSpec(kind="optimize", ps=ps, max_h=args.max_h),
             ),
             args.dump_config,
         )

@@ -6,7 +6,7 @@ the :class:`~repro.quorum.base.QuorumSystem` interface, so the analysis and
 simulation layers treat them uniformly.
 """
 
-from repro.quorum.base import QuorumSystem, verify_intersection
+from repro.quorum.base import CountPredicate, QuorumSystem, verify_intersection
 from repro.quorum.grid import GridSystem
 from repro.quorum.majority import MajoritySystem
 from repro.quorum.rowa import RowaSystem
@@ -22,6 +22,7 @@ from repro.quorum.voting import WeightedVotingSystem
 
 __all__ = [
     "WeightedVotingSystem",
+    "CountPredicate",
     "QuorumSystem",
     "verify_intersection",
     "TrapezoidShape",

@@ -18,13 +18,69 @@ Positions are *logical*: protocol engines map them onto physical node ids
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from itertools import combinations
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["QuorumSystem", "verify_intersection"]
+__all__ = ["CountPredicate", "QuorumSystem", "verify_intersection"]
+
+
+@dataclass(frozen=True)
+class CountPredicate:
+    """A quorum predicate expressed over disjoint-group alive *counts*.
+
+    Positions are partitioned into groups of ``sizes[g]`` nodes; the
+    predicate holds iff group g musters at least ``thresholds[g]`` alive
+    members in **every** group (``mode="all"``, write-style) or in **some**
+    group (``mode="any"``, read-check-style). Systems whose quorums depend
+    on membership only through these counts (trapezoid levels, majority,
+    ROWA, unit-weight voting) expose one via
+    :meth:`QuorumSystem.as_level_thresholds`, which lets
+    :mod:`repro.analysis.occupancy` evaluate exact availability over the
+    joint count distribution — ``prod(s_g + 1)`` table cells instead of
+    ``2^size`` subset enumerations.
+    """
+
+    sizes: tuple[int, ...]
+    thresholds: tuple[int, ...]
+    mode: str  # "all" | "any"
+
+    def __post_init__(self) -> None:
+        sizes = tuple(int(s) for s in self.sizes)
+        thresholds = tuple(int(t) for t in self.thresholds)
+        if not sizes:
+            raise ConfigurationError("CountPredicate needs at least one group")
+        if any(s < 1 for s in sizes):
+            raise ConfigurationError(f"group sizes must be >= 1, got {sizes}")
+        if len(thresholds) != len(sizes):
+            raise ConfigurationError(
+                f"need one threshold per group: {len(sizes)} groups, "
+                f"{len(thresholds)} thresholds"
+            )
+        if self.mode not in ("all", "any"):
+            raise ConfigurationError(
+                f"mode must be 'all' or 'any', got {self.mode!r}"
+            )
+        object.__setattr__(self, "sizes", sizes)
+        object.__setattr__(self, "thresholds", thresholds)
+
+    @property
+    def total(self) -> int:
+        """Number of positions covered by the groups."""
+        return sum(self.sizes)
+
+    def evaluate(self, counts) -> bool:
+        """Reference semantics over per-group alive counts."""
+        counts = tuple(int(c) for c in counts)
+        if len(counts) != len(self.sizes):
+            raise ConfigurationError(
+                f"need {len(self.sizes)} per-group counts, got {len(counts)}"
+            )
+        hits = (c >= t for c, t in zip(counts, self.thresholds))
+        return all(hits) if self.mode == "all" else any(hits)
 
 
 class QuorumSystem(ABC):
@@ -44,6 +100,22 @@ class QuorumSystem(ABC):
     @abstractmethod
     def is_read_quorum(self, subset: frozenset[int] | set[int]) -> bool:
         """True iff ``subset`` contains a complete read quorum."""
+
+    def as_level_thresholds(self, kind: str) -> CountPredicate | None:
+        """Count-structured form of the ``kind`` ("read"/"write") predicate.
+
+        Returns a :class:`CountPredicate` equivalent to the corresponding
+        ``is_*_quorum`` predicate when the system's quorums depend only on
+        per-group alive counts, or None when membership matters (grid,
+        tree), in which case exact analysis falls back to subset
+        enumeration. The groups must partition positions ``0..size-1`` in
+        order: group g covers the next ``sizes[g]`` positions.
+        """
+        if kind not in ("read", "write"):
+            raise ConfigurationError(
+                f"kind must be 'read' or 'write', got {kind!r}"
+            )
+        return None
 
     # ------------------------------------------------------------------ #
     # quorum construction

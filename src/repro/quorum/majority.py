@@ -11,7 +11,7 @@ import numpy as np
 from scipy import stats
 
 from repro.errors import ConfigurationError
-from repro.quorum.base import QuorumSystem
+from repro.quorum.base import CountPredicate, QuorumSystem
 
 __all__ = ["MajoritySystem"]
 
@@ -33,6 +33,11 @@ class MajoritySystem(QuorumSystem):
 
     def is_read_quorum(self, subset) -> bool:
         return self.is_write_quorum(subset)
+
+    def as_level_thresholds(self, kind: str) -> CountPredicate:
+        """Both quorums are pure cardinality thresholds: one group."""
+        super().as_level_thresholds(kind)  # validates kind
+        return CountPredicate((self.size,), (self.threshold,), "all")
 
     def find_write_quorum(self, alive: set[int]) -> frozenset[int] | None:
         alive = self._check_positions(alive)

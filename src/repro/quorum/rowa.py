@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.quorum.base import QuorumSystem
+from repro.quorum.base import CountPredicate, QuorumSystem
 
 __all__ = ["RowaSystem"]
 
@@ -31,6 +31,12 @@ class RowaSystem(QuorumSystem):
 
     def is_read_quorum(self, subset) -> bool:
         return len(self._check_positions(subset)) >= 1
+
+    def as_level_thresholds(self, kind: str) -> CountPredicate:
+        """Cardinality thresholds: all nodes for writes, one for reads."""
+        super().as_level_thresholds(kind)  # validates kind
+        threshold = self.size if kind == "write" else 1
+        return CountPredicate((self.size,), (threshold,), "all")
 
     def find_write_quorum(self, alive: set[int]) -> frozenset[int] | None:
         alive = self._check_positions(alive)

@@ -24,7 +24,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.quorum.base import QuorumSystem
+from repro.quorum.base import CountPredicate, QuorumSystem
 
 __all__ = [
     "TrapezoidShape",
@@ -214,6 +214,25 @@ class TrapezoidQuorum:
     def read_thresholds(self) -> tuple[int, ...]:
         return tuple(self.r(l) for l in self.shape.levels)
 
+    @cached_property
+    def w_array(self) -> np.ndarray:
+        """(h+1,) read-only int64 view of ``w``.
+
+        Built once per quorum so the Monte-Carlo estimators and the
+        occupancy engine compare against a shared array instead of
+        re-running ``np.asarray`` on every call.
+        """
+        arr = np.asarray(self.w, dtype=np.int64)
+        arr.setflags(write=False)
+        return arr
+
+    @cached_property
+    def read_thresholds_array(self) -> np.ndarray:
+        """(h+1,) read-only int64 view of ``read_thresholds``."""
+        arr = np.asarray(self.read_thresholds, dtype=np.int64)
+        arr.setflags(write=False)
+        return arr
+
     @property
     def min_write_size(self) -> int:
         """|WQ| = sum_l w_l (paper's eq. 6)."""
@@ -273,6 +292,18 @@ class TrapezoidSystem(QuorumSystem):
     def is_read_quorum(self, subset) -> bool:
         subset = self._check_positions(subset)
         return self.quorum.read_check_predicate(self._level_counts(subset))
+
+    def as_level_thresholds(self, kind: str) -> CountPredicate:
+        """The trapezoid predicates are count-structured by construction:
+        writes need w_l alive on *every* level, version checks need r_l
+        alive on *some* level. Levels are contiguous position ranges, so
+        they are the occupancy groups directly."""
+        super().as_level_thresholds(kind)  # validates kind
+        if kind == "write":
+            return CountPredicate(self.shape.level_sizes, self.quorum.w, "all")
+        return CountPredicate(
+            self.shape.level_sizes, self.quorum.read_thresholds, "any"
+        )
 
     def find_write_quorum(self, alive: set[int]) -> frozenset[int] | None:
         alive = self._check_positions(alive)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.quorum.base import QuorumSystem
+from repro.quorum.base import CountPredicate, QuorumSystem
 
 __all__ = ["WeightedVotingSystem"]
 
@@ -80,6 +80,20 @@ class WeightedVotingSystem(QuorumSystem):
 
     def is_write_quorum(self, subset) -> bool:
         return self._votes(self._check_positions(subset)) >= self.w
+
+    def as_level_thresholds(self, kind: str) -> CountPredicate | None:
+        """Uniform positive weights reduce to a cardinality threshold:
+        ``v * count >= votes`` iff ``count >= ceil(votes / v)``. Genuinely
+        heterogeneous weights stay on the enumeration/DP paths (which
+        subset holds the votes then matters, not just how many nodes)."""
+        super().as_level_thresholds(kind)  # validates kind
+        weight = self.weights[0]
+        if weight < 1 or any(x != weight for x in self.weights):
+            return None
+        votes = self.r if kind == "read" else self.w
+        return CountPredicate(
+            (self.size,), (-(-votes // weight),), "all"
+        )
 
     def _find(self, alive: set[int], threshold: int) -> frozenset[int] | None:
         alive = self._check_positions(alive)

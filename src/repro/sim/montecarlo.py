@@ -2,7 +2,10 @@
 
 Samples i.i.d. Bernoulli(p) alive-matrices and evaluates the protocol
 predicates with numpy matrix operations — no Python loop over trials, so
-millions of samples are cheap. These estimators and the closed forms of
+millions of samples are cheap. The per-level threshold comparisons use
+the read-only arrays cached on :class:`TrapezoidQuorum`
+(``w_array`` / ``read_thresholds_array``), shared with the occupancy
+engine, instead of rebuilding them on every call. These estimators and the closed forms of
 :mod:`repro.analysis` must agree within confidence intervals; the test
 suite enforces that, and the benchmarks cross-reference all three
 evaluations (closed form / exact enumeration / Monte Carlo).
@@ -75,7 +78,7 @@ def mc_write_availability(
     """Estimate eq. (8)/(9): every level musters >= w_l alive nodes."""
     _check_args(p, trials)
     _, counts = _sample_level_counts(quorum, p, trials, make_rng(rng))
-    ok = np.all(counts >= np.asarray(quorum.w), axis=1)
+    ok = np.all(counts >= quorum.w_array, axis=1)
     return MCEstimate(int(ok.sum()), trials)
 
 
@@ -85,7 +88,7 @@ def mc_read_availability_fr(
     """Estimate eq. (10): some level musters >= r_l alive nodes."""
     _check_args(p, trials)
     _, counts = _sample_level_counts(quorum, p, trials, make_rng(rng))
-    ok = np.any(counts >= np.asarray(quorum.read_thresholds), axis=1)
+    ok = np.any(counts >= quorum.read_thresholds_array, axis=1)
     return MCEstimate(int(ok.sum()), trials)
 
 
@@ -109,7 +112,7 @@ def mc_read_availability_erc(
     rng = make_rng(rng)
     trap_alive, counts = _sample_level_counts(quorum, p, trials, rng)
     other_alive_count = (rng.random((trials, k - 1)) < p).sum(axis=1)
-    check_ok = np.any(counts >= np.asarray(quorum.read_thresholds), axis=1)
+    check_ok = np.any(counts >= quorum.read_thresholds_array, axis=1)
     ni_alive = trap_alive[:, 0]
     parity_alive = trap_alive[:, 1:].sum(axis=1)
     decode_ok = (parity_alive + other_alive_count) >= k

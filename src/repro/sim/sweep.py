@@ -65,22 +65,24 @@ def availability_sweep(
     # One independent child stream per (p, metric) MC estimate: values
     # depend only on the seed, not on the position within the grid.
     mc_rngs = iter(spawn_rngs(make_rng(rng), 2 * len(ps))) if mc_trials else None
+    # The deterministic columns are all vectorized over p, and the exact
+    # column's occupancy tables are p-independent: evaluate each method
+    # once across the whole grid instead of once per grid point.
+    p_grid = np.asarray(ps, dtype=np.float64)
+    write_vals = write_availability(quorum, p_grid)
+    read_fr_vals = read_availability_fr(quorum, p_grid)
+    read_erc_vals = read_availability_erc(quorum, n, k, p_grid)
+    exact_vals = exact_read_erc(quorum, n, k, p_grid)
     records: list[SweepRecord] = []
-    for p in ps:
+    for i, p in enumerate(ps):
+        records.append(SweepRecord(p, "write", "closed_form", float(write_vals[i])))
         records.append(
-            SweepRecord(p, "write", "closed_form", float(write_availability(quorum, p)))
+            SweepRecord(p, "read_fr", "closed_form", float(read_fr_vals[i]))
         )
         records.append(
-            SweepRecord(p, "read_fr", "closed_form", float(read_availability_fr(quorum, p)))
+            SweepRecord(p, "read_erc", "closed_form", float(read_erc_vals[i]))
         )
-        records.append(
-            SweepRecord(
-                p, "read_erc", "closed_form", float(read_availability_erc(quorum, n, k, p))
-            )
-        )
-        records.append(
-            SweepRecord(p, "read_erc", "exact", float(exact_read_erc(quorum, n, k, p)))
-        )
+        records.append(SweepRecord(p, "read_erc", "exact", float(exact_vals[i])))
         if mc_trials:
             records.append(
                 SweepRecord(

@@ -118,6 +118,27 @@ class TestScenarioKinds:
         ws = {r["w"] for r in result.data["records"]}
         assert ws == {1, 2, 3}
 
+    def test_optimize_matches_direct_search(self):
+        from repro.analysis import optimize_config
+
+        result = run_spec(
+            _with_scenario(kind="optimize", ps=(0.5, 0.8), max_h=2)
+        )
+        assert result.kind == "optimize"
+        assert [r["p"] for r in result.data["results"]] == [0.5, 0.8]
+        direct = optimize_config(9, 6, 0.8, max_h=2)
+        replay = result.data["results"][1]
+        assert replay["evaluated"] == direct.evaluated
+        best = replay["best_balanced"]
+        assert tuple(best["w"]) == direct.best_balanced.w
+        assert best["write"] == direct.best_balanced.write
+        assert best["read"] == direct.best_balanced.read
+        assert len(replay["pareto"]) == len(direct.pareto)
+
+    def test_optimize_rejects_boundary_p(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(kind="optimize", ps=(0.5, 1.0))
+
     def test_sweep_rejects_w_values_on_flat_shape(self):
         flat = SystemSpec(
             scenario=ScenarioSpec(kind="sweep", w_values=(1, 2, 3))
@@ -154,6 +175,7 @@ class TestResultsAndDeterminism:
             ("availability", {"trials": 50}),
             ("comparison", {"steps": 20}),
             ("sweep", {"ps": (0.8,), "trials": 20}),
+            ("optimize", {"ps": (0.6,), "max_h": 2}),
         ],
     )
     def test_identical_spec_identical_results(self, kind, extra):

@@ -160,6 +160,14 @@ class TestValidation:
         with pytest.raises(ConfigurationError, match="every p"):
             ScenarioSpec(ps=(1.5,))
 
+    def test_optimize_kind_needs_interior_p(self):
+        with pytest.raises(ConfigurationError, match="strictly inside"):
+            ScenarioSpec(kind="optimize", ps=(0.5, 1.0))
+        with pytest.raises(ConfigurationError, match="max_h"):
+            ScenarioSpec(kind="optimize", max_h=-1)
+        spec = ScenarioSpec(kind="optimize", ps=(0.5,), max_h=2)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
     def test_workload_kind(self):
         with pytest.raises(ConfigurationError, match="unknown workload kind"):
             WorkloadSpec(kind="chaotic")

@@ -1,0 +1,123 @@
+"""Tests for the perf regression gate (``repro.bench.compare``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import compare_docs, main
+from repro.errors import ConfigurationError
+
+
+def _doc(**results) -> dict:
+    return {
+        "schema": "repro-bench-perf/1",
+        "config": {"n": 6, "k": 4},
+        "results": results,
+        "speedups": {},
+    }
+
+
+BASELINE = _doc(
+    encode={"seconds_per_call": 0.01, "payload_bytes": 1000, "mb_per_s": 100.0},
+    mc_write={"seconds_per_call": 0.1, "trials": 1000, "trials_per_s": 10_000.0},
+    optimizer={"seconds_per_call": 0.05, "evaluated": 8},
+    decode_plan_cache={"hits": 3, "misses": 1},
+)
+
+
+class TestCompareDocs:
+    def test_identical_docs_pass(self):
+        assert compare_docs(BASELINE, BASELINE) == []
+
+    def test_small_drift_tolerated(self):
+        fresh = _doc(
+            encode={"seconds_per_call": 0.012, "payload_bytes": 1000, "mb_per_s": 83.0},
+            mc_write={"seconds_per_call": 0.11, "trials": 1000, "trials_per_s": 9_000.0},
+            optimizer={"seconds_per_call": 0.06, "evaluated": 8},
+        )
+        assert compare_docs(BASELINE, fresh) == []
+
+    def test_throughput_regression_detected(self):
+        fresh = _doc(
+            encode={"seconds_per_call": 0.02, "payload_bytes": 1000, "mb_per_s": 50.0},
+            mc_write=BASELINE["results"]["mc_write"],
+            optimizer=BASELINE["results"]["optimizer"],
+        )
+        regressions = compare_docs(BASELINE, fresh)
+        assert len(regressions) == 1
+        assert "encode" in regressions[0] and "mb_per_s" in regressions[0]
+
+    def test_wall_time_regression_detected(self):
+        # optimizer has no throughput field: seconds_per_call rising must trip.
+        fresh = _doc(
+            encode=BASELINE["results"]["encode"],
+            mc_write=BASELINE["results"]["mc_write"],
+            optimizer={"seconds_per_call": 0.5, "evaluated": 8},
+        )
+        regressions = compare_docs(BASELINE, fresh)
+        assert len(regressions) == 1
+        assert "optimizer" in regressions[0]
+
+    def test_missing_metric_is_a_regression(self):
+        fresh = _doc(
+            encode=BASELINE["results"]["encode"],
+            optimizer=BASELINE["results"]["optimizer"],
+        )
+        regressions = compare_docs(BASELINE, fresh)
+        assert len(regressions) == 1
+        assert "mc_write" in regressions[0] and "missing" in regressions[0]
+
+    def test_counter_entries_ignored(self):
+        # decode_plan_cache has no throughput metric; dropping it is fine.
+        fresh = dict(BASELINE)
+        fresh["results"] = {
+            k: v for k, v in BASELINE["results"].items() if k != "decode_plan_cache"
+        }
+        assert compare_docs(BASELINE, fresh) == []
+
+    def test_config_mismatch_rejected(self):
+        fresh = dict(BASELINE)
+        fresh["config"] = {"n": 12, "k": 8}
+        with pytest.raises(ConfigurationError):
+            compare_docs(BASELINE, fresh)
+        assert compare_docs(BASELINE, fresh, require_matching_config=False) == []
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ConfigurationError):
+            compare_docs(BASELINE, BASELINE, max_regression=0.0)
+        with pytest.raises(ConfigurationError):
+            compare_docs(BASELINE, BASELINE, max_regression=1.5)
+
+
+class TestCliEntry:
+    def _write(self, path, doc):
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_green_gate_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", BASELINE)
+        assert main([base, base]) == 0
+        assert "perf gate OK" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", BASELINE)
+        fresh_doc = _doc(
+            encode={"seconds_per_call": 0.1, "payload_bytes": 1000, "mb_per_s": 10.0},
+            mc_write=BASELINE["results"]["mc_write"],
+            optimizer=BASELINE["results"]["optimizer"],
+        )
+        fresh = self._write(tmp_path / "fresh.json", fresh_doc)
+        assert main([base, fresh]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out and "encode" in out
+
+    def test_allow_config_mismatch_flag(self, tmp_path):
+        base = self._write(tmp_path / "base.json", BASELINE)
+        other = dict(BASELINE)
+        other["config"] = {"n": 99}
+        fresh = self._write(tmp_path / "fresh.json", other)
+        with pytest.raises(ConfigurationError):
+            main([base, fresh])
+        assert main([base, fresh, "--allow-config-mismatch"]) == 0

@@ -35,6 +35,11 @@ class TestPerfHarness:
             "update_deltas",
             "mc_write",
             "mc_read_erc",
+            "exact_enum_seed",
+            "exact_enum_occupancy",
+            "exact_enum_occupancy_warm",
+            "optimizer_seed",
+            "optimizer",
         ):
             assert name in perf_doc["results"], name
 
@@ -53,8 +58,22 @@ class TestPerfHarness:
             "encode_vs_seed",
             "encode_batch_vs_seed",
             "encode_small_batch_vs_loop",
+            "exact_enum_vs_seed",
+            "optimizer_vs_seed",
         ):
             assert speedups[name] > 0, name
+
+    def test_exact_enum_sections_consistent(self, perf_doc):
+        results = perf_doc["results"]
+        nb = results["exact_enum_seed"]["nbnode"]
+        cfg = perf_doc["config"]
+        assert nb == cfg["enum_n"] - cfg["enum_k"] + 1
+        assert results["exact_enum_occupancy"]["seconds_per_call"] > 0
+        assert results["optimizer"]["evaluated"] >= 1
+        assert (
+            results["optimizer"]["evaluated"]
+            == results["optimizer_seed"]["evaluated"]
+        )
 
     def test_plan_cache_observed(self, perf_doc):
         cache = perf_doc["results"]["decode_plan_cache"]

@@ -147,10 +147,26 @@ class TestDumpConfig:
         capsys.readouterr()
         assert main(["run", "--config", str(dump), "--quiet"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["kind"] == "availability"
+        assert payload["kind"] == "optimize"
         assert payload["spec"]["code"] == {
             "n": 9, "k": 6, "construction": "vandermonde",
         }
+        # The replayed search reproduces the CLI's winners exactly.
+        from repro.analysis import optimize_config
+
+        best = optimize_config(9, 6, 0.7).best_balanced
+        replayed = payload["data"]["results"][0]["best_balanced"]
+        assert replayed["w"] == list(best.w)
+        assert replayed["write"] == best.write
+        assert replayed["read"] == best.read
+
+    def test_optimize_multiple_p_values(self, capsys):
+        assert main(
+            ["optimize", "--n", "9", "--k", "6", "--p", "0.5", "0.9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "p=0.5:" in out
+        assert "p=0.9:" in out
 
 
 class TestFiguresCommand:
