@@ -12,8 +12,9 @@ The canonical way to construct and run everything in the repo:
   constructors behind one factory, and the minimal
   :class:`ProtocolEngine` protocol every engine satisfies;
 * :mod:`repro.api.runner` — :class:`ScenarioRunner`, executing MC
-  availability, protocol Monte-Carlo, trace simulations, comparisons and
-  sweeps from a spec into tidy JSON-dumpable results.
+  availability, protocol Monte-Carlo, trace simulations, comparisons,
+  sweeps and event-driven latency/faultload runs from a spec into tidy
+  JSON-dumpable results.
 
 Ten-line quickstart::
 
@@ -43,10 +44,17 @@ from repro.api.registry import (
     register_protocol,
     register_quorum,
 )
-from repro.api.runner import ScenarioResult, ScenarioRunner, run_spec
+from repro.api.runner import (
+    ScenarioResult,
+    ScenarioRunner,
+    build_latency_model,
+    run_spec,
+)
 from repro.api.spec import (
     ClusterSpec,
     CodeSpec,
+    FaultloadSpec,
+    LatencySpec,
     PlacementSpec,
     QuorumSpec,
     ScenarioSpec,
@@ -60,6 +68,8 @@ __all__ = [
     "ClusterSpec",
     "PlacementSpec",
     "WorkloadSpec",
+    "LatencySpec",
+    "FaultloadSpec",
     "ScenarioSpec",
     "SystemSpec",
     "QuorumEntry",
@@ -78,4 +88,5 @@ __all__ = [
     "ScenarioRunner",
     "ScenarioResult",
     "run_spec",
+    "build_latency_model",
 ]

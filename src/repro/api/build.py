@@ -9,8 +9,9 @@ derived deterministic RNG streams.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Protocol, runtime_checkable
+from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -29,6 +30,7 @@ from repro.erasure.stripe import StripeLayout
 from repro.errors import ConfigurationError
 from repro.quorum.base import QuorumSystem
 from repro.quorum.trapezoid import TrapezoidQuorum
+from repro.runtime.coordinator import Coordinator
 from repro.storage.placement import IdentityPlacement, RotatingPlacement
 
 __all__ = ["ProtocolEngine", "BuiltSystem", "build_system"]
@@ -73,6 +75,8 @@ class BuiltSystem:
     quorum: TrapezoidQuorum | None
     repair: RepairService | None
     rng: np.random.Generator = field(repr=False)
+    #: execution path injected into the engine (None = default instant)
+    coordinator: Coordinator | None = None
 
     @property
     def num_blocks(self) -> int:
@@ -116,7 +120,23 @@ class BuiltSystem:
         return self.system.read_availability(p)
 
 
-def build_system(spec: SystemSpec, stripe_index: int = 0) -> BuiltSystem:
+def _builder_accepts_coordinator(builder) -> bool:
+    try:
+        parameters = inspect.signature(builder).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    if "coordinator" in parameters:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+def build_system(
+    spec: SystemSpec,
+    stripe_index: int = 0,
+    coordinator_factory: Callable[[Cluster], Coordinator] | None = None,
+) -> BuiltSystem:
     """Construct the full system a spec describes (uninitialized).
 
     The cluster, code, layout and engine are freshly built; the engine's
@@ -124,6 +144,12 @@ def build_system(spec: SystemSpec, stripe_index: int = 0) -> BuiltSystem:
     children, so initialization data and failure schedules never share a
     stream). ``stripe_index`` selects the placement rotation for callers
     driving several stripes.
+
+    ``coordinator_factory`` injects an execution path: it receives the
+    freshly built cluster and returns the coordinator handed to the
+    engine builder (the latency scenario passes an
+    :class:`~repro.runtime.event.EventCoordinator` factory here). Without
+    one, engines run on their default instant path.
     """
     entry = protocol_entry(spec.protocol)
     group = spec.code.group_size
@@ -148,8 +174,29 @@ def build_system(spec: SystemSpec, stripe_index: int = 0) -> BuiltSystem:
     cluster = Cluster(spec.cluster.num_nodes)
     code = MDSCode(spec.code.n, spec.code.k, construction=spec.code.construction)
     layout = _layout_for(spec, stripe_index)
-    engine = entry.builder(spec, cluster, code, layout)
-    repair = RepairService(engine) if entry.supports_repair else None
+    coordinator = None
+    if coordinator_factory is not None:
+        if not _builder_accepts_coordinator(entry.builder):
+            raise ConfigurationError(
+                f"protocol {spec.protocol!r} does not support coordinator "
+                "injection (its registered builder takes no 'coordinator' "
+                "keyword); it cannot run on the event-driven path"
+            )
+        coordinator = coordinator_factory(cluster)
+        engine = entry.builder(spec, cluster, code, layout, coordinator=coordinator)
+    else:
+        engine = entry.builder(spec, cluster, code, layout)
+    if not entry.supports_repair:
+        repair = None
+    elif coordinator is None:
+        repair = RepairService(engine)
+    else:
+        # Anti-entropy runs as out-of-band instant maintenance even when
+        # the engine itself is event-driven: a second engine instance on
+        # the same cluster (protocol state lives on the nodes) with the
+        # default instant coordinator backs the repair service, so repair
+        # passes never re-enter the running event loop.
+        repair = RepairService(entry.builder(spec, cluster, code, layout))
     (rng,) = spawn_rngs(make_rng(spec.seed), 1)
     return BuiltSystem(
         spec=spec,
@@ -161,4 +208,5 @@ def build_system(spec: SystemSpec, stripe_index: int = 0) -> BuiltSystem:
         quorum=quorum,
         repair=repair,
         rng=rng,
+        coordinator=coordinator,
     )

@@ -219,22 +219,25 @@ def protocol_entry(name: str) -> ProtocolEntry:
     "trap-erc", TrapErcProtocol, needs_trapezoid=True, supports_repair=True
 )
 def _build_trap_erc(
-    spec: SystemSpec, cluster: "Cluster", code: "MDSCode", layout: "StripeLayout"
+    spec: SystemSpec, cluster: "Cluster", code: "MDSCode", layout: "StripeLayout",
+    coordinator=None,
 ) -> TrapErcProtocol:
     quorum = build_trapezoid_quorum(spec.quorum)
     return TrapErcProtocol(
-        cluster, code, quorum, layout=layout, stripe_id="api-stripe"
+        cluster, code, quorum, layout=layout, stripe_id="api-stripe",
+        coordinator=coordinator,
     )
 
 
 @register_protocol("trap-fr", TrapFrProtocol, needs_trapezoid=True)
 def _build_trap_fr(
-    spec: SystemSpec, cluster: "Cluster", code: "MDSCode", layout: "StripeLayout"
+    spec: SystemSpec, cluster: "Cluster", code: "MDSCode", layout: "StripeLayout",
+    coordinator=None,
 ) -> TrapFrProtocol:
     quorum = build_trapezoid_quorum(spec.quorum)
     return TrapFrProtocol(
         cluster, spec.code.n, spec.code.k, quorum, layout=layout,
-        stripe_id="api-stripe",
+        stripe_id="api-stripe", coordinator=coordinator,
     )
 
 
@@ -273,12 +276,16 @@ def _flat_system_builder(kind: str, system_class: type):
     "rowa", RowaProtocol, system_builder=_flat_system_builder("rowa", RowaSystem)
 )
 def _build_rowa(
-    spec: SystemSpec, cluster: "Cluster", code: "MDSCode", layout: "StripeLayout"
+    spec: SystemSpec, cluster: "Cluster", code: "MDSCode", layout: "StripeLayout",
+    coordinator=None,
 ) -> RowaProtocol:
     # Flat baselines replicate every block on block 0's consistency group:
     # the same n - k + 1 node budget the trapezoid defends (the setting of
     # examples/protocol_comparison.py).
-    return RowaProtocol(cluster, list(layout.consistency_group(0)), "api-stripe")
+    return RowaProtocol(
+        cluster, list(layout.consistency_group(0)), "api-stripe",
+        coordinator=coordinator,
+    )
 
 
 @register_protocol(
@@ -287,6 +294,10 @@ def _build_rowa(
     system_builder=_flat_system_builder("majority", MajoritySystem),
 )
 def _build_majority(
-    spec: SystemSpec, cluster: "Cluster", code: "MDSCode", layout: "StripeLayout"
+    spec: SystemSpec, cluster: "Cluster", code: "MDSCode", layout: "StripeLayout",
+    coordinator=None,
 ) -> MajorityProtocol:
-    return MajorityProtocol(cluster, list(layout.consistency_group(0)), "api-stripe")
+    return MajorityProtocol(
+        cluster, list(layout.consistency_group(0)), "api-stripe",
+        coordinator=coordinator,
+    )

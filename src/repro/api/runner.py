@@ -3,7 +3,7 @@
 :class:`ScenarioRunner` is the facade's execution engine: it takes one
 :class:`~repro.api.spec.SystemSpec`, dispatches on ``spec.scenario.kind``
 (smoke / availability / protocol_mc / trace / comparison / sweep /
-optimize) and
+optimize / latency) and
 returns a :class:`ScenarioResult` whose ``to_json()`` output embeds the
 originating spec — a results file is therefore a reproducible artifact:
 ``SystemSpec.from_dict(result["spec"])`` re-runs the exact experiment.
@@ -26,16 +26,26 @@ import numpy as np
 from repro.analysis.optimizer import ConfigPoint, optimize_config_sweep
 from repro.api.build import BuiltSystem, build_system
 from repro.api.registry import build_trapezoid_quorum, protocol_entry, protocol_names
-from repro.api.spec import SystemSpec
+from repro.api.spec import FaultloadSpec, LatencySpec, SystemSpec
+from repro.cluster.events import Simulator
 from repro.cluster.failures import exponential_trace
+from repro.cluster.network import FixedLatency, LognormalLatency, UniformLatency
 from repro.cluster.rng import make_rng, spawn_rngs
 from repro.errors import ConfigurationError
 from repro.quorum.trapezoid import TrapezoidQuorum
+from repro.runtime.event import EventCoordinator
+from repro.runtime.rounds import RetryPolicy
 from repro.sim.comparative import make_schedule, run_comparison
 from repro.sim.metrics import MCEstimate
 from repro.sim.protocol_mc import ProtocolMonteCarlo
 from repro.sim.sweep import availability_sweep
-from repro.sim.trace_sim import TraceSimConfig, TraceSimulation
+from repro.sim.trace_sim import (
+    ClosedLoopConfig,
+    ClosedLoopSimulation,
+    PartitionWindow,
+    TraceSimConfig,
+    TraceSimulation,
+)
 from repro.sim.workloads import (
     OpKind,
     sequential_workload,
@@ -46,8 +56,20 @@ from repro.sim.workloads import (
 
 __all__ = ["ScenarioResult", "ScenarioRunner", "run_spec"]
 
-#: number of deterministic child streams carved out of ``spec.seed``
-_NUM_STREAMS = 8
+#: number of deterministic child streams carved out of ``spec.seed``.
+#: SeedSequence.spawn keys by child index, so growing this list appends
+#: new independent streams without perturbing streams 0..7 (existing
+#: scenario kinds keep reproducing their exact historical results).
+_NUM_STREAMS = 10
+
+
+def build_latency_model(spec: LatencySpec):
+    """The :class:`~repro.cluster.network.LatencyModel` a spec describes."""
+    if spec.kind == "fixed":
+        return FixedLatency(spec.delay)
+    if spec.kind == "uniform":
+        return UniformLatency(spec.low, spec.high)
+    return LognormalLatency(spec.mu, spec.sigma)
 
 
 @dataclass
@@ -144,6 +166,7 @@ class ScenarioRunner:
             "comparison": self._run_comparison,
             "sweep": self._run_sweep,
             "optimize": self._run_optimize,
+            "latency": self._run_latency,
         }
         data = runners[self.spec.scenario.kind]()
         return ScenarioResult(
@@ -436,6 +459,103 @@ class ScenarioRunner:
                 }
                 for p, res in zip(scenario.ps, results)
             ],
+        }
+
+
+    def _faultload(self, faultload: FaultloadSpec, horizon: float, rng):
+        """Materialize a faultload: (FailureTrace | None, partition windows)."""
+        if faultload.kind == "churn":
+            trace = exponential_trace(
+                self.spec.cluster.num_nodes,
+                faultload.mtbf,
+                faultload.mttr,
+                horizon,
+                rng=rng,
+            )
+            return trace, []
+        if faultload.kind == "partition":
+            windows = []
+            num_nodes = self.spec.cluster.num_nodes
+            size = min(faultload.partition_size, num_nodes)
+            start = faultload.period
+            while start < horizon:
+                nodes = tuple(
+                    sorted(rng.choice(num_nodes, size=size, replace=False).tolist())
+                )
+                windows.append(
+                    PartitionWindow(start, start + faultload.duration, nodes)
+                )
+                start += faultload.period
+            return None, windows
+        return None, []
+
+    def _run_latency(self) -> dict:
+        """Event-driven closed-loop run: latency percentiles under faults.
+
+        The engine runs on an :class:`EventCoordinator`; ``clients``
+        closed-loop clients keep operations concurrently in flight while
+        the faultload (churn or partitions) interleaves mid-operation.
+        Stream 8 drives message-latency sampling, stream 9 the faultload,
+        so the same spec + seed reproduces the identical event trace
+        (``trace_hash`` digests it).
+        """
+        scenario = self.spec.scenario
+        latency_spec = self.spec.latency or LatencySpec()
+        faultload = scenario.faultload or FaultloadSpec()
+        simulator = Simulator()
+        policy = RetryPolicy(
+            timeout=latency_spec.timeout, retries=latency_spec.retries
+        )
+        model = build_latency_model(latency_spec)
+        coordinator: list[EventCoordinator] = []
+
+        def factory(cluster):
+            coordinator.append(
+                EventCoordinator(
+                    cluster,
+                    simulator,
+                    latency=model,
+                    rng=self._streams[8],
+                    policy=policy,
+                    record_trace=True,
+                )
+            )
+            return coordinator[0]
+
+        built = build_system(self.spec, coordinator_factory=factory)
+        built.initialize()
+        ops = _make_workload(self.spec, built.num_blocks, self._streams[1])
+        trace, partitions = self._faultload(
+            faultload, scenario.horizon, self._streams[9]
+        )
+        config = ClosedLoopConfig(
+            clients=scenario.clients,
+            think_time=scenario.think_time,
+            horizon=scenario.horizon,
+            block_length=self.spec.workload.block_length,
+            repair_interval=scenario.repair_interval,
+        )
+        sim = ClosedLoopSimulation(
+            built.cluster,
+            built.engine,
+            coordinator[0],
+            ops,
+            config=config,
+            trace=trace,
+            partitions=partitions,
+            repair=built.repair if scenario.repair_interval is not None else None,
+        )
+        tally = sim.run()
+        return {
+            "clients": scenario.clients,
+            "think_time": scenario.think_time,
+            "horizon": scenario.horizon,
+            "faultload": faultload.to_dict(),
+            "latency_model": latency_spec.to_dict(),
+            "ops_submitted": tally.reads_attempted + tally.writes_attempted,
+            "virtual_duration": simulator.now,
+            "summary": tally.summary(),
+            "trace_hash": coordinator[0].trace_hash(),
         }
 
 

@@ -25,6 +25,8 @@ __all__ = [
     "ClusterSpec",
     "PlacementSpec",
     "WorkloadSpec",
+    "LatencySpec",
+    "FaultloadSpec",
     "ScenarioSpec",
     "SystemSpec",
 ]
@@ -316,6 +318,84 @@ class WorkloadSpec(_SpecBase):
 
 
 @dataclass(frozen=True)
+class LatencySpec(_SpecBase):
+    """Message latency model + timeout/retry policy of the event runtime.
+
+    ``kind`` selects the per-message-leg delay distribution (``fixed``:
+    ``delay``; ``uniform``: [``low``, ``high``]; ``lognormal``:
+    exp(N(``mu``, ``sigma``²)), heavy-tailed). ``timeout``/``retries``
+    form the per-operation :class:`~repro.runtime.rounds.RetryPolicy`:
+    a request unanswered after ``timeout`` virtual seconds is resent up
+    to ``retries`` times, then counts as failed.
+    """
+
+    kind: str = "lognormal"
+    delay: float = 0.001
+    low: float = 0.0005
+    high: float = 0.002
+    mu: float = -6.5
+    sigma: float = 0.5
+    timeout: float = 0.05
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in ("fixed", "uniform", "lognormal"),
+            f"unknown latency kind {self.kind!r}",
+        )
+        _require(self.delay >= 0, f"delay must be >= 0, got {self.delay}")
+        _require(
+            0 <= self.low <= self.high,
+            f"need 0 <= low <= high, got low={self.low}, high={self.high}",
+        )
+        _require(self.sigma >= 0, f"sigma must be >= 0, got {self.sigma}")
+        _require(self.timeout > 0, f"timeout must be > 0, got {self.timeout}")
+        _require(self.retries >= 0, f"retries must be >= 0, got {self.retries}")
+
+
+@dataclass(frozen=True)
+class FaultloadSpec(_SpecBase):
+    """What goes wrong *while* the latency scenario runs.
+
+    ``none``
+        a healthy cluster (pure latency baseline),
+    ``churn``
+        alternating-renewal fail/repair per node with means
+        ``mtbf``/``mttr`` (nodes miss writes while down and come back
+        stale — mid-operation, thanks to the event runtime),
+    ``partition``
+        every ``period`` virtual seconds, ``partition_size`` randomly
+        chosen nodes drop off the network for ``duration`` seconds
+        (messages to them are silently lost; timeouts resolve them).
+    """
+
+    kind: str = "none"
+    mtbf: float = 200.0
+    mttr: float = 20.0
+    partition_size: int = 1
+    period: float = 100.0
+    duration: float = 20.0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in ("none", "churn", "partition"),
+            f"unknown faultload kind {self.kind!r}",
+        )
+        _require(self.mtbf > 0, f"mtbf must be > 0, got {self.mtbf}")
+        _require(self.mttr > 0, f"mttr must be > 0, got {self.mttr}")
+        _require(
+            self.partition_size >= 1,
+            f"partition_size must be >= 1, got {self.partition_size}",
+        )
+        _require(self.period > 0, f"period must be > 0, got {self.period}")
+        _require(
+            0 < self.duration <= self.period,
+            f"need 0 < duration <= period, got duration={self.duration}, "
+            f"period={self.period}",
+        )
+
+
+@dataclass(frozen=True)
 class ScenarioSpec(_SpecBase):
     """What the :class:`~repro.api.runner.ScenarioRunner` executes.
 
@@ -338,10 +418,18 @@ class ScenarioSpec(_SpecBase):
     ``optimize``
         the occupancy-engine configuration search over every (shape, w)
         for the code's (n, k), one result per entry of ``ps`` (tables are
-        shared across the grid; ``max_h`` bounds the shape search).
+        shared across the grid; ``max_h`` bounds the shape search),
+    ``latency``
+        the event-driven runtime: ``clients`` closed-loop clients drive
+        the workload concurrently (``think_time`` between an operation's
+        completion and the client's next one) under the ``faultload``,
+        with messages travelling per the system's ``latency`` spec;
+        reports p50/p95/p99 operation latency, availability and
+        per-round message counts.
     """
 
     _TUPLES = ("ps", "protocols", "w_values")
+    _NESTED = {"faultload": FaultloadSpec}
 
     kind: str = "smoke"
     ps: tuple[float, ...] = (0.5, 0.7, 0.9)
@@ -355,6 +443,9 @@ class ScenarioSpec(_SpecBase):
     w_values: tuple[int, ...] | None = None
     num_blocks: int | None = None
     max_h: int = 3
+    clients: int = 4
+    think_time: float = 0.0
+    faultload: FaultloadSpec | None = None
 
     def __post_init__(self) -> None:
         kinds = (
@@ -365,6 +456,7 @@ class ScenarioSpec(_SpecBase):
             "comparison",
             "sweep",
             "optimize",
+            "latency",
         )
         _require(
             self.kind in kinds,
@@ -401,6 +493,11 @@ class ScenarioSpec(_SpecBase):
                 f"num_blocks must be >= 1, got {self.num_blocks}",
             )
         _require(self.max_h >= 0, f"max_h must be >= 0, got {self.max_h}")
+        _require(self.clients >= 1, f"clients must be >= 1, got {self.clients}")
+        _require(
+            self.think_time >= 0,
+            f"think_time must be >= 0, got {self.think_time}",
+        )
         if self.kind == "optimize":
             _require(
                 all(0.0 < p < 1.0 for p in self.ps),
@@ -430,6 +527,7 @@ class SystemSpec(_SpecBase):
         "cluster": ClusterSpec,
         "placement": PlacementSpec,
         "workload": WorkloadSpec,
+        "latency": LatencySpec,
         "scenario": ScenarioSpec,
     }
 
@@ -439,6 +537,7 @@ class SystemSpec(_SpecBase):
     cluster: ClusterSpec | None = None
     placement: PlacementSpec = field(default_factory=PlacementSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    latency: LatencySpec | None = None
     scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
     seed: int = 0
 

@@ -3,7 +3,8 @@
 ``python -m repro.bench.compare BASELINE FRESH [--max-regression 0.3]``
 re-reads the committed perf document and a freshly generated one and
 fails (exit 1) when any throughput metric regressed by more than the
-tolerance: ``mb_per_s`` / ``trials_per_s`` dropping, or — for entries
+tolerance: ``mb_per_s`` / ``trials_per_s`` / ``ops_per_s`` (the
+event-runtime latency benchmark) dropping, or — for entries
 that only report wall time, like the exact-enumeration and optimizer
 benchmarks — ``seconds_per_call`` rising. CI runs this after the perf
 smoke so a PR cannot silently slow a tracked hot path.
@@ -27,11 +28,12 @@ __all__ = ["DEFAULT_MAX_REGRESSION", "compare_docs", "main"]
 DEFAULT_MAX_REGRESSION = 0.30
 
 #: metric preference per results entry; (key, higher_is_better). Only the
-#: first key present is compared — mb_per_s and seconds_per_call are
-#: reciprocal views of one measurement.
+#: first key present is compared — mb_per_s / ops_per_s and
+#: seconds_per_call are reciprocal views of one measurement.
 _METRIC_KEYS = (
     ("mb_per_s", True),
     ("trials_per_s", True),
+    ("ops_per_s", True),
     ("seconds_per_call", False),
 )
 

@@ -9,8 +9,9 @@ The document has three sections:
 
 * ``config``  — the sizes the harness ran at;
 * ``results`` — per-benchmark throughput (MB/s of *useful* payload — data
-  bytes encoded/decoded/updated — or trials/s for the Monte-Carlo
-  estimators), plus the raw seconds-per-call;
+  bytes encoded/decoded/updated — trials/s for the Monte-Carlo
+  estimators, or simulated ops/s for the event-driven latency runtime),
+  plus the raw seconds-per-call;
 * ``speedups`` — measured ratios of the batched kernels against inline
   re-implementations of the seed (pre-kernel) code paths: Gauss-Jordan
   per decode + outer-product matmul, plus the exact-availability and
@@ -70,6 +71,12 @@ DEFAULT_SIZES = {
     "opt_p": 0.9,
     "opt_max_h": 2,
     "opt_repeats": 1,
+    # event-driven runtime: closed-loop clients under churn (simulated
+    # operations per wall-clock second through the full session layer).
+    "lat_ops": 600,
+    "lat_clients": 8,
+    "lat_block_length": 256,
+    "lat_repeats": 3,
 }
 
 #: Tiny sizes for the tier-1-adjacent smoke target (< 1 s total).
@@ -91,6 +98,10 @@ TINY_SIZES = {
     "opt_p": 0.8,
     "opt_max_h": 2,
     "opt_repeats": 1,
+    "lat_ops": 60,
+    "lat_clients": 4,
+    "lat_block_length": 32,
+    "lat_repeats": 2,
 }
 
 
@@ -295,6 +306,43 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         "evaluated": evaluated,
     }
 
+    # -- event-driven runtime (closed-loop latency scenario) ------------ #
+    lat_ops = cfg["lat_ops"]
+
+    def latency_sim() -> None:
+        from repro.api import (
+            FaultloadSpec,
+            LatencySpec,
+            ScenarioRunner,
+            ScenarioSpec,
+            SystemSpec,
+            WorkloadSpec,
+        )
+
+        spec = SystemSpec.trapezoid(
+            9, 6, 2, 1, 1, 2,
+            latency=LatencySpec(kind="lognormal"),
+            workload=WorkloadSpec(
+                num_ops=lat_ops, block_length=cfg["lat_block_length"]
+            ),
+            scenario=ScenarioSpec(
+                kind="latency",
+                clients=cfg["lat_clients"],
+                think_time=0.05,
+                horizon=60.0,  # generous: the op tape ends the run first
+                faultload=FaultloadSpec(kind="churn", mtbf=5.0, mttr=1.0),
+            ),
+            seed=rng_seed,
+        )
+        ScenarioRunner(spec).run()
+
+    t_lat = _time_call(latency_sim, cfg["lat_repeats"])
+    results["latency_sim"] = {
+        "seconds_per_call": t_lat,
+        "ops": lat_ops,
+        "ops_per_s": lat_ops / t_lat,
+    }
+
     speedups = {
         "decode_repeated_vs_seed": t_seed_dec / t_dec,
         "decode_batch_vs_seed": (t_seed_dec * stripes) / t_dec_batch,
@@ -323,10 +371,13 @@ def write_perf_json(
         for name, entry in doc["results"].items():
             mbs = entry.get("mb_per_s")
             tps = entry.get("trials_per_s")
+            ops = entry.get("ops_per_s")
             if mbs is not None:
                 print(f"{name:24s} {mbs:10.1f} MB/s")
             elif tps is not None:
                 print(f"{name:24s} {tps:10.0f} trials/s")
+            elif ops is not None:
+                print(f"{name:24s} {ops:10.0f} ops/s")
         for name, ratio in doc["speedups"].items():
             print(f"{name:28s} {ratio:6.1f}x")
     return path

@@ -6,7 +6,7 @@ the "distributed storage system" the paper's protocol runs on.
 """
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.events import Simulator
+from repro.cluster.events import Simulator, Timer
 from repro.cluster.failures import (
     BernoulliSnapshot,
     EventKind,
@@ -17,6 +17,7 @@ from repro.cluster.failures import (
 from repro.cluster.network import (
     FixedLatency,
     LatencyModel,
+    LognormalLatency,
     Network,
     NetworkStats,
     UniformLatency,
@@ -28,6 +29,7 @@ from repro.cluster.rng import make_rng, spawn_rngs
 __all__ = [
     "Cluster",
     "Simulator",
+    "Timer",
     "BernoulliSnapshot",
     "EventKind",
     "FailureEvent",
@@ -38,6 +40,7 @@ __all__ = [
     "LatencyModel",
     "FixedLatency",
     "UniformLatency",
+    "LognormalLatency",
     "StorageNode",
     "DataRecord",
     "ParityRecord",

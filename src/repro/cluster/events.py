@@ -1,9 +1,11 @@
 """Minimal discrete-event simulation engine.
 
 A binary-heap event queue with stable FIFO ordering for simultaneous
-events. Drives the history-model experiments: failure/repair transitions
-from a :class:`~repro.cluster.failures.FailureTrace` and workload
-operation arrivals are both scheduled here.
+events. Drives the history-model experiments (failure/repair transitions
+from a :class:`~repro.cluster.failures.FailureTrace`, workload operation
+arrivals) and the event-driven protocol runtime in :mod:`repro.runtime`,
+whose message timeouts need the cancellable :class:`Timer` handles that
+``schedule_at``/``schedule_in`` return.
 """
 
 from __future__ import annotations
@@ -13,7 +15,25 @@ from typing import Callable
 
 from repro.errors import SimulationError
 
-__all__ = ["Simulator"]
+__all__ = ["Timer", "Simulator"]
+
+
+class Timer:
+    """Cancellable handle for one scheduled event.
+
+    Cancellation is lazy: the entry stays in the heap and is discarded
+    when it surfaces, so ``cancel()`` is O(1) and safe to call from any
+    callback (including after the event already ran, where it is a no-op).
+    """
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
 
 
 class Simulator:
@@ -22,7 +42,7 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._queue: list[tuple[float, int, Callable[[], None], Timer]] = []
         self.processed = 0
 
     @property
@@ -30,26 +50,39 @@ class Simulator:
         """Current virtual time."""
         return self._now
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+    def __len__(self) -> int:
+        """Pending (non-cancelled) events still queued."""
+        self._prune()
+        return sum(1 for entry in self._queue if not entry[3].cancelled)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` at absolute virtual time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now {self._now}"
             )
-        heapq.heappush(self._queue, (float(time), self._seq, callback))
+        timer = Timer(float(time))
+        heapq.heappush(self._queue, (float(time), self._seq, callback, timer))
         self._seq += 1
+        return timer
 
-    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` after ``delay`` virtual seconds."""
         if delay < 0:
             raise SimulationError(f"delay must be >= 0, got {delay}")
-        self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback)
+
+    def _prune(self) -> None:
+        """Drop cancelled entries sitting at the head of the heap."""
+        while self._queue and self._queue[0][3].cancelled:
+            heapq.heappop(self._queue)
 
     def step(self) -> bool:
-        """Run the next event; returns False when the queue is empty."""
+        """Run the next live event; returns False when the queue is empty."""
+        self._prune()
         if not self._queue:
             return False
-        time, _, callback = heapq.heappop(self._queue)
+        time, _, callback, _timer = heapq.heappop(self._queue)
         self._now = time
         callback()
         self.processed += 1
@@ -57,15 +90,19 @@ class Simulator:
 
     def run_until(self, horizon: float) -> None:
         """Process events with time <= horizon, then advance to horizon."""
-        while self._queue and self._queue[0][0] <= horizon:
+        while True:
+            self._prune()
+            if not self._queue or self._queue[0][0] > horizon:
+                break
             self.step()
         self._now = max(self._now, horizon)
 
     def run(self, max_events: int | None = None) -> None:
         """Drain the queue (bounded by ``max_events`` if given)."""
         count = 0
-        while self._queue:
+        while True:
             if max_events is not None and count >= max_events:
                 return
-            self.step()
+            if not self.step():
+                return
             count += 1

@@ -1,6 +1,6 @@
 """Message-level network model with accounting, latency and partitions.
 
-Every protocol RPC goes through :meth:`Network.rpc`, which
+Every synchronous protocol RPC goes through :meth:`Network.rpc`, which
 
 * refuses delivery when the destination is failed or partitioned away
   (raising :class:`NodeUnavailableError`, exactly what a timed-out RPC
@@ -10,9 +10,24 @@ Every protocol RPC goes through :meth:`Network.rpc`, which
   report it),
 * accumulates virtual latency from a pluggable latency model.
 
-The model is synchronous-RPC: calls complete immediately in wall-clock
-terms, with latency tracked virtually. The discrete-event engine in
-:mod:`repro.cluster.events` drives time-based failure schedules on top.
+Latency accounting distinguishes two counters:
+
+* ``total_message_delay`` sums the sampled delay of *every* message —
+  useful as a traffic-volume proxy, but **not** an operation latency: a
+  quorum fan-out contacts its nodes in parallel, so summing the legs
+  overstates the wall time by the fan-out factor (this counter was
+  historically, and misleadingly, called ``virtual_latency``);
+* ``operation_latency`` accumulates the **max-of-parallel** delay per
+  fan-out round, recorded by the round coordinators in
+  :mod:`repro.runtime` via :meth:`Network.record_round` — this is the
+  virtual wall time a client actually observes.
+
+The model here is synchronous-RPC: calls complete immediately in
+wall-clock terms, with latency tracked virtually. The event-driven
+session layer in :mod:`repro.runtime.event` builds on the same fabric
+(``sample_delay`` / ``is_partitioned`` / the drop-and-timeout counters)
+to schedule real message deliveries on the discrete-event engine in
+:mod:`repro.cluster.events`.
 """
 
 from __future__ import annotations
@@ -25,7 +40,14 @@ import numpy as np
 from repro.cluster.node import StorageNode
 from repro.errors import NodeUnavailableError
 
-__all__ = ["LatencyModel", "FixedLatency", "UniformLatency", "NetworkStats", "Network"]
+__all__ = [
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "LognormalLatency",
+    "NetworkStats",
+    "Network",
+]
 
 
 class LatencyModel:
@@ -56,21 +78,65 @@ class UniformLatency(LatencyModel):
         return float(rng.uniform(self.low, self.high))
 
 
+@dataclass(frozen=True)
+class LognormalLatency(LatencyModel):
+    """Heavy-tailed latency: exp(N(mu, sigma^2)) seconds per message.
+
+    The defaults give a ~1.5 ms median with a long tail — the regime
+    where quorum-wait (q-th fastest of a fan-out) visibly beats waiting
+    on stragglers, which is what the latency percentile scenarios probe.
+    """
+
+    mu: float = -6.5
+    sigma: float = 0.5
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+
 @dataclass
 class NetworkStats:
-    """Aggregate traffic counters."""
+    """Aggregate traffic counters.
+
+    ``messages``/``bytes_sent``/``by_kind`` count traffic on both
+    execution paths. ``total_message_delay`` vs ``operation_latency`` is
+    the sum-of-messages vs max-of-parallel distinction documented in the
+    module docstring. ``messages_dropped``/``timeouts``/``retries`` are
+    event-path counters (partitions drop messages silently; the session
+    layer converts silence into timeouts and optional resends).
+    """
 
     messages: int = 0
     bytes_sent: int = 0
     rpc_failures: int = 0
-    virtual_latency: float = 0.0
+    total_message_delay: float = 0.0
+    operation_latency: float = 0.0
+    rounds: int = 0
+    messages_dropped: int = 0
+    timeouts: int = 0
+    retries: int = 0
     by_kind: Counter = field(default_factory=Counter)
+
+    @property
+    def virtual_latency(self) -> float:
+        """Deprecated alias of ``total_message_delay`` (pre-runtime name).
+
+        Kept so older notebooks keep reading the same number; new code
+        should choose explicitly between ``total_message_delay`` and
+        ``operation_latency``.
+        """
+        return self.total_message_delay
 
     def reset(self) -> None:
         self.messages = 0
         self.bytes_sent = 0
         self.rpc_failures = 0
-        self.virtual_latency = 0.0
+        self.total_message_delay = 0.0
+        self.operation_latency = 0.0
+        self.rounds = 0
+        self.messages_dropped = 0
+        self.timeouts = 0
+        self.retries = 0
         self.by_kind.clear()
 
 
@@ -93,6 +159,7 @@ class Network:
         self.latency = latency
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = NetworkStats()
+        self.last_rpc_delay = 0.0
         self._partitioned: set[int] = set()
 
     # -- partitions ----------------------------------------------------- #
@@ -108,8 +175,25 @@ class Network:
         else:
             self._partitioned.difference_update(int(i) for i in node_ids)
 
+    def is_partitioned(self, node_id: int) -> bool:
+        """True when messages to/from ``node_id`` are silently dropped."""
+        return int(node_id) in self._partitioned
+
     def is_reachable(self, node: StorageNode) -> bool:
         return node.alive and node.node_id not in self._partitioned
+
+    # -- latency -------------------------------------------------------- #
+
+    def sample_delay(self, rng: np.random.Generator | None = None) -> float:
+        """One message-leg delay from the latency model (0.0 when unset)."""
+        if self.latency is None:
+            return 0.0
+        return self.latency.sample(rng if rng is not None else self.rng)
+
+    def record_round(self, elapsed: float) -> None:
+        """Account one fan-out round's max-of-parallel latency."""
+        self.stats.operation_latency += elapsed
+        self.stats.rounds += 1
 
     # -- RPC ------------------------------------------------------------ #
 
@@ -118,13 +202,19 @@ class Network:
 
         Counts one request/response pair; raises NodeUnavailableError when
         the destination is dead or partitioned (indistinguishable to the
-        caller, as in a real timeout).
+        caller, as in a real timeout). The sampled round-trip delay is
+        kept in ``last_rpc_delay`` so round coordinators can record the
+        max-of-parallel round latency.
         """
         self.stats.messages += 2  # request + response
         self.stats.by_kind[method] += 1
         self.stats.bytes_sent += _payload_bytes(args, kwargs)
         if self.latency is not None:
-            self.stats.virtual_latency += 2 * self.latency.sample(self.rng)
+            delay = 2 * self.latency.sample(self.rng)
+            self.stats.total_message_delay += delay
+            self.last_rpc_delay = delay
+        else:
+            self.last_rpc_delay = 0.0
         if node.node_id in self._partitioned:
             self.stats.rpc_failures += 1
             raise NodeUnavailableError(node.node_id)

@@ -3,6 +3,10 @@
 Protocol-level counterparts of the analysis baselines, for end-to-end
 comparisons against TRAP-ERC/TRAP-FR on the same cluster substrate: same
 versioned nodes, same network accounting, same failure injection.
+
+Like the trapezoid engines, reads and writes are expressed as fan-out
+round plans over :mod:`repro.runtime`, so both baselines run unmodified
+on the instant and the event-driven execution paths.
 """
 
 from __future__ import annotations
@@ -12,6 +16,14 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.core.results import ReadCase, ReadResult, WriteResult
 from repro.errors import ConfigurationError, NodeUnavailableError, StaleNodeError
+from repro.runtime.coordinator import Coordinator, InstantCoordinator
+from repro.runtime.rounds import (
+    PAYLOAD_ROUND,
+    VERSION_ROUND,
+    WRITE_ROUND,
+    Request,
+    Round,
+)
 
 __all__ = ["RowaProtocol", "MajorityProtocol"]
 
@@ -19,7 +31,13 @@ __all__ = ["RowaProtocol", "MajorityProtocol"]
 class _ReplicationBase:
     """Shared replica bookkeeping for flat replication protocols."""
 
-    def __init__(self, cluster: Cluster, node_ids, stripe_id: str) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        node_ids,
+        stripe_id: str,
+        coordinator: Coordinator | None = None,
+    ) -> None:
         self.cluster = cluster
         self.node_ids = [int(i) for i in node_ids]
         if len(self.node_ids) < 1:
@@ -29,6 +47,9 @@ class _ReplicationBase:
         for nid in self.node_ids:
             cluster.node(nid)
         self.stripe_id = stripe_id
+        self.coordinator = (
+            coordinator if coordinator is not None else InstantCoordinator(cluster)
+        )
 
     def key(self, block: int):
         return (self._kind, self.stripe_id, block)
@@ -42,68 +63,108 @@ class _ReplicationBase:
             for nid in self.node_ids:
                 self.cluster.rpc(nid, "put_data", self.key(b), blocks[b], 0)
 
+    def _version_round(self, block: int) -> Round:
+        """Gather-all version discovery across the replica set."""
+        return Round(
+            [
+                Request(nid, "data_version", (self.key(block),))
+                for nid in self.node_ids
+            ],
+            kind=VERSION_ROUND,
+        )
+
+    def _write_requests(self, block: int, value: np.ndarray, version: int):
+        return [
+            Request(
+                nid,
+                "write_data",
+                (self.key(block), value, version),
+                catches=(NodeUnavailableError, StaleNodeError),
+            )
+            for nid in self.node_ids
+        ]
+
+    def read_block(self, block: int) -> ReadResult:
+        return self.coordinator.execute(self.read_plan(block))
+
+    def write_block(self, block: int, value: np.ndarray) -> WriteResult:
+        return self.coordinator.execute(self.write_plan(block, value))
+
 
 class RowaProtocol(_ReplicationBase):
     """Read One, Write All over n replicas."""
 
     _kind = "rowa"
 
-    def write_block(self, block: int, value: np.ndarray) -> WriteResult:
-        msg_before = self.cluster.network.stats.messages
+    def write_plan(self, block: int, value: np.ndarray):
         # Learn the current version from every replica: Write-All needs
         # them all anyway, and a stale first answer would produce a
         # version that fresh replicas reject.
-        versions = []
-        for nid in self.node_ids:
-            try:
-                versions.append(self.cluster.rpc(nid, "data_version", self.key(block)))
-            except NodeUnavailableError:
-                continue
-        if len(versions) < len(self.node_ids):
+        outcome = yield self._version_round(block)
+        messages = outcome.messages
+        if len(outcome.accepted) < len(self.node_ids):
             return WriteResult(
                 success=False,
-                messages=self.cluster.network.stats.messages - msg_before,
+                messages=messages,
                 reason="replica unreachable during version lookup (ROWA requires all)",
             )
-        new_version = max(versions) + 1
-        acks = 0
-        for nid in self.node_ids:
-            try:
-                self.cluster.rpc(nid, "write_data", self.key(block), value, new_version)
-                acks += 1
-            except (NodeUnavailableError, StaleNodeError):
-                # Write-All: any miss fails the operation.
-                return WriteResult(
-                    success=False,
-                    version=new_version,
-                    acks_per_level=[acks],
-                    messages=self.cluster.network.stats.messages - msg_before,
-                    reason=f"replica {nid} unavailable (ROWA requires all)",
-                )
+        new_version = max(r.value for r in outcome.accepted) + 1
+        # Write-All: any miss fails the operation.
+        write_outcome = yield Round(
+            self._write_requests(block, value, new_version),
+            need=len(self.node_ids),
+            send_all=True,
+            abort_on_reject=True,
+            kind=WRITE_ROUND,
+        )
+        messages += write_outcome.messages
+        acks = len(write_outcome.accepted)
+        if not write_outcome.satisfied:
+            # abort_on_reject: the rejecting response completed the round.
+            rejected = write_outcome.responses[-1]
+            return WriteResult(
+                success=False,
+                version=new_version,
+                acks_per_level=[acks],
+                messages=messages,
+                reason=(
+                    f"replica {rejected.request.node_id} unavailable "
+                    "(ROWA requires all)"
+                ),
+            )
         return WriteResult(
             success=True,
             version=new_version,
             acks_per_level=[acks],
-            messages=self.cluster.network.stats.messages - msg_before,
+            messages=messages,
         )
 
-    def read_block(self, block: int) -> ReadResult:
-        msg_before = self.cluster.network.stats.messages
-        for nid in self.node_ids:
-            try:
-                payload, version = self.cluster.rpc(nid, "read_data", self.key(block))
-            except (NodeUnavailableError, KeyError):
-                continue
+    def read_plan(self, block: int):
+        outcome = yield Round(
+            [
+                Request(
+                    nid,
+                    "read_data",
+                    (self.key(block),),
+                    catches=(NodeUnavailableError, KeyError),
+                )
+                for nid in self.node_ids
+            ],
+            need=1,
+            kind=PAYLOAD_ROUND,
+        )
+        if outcome.satisfied:
+            payload, version = outcome.accepted[0].value
             return ReadResult(
                 success=True,
                 value=payload,
                 version=version,
                 case=ReadCase.DIRECT,
-                messages=self.cluster.network.stats.messages - msg_before,
+                messages=outcome.messages,
             )
         return ReadResult(
             success=False,
-            messages=self.cluster.network.stats.messages - msg_before,
+            messages=outcome.messages,
             reason="no replica reachable",
         )
 
@@ -117,68 +178,74 @@ class MajorityProtocol(_ReplicationBase):
     def threshold(self) -> int:
         return len(self.node_ids) // 2 + 1
 
-    def write_block(self, block: int, value: np.ndarray) -> WriteResult:
-        msg_before = self.cluster.network.stats.messages
+    def write_plan(self, block: int, value: np.ndarray):
         # Version discovery from a majority.
-        versions = []
-        for nid in self.node_ids:
-            try:
-                versions.append(self.cluster.rpc(nid, "data_version", self.key(block)))
-            except NodeUnavailableError:
-                continue
-        if len(versions) < self.threshold:
+        outcome = yield self._version_round(block)
+        messages = outcome.messages
+        if len(outcome.accepted) < self.threshold:
             return WriteResult(
                 success=False,
-                messages=self.cluster.network.stats.messages - msg_before,
+                messages=messages,
                 reason="no majority reachable for version lookup",
             )
-        new_version = max(versions) + 1
-        acks = 0
-        for nid in self.node_ids:
-            try:
-                self.cluster.rpc(nid, "write_data", self.key(block), value, new_version)
-                acks += 1
-            except (NodeUnavailableError, StaleNodeError):
-                continue
-        if acks < self.threshold:
+        new_version = max(r.value for r in outcome.accepted) + 1
+        write_outcome = yield Round(
+            self._write_requests(block, value, new_version),
+            need=self.threshold,
+            send_all=True,
+            kind=WRITE_ROUND,
+        )
+        messages += write_outcome.messages
+        acks = len(write_outcome.accepted)
+        if not write_outcome.satisfied:
             return WriteResult(
                 success=False,
                 version=new_version,
                 acks_per_level=[acks],
-                messages=self.cluster.network.stats.messages - msg_before,
+                messages=messages,
                 reason=f"{acks} acks < majority {self.threshold}",
             )
         return WriteResult(
             success=True,
             version=new_version,
             acks_per_level=[acks],
-            messages=self.cluster.network.stats.messages - msg_before,
+            messages=messages,
         )
 
-    def read_block(self, block: int) -> ReadResult:
-        msg_before = self.cluster.network.stats.messages
+    def read_plan(self, block: int):
+        outcome = yield Round(
+            [
+                Request(
+                    nid,
+                    "read_data",
+                    (self.key(block),),
+                    catches=(NodeUnavailableError, KeyError),
+                )
+                for nid in self.node_ids
+            ],
+            need=self.threshold,
+            send_all=True,
+            kind=PAYLOAD_ROUND,
+        )
+        if not outcome.satisfied:
+            return ReadResult(
+                success=False,
+                messages=outcome.messages,
+                reason=(
+                    f"{len(outcome.accepted)} responders < majority {self.threshold}"
+                ),
+            )
         best_payload = None
         best_version = -1
-        responders = 0
-        for nid in self.node_ids:
-            try:
-                payload, version = self.cluster.rpc(nid, "read_data", self.key(block))
-            except (NodeUnavailableError, KeyError):
-                continue
-            responders += 1
+        for response in outcome.accepted:
+            payload, version = response.value
             if version > best_version:
                 best_version = version
                 best_payload = payload
-        if responders < self.threshold:
-            return ReadResult(
-                success=False,
-                messages=self.cluster.network.stats.messages - msg_before,
-                reason=f"{responders} responders < majority {self.threshold}",
-            )
         return ReadResult(
             success=True,
             value=best_payload,
             version=best_version,
             case=ReadCase.DIRECT,
-            messages=self.cluster.network.stats.messages - msg_before,
+            messages=outcome.messages,
         )

@@ -35,6 +35,10 @@ class WriteResult:
     messages:
         RPC messages consumed by the operation (request+response pairs
         counted as 2), including the read-before-write of line 15.
+    latency:
+        Virtual seconds the operation took: the sum over its fan-out
+        rounds of the max-of-parallel round delay (instant path), or the
+        actual virtual time between submit and completion (event path).
     reason:
         Human-readable failure cause.
     """
@@ -44,6 +48,7 @@ class WriteResult:
     acks_per_level: list[int] = field(default_factory=list)
     failed_level: int | None = None
     messages: int = 0
+    latency: float = 0.0
     reason: str = ""
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
@@ -69,6 +74,8 @@ class ReadResult:
         The level where the version check completed, or None.
     messages:
         RPC messages consumed.
+    latency:
+        Virtual seconds the operation took (see :class:`WriteResult`).
     reason:
         Human-readable failure cause.
     """
@@ -79,6 +86,7 @@ class ReadResult:
     case: ReadCase | None = None
     check_level: int | None = None
     messages: int = 0
+    latency: float = 0.0
     reason: str = ""
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience

@@ -15,6 +15,13 @@ Faithful executable implementation of Algorithms 1 (write) and 2 (read):
   version seen among them is the latest; then Case 1 reads N_i directly
   or Case 2 decodes from k version-consistent fragments (lines 30-36).
 
+The engine expresses each operation as explicit fan-out rounds
+(version-query round, payload round, write round, write-back round) via
+the :mod:`repro.runtime` coordinator abstraction: plans run unmodified on
+the legacy instant path (bit-identical results and message counts) or on
+the event-driven path where each round is a real message fan-out that
+completes with the q-th fastest healthy response (see docs/RUNTIME.md).
+
 Beyond the paper, decode handles *per-contribution* staleness correctly:
 a parity that missed an update to block m but not to block i is usable
 for block i only together with rows agreeing on m's version, so fragments
@@ -37,6 +44,16 @@ from repro.errors import (
     StaleNodeError,
 )
 from repro.quorum.trapezoid import TrapezoidQuorum
+from repro.runtime.coordinator import Coordinator, InstantCoordinator
+from repro.runtime.rounds import (
+    PAYLOAD_ROUND,
+    VERSION_ROUND,
+    WRITE_ROUND,
+    WRITEBACK_ROUND,
+    Request,
+    Response,
+    Round,
+)
 
 __all__ = ["TrapErcProtocol"]
 
@@ -61,6 +78,12 @@ class TrapErcProtocol:
         value back to a reachable stale N_i, restoring the cheap direct
         path for future reads. Classic quorum-system read repair — an
         extension beyond the paper, off by default for fidelity.
+    coordinator:
+        Execution path for the operation plans. Defaults to the instant
+        path (:class:`~repro.runtime.coordinator.InstantCoordinator` on
+        ``cluster``); inject an
+        :class:`~repro.runtime.event.EventCoordinator` to run the same
+        plans event-driven.
 
     Examples
     --------
@@ -87,6 +110,7 @@ class TrapErcProtocol:
         layout: StripeLayout | None = None,
         stripe_id: str = "stripe-0",
         read_repair: bool = False,
+        coordinator: Coordinator | None = None,
     ) -> None:
         self.cluster = cluster
         self.code = code
@@ -103,6 +127,9 @@ class TrapErcProtocol:
         self.stripe_id = stripe_id
         self.read_repair = bool(read_repair)
         self.read_repairs_performed = 0
+        self.coordinator = (
+            coordinator if coordinator is not None else InstantCoordinator(cluster)
+        )
 
     # ------------------------------------------------------------------ #
     # keys
@@ -151,24 +178,69 @@ class TrapErcProtocol:
             )
 
     # ------------------------------------------------------------------ #
+    # shared round builders
+    # ------------------------------------------------------------------ #
+
+    def _check_block(self, i: int) -> None:
+        if not 0 <= i < self.code.k:
+            raise ConfigurationError(
+                f"data block index must be in [0, {self.code.k}), got {i}"
+            )
+
+    def _version_requests(self, i: int, level: int) -> list[Request]:
+        """The ``u.version(id)`` polls of one trapezoid level (Alg. 2)."""
+        ni = self.layout.node_of_block(i)
+        requests = []
+        for node_id in self.placement.level_nodes(i, level):
+            if node_id == ni:
+                requests.append(
+                    Request(node_id, "data_version", (self.data_key(i),), tag="data")
+                )
+            else:
+                requests.append(
+                    Request(
+                        node_id, "parity_versions", (self.parity_key(),), tag="parity"
+                    )
+                )
+        return requests
+
+    @staticmethod
+    def _version_valid(response: Response) -> bool:
+        """INVALID records (wiped disks) answer but don't count (Alg. 2)."""
+        if not response.ok:
+            return False
+        if response.request.tag == "data":
+            return response.value >= 0
+        return response.value is not None
+
+    def _best_version(self, i: int, accepted: list[Response]) -> int:
+        best = -1
+        for response in accepted:
+            if response.request.tag == "data":
+                best = max(best, int(response.value))
+            else:
+                best = max(best, int(response.value[i]))
+        return best
+
+    # ------------------------------------------------------------------ #
     # Algorithm 1: write
     # ------------------------------------------------------------------ #
 
     def write_block(self, i: int, value: np.ndarray) -> WriteResult:
         """Write ``value`` into data block i (Algorithm 1)."""
-        if not 0 <= i < self.code.k:
-            raise ConfigurationError(
-                f"data block index must be in [0, {self.code.k}), got {i}"
-            )
+        return self.coordinator.execute(self.write_plan(i, value))
+
+    def write_plan(self, i: int, value: np.ndarray):
+        """Algorithm 1 as a round plan (see module docstring)."""
+        self._check_block(i)
         value = np.asarray(value, dtype=self.code.field.dtype)
-        msg_before = self.cluster.network.stats.messages
 
         # Line 15: [chunk, version] <- ReadBlock(i).
-        pre = self.read_block(i)
+        pre = yield from self.read_plan(i)
         if not pre.success:
             return WriteResult(
                 success=False,
-                messages=self.cluster.network.stats.messages - msg_before,
+                messages=pre.messages,
                 reason=f"read-before-write failed: {pre.reason}",
             )
         chunk, version = pre.value, pre.version
@@ -179,33 +251,43 @@ class TrapErcProtocol:
         delta = self.code.delta(chunk, value)
         new_version = version + 1
         ni = self.layout.node_of_block(i)
+        messages = pre.messages
 
         acks: list[int] = []
         for level in self.quorum.shape.levels:
-            counter = 0
+            requests = []
             for node_id in self.placement.level_nodes(i, level):
-                try:
-                    if node_id == ni:
-                        # Line 20: write x in node N_i.
-                        self.cluster.rpc(
-                            node_id, "write_data", self.data_key(i), value, new_version
+                if node_id == ni:
+                    # Line 20: write x in node N_i.
+                    requests.append(
+                        Request(
+                            node_id,
+                            "write_data",
+                            (self.data_key(i), value, new_version),
+                            catches=(NodeUnavailableError, StaleNodeError),
                         )
-                    else:
-                        # Lines 25-31: guarded parity delta.
-                        j = self.layout.block_of_node(node_id)
-                        buf = self.code.parity_delta(j, i, delta)
-                        self.cluster.rpc(
+                    )
+                else:
+                    # Lines 25-31: guarded parity delta.
+                    j = self.layout.block_of_node(node_id)
+                    buf = self.code.parity_delta(j, i, delta)
+                    requests.append(
+                        Request(
                             node_id,
                             "apply_delta",
-                            self.parity_key(),
-                            i,
-                            buf,
-                            expected_version=version,
-                            new_version=new_version,
+                            (self.parity_key(), i, buf),
+                            {"expected_version": version, "new_version": new_version},
+                            catches=(NodeUnavailableError, StaleNodeError),
                         )
-                    counter += 1
-                except (NodeUnavailableError, StaleNodeError):
-                    continue
+                    )
+            outcome = yield Round(
+                requests,
+                need=self.quorum.w[level],
+                send_all=True,
+                kind=WRITE_ROUND,
+            )
+            messages += outcome.messages
+            counter = len(outcome.accepted)
             acks.append(counter)
             if counter < self.quorum.w[level]:
                 # Lines 35-37: quorum missed at this level -> FAIL.
@@ -214,7 +296,7 @@ class TrapErcProtocol:
                     version=new_version,
                     acks_per_level=acks,
                     failed_level=level,
-                    messages=self.cluster.network.stats.messages - msg_before,
+                    messages=messages,
                     reason=(
                         f"level {level} acknowledged {counter} < w_l = "
                         f"{self.quorum.w[level]}"
@@ -224,7 +306,7 @@ class TrapErcProtocol:
             success=True,
             version=new_version,
             acks_per_level=acks,
-            messages=self.cluster.network.stats.messages - msg_before,
+            messages=messages,
         )
 
     # ------------------------------------------------------------------ #
@@ -233,135 +315,182 @@ class TrapErcProtocol:
 
     def read_block(self, i: int) -> ReadResult:
         """Read data block i (Algorithm 2)."""
-        if not 0 <= i < self.code.k:
-            raise ConfigurationError(
-                f"data block index must be in [0, {self.code.k}), got {i}"
-            )
-        msg_before = self.cluster.network.stats.messages
-        ni = self.layout.node_of_block(i)
+        return self.coordinator.execute(self.read_plan(i))
 
+    def read_plan(self, i: int):
+        """Algorithm 2 as a round plan."""
+        self._check_block(i)
+        messages = 0
         for level in self.quorum.shape.levels:
-            counter = 0
-            best = -1
-            needed = self.quorum.r(level)
-            for node_id in self.placement.level_nodes(i, level):
-                try:
-                    if node_id == ni:
-                        v = self.cluster.rpc(node_id, "data_version", self.data_key(i))
-                        if v < 0:
-                            continue  # INVALID: no record (wiped disk)
-                        best = max(best, v)
-                    else:
-                        vv = self.cluster.rpc(
-                            node_id, "parity_versions", self.parity_key()
-                        )
-                        if vv is None:
-                            continue  # INVALID
-                        best = max(best, int(vv[i]))
-                    counter += 1
-                except NodeUnavailableError:
-                    continue
-                if counter == needed:
-                    break
-            if counter < needed:
+            outcome = yield Round(
+                self._version_requests(i, level),
+                need=self.quorum.r(level),
+                accept=self._version_valid,
+                kind=VERSION_ROUND,
+            )
+            messages += outcome.messages
+            if not outcome.satisfied:
                 continue  # try the next level (Alg. 2 outer loop)
 
-            # Check complete: ``best`` is the latest committed version.
-            return self._retrieve(i, best, level, msg_before)
+            # Check complete: the max accepted version is the latest.
+            best = self._best_version(i, outcome.accepted)
+            result = yield from self._retrieve_plan(i, best, level)
+            result.messages += messages
+            return result
 
         return ReadResult(
             success=False,
-            messages=self.cluster.network.stats.messages - msg_before,
+            messages=messages,
             reason="no level reached its version-check quorum",
         )
 
-    def _retrieve(
-        self, i: int, target: int, check_level: int, msg_before: int
-    ) -> ReadResult:
+    def _retrieve_plan(self, i: int, target: int, check_level: int):
         """Cases 1-2 of Algorithm 2 once the latest version is known."""
         ni = self.layout.node_of_block(i)
+        messages = 0
         # Case 1: N_i holds the latest version -> direct read.
-        try:
-            v = self.cluster.rpc(ni, "data_version", self.data_key(i))
-            if v == target:
-                payload, _ = self.cluster.rpc(ni, "read_data", self.data_key(i))
+        outcome = yield Round(
+            [
+                Request(
+                    ni,
+                    "data_version",
+                    (self.data_key(i),),
+                    catches=(NodeUnavailableError, KeyError),
+                )
+            ],
+            kind=VERSION_ROUND,
+        )
+        messages += outcome.messages
+        if outcome.accepted and outcome.accepted[0].value == target:
+            payload_outcome = yield Round(
+                [
+                    Request(
+                        ni,
+                        "read_data",
+                        (self.data_key(i),),
+                        catches=(NodeUnavailableError, KeyError),
+                    )
+                ],
+                kind=PAYLOAD_ROUND,
+            )
+            messages += payload_outcome.messages
+            if payload_outcome.accepted:
+                payload, _ = payload_outcome.accepted[0].value
                 return ReadResult(
                     success=True,
                     value=payload,
                     version=target,
                     case=ReadCase.DIRECT,
                     check_level=check_level,
-                    messages=self.cluster.network.stats.messages - msg_before,
+                    messages=messages,
                 )
-        except (NodeUnavailableError, KeyError):
-            pass
         # Case 2: decode from k version-consistent fragments.
-        payload = self._decode(i, target)
+        payload, decode_messages = yield from self._decode_plan(i, target)
+        messages += decode_messages
         if payload is None:
             return ReadResult(
                 success=False,
                 version=target,
                 check_level=check_level,
-                messages=self.cluster.network.stats.messages - msg_before,
+                messages=messages,
                 reason="decode failed: fewer than k version-consistent fragments",
             )
         if self.read_repair:
-            self._write_back(i, payload, target)
+            messages += yield from self._write_back_plan(i, payload, target)
         return ReadResult(
             success=True,
             value=payload,
             version=target,
             case=ReadCase.DECODE,
             check_level=check_level,
-            messages=self.cluster.network.stats.messages - msg_before,
+            messages=messages,
         )
 
-    def _write_back(self, i: int, payload: np.ndarray, version: int) -> None:
+    def _write_back_plan(self, i: int, payload: np.ndarray, version: int):
         """Read repair: freshen a reachable stale N_i with the decoded
         value. ``put_data`` is version-exact (no bump), so the repair is
         idempotent and never races ahead of real writes."""
         ni = self.layout.node_of_block(i)
-        try:
-            current = self.cluster.rpc(ni, "data_version", self.data_key(i))
-            if current < version:
-                self.cluster.rpc(ni, "put_data", self.data_key(i), payload, version)
-                self.read_repairs_performed += 1
-        except (NodeUnavailableError, KeyError):
-            return
+        outcome = yield Round(
+            [
+                Request(
+                    ni,
+                    "data_version",
+                    (self.data_key(i),),
+                    catches=(NodeUnavailableError, KeyError),
+                )
+            ],
+            kind=VERSION_ROUND,
+        )
+        messages = outcome.messages
+        if not outcome.accepted or outcome.accepted[0].value >= version:
+            return messages
+        write_outcome = yield Round(
+            [
+                Request(
+                    ni,
+                    "put_data",
+                    (self.data_key(i), payload, version),
+                    catches=(NodeUnavailableError, KeyError),
+                )
+            ],
+            kind=WRITEBACK_ROUND,
+        )
+        messages += write_outcome.messages
+        if write_outcome.accepted:
+            self.read_repairs_performed += 1
+        return messages
 
-    def _decode(self, i: int, target: int) -> np.ndarray | None:
+    def _decode_plan(self, i: int, target: int):
         """Reconstruct b_i at version ``target`` from k consistent rows.
 
         Fragments are usable only under a consistent snapshot: parity rows
         must share the *same* full version vector vv with vv[i] == target,
         and a data row m is compatible with that vector iff its version
         equals vv[m]. Any k such rows are solvable (MDS property).
+        Returns ``(payload | None, messages)``.
         """
         # Gather parity fragments fresh for block i, grouped by full vector.
+        parity_requests = [
+            Request(
+                node_id,
+                "read_parity",
+                (self.parity_key(),),
+                tag=self.layout.block_of_node(node_id),
+                catches=(NodeUnavailableError, KeyError),
+            )
+            for node_id in self.layout.parity_nodes
+        ]
+        outcome = yield Round(parity_requests, kind=PAYLOAD_ROUND)
+        messages = outcome.messages
         groups: dict[tuple, list[tuple[int, np.ndarray]]] = {}
-        for node_id in self.layout.parity_nodes:
-            try:
-                payload, vv = self.cluster.rpc(node_id, "read_parity", self.parity_key())
-            except (NodeUnavailableError, KeyError):
-                continue
+        for response in outcome.accepted:
+            payload, vv = response.value
             if int(vv[i]) != target:
                 continue
             groups.setdefault(tuple(int(x) for x in vv), []).append(
-                (self.layout.block_of_node(node_id), payload)
+                (response.request.tag, payload)
             )
         if not groups:
-            return None
+            return None, messages
         # Gather data fragments (other blocks) once.
-        data_rows: dict[int, tuple[np.ndarray, int]] = {}
-        for m in range(self.code.k):
-            if m == i:
-                continue  # N_i is stale or down here (Case 2)
-            node_id = self.layout.node_of_block(m)
-            try:
-                payload, v = self.cluster.rpc(node_id, "read_data", self.data_key(m))
-            except (NodeUnavailableError, KeyError):
-                continue
-            data_rows[m] = (payload, v)
+        data_requests = [
+            Request(
+                self.layout.node_of_block(m),
+                "read_data",
+                (self.data_key(m),),
+                tag=m,
+                catches=(NodeUnavailableError, KeyError),
+            )
+            for m in range(self.code.k)
+            if m != i  # N_i is stale or down here (Case 2)
+        ]
+        data_outcome = yield Round(data_requests, kind=PAYLOAD_ROUND)
+        messages += data_outcome.messages
+        data_rows: dict[int, tuple[np.ndarray, int]] = {
+            response.request.tag: (response.value[0], response.value[1])
+            for response in data_outcome.accepted
+        }
         # Try snapshot groups, largest first.
         for vv, parity_rows in sorted(groups.items(), key=lambda kv: -len(kv[1])):
             rows = list(parity_rows)
@@ -373,8 +502,8 @@ class TrapErcProtocol:
                 # stripes that see the same survivor set skip Gauss-Jordan.
                 indices = [idx for idx, _ in rows[: self.code.k]]
                 frags = np.stack([buf for _, buf in rows[: self.code.k]])
-                return self.code.reconstruct_block(i, indices, frags)
-        return None
+                return self.code.reconstruct_block(i, indices, frags), messages
+        return None, messages
 
     # ------------------------------------------------------------------ #
     # introspection helpers used by repair and experiments
@@ -382,25 +511,16 @@ class TrapErcProtocol:
 
     def latest_version(self, i: int) -> int | None:
         """Run only the version check of Algorithm 2; None if no quorum."""
-        ni = self.layout.node_of_block(i)
+        return self.coordinator.execute(self.latest_version_plan(i))
+
+    def latest_version_plan(self, i: int):
         for level in self.quorum.shape.levels:
-            counter = 0
-            best = -1
-            for node_id in self.placement.level_nodes(i, level):
-                try:
-                    if node_id == ni:
-                        v = self.cluster.rpc(node_id, "data_version", self.data_key(i))
-                        if v < 0:
-                            continue
-                        best = max(best, v)
-                    else:
-                        vv = self.cluster.rpc(node_id, "parity_versions", self.parity_key())
-                        if vv is None:
-                            continue
-                        best = max(best, int(vv[i]))
-                    counter += 1
-                except NodeUnavailableError:
-                    continue
-                if counter == self.quorum.r(level):
-                    return best
+            outcome = yield Round(
+                self._version_requests(i, level),
+                need=self.quorum.r(level),
+                accept=self._version_valid,
+                kind=VERSION_ROUND,
+            )
+            if outcome.satisfied:
+                return self._best_version(i, outcome.accepted)
         return None

@@ -10,6 +10,10 @@ reachable node, requiring w_l acks per level. Read: version check exactly
 as in Algorithm 2; any checked node holding the latest version can serve
 the payload directly — the structural advantage over ERC that eq. (10)
 vs eq. (13) quantifies.
+
+Operations are expressed as fan-out round plans over the
+:mod:`repro.runtime` coordinator abstraction, so the engine runs
+unmodified on the instant or the event-driven execution path.
 """
 
 from __future__ import annotations
@@ -22,8 +26,22 @@ from repro.core.results import ReadCase, ReadResult, WriteResult
 from repro.erasure.stripe import StripeLayout
 from repro.errors import ConfigurationError, NodeUnavailableError, StaleNodeError
 from repro.quorum.trapezoid import TrapezoidQuorum
+from repro.runtime.coordinator import Coordinator, InstantCoordinator
+from repro.runtime.rounds import (
+    PAYLOAD_ROUND,
+    VERSION_ROUND,
+    WRITE_ROUND,
+    Request,
+    Response,
+    Round,
+)
 
 __all__ = ["TrapFrProtocol"]
+
+
+def _version_valid(response: Response) -> bool:
+    """INVALID (absent) records answer but don't count toward the check."""
+    return response.ok and response.value >= 0
 
 
 class TrapFrProtocol:
@@ -37,6 +55,7 @@ class TrapFrProtocol:
         quorum: TrapezoidQuorum,
         layout: StripeLayout | None = None,
         stripe_id: str = "stripe-0",
+        coordinator: Coordinator | None = None,
     ) -> None:
         self.cluster = cluster
         self.layout = layout if layout is not None else StripeLayout(n, k)
@@ -51,10 +70,19 @@ class TrapFrProtocol:
         self.n = n
         self.k = k
         self.stripe_id = stripe_id
+        self.coordinator = (
+            coordinator if coordinator is not None else InstantCoordinator(cluster)
+        )
 
     def replica_key(self, i: int):
         """Key of block i's replica (same key on every group node)."""
         return ("fr-replica", self.stripe_id, i)
+
+    def _check_block(self, i: int) -> None:
+        if not 0 <= i < self.k:
+            raise ConfigurationError(
+                f"data block index must be in [0, {self.k}), got {i}"
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -71,33 +99,52 @@ class TrapFrProtocol:
 
     # ------------------------------------------------------------------ #
 
+    def _version_round(self, i: int, level: int) -> Round:
+        requests = [
+            Request(node_id, "data_version", (self.replica_key(i),))
+            for node_id in self.placement.level_nodes(i, level)
+        ]
+        return Round(
+            requests,
+            need=self.quorum.r(level),
+            accept=_version_valid,
+            kind=VERSION_ROUND,
+        )
+
     def write_block(self, i: int, value: np.ndarray) -> WriteResult:
         """Full-replication trapezoid write."""
-        if not 0 <= i < self.k:
-            raise ConfigurationError(
-                f"data block index must be in [0, {self.k}), got {i}"
-            )
+        return self.coordinator.execute(self.write_plan(i, value))
+
+    def write_plan(self, i: int, value: np.ndarray):
+        self._check_block(i)
         value = np.asarray(value)
-        msg_before = self.cluster.network.stats.messages
-        current = self.latest_version(i)
+        current, messages = yield from self._latest_version_plan(i)
         if current is None:
             return WriteResult(
                 success=False,
-                messages=self.cluster.network.stats.messages - msg_before,
+                messages=messages,
                 reason="version check before write failed",
             )
         new_version = current + 1
         acks: list[int] = []
         for level in self.quorum.shape.levels:
-            counter = 0
-            for node_id in self.placement.level_nodes(i, level):
-                try:
-                    self.cluster.rpc(
-                        node_id, "write_data", self.replica_key(i), value, new_version
-                    )
-                    counter += 1
-                except (NodeUnavailableError, StaleNodeError):
-                    continue
+            requests = [
+                Request(
+                    node_id,
+                    "write_data",
+                    (self.replica_key(i), value, new_version),
+                    catches=(NodeUnavailableError, StaleNodeError),
+                )
+                for node_id in self.placement.level_nodes(i, level)
+            ]
+            outcome = yield Round(
+                requests,
+                need=self.quorum.w[level],
+                send_all=True,
+                kind=WRITE_ROUND,
+            )
+            messages += outcome.messages
+            counter = len(outcome.accepted)
             acks.append(counter)
             if counter < self.quorum.w[level]:
                 return WriteResult(
@@ -105,7 +152,7 @@ class TrapFrProtocol:
                     version=new_version,
                     acks_per_level=acks,
                     failed_level=level,
-                    messages=self.cluster.network.stats.messages - msg_before,
+                    messages=messages,
                     reason=(
                         f"level {level} acknowledged {counter} < w_l = "
                         f"{self.quorum.w[level]}"
@@ -115,82 +162,88 @@ class TrapFrProtocol:
             success=True,
             version=new_version,
             acks_per_level=acks,
-            messages=self.cluster.network.stats.messages - msg_before,
+            messages=messages,
         )
 
     # ------------------------------------------------------------------ #
 
     def read_block(self, i: int) -> ReadResult:
         """Full-replication trapezoid read."""
-        if not 0 <= i < self.k:
-            raise ConfigurationError(
-                f"data block index must be in [0, {self.k}), got {i}"
-            )
-        msg_before = self.cluster.network.stats.messages
+        return self.coordinator.execute(self.read_plan(i))
+
+    def read_plan(self, i: int):
+        self._check_block(i)
+        messages = 0
         for level in self.quorum.shape.levels:
-            counter = 0
-            best = -1
-            holders: list[int] = []
-            needed = self.quorum.r(level)
-            for node_id in self.placement.level_nodes(i, level):
-                try:
-                    v = self.cluster.rpc(node_id, "data_version", self.replica_key(i))
-                except NodeUnavailableError:
-                    continue
-                if v < 0:
-                    continue
-                counter += 1
-                if v > best:
-                    best = v
-                    holders = [node_id]
-                elif v == best:
-                    holders.append(node_id)
-                if counter == needed:
-                    break
-            if counter < needed:
+            outcome = yield Round(
+                [
+                    Request(node_id, "data_version", (self.replica_key(i),))
+                    for node_id in self.placement.level_nodes(i, level)
+                ],
+                need=self.quorum.r(level),
+                accept=_version_valid,
+                kind=VERSION_ROUND,
+            )
+            messages += outcome.messages
+            if not outcome.satisfied:
                 continue
+            best = max(int(response.value) for response in outcome.accepted)
+            holders = [
+                response.request.node_id
+                for response in outcome.accepted
+                if int(response.value) == best
+            ]
             # Any holder of the max version serves the payload directly.
-            for node_id in holders:
-                try:
-                    payload, v = self.cluster.rpc(node_id, "read_data", self.replica_key(i))
-                except (NodeUnavailableError, KeyError):
-                    continue
-                if v == best:
-                    return ReadResult(
-                        success=True,
-                        value=payload,
-                        version=best,
-                        case=ReadCase.DIRECT,
-                        check_level=level,
-                        messages=self.cluster.network.stats.messages - msg_before,
+            payload_outcome = yield Round(
+                [
+                    Request(
+                        node_id,
+                        "read_data",
+                        (self.replica_key(i),),
+                        catches=(NodeUnavailableError, KeyError),
                     )
+                    for node_id in holders
+                ],
+                need=1,
+                accept=lambda response: response.ok and response.value[1] == best,
+                kind=PAYLOAD_ROUND,
+            )
+            messages += payload_outcome.messages
+            if payload_outcome.satisfied:
+                payload, _ = payload_outcome.accepted[0].value
+                return ReadResult(
+                    success=True,
+                    value=payload,
+                    version=best,
+                    case=ReadCase.DIRECT,
+                    check_level=level,
+                    messages=messages,
+                )
             return ReadResult(
                 success=False,
                 version=best,
                 check_level=level,
-                messages=self.cluster.network.stats.messages - msg_before,
+                messages=messages,
                 reason="latest-version holders vanished mid-read",
             )
         return ReadResult(
             success=False,
-            messages=self.cluster.network.stats.messages - msg_before,
+            messages=messages,
             reason="no level reached its version-check quorum",
         )
 
     def latest_version(self, i: int) -> int | None:
         """Version check only (None when no level reaches r_l)."""
+        version, _ = self.coordinator.execute(self._latest_version_plan(i))
+        return version
+
+    def _latest_version_plan(self, i: int):
+        """Yields the version rounds; returns ``(version | None, messages)``."""
+        messages = 0
         for level in self.quorum.shape.levels:
-            counter = 0
-            best = -1
-            for node_id in self.placement.level_nodes(i, level):
-                try:
-                    v = self.cluster.rpc(node_id, "data_version", self.replica_key(i))
-                except NodeUnavailableError:
-                    continue
-                if v < 0:
-                    continue
-                counter += 1
-                best = max(best, v)
-                if counter == self.quorum.r(level):
-                    return best
-        return None
+            outcome = yield self._version_round(i, level)
+            messages += outcome.messages
+            if outcome.satisfied:
+                best = max(int(response.value) for response in outcome.accepted)
+                return best, messages
+        return None, messages

@@ -1,0 +1,54 @@
+"""Protocol execution runtime: fan-out rounds on two execution paths.
+
+The engines in :mod:`repro.core` express every read/write as a *plan* —
+a generator of :class:`Round` fan-outs — and stay agnostic of how the
+rounds run:
+
+* :class:`InstantCoordinator` (the default) replays them as the legacy
+  synchronous RPC loops — bit-identical results and message counts;
+* :class:`EventCoordinator` schedules real message deliveries on the
+  discrete-event engine, completes rounds via :class:`QuorumWait` (the
+  q-th fastest healthy response — max-of-parallel latency), applies a
+  per-operation :class:`RetryPolicy`, and lets failures, repairs and
+  partitions interleave mid-operation.
+
+See docs/RUNTIME.md for the session lifecycle and semantics.
+"""
+
+from repro.runtime.coordinator import (
+    Coordinator,
+    InstantCoordinator,
+    OpHandle,
+    Plan,
+)
+from repro.runtime.event import EventCoordinator
+from repro.runtime.rounds import (
+    PAYLOAD_ROUND,
+    VERSION_ROUND,
+    WRITE_ROUND,
+    WRITEBACK_ROUND,
+    QuorumWait,
+    Request,
+    Response,
+    RetryPolicy,
+    Round,
+    RoundOutcome,
+)
+
+__all__ = [
+    "Coordinator",
+    "InstantCoordinator",
+    "EventCoordinator",
+    "OpHandle",
+    "Plan",
+    "Request",
+    "Response",
+    "Round",
+    "RoundOutcome",
+    "RetryPolicy",
+    "QuorumWait",
+    "VERSION_ROUND",
+    "PAYLOAD_ROUND",
+    "WRITE_ROUND",
+    "WRITEBACK_ROUND",
+]

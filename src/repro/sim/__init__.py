@@ -7,10 +7,18 @@ Three evaluation instruments of increasing fidelity:
 * :mod:`repro.sim.protocol_mc` — per-trial execution of the real protocol
   engines (validates that the code implements the analyzed predicates),
 * :mod:`repro.sim.trace_sim` — discrete-event history-model runs with
-  staleness and repair (quantifies what the paper's model idealizes away).
+  staleness and repair (quantifies what the paper's model idealizes away),
+  in two flavours: the instant-path :class:`TraceSimulation` and the
+  event-driven :class:`ClosedLoopSimulation` (concurrent in-flight
+  operations, quorum-wait latency percentiles, faultloads mid-operation).
 """
 
-from repro.sim.metrics import MCEstimate, OperationTally
+from repro.sim.metrics import (
+    LatencyTally,
+    MCEstimate,
+    OperationTally,
+    percentile_summary,
+)
 from repro.sim.montecarlo import (
     level_membership_matrix,
     mc_read_availability_erc,
@@ -25,7 +33,15 @@ from repro.sim.comparative import (
 )
 from repro.sim.protocol_mc import ProtocolMonteCarlo
 from repro.sim.sweep import SweepRecord, availability_sweep, records_to_csv
-from repro.sim.trace_sim import TraceSimConfig, TraceSimulation
+from repro.sim.trace_sim import (
+    ClosedLoopConfig,
+    ClosedLoopSimulation,
+    PartitionWindow,
+    TraceSimConfig,
+    TraceSimulation,
+    schedule_partitions,
+    schedule_trace,
+)
 from repro.sim.workloads import (
     OpKind,
     Operation,
@@ -38,6 +54,8 @@ from repro.sim.workloads import (
 __all__ = [
     "MCEstimate",
     "OperationTally",
+    "LatencyTally",
+    "percentile_summary",
     "level_membership_matrix",
     "mc_write_availability",
     "mc_read_availability_fr",
@@ -52,6 +70,11 @@ __all__ = [
     "records_to_csv",
     "TraceSimConfig",
     "TraceSimulation",
+    "ClosedLoopConfig",
+    "ClosedLoopSimulation",
+    "PartitionWindow",
+    "schedule_trace",
+    "schedule_partitions",
     "OpKind",
     "Operation",
     "uniform_workload",

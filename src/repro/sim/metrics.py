@@ -1,19 +1,24 @@
-"""Estimation metrics: Monte-Carlo estimates with confidence intervals.
+"""Estimation metrics: Monte-Carlo estimates, tallies, latency percentiles.
 
 All Monte-Carlo entry points return :class:`MCEstimate` so that tests and
 benchmarks can assert agreement with closed forms *statistically* (via the
 confidence interval) instead of with brittle fixed tolerances.
+:class:`OperationTally` counts the legacy (instant-path) history-model
+runs; :class:`LatencyTally` is its event-path counterpart, adding the
+p50/p95/p99 operation-latency percentiles and per-round message counts
+the event-driven runtime makes measurable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["MCEstimate", "OperationTally"]
+__all__ = ["MCEstimate", "OperationTally", "LatencyTally", "percentile_summary"]
 
 _Z95 = 1.959963984540054  # standard normal 97.5% quantile
 
@@ -105,4 +110,83 @@ class OperationTally:
             "consistency_violations": float(self.consistency_violations),
             "repairs": float(self.repairs),
             "messages": float(self.messages),
+        }
+
+
+def percentile_summary(samples) -> dict[str, float]:
+    """p50/p95/p99 (plus mean and count) of a latency sample list.
+
+    Deterministic given the samples (linear interpolation); all-NaN-free.
+    Empty samples produce zeros so JSON consumers need no special case.
+    """
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        return {"count": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {
+        "count": float(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+    }
+
+
+@dataclass
+class LatencyTally:
+    """Counters + latency samples for event-driven (closed-loop) runs.
+
+    ``read_latencies``/``write_latencies`` hold per-operation virtual
+    seconds for *successful* operations; failed operations are tallied
+    separately (their latency is dominated by the timeout policy).
+    ``round_messages`` counts messages by protocol round kind
+    (version-query / payload / write / write-back) — the per-round cost
+    structure of Algorithms 1-2 under a real fan-out.
+    """
+
+    reads_attempted: int = 0
+    reads_succeeded: int = 0
+    writes_attempted: int = 0
+    writes_succeeded: int = 0
+    consistency_violations: int = 0
+    repairs: int = 0
+    messages: int = 0
+    messages_dropped: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    max_in_flight: int = 0
+    read_latencies: list[float] = field(default_factory=list)
+    write_latencies: list[float] = field(default_factory=list)
+    failed_read_latencies: list[float] = field(default_factory=list)
+    failed_write_latencies: list[float] = field(default_factory=list)
+    round_messages: Counter = field(default_factory=Counter)
+
+    def read_availability(self) -> MCEstimate:
+        return MCEstimate(self.reads_succeeded, max(1, self.reads_attempted))
+
+    def write_availability(self) -> MCEstimate:
+        return MCEstimate(self.writes_succeeded, max(1, self.writes_attempted))
+
+    def read_percentiles(self) -> dict[str, float]:
+        return percentile_summary(self.read_latencies)
+
+    def write_percentiles(self) -> dict[str, float]:
+        return percentile_summary(self.write_latencies)
+
+    def summary(self) -> dict:
+        return {
+            "read_availability": self.read_availability().mean,
+            "write_availability": self.write_availability().mean,
+            "read_latency": self.read_percentiles(),
+            "write_latency": self.write_percentiles(),
+            "failed_read_latency": percentile_summary(self.failed_read_latencies),
+            "failed_write_latency": percentile_summary(self.failed_write_latencies),
+            "consistency_violations": float(self.consistency_violations),
+            "repairs": float(self.repairs),
+            "messages": float(self.messages),
+            "messages_dropped": float(self.messages_dropped),
+            "timeouts": float(self.timeouts),
+            "retries": float(self.retries),
+            "max_in_flight": float(self.max_in_flight),
+            "round_messages": {k: int(v) for k, v in sorted(self.round_messages.items())},
         }

@@ -1,12 +1,25 @@
 """History-model simulation: the protocol under failure/repair *traces*.
 
-The paper analyzes the snapshot model only. This driver removes that
-idealization: nodes fail and recover along a :class:`FailureTrace`, miss
-writes while down, come back *stale* (their version records lag), and the
-Algorithm-1 guard then rejects their parity deltas until the optional
-anti-entropy service repairs them. The tally quantifies what the paper's
-formulas cannot see — staleness-induced unavailability and the value of
-repair — while verifying that strict consistency is never violated.
+The paper analyzes the snapshot model only. The drivers here remove that
+idealization in two stages:
+
+* :class:`TraceSimulation` — the legacy instant-RPC driver: nodes fail
+  and recover along a :class:`FailureTrace`, miss writes while down, come
+  back *stale*, and the Algorithm-1 guard then rejects their parity
+  deltas until the optional anti-entropy service repairs them. Each
+  operation executes atomically at its arrival instant (results are
+  pinned across PRs).
+* :class:`ClosedLoopSimulation` — the event-driven driver built on
+  :mod:`repro.runtime`: a pool of closed-loop clients keeps several
+  operations genuinely *in flight* at once (each client issues its next
+  operation ``think_time`` after the previous one completes), every
+  message travels with sampled latency, and failures, repairs and
+  partitions from the faultload interleave *mid-operation*. It measures
+  what the instant path cannot: operation-latency percentiles
+  (quorum-wait tails under faults) and per-round message costs.
+
+Both tally consistency: a read must never return a version older than
+the last write *completed before the read began* (real-time order).
 """
 
 from __future__ import annotations
@@ -25,10 +38,75 @@ from repro.erasure.code import MDSCode
 from repro.erasure.stripe import StripeLayout
 from repro.errors import ConfigurationError
 from repro.quorum.trapezoid import TrapezoidQuorum
-from repro.sim.metrics import OperationTally
+from repro.runtime.event import EventCoordinator
+from repro.sim.metrics import LatencyTally, OperationTally
 from repro.sim.workloads import OpKind, Operation, uniform_workload
 
-__all__ = ["TraceSimConfig", "TraceSimulation"]
+__all__ = [
+    "TraceSimConfig",
+    "TraceSimulation",
+    "PartitionWindow",
+    "ClosedLoopConfig",
+    "ClosedLoopSimulation",
+    "schedule_trace",
+    "schedule_partitions",
+]
+
+
+def schedule_trace(
+    sim: Simulator,
+    cluster: Cluster,
+    trace: FailureTrace,
+    horizon: float,
+    wipe_on_repair: bool = False,
+) -> None:
+    """Schedule a failure trace's fail/recover transitions on ``sim``."""
+    for ev in trace.events:
+        if ev.time >= horizon:
+            continue
+        if ev.kind is EventKind.FAIL:
+            sim.schedule_at(ev.time, lambda nid=ev.node_id: cluster.fail(nid))
+        else:
+            sim.schedule_at(
+                ev.time,
+                lambda nid=ev.node_id: cluster.recover(nid, wipe=wipe_on_repair),
+            )
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One partition episode: ``nodes`` unreachable during [start, end)."""
+
+    start: float
+    end: float
+    nodes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError(
+                f"partition window must have end > start, got "
+                f"[{self.start}, {self.end})"
+            )
+
+
+def schedule_partitions(
+    sim: Simulator,
+    cluster: Cluster,
+    windows,
+    horizon: float,
+) -> None:
+    """Schedule partition/heal pairs on ``sim`` (windows past horizon skipped)."""
+    for window in windows:
+        if window.start >= horizon:
+            continue
+        sim.schedule_at(
+            window.start,
+            lambda nodes=window.nodes: cluster.network.partition(nodes),
+        )
+        sim.schedule_at(
+            min(window.end, horizon),
+            lambda nodes=window.nodes: cluster.network.heal(nodes),
+        )
 
 
 @dataclass(frozen=True)
@@ -57,7 +135,7 @@ class TraceSimConfig:
 
 
 class TraceSimulation:
-    """Drive TRAP-ERC stripes through a failure trace.
+    """Drive TRAP-ERC stripes through a failure trace (instant path).
 
     With ``config.stripes == 1`` (default) this is the paper's
     single-stripe setting. With more stripes the run models a small
@@ -194,18 +272,10 @@ class TraceSimulation:
             for i in range(self.code.k):
                 self._committed[s * self.code.k + i] = (0, data[s, i].copy())
 
-        for ev in self.trace.events:
-            if ev.time >= self.config.horizon:
-                continue
-            if ev.kind is EventKind.FAIL:
-                sim.schedule_at(ev.time, lambda nid=ev.node_id: self.cluster.fail(nid))
-            else:
-                sim.schedule_at(
-                    ev.time,
-                    lambda nid=ev.node_id: self.cluster.recover(
-                        nid, wipe=self.config.wipe_on_repair
-                    ),
-                )
+        schedule_trace(
+            sim, self.cluster, self.trace, self.config.horizon,
+            wipe_on_repair=self.config.wipe_on_repair,
+        )
 
         times = self._arrival_times()
         for t, op in zip(times, self._ops(len(times))):
@@ -220,4 +290,164 @@ class TraceSimulation:
 
         sim.run_until(self.config.horizon)
         self.tally.messages = self.cluster.network.stats.messages
+        return self.tally
+
+
+# --------------------------------------------------------------------- #
+# event-driven closed-loop driver
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ClosedLoopConfig:
+    """Knobs of an event-driven closed-loop run."""
+
+    clients: int = 4
+    think_time: float = 0.0
+    horizon: float = 1000.0
+    block_length: int = 8
+    repair_interval: float | None = None
+    wipe_on_repair: bool = False
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ConfigurationError(f"clients must be >= 1, got {self.clients}")
+        if self.think_time < 0:
+            raise ConfigurationError("think_time must be >= 0")
+        if self.horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if self.block_length < 1:
+            raise ConfigurationError("block_length must be >= 1")
+        if self.repair_interval is not None and self.repair_interval <= 0:
+            raise ConfigurationError("repair_interval must be positive")
+
+
+class ClosedLoopSimulation:
+    """Closed-loop clients driving one plan-capable engine event-driven.
+
+    ``engine`` must be bound to ``coordinator`` (an
+    :class:`~repro.runtime.event.EventCoordinator` on ``cluster`` and its
+    simulator) and expose ``read_plan(i)`` / ``write_plan(i, value)`` —
+    all four registry engines qualify. The ``clients`` loops pull
+    operations from the shared ``ops`` tape: each client submits its next
+    operation ``think_time`` after the previous one completes, so up to
+    ``clients`` operations are concurrently in flight while the optional
+    ``trace`` (fail/repair churn) and ``partitions`` interleave with
+    them mid-flight.
+
+    Anti-entropy (``repair``) runs as instantaneous out-of-band
+    maintenance passes every ``config.repair_interval`` — the repair
+    traffic itself is not part of the latency experiment.
+
+    The consistency check is real-time safe under concurrency: a read
+    only counts as a violation when it returns a version older than the
+    newest write that *completed before the read started*.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        engine,
+        coordinator: EventCoordinator,
+        ops: list[Operation],
+        config: ClosedLoopConfig | None = None,
+        trace: FailureTrace | None = None,
+        partitions: list[PartitionWindow] | None = None,
+        repair: RepairService | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.engine = engine
+        self.coordinator = coordinator
+        self.sim = coordinator.sim
+        self.ops = list(ops)
+        self.config = config if config is not None else ClosedLoopConfig()
+        self.trace = trace
+        self.partitions = partitions or []
+        self.repair = repair
+        self.tally = LatencyTally()
+        self._cursor = 0
+        #: highest version whose write completed, per block (safety floor)
+        self._committed: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _next_op(self) -> None:
+        if self._cursor >= len(self.ops) or self.sim.now >= self.config.horizon:
+            return  # this client retires
+        op = self.ops[self._cursor]
+        self._cursor += 1
+        block = op.block
+        if op.kind is OpKind.READ:
+            self.tally.reads_attempted += 1
+            floor = self._committed.get(block, 0)
+            plan = self.engine.read_plan(block)
+            self.coordinator.submit(
+                plan, lambda result: self._read_done(result, floor)
+            )
+        else:
+            self.tally.writes_attempted += 1
+            value = (
+                make_rng(op.payload_seed)
+                .integers(0, 256, self.config.block_length, dtype=np.int64)
+                .astype(np.uint8)
+            )
+            plan = self.engine.write_plan(block, value)
+            self.coordinator.submit(
+                plan, lambda result: self._write_done(result, block)
+            )
+
+    def _reschedule(self) -> None:
+        self.sim.schedule_in(self.config.think_time, self._next_op)
+
+    def _read_done(self, result, floor: int) -> None:
+        if result.success:
+            self.tally.reads_succeeded += 1
+            self.tally.read_latencies.append(result.latency)
+            if result.version < floor:
+                self.tally.consistency_violations += 1
+        else:
+            self.tally.failed_read_latencies.append(result.latency)
+        self._reschedule()
+
+    def _write_done(self, result, block: int) -> None:
+        if result.success:
+            self.tally.writes_succeeded += 1
+            self.tally.write_latencies.append(result.latency)
+            self._committed[block] = max(
+                self._committed.get(block, 0), result.version
+            )
+        else:
+            self.tally.failed_write_latencies.append(result.latency)
+        self._reschedule()
+
+    def _repair_pass(self) -> None:
+        self.tally.repairs += self.repair.sync_all()
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> LatencyTally:
+        """Run to completion (tape drained + in-flight ops resolved)."""
+        config = self.config
+        if self.trace is not None:
+            schedule_trace(
+                self.sim, self.cluster, self.trace, config.horizon,
+                wipe_on_repair=config.wipe_on_repair,
+            )
+        schedule_partitions(self.sim, self.cluster, self.partitions, config.horizon)
+        if self.repair is not None and config.repair_interval is not None:
+            t = config.repair_interval
+            while t < config.horizon:
+                self.sim.schedule_at(t, self._repair_pass)
+                t += config.repair_interval
+        for _ in range(config.clients):
+            self.sim.schedule_at(self.sim.now, self._next_op)
+        self.sim.run()
+
+        stats = self.cluster.network.stats
+        self.tally.messages = stats.messages
+        self.tally.messages_dropped = stats.messages_dropped
+        self.tally.timeouts = stats.timeouts
+        self.tally.retries = stats.retries
+        self.tally.max_in_flight = self.coordinator.max_in_flight
+        self.tally.round_messages = self.coordinator.round_messages.copy()
         return self.tally

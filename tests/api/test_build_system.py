@@ -143,3 +143,65 @@ class TestBuildValidation:
         l0 = build_system(spec, stripe_index=0).layout
         l1 = build_system(spec, stripe_index=1).layout
         assert l0.node_ids != l1.node_ids
+
+
+class TestCoordinatorInjection:
+    """coordinator_factory routes every registry engine onto the event path."""
+
+    @pytest.mark.parametrize("name", protocol_names())
+    def test_event_path_end_to_end(self, name):
+        from repro.cluster.events import Simulator
+        from repro.cluster.network import FixedLatency
+        from repro.runtime import EventCoordinator
+
+        sim = Simulator()
+
+        def factory(cluster):
+            cluster.network.latency = FixedLatency(0.001)
+            return EventCoordinator(cluster, sim, rng=3)
+
+        built = build_system(SPEC.replace(protocol=name), coordinator_factory=factory)
+        assert built.coordinator is not None
+        assert built.engine.coordinator is built.coordinator
+        built.initialize()
+        read = built.engine.read_block(0)
+        assert read.success
+        assert read.latency > 0  # virtual time actually elapsed
+
+    def test_repair_service_stays_on_instant_path(self):
+        from repro.cluster.events import Simulator
+        from repro.runtime import EventCoordinator, InstantCoordinator
+
+        sim = Simulator()
+        built = build_system(
+            SPEC, coordinator_factory=lambda c: EventCoordinator(c, sim, rng=0)
+        )
+        # trap-erc supports repair; its anti-entropy engine must not share
+        # the event coordinator (repair passes run out of band).
+        assert built.repair is not None
+        assert isinstance(built.repair.protocol.coordinator, InstantCoordinator)
+        assert built.repair.protocol is not built.engine
+        assert built.repair.protocol.cluster is built.cluster
+
+    def test_unsupporting_builder_rejected(self):
+        from repro.api import register_protocol
+        from repro.api.registry import _PROTOCOLS
+        from repro.cluster.events import Simulator
+        from repro.runtime import EventCoordinator
+
+        class LegacyEngine:
+            pass
+
+        @register_protocol("legacy-engine", LegacyEngine)
+        def _build_legacy(spec, cluster, code, layout):  # no coordinator kwarg
+            return LegacyEngine()
+
+        try:
+            sim = Simulator()
+            with pytest.raises(ConfigurationError, match="coordinator"):
+                build_system(
+                    SPEC.replace(protocol="legacy-engine"),
+                    coordinator_factory=lambda c: EventCoordinator(c, sim, rng=0),
+                )
+        finally:
+            _PROTOCOLS.pop("legacy-engine")

@@ -11,6 +11,8 @@ from hypothesis import strategies as st
 from repro.api import (
     ClusterSpec,
     CodeSpec,
+    FaultloadSpec,
+    LatencySpec,
     PlacementSpec,
     QuorumSpec,
     ScenarioSpec,
@@ -46,16 +48,49 @@ flat_quorums = st.one_of(
     ),
 )
 
+faultloads = st.one_of(
+    st.none(),
+    st.builds(
+        FaultloadSpec,
+        kind=st.sampled_from(["none", "churn", "partition"]),
+        mtbf=st.floats(0.1, 1000.0, allow_nan=False),
+        mttr=st.floats(0.1, 100.0, allow_nan=False),
+        partition_size=st.integers(1, 4),
+    ),
+)
+
 scenarios = st.builds(
     ScenarioSpec,
     kind=st.sampled_from(
-        ["smoke", "availability", "protocol_mc", "trace", "comparison", "sweep"]
+        [
+            "smoke",
+            "availability",
+            "protocol_mc",
+            "trace",
+            "comparison",
+            "sweep",
+            "latency",
+        ]
     ),
     ps=st.lists(
         st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=4
     ).map(tuple),
     trials=st.integers(0, 100),
     steps=st.integers(1, 50),
+    clients=st.integers(1, 16),
+    think_time=st.floats(0.0, 5.0, allow_nan=False),
+    faultload=faultloads,
+)
+
+latencies = st.one_of(
+    st.none(),
+    st.builds(
+        LatencySpec,
+        kind=st.sampled_from(["fixed", "uniform", "lognormal"]),
+        delay=st.floats(0.0, 0.1, allow_nan=False),
+        timeout=st.floats(0.001, 1.0, allow_nan=False, exclude_min=False),
+        retries=st.integers(0, 3),
+    ),
 )
 
 workloads = st.builds(
@@ -77,6 +112,7 @@ system_specs = st.builds(
         stripes=st.integers(1, 4),
     ),
     workload=workloads,
+    latency=latencies,
     scenario=scenarios,
     seed=st.integers(-(2**31), 2**31),
 )
@@ -181,3 +217,38 @@ class TestValidation:
         q = QuorumSpec(kind="trapezoid", a=2, b=1, h=1, w=[1, 2])
         assert q.w == (1, 2)
         assert QuorumSpec.from_dict(q.to_dict()) == q
+
+    def test_latency_spec_validation(self):
+        with pytest.raises(ConfigurationError, match="unknown latency kind"):
+            LatencySpec(kind="quantum")
+        with pytest.raises(ConfigurationError, match="timeout"):
+            LatencySpec(timeout=0.0)
+        with pytest.raises(ConfigurationError, match="retries"):
+            LatencySpec(retries=-1)
+
+    def test_faultload_spec_validation(self):
+        with pytest.raises(ConfigurationError, match="unknown faultload kind"):
+            FaultloadSpec(kind="meteor")
+        with pytest.raises(ConfigurationError, match="mtbf"):
+            FaultloadSpec(kind="churn", mtbf=0.0)
+        with pytest.raises(ConfigurationError, match="duration"):
+            FaultloadSpec(kind="partition", period=1.0, duration=2.0)
+
+    def test_latency_scenario_validation(self):
+        with pytest.raises(ConfigurationError, match="clients"):
+            ScenarioSpec(kind="latency", clients=0)
+        with pytest.raises(ConfigurationError, match="think_time"):
+            ScenarioSpec(kind="latency", think_time=-0.5)
+
+    def test_pre_runtime_spec_json_still_loads(self):
+        """Specs serialized before the latency/faultload fields existed
+        (no ``latency`` key, no ``scenario.faultload``) must keep
+        loading — results files are long-lived artifacts."""
+        payload = SystemSpec().to_dict()
+        del payload["latency"]
+        del payload["scenario"]["faultload"]
+        del payload["scenario"]["clients"]
+        del payload["scenario"]["think_time"]
+        spec = SystemSpec.from_dict(payload)
+        assert spec.latency is None
+        assert spec.scenario.faultload is None

@@ -26,6 +26,32 @@ BASELINE = _doc(
     decode_plan_cache={"hits": 3, "misses": 1},
 )
 
+LATENCY_BASELINE = _doc(
+    latency_sim={"seconds_per_call": 0.2, "ops": 600, "ops_per_s": 3000.0},
+)
+
+
+class TestLatencySimGate:
+    """The event-runtime bench section gates on ops_per_s."""
+
+    def test_ops_per_s_drift_tolerated(self):
+        fresh = _doc(
+            latency_sim={"seconds_per_call": 0.24, "ops": 600, "ops_per_s": 2500.0}
+        )
+        assert compare_docs(LATENCY_BASELINE, fresh) == []
+
+    def test_ops_per_s_regression_detected(self):
+        fresh = _doc(
+            latency_sim={"seconds_per_call": 0.6, "ops": 600, "ops_per_s": 1000.0}
+        )
+        regressions = compare_docs(LATENCY_BASELINE, fresh)
+        assert len(regressions) == 1
+        assert "latency_sim" in regressions[0] and "ops_per_s" in regressions[0]
+
+    def test_missing_latency_section_fails_gate(self):
+        regressions = compare_docs(LATENCY_BASELINE, _doc())
+        assert regressions and "missing" in regressions[0]
+
 
 class TestCompareDocs:
     def test_identical_docs_pass(self):

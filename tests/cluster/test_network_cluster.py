@@ -57,12 +57,24 @@ class TestNetwork:
         assert net.is_reachable(cluster.node(0))
         assert not net.is_reachable(cluster.node(1))
 
-    def test_latency_accumulates(self):
+    def test_message_delay_accumulates(self):
         net = Network(latency=FixedLatency(0.001))
         cluster = Cluster(2, network=net)
         cluster.rpc(0, "data_version", "k")
         cluster.rpc(1, "data_version", "k")
-        assert net.stats.virtual_latency == pytest.approx(0.004)
+        # Sum over messages — a traffic proxy, not an operation latency.
+        assert net.stats.total_message_delay == pytest.approx(0.004)
+        # The pre-runtime name survives as a read-only alias.
+        assert net.stats.virtual_latency == net.stats.total_message_delay
+
+    def test_round_latency_is_max_of_parallel(self):
+        net = Network(latency=FixedLatency(0.001))
+        cluster = Cluster(2, network=net)
+        cluster.rpc(0, "data_version", "k")
+        assert net.last_rpc_delay == pytest.approx(0.002)
+        net.record_round(net.last_rpc_delay)
+        assert net.stats.operation_latency == pytest.approx(0.002)
+        assert net.stats.rounds == 1
 
     def test_uniform_latency_bounds(self):
         model = UniformLatency(0.001, 0.002)
@@ -249,6 +261,40 @@ class TestSimulator:
             sim.schedule_at(float(t), lambda: None)
         sim.run(max_events=3)
         assert sim.processed == 3
+
+    def test_cancelled_timer_never_fires(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule_at(1.0, lambda: fired.append("cancelled"))
+        sim.schedule_at(2.0, lambda: fired.append("live"))
+        timer.cancel()
+        sim.run()
+        assert fired == ["live"]
+        assert sim.processed == 1
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        timer = sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        timer.cancel()  # must not raise or corrupt the queue
+        assert len(sim) == 0
+
+    def test_len_excludes_cancelled_anywhere_in_heap(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        buried = sim.schedule_at(2.0, lambda: None)  # not at the heap head
+        sim.schedule_at(3.0, lambda: None)
+        buried.cancel()
+        assert len(sim) == 2
+
+    def test_run_until_skips_cancelled_head(self):
+        sim = Simulator()
+        fired = []
+        head = sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(5.0, lambda: fired.append(5))
+        head.cancel()
+        sim.run_until(3.0)
+        assert fired == [] and sim.now == 3.0
 
 
 class TestRngHelpers:

@@ -1,0 +1,216 @@
+"""Event-path session-layer semantics: delivery, refusal, drop, retry.
+
+These tests drive the EventCoordinator directly with hand-built plans so
+each message-lifecycle rule is observable in isolation: dead nodes refuse
+fast (error reply after a round trip), partitioned nodes drop silently
+(only the timeout resolves them), retries resend, quorum-wait completes
+on the q-th fastest response, and the whole thing replays bit-identically
+from one seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, Simulator
+from repro.cluster.network import FixedLatency, Network
+from repro.errors import SimulationError
+from repro.runtime import (
+    EventCoordinator,
+    Request,
+    RetryPolicy,
+    Round,
+)
+
+DELAY = 0.001  # one message leg
+RTT = 2 * DELAY
+
+
+def make_world(num_nodes=5, timeout=0.05, retries=0):
+    network = Network(latency=FixedLatency(DELAY))
+    cluster = Cluster(num_nodes, network=network)
+    sim = Simulator()
+    coordinator = EventCoordinator(
+        cluster,
+        sim,
+        rng=0,
+        policy=RetryPolicy(timeout=timeout, retries=retries),
+        record_trace=True,
+    )
+    for node in cluster.nodes:
+        node.put_data("k", np.zeros(4, dtype=np.uint8), 0)
+    return cluster, sim, coordinator
+
+
+def version_round(cluster, need=None, **kwargs):
+    return Round(
+        [Request(n.node_id, "data_version", ("k",)) for n in cluster.nodes],
+        need=need,
+        **kwargs,
+    )
+
+
+def run_plan(coordinator, round_):
+    def plan():
+        outcome = yield round_
+        return outcome
+
+    return coordinator.execute(plan())
+
+
+class TestDeliveryLifecycle:
+    def test_round_trip_latency_is_two_legs(self):
+        cluster, sim, coordinator = make_world()
+        outcome = run_plan(coordinator, version_round(cluster))
+        assert outcome.satisfied
+        assert outcome.elapsed == pytest.approx(RTT)
+        assert len(outcome.accepted) == len(cluster)
+
+    def test_quorum_wait_completes_at_need_not_all(self):
+        cluster, sim, coordinator = make_world()
+        outcome = run_plan(coordinator, version_round(cluster, need=2))
+        assert outcome.satisfied and len(outcome.accepted) == 2
+        # messages attributed to the op: 5 sends + the 2 replies that
+        # arrived before completion (FixedLatency ties break by order).
+        assert outcome.messages == len(cluster) + 2
+
+    def test_dead_node_refuses_fast(self):
+        cluster, sim, coordinator = make_world()
+        cluster.fail(1)
+        outcome = run_plan(coordinator, version_round(cluster))
+        assert outcome.elapsed == pytest.approx(RTT)  # refusal is not a timeout
+        assert len(outcome.accepted) == len(cluster) - 1
+        failed = [r for r in outcome.responses if not r.ok]
+        assert [r.request.node_id for r in failed] == [1]
+        assert cluster.network.stats.timeouts == 0
+
+    def test_partitioned_node_times_out(self):
+        cluster, sim, coordinator = make_world(timeout=0.05)
+        cluster.network.partition([2])
+        outcome = run_plan(coordinator, version_round(cluster))
+        assert outcome.elapsed == pytest.approx(0.05)  # the timeout bounds it
+        assert cluster.network.stats.timeouts == 1
+        assert cluster.network.stats.messages_dropped == 1
+
+    def test_retry_reaches_node_after_heal(self):
+        cluster, sim, coordinator = make_world(timeout=0.05, retries=2)
+        cluster.network.partition([2])
+        # Heal while the first attempt's timeout is pending: the resend
+        # goes through.
+        sim.schedule_at(0.06, lambda: cluster.network.heal())
+        outcome = run_plan(coordinator, version_round(cluster))
+        assert outcome.satisfied and len(outcome.accepted) == len(cluster)
+        assert cluster.network.stats.retries >= 1
+
+    def test_retries_exhausted_resolve_failed(self):
+        cluster, sim, coordinator = make_world(timeout=0.02, retries=1)
+        cluster.network.partition([2])
+        outcome = run_plan(coordinator, version_round(cluster))
+        failed = [r for r in outcome.responses if not r.ok]
+        assert [r.request.node_id for r in failed] == [2]
+        # two attempts, two timeouts
+        assert cluster.network.stats.timeouts == 2
+        assert outcome.elapsed == pytest.approx(0.04)
+
+    def test_node_failing_mid_flight_refuses_at_delivery(self):
+        cluster, sim, coordinator = make_world()
+        # The node dies while the request is on the wire.
+        sim.schedule_at(DELAY / 2, lambda: cluster.fail(3))
+        outcome = run_plan(coordinator, version_round(cluster))
+        failed = [r for r in outcome.responses if not r.ok]
+        assert [r.request.node_id for r in failed] == [3]
+
+    def test_partition_mid_flight_drops_request(self):
+        cluster, sim, coordinator = make_world(timeout=0.03)
+        sim.schedule_at(DELAY / 2, lambda: cluster.network.partition([3]))
+        outcome = run_plan(coordinator, version_round(cluster))
+        failed = [r for r in outcome.responses if not r.ok]
+        assert [r.request.node_id for r in failed] == [3]
+        assert cluster.network.stats.messages_dropped == 1
+
+    def test_empty_round_completes_immediately(self):
+        _, _, coordinator = make_world()
+        outcome = run_plan(coordinator, Round([]))
+        assert outcome.satisfied and outcome.elapsed == 0.0
+
+    def test_no_retransmission_after_round_completes(self):
+        # need=3 of 5 with one silent node: the op completes on the fast
+        # quorum; the partitioned attempt must die quietly at its first
+        # timeout instead of burning through the retry budget on behalf
+        # of a finished operation.
+        cluster, sim, coordinator = make_world(timeout=0.05, retries=3)
+        cluster.network.partition([4])
+        outcome = run_plan(coordinator, version_round(cluster, need=3))
+        assert outcome.satisfied
+        sim.run()  # drain everything the session layer still scheduled
+        assert cluster.network.stats.timeouts == 0
+        assert cluster.network.stats.retries == 0
+        # one send to the silent node, never repeated
+        assert cluster.network.stats.messages_dropped == 1
+        # the dangling timer chain must not stretch virtual time:
+        # everything resolves within one timeout window.
+        assert sim.now <= 0.05 + RTT
+
+
+class TestOperationBookkeeping:
+    def test_concurrent_submits_tracked(self):
+        cluster, sim, coordinator = make_world()
+
+        def plan():
+            yield version_round(cluster)
+            return "done"
+
+        results = []
+        coordinator.submit(plan(), results.append)
+        coordinator.submit(plan(), results.append)
+        assert coordinator.in_flight == 2
+        sim.run()
+        assert results == ["done", "done"]
+        assert coordinator.max_in_flight == 2
+        assert coordinator.in_flight == 0
+
+    def test_execute_rejects_reentrancy(self):
+        cluster, sim, coordinator = make_world()
+
+        def inner():
+            return "inner"
+            yield  # pragma: no cover
+
+        def outer():
+            outcome = yield version_round(cluster)
+            coordinator.execute(inner())
+            return outcome
+
+        with pytest.raises(SimulationError, match="re-entrant"):
+            coordinator.execute(outer())
+
+    def test_round_kind_message_accounting(self):
+        cluster, sim, coordinator = make_world()
+        run_plan(coordinator, version_round(cluster, kind="version-query"))
+        sim.run()
+        # 5 sends + 5 replies, all attributed to the version-query kind.
+        assert coordinator.round_messages["version-query"] == 2 * len(cluster)
+
+
+class TestDeterminism:
+    def _trace(self, fail_at=None):
+        cluster, sim, coordinator = make_world(timeout=0.03, retries=1)
+        cluster.network.partition([4])
+        if fail_at is not None:
+            sim.schedule_at(fail_at, lambda: cluster.fail(0))
+
+        def plan():
+            yield version_round(cluster, need=3)
+            outcome = yield version_round(cluster)
+            return outcome
+
+        coordinator.execute(plan())
+        sim.run()
+        return coordinator.trace_hash()
+
+    def test_same_seed_same_trace(self):
+        assert self._trace() == self._trace()
+
+    def test_different_schedule_different_trace(self):
+        assert self._trace() != self._trace(fail_at=0.0005)

@@ -1,0 +1,119 @@
+"""Satellite: partition behavior at the predicted quorum thresholds.
+
+Setting: the paper's (9, 6) code, trapezoid shape (a=2, b=1, h=1) with
+w = (1, 2) — level 0 is {N_i} alone (w_0 = r_0 = 1), level 1 holds the
+three parity nodes (w_1 = 2, r_1 = 2). Block 0's consistency group is
+{0, 6, 7, 8}.
+
+A partitioned minority of that group must make writes fail exactly when
+it blocks a level quorum — node 0 cut off (w_0 unreachable) or two of
+the three parity nodes cut off (w_1 unreachable) — while reads, which
+only need *some* level to pass the r_l check plus a retrieval path,
+survive every minority partition: level 0 + the direct read when N_i is
+reachable, otherwise the level-1 check plus a decode from the five data
+nodes and a surviving parity.
+
+Both execution paths are exercised over every minority partition of the
+group, exhaustively, against the same closed-form prediction.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.api import SystemSpec, build_system
+from repro.cluster.events import Simulator
+from repro.cluster.network import FixedLatency
+from repro.cluster.rng import make_rng
+from repro.runtime import EventCoordinator, RetryPolicy
+
+N, K = 9, 6
+BLOCK = 8
+GROUP = (0, 6, 7, 8)  # block 0's consistency group (N_0 + parities)
+PARITIES = frozenset((6, 7, 8))
+SPEC = SystemSpec.trapezoid(N, K, 2, 1, 1, 2, seed=9)
+
+MINORITY_PARTITIONS = [
+    frozenset(c) for size in (0, 1, 2) for c in combinations(GROUP, size)
+]
+
+
+def predicted_write_ok(partition: frozenset) -> bool:
+    """Every level must keep its w_l: w_0 = 1 on {N_0}, w_1 = 2 on parities."""
+    return 0 not in partition and len(PARITIES - partition) >= 2
+
+
+def predicted_read_ok(partition: frozenset) -> bool:
+    """Direct path via level 0, else level-1 check + decode (5 data rows
+    are always up, so one reachable parity completes the k = 6 rows)."""
+    if 0 not in partition:
+        return True
+    return len(PARITIES - partition) >= 2
+
+
+def build(path: str):
+    if path == "instant":
+        built = build_system(SPEC)
+        sim = None
+    else:
+        sim = Simulator()
+
+        def factory(cluster):
+            cluster.network.latency = FixedLatency(0.001)
+            return EventCoordinator(
+                cluster, sim, rng=2, policy=RetryPolicy(timeout=0.01)
+            )
+
+        built = build_system(SPEC, coordinator_factory=factory)
+    data = (
+        make_rng(3).integers(0, 256, size=(K, BLOCK), dtype=np.int64).astype(np.uint8)
+    )
+    built.initialize(data)
+    return built, sim, data
+
+
+@pytest.mark.parametrize("path", ["instant", "event"])
+@pytest.mark.parametrize(
+    "partition", MINORITY_PARTITIONS, ids=lambda p: "cut-" + "-".join(map(str, sorted(p))) if p else "healthy"
+)
+class TestMinorityPartitionThresholds:
+    def test_write_fails_exactly_when_a_level_quorum_is_cut(self, path, partition):
+        built, sim, _ = build(path)
+        built.cluster.network.partition(partition)
+        result = built.engine.write_block(0, np.full(BLOCK, 5, dtype=np.uint8))
+        assert result.success == predicted_write_ok(partition), result.reason
+
+    def test_read_survives_every_minority_partition(self, path, partition):
+        built, sim, data = build(path)
+        built.cluster.network.partition(partition)
+        result = built.engine.read_block(0)
+        assert result.success == predicted_read_ok(partition), result.reason
+        if result.success:
+            assert result.version == 0
+            assert np.array_equal(result.value, data[0])
+
+    def test_failed_write_leaves_consistent_state_after_heal(self, path, partition):
+        built, sim, data = build(path)
+        built.cluster.network.partition(partition)
+        write = built.engine.write_block(0, np.full(BLOCK, 5, dtype=np.uint8))
+        if sim is not None:
+            sim.run()  # drain stragglers
+        built.cluster.network.heal()
+        read = built.engine.read_block(0)
+        assert read.success
+        if write.success:
+            assert read.version == 1
+            assert np.array_equal(read.value, np.full(BLOCK, 5, dtype=np.uint8))
+        else:
+            # A write that missed its quorum may still have reached some
+            # nodes; the read must nevertheless return a single coherent
+            # version of the block (the committed one, or the newer value
+            # on the surviving path) — never a mix.
+            assert read.version in (0, 1)
+            expected = (
+                data[0] if read.version == 0 else np.full(BLOCK, 5, dtype=np.uint8)
+            )
+            assert np.array_equal(read.value, expected)

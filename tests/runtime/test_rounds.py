@@ -1,0 +1,112 @@
+"""Unit tests for the round primitives and the QuorumWait tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.rounds import (
+    QuorumWait,
+    Request,
+    Response,
+    RetryPolicy,
+    Round,
+)
+
+
+def _requests(n: int) -> list[Request]:
+    return [Request(i, "data_version", (("k", i),)) for i in range(n)]
+
+
+def _ok(request: Request, value=0) -> Response:
+    return Response(request=request, ok=True, value=value)
+
+
+def _fail(request: Request) -> Response:
+    return Response(request=request, ok=False, error=RuntimeError("down"))
+
+
+class TestRoundValidation:
+    def test_need_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="need must be >= 1"):
+            Round(_requests(3), need=0)
+
+    def test_default_accept_is_ok(self):
+        round_ = Round(_requests(1))
+        assert round_.accept(_ok(round_.requests[0]))
+        assert not round_.accept(_fail(round_.requests[0]))
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(retries=-1)
+
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.timeout > 0 and policy.retries == 0
+
+
+class TestQuorumWait:
+    def test_completes_on_qth_accept(self):
+        round_ = Round(_requests(5), need=2)
+        wait = QuorumWait(round_)
+        assert not wait.offer(_ok(round_.requests[0]))
+        assert wait.offer(_ok(round_.requests[1]))
+        assert wait.done and wait.satisfied
+        assert len(wait.accepted) == 2
+
+    def test_unreachable_threshold_fails_early(self):
+        # 3 requests, need 3: the first failure proves it unsatisfiable.
+        round_ = Round(_requests(3), need=3)
+        wait = QuorumWait(round_)
+        assert wait.offer(_fail(round_.requests[0]))
+        assert wait.done and not wait.satisfied
+
+    def test_failures_tolerated_up_to_slack(self):
+        round_ = Round(_requests(4), need=2)
+        wait = QuorumWait(round_)
+        assert not wait.offer(_fail(round_.requests[0]))
+        assert not wait.offer(_fail(round_.requests[1]))
+        assert not wait.offer(_ok(round_.requests[2]))
+        assert wait.offer(_ok(round_.requests[3]))
+        assert wait.satisfied
+
+    def test_gather_all_waits_for_every_response(self):
+        round_ = Round(_requests(3))  # need=None
+        wait = QuorumWait(round_)
+        assert not wait.offer(_ok(round_.requests[0]))
+        assert not wait.offer(_fail(round_.requests[1]))
+        assert wait.offer(_ok(round_.requests[2]))
+        assert wait.satisfied  # gather rounds always satisfy
+
+    def test_abort_on_reject(self):
+        round_ = Round(_requests(3), need=3, abort_on_reject=True)
+        wait = QuorumWait(round_)
+        assert not wait.offer(_ok(round_.requests[0]))
+        assert wait.offer(_fail(round_.requests[1]))
+        assert wait.done and not wait.satisfied
+
+    def test_stragglers_ignored_after_completion(self):
+        round_ = Round(_requests(3), need=1)
+        wait = QuorumWait(round_)
+        assert wait.offer(_ok(round_.requests[0]))
+        assert not wait.offer(_ok(round_.requests[1]))
+        assert len(wait.accepted) == 1
+        assert len(wait.responses) == 1
+
+    def test_custom_accept_predicate(self):
+        round_ = Round(
+            _requests(3),
+            need=2,
+            accept=lambda response: response.ok and response.value >= 0,
+        )
+        wait = QuorumWait(round_)
+        # ok but INVALID (-1): resolved, not accepted.
+        assert not wait.offer(_ok(round_.requests[0], value=-1))
+        assert not wait.offer(_ok(round_.requests[1], value=3))
+        assert wait.offer(_ok(round_.requests[2], value=0))
+        assert wait.satisfied
+        assert [response.value for response in wait.accepted] == [3, 0]

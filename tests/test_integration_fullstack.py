@@ -82,16 +82,22 @@ class TestErcVsFrEquivalence:
 
 
 class TestLatencyAndTrafficAccounting:
-    def test_virtual_latency_accumulates_through_protocol(self):
+    def test_message_delay_accumulates_through_protocol(self):
         network = Network(latency=FixedLatency(0.001))
         cluster = Cluster(9, network=network)
         quorum = TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
         proto = TrapErcProtocol(cluster, MDSCode(9, 6), quorum)
         rng = np.random.default_rng(4)
         proto.initialize(rng.integers(0, 256, size=(6, 8), dtype=np.int64).astype(np.uint8))
-        before = network.stats.virtual_latency
-        proto.read_block(0)
-        assert network.stats.virtual_latency > before
+        before = network.stats.total_message_delay
+        result = proto.read_block(0)
+        assert network.stats.total_message_delay > before
+        # The instant path now also reports per-operation latency: the
+        # sum over its fan-out rounds of the max-of-parallel delay, which
+        # is bounded by (and under fan-out strictly less than) the
+        # summed per-message delay.
+        assert 0 < result.latency <= network.stats.total_message_delay - before
+        assert network.stats.operation_latency > 0
 
     def test_bytes_accounting_scales_with_block_size(self):
         results = {}
