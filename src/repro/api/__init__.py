@@ -31,11 +31,19 @@ Ten-line quickstart::
 See ``docs/API.md`` for the full spec schema and registry catalogue.
 """
 
-from repro.api.build import BuiltSystem, ProtocolEngine, build_system
+from repro.api.build import (
+    BuiltSystem,
+    ProtocolEngine,
+    ShardedSystem,
+    build_sharded_system,
+    build_system,
+)
 from repro.api.registry import (
     ProtocolEntry,
     QuorumEntry,
+    build_latency_model,
     build_quorum_system,
+    build_service_model,
     build_trapezoid_quorum,
     protocol_entry,
     protocol_names,
@@ -47,7 +55,6 @@ from repro.api.registry import (
 from repro.api.runner import (
     ScenarioResult,
     ScenarioRunner,
-    build_latency_model,
     run_spec,
 )
 from repro.api.spec import (
@@ -58,6 +65,8 @@ from repro.api.spec import (
     PlacementSpec,
     QuorumSpec,
     ScenarioSpec,
+    ServiceTimeSpec,
+    ShardingSpec,
     SystemSpec,
     WorkloadSpec,
 )
@@ -69,6 +78,8 @@ __all__ = [
     "PlacementSpec",
     "WorkloadSpec",
     "LatencySpec",
+    "ServiceTimeSpec",
+    "ShardingSpec",
     "FaultloadSpec",
     "ScenarioSpec",
     "SystemSpec",
@@ -85,8 +96,11 @@ __all__ = [
     "ProtocolEngine",
     "BuiltSystem",
     "build_system",
+    "ShardedSystem",
+    "build_sharded_system",
     "ScenarioRunner",
     "ScenarioResult",
     "run_spec",
     "build_latency_model",
+    "build_service_model",
 ]

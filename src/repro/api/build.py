@@ -16,12 +16,16 @@ from typing import Callable, Protocol, runtime_checkable
 import numpy as np
 
 from repro.api.registry import (
+    build_latency_model,
     build_quorum_system,
+    build_service_model,
     build_trapezoid_quorum,
     protocol_entry,
 )
-from repro.api.spec import SystemSpec
+from repro.api.spec import LatencySpec, SystemSpec
 from repro.cluster.cluster import Cluster
+from repro.cluster.events import Simulator
+from repro.cluster.network import TwoTierLatency
 from repro.cluster.rng import make_rng, spawn_rngs
 from repro.core.repair import RepairService
 from repro.core.results import ReadResult, WriteResult
@@ -31,9 +35,22 @@ from repro.errors import ConfigurationError
 from repro.quorum.base import QuorumSystem
 from repro.quorum.trapezoid import TrapezoidQuorum
 from repro.runtime.coordinator import Coordinator
+from repro.runtime.event import (
+    EventCoordinator,
+    NodeServiceQueue,
+    make_service_queues,
+)
+from repro.runtime.rounds import RetryPolicy
+from repro.runtime.router import Shard, ShardRouter
 from repro.storage.placement import IdentityPlacement, RotatingPlacement
 
-__all__ = ["ProtocolEngine", "BuiltSystem", "build_system"]
+__all__ = [
+    "ProtocolEngine",
+    "BuiltSystem",
+    "build_system",
+    "ShardedSystem",
+    "build_sharded_system",
+]
 
 
 @runtime_checkable
@@ -132,6 +149,35 @@ def _builder_accepts_coordinator(builder) -> bool:
     )
 
 
+def _resolve_protocol(spec: SystemSpec):
+    """Registry entry, trapezoid quorum (or None) and availability geometry.
+
+    Shared front half of :func:`build_system` and
+    :func:`build_sharded_system`: validates the trapezoid against the
+    code's consistency-group size and picks the availability geometry —
+    registry entries may supply their own (the flat baselines do, so the
+    hooks model the engine's replica group); otherwise it is built from
+    the spec's quorum section.
+    """
+    entry = protocol_entry(spec.protocol)
+    group = spec.code.group_size
+    if entry.needs_trapezoid:
+        quorum = build_trapezoid_quorum(spec.quorum)
+        if quorum.shape.total_nodes != group:
+            raise ConfigurationError(
+                f"trapezoid holds {quorum.shape.total_nodes} nodes but "
+                f"(n={spec.code.n}, k={spec.code.k}) requires "
+                f"Nbnode = n - k + 1 = {group}"
+            )
+    else:
+        quorum = None
+    if entry.system_builder is not None:
+        system = entry.system_builder(spec)
+    else:
+        system = build_quorum_system(spec.quorum)
+    return entry, quorum, system
+
+
 def build_system(
     spec: SystemSpec,
     stripe_index: int = 0,
@@ -151,26 +197,7 @@ def build_system(
     :class:`~repro.runtime.event.EventCoordinator` factory here). Without
     one, engines run on their default instant path.
     """
-    entry = protocol_entry(spec.protocol)
-    group = spec.code.group_size
-    if entry.needs_trapezoid:
-        quorum = build_trapezoid_quorum(spec.quorum)
-        if quorum.shape.total_nodes != group:
-            raise ConfigurationError(
-                f"trapezoid holds {quorum.shape.total_nodes} nodes but "
-                f"(n={spec.code.n}, k={spec.code.k}) requires "
-                f"Nbnode = n - k + 1 = {group}"
-            )
-    else:
-        quorum = None
-    # The availability geometry: registry entries may supply their own
-    # (the flat baselines do, so the hooks model the engine's replica
-    # group); otherwise it is built from the spec's quorum section.
-    if entry.system_builder is not None:
-        system = entry.system_builder(spec)
-    else:
-        system = build_quorum_system(spec.quorum)
-
+    entry, quorum, system = _resolve_protocol(spec)
     cluster = Cluster(spec.cluster.num_nodes)
     code = MDSCode(spec.code.n, spec.code.k, construction=spec.code.construction)
     layout = _layout_for(spec, stripe_index)
@@ -209,4 +236,186 @@ def build_system(
         repair=repair,
         rng=rng,
         coordinator=coordinator,
+    )
+
+
+@dataclass
+class ShardedSystem:
+    """A live multi-volume runtime: shards behind one front-end router.
+
+    The scale-out counterpart of :class:`BuiltSystem`: ``shards.shards``
+    per-shard engines (one stripe family each, placed via the placement
+    policy's stripe rotation) run on their own
+    :class:`~repro.runtime.event.EventCoordinator`, all sharing one
+    simulator, one cluster and — when a service-time model is configured
+    — one set of per-node FIFO service queues, so concurrent shards
+    genuinely contend. ``router`` is the dispatch front end.
+    """
+
+    spec: SystemSpec
+    cluster: Cluster
+    code: MDSCode
+    system: QuorumSystem
+    simulator: Simulator
+    router: ShardRouter
+    shards: list[Shard]
+    queues: dict[int, NodeServiceQueue] | None
+    repairs: list[RepairService]
+    rng: np.random.Generator = field(repr=False)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_blocks(self) -> int:
+        """Addressable logical blocks of the volume: shards * k."""
+        return self.router.num_blocks
+
+    def initialize(self, data: np.ndarray | None = None) -> np.ndarray:
+        """Load version-0 blocks on every shard.
+
+        ``data`` must have shape ``(num_shards, k, L)``; when omitted,
+        seeded random payloads are drawn shard by shard (shard 0 draws
+        exactly what the unsharded :meth:`BuiltSystem.initialize` would,
+        keeping 1-shard runs bit-identical). Returns the loaded array.
+        """
+        k = self.code.k
+        length = self.spec.workload.block_length
+        if data is None:
+            data = np.stack(
+                [
+                    self.rng.integers(
+                        0, 256, size=(k, length), dtype=np.int64
+                    ).astype(np.uint8)
+                    for _ in self.shards
+                ]
+            )
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 3 or data.shape[0] != len(self.shards) or data.shape[1] != k:
+            raise ConfigurationError(
+                f"data must have shape (shards={len(self.shards)}, k={k}, L), "
+                f"got {data.shape}"
+            )
+        for shard, shard_data in zip(self.shards, data):
+            shard.engine.initialize(shard_data)
+        return data
+
+    def trace_hash(self) -> str:
+        return self.router.trace_hash()
+
+
+def _coordinator_site(latency_model, index: int, num_nodes: int) -> int | None:
+    """Where shard ``index``'s coordinator sits, for per-link models.
+
+    Topology-aware models place the per-shard front ends round-robin
+    across the racks (a coordinator colocated with rack ``index mod
+    num_racks``); distribution-only models ignore the site, so ``None``
+    keeps them exactly on their historical draw sequence.
+    """
+    if not isinstance(latency_model, TwoTierLatency):
+        return None
+    num_racks = max(1, -(-num_nodes // latency_model.rack_size))
+    return (index % num_racks) * latency_model.rack_size
+
+
+def build_sharded_system(
+    spec: SystemSpec,
+    *,
+    simulator: Simulator | None = None,
+    rng=None,
+    service_rng=None,
+    record_trace: bool = False,
+) -> ShardedSystem:
+    """Construct the sharded multi-volume runtime a spec describes.
+
+    ``spec.sharding`` fixes the shard count and routing,
+    ``spec.service`` the per-node service-time model, ``spec.latency``
+    the message-leg model and timeout/retry policy. Every shard's engine
+    comes from the protocol registry with its own event coordinator
+    injected (the same ``coordinator`` keyword :func:`build_system`
+    validates), so registered protocols plug into the router without
+    bespoke wiring.
+
+    ``rng`` seeds coordinator latency sampling (one shard consumes it
+    directly — bit-identical to handing it to a lone
+    :class:`EventCoordinator`; several shards spawn one child stream
+    each); ``service_rng`` seeds the per-node service queues. Left at
+    ``None`` they default to child streams 8 and 10 of ``spec.seed`` —
+    the same allocation :class:`~repro.api.runner.ScenarioRunner` uses —
+    so a bare ``build_sharded_system(spec)`` is reproducible from the
+    spec alone. The initialization stream is child 0 of ``spec.seed``,
+    exactly as in :func:`build_system`.
+    """
+    sharding = spec.sharding
+    num_shards = sharding.shards if sharding is not None else 1
+    routing = sharding.routing if sharding is not None else "interleave"
+    route_seed = sharding.route_seed if sharding is not None else 0
+    entry, _, system = _resolve_protocol(spec)
+    if not _builder_accepts_coordinator(entry.builder):
+        raise ConfigurationError(
+            f"protocol {spec.protocol!r} does not support coordinator "
+            "injection (its registered builder takes no 'coordinator' "
+            "keyword); it cannot run on the sharded event-driven path"
+        )
+    if rng is None or service_rng is None:
+        seed_streams = spawn_rngs(make_rng(spec.seed), 11)
+        if rng is None:
+            rng = seed_streams[8]
+        if service_rng is None:
+            service_rng = seed_streams[10]
+
+    simulator = simulator if simulator is not None else Simulator()
+    cluster = Cluster(spec.cluster.num_nodes)
+    code = MDSCode(spec.code.n, spec.code.k, construction=spec.code.construction)
+    latency_spec = spec.latency or LatencySpec()
+    latency_model = build_latency_model(latency_spec)
+    policy = RetryPolicy(timeout=latency_spec.timeout, retries=latency_spec.retries)
+    service_model = build_service_model(spec.service)
+    queues = (
+        make_service_queues(
+            simulator, spec.cluster.num_nodes, service_model, rng=service_rng
+        )
+        if service_model is not None
+        else None
+    )
+    rng = make_rng(rng)
+    coordinator_rngs = [rng] if num_shards == 1 else spawn_rngs(rng, num_shards)
+    shards: list[Shard] = []
+    repairs: list[RepairService] = []
+    for index in range(num_shards):
+        layout = _layout_for(spec, index)
+        coordinator = EventCoordinator(
+            cluster,
+            simulator,
+            latency=latency_model,
+            rng=coordinator_rngs[index],
+            policy=policy,
+            record_trace=record_trace,
+            queues=queues,
+            site=_coordinator_site(latency_model, index, spec.cluster.num_nodes),
+        )
+        engine = entry.builder(
+            spec, cluster, code, layout, coordinator=coordinator
+        )
+        shards.append(Shard(index, engine, coordinator, code.k))
+        if entry.supports_repair:
+            # Out-of-band anti-entropy on the instant path, one service
+            # per stripe family (see build_system's repair note).
+            repairs.append(
+                RepairService(entry.builder(spec, cluster, code, layout))
+            )
+    router = ShardRouter(shards, routing=routing, route_seed=route_seed)
+    (init_rng,) = spawn_rngs(make_rng(spec.seed), 1)
+    return ShardedSystem(
+        spec=spec,
+        cluster=cluster,
+        code=code,
+        system=system,
+        simulator=simulator,
+        router=router,
+        shards=shards,
+        queues=queues,
+        repairs=repairs,
+        rng=init_rng,
     )

@@ -21,7 +21,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, TYPE_CHECKING
 
-from repro.api.spec import QuorumSpec, SystemSpec
+from repro.api.spec import LatencySpec, QuorumSpec, ServiceTimeSpec, SystemSpec
+from repro.cluster.network import (
+    FixedLatency,
+    LatencyModel,
+    LognormalLatency,
+    TwoTierLatency,
+    UniformLatency,
+)
+from repro.cluster.node import (
+    ExponentialServiceTime,
+    FixedServiceTime,
+    ServiceTimeModel,
+)
 from repro.core.replication import MajorityProtocol, RowaProtocol
 from repro.core.trap_erc import TrapErcProtocol
 from repro.core.trap_fr import TrapFrProtocol
@@ -50,7 +62,34 @@ __all__ = [
     "protocol_entry",
     "build_quorum_system",
     "build_trapezoid_quorum",
+    "build_latency_model",
+    "build_service_model",
 ]
+
+
+def build_latency_model(spec: LatencySpec) -> LatencyModel:
+    """The :class:`~repro.cluster.network.LatencyModel` a spec describes."""
+    if spec.kind == "fixed":
+        return FixedLatency(spec.delay)
+    if spec.kind == "uniform":
+        return UniformLatency(spec.low, spec.high)
+    if spec.kind == "two_tier":
+        return TwoTierLatency(
+            local=spec.local,
+            remote=spec.remote,
+            rack_size=spec.rack_size,
+            jitter=spec.jitter,
+        )
+    return LognormalLatency(spec.mu, spec.sigma)
+
+
+def build_service_model(spec: ServiceTimeSpec | None) -> ServiceTimeModel | None:
+    """The node service-time model a spec describes (None = zero service)."""
+    if spec is None or spec.kind == "none":
+        return None
+    if spec.kind == "fixed":
+        return FixedServiceTime(spec.time)
+    return ExponentialServiceTime(spec.time)
 
 
 # --------------------------------------------------------------------- #

@@ -18,18 +18,28 @@ and an identical spec reproduces identical numbers end to end.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.analysis.optimizer import ConfigPoint, optimize_config_sweep
-from repro.api.build import BuiltSystem, build_system
-from repro.api.registry import build_trapezoid_quorum, protocol_entry, protocol_names
-from repro.api.spec import FaultloadSpec, LatencySpec, SystemSpec
+from repro.api.build import BuiltSystem, build_sharded_system, build_system
+from repro.api.registry import (
+    build_latency_model,
+    build_trapezoid_quorum,
+    protocol_entry,
+    protocol_names,
+)
+from repro.api.spec import (
+    FaultloadSpec,
+    LatencySpec,
+    ServiceTimeSpec,
+    SystemSpec,
+)
 from repro.cluster.events import Simulator
 from repro.cluster.failures import exponential_trace
-from repro.cluster.network import FixedLatency, LognormalLatency, UniformLatency
 from repro.cluster.rng import make_rng, spawn_rngs
 from repro.errors import ConfigurationError
 from repro.quorum.trapezoid import TrapezoidQuorum
@@ -38,11 +48,13 @@ from repro.runtime.rounds import RetryPolicy
 from repro.sim.comparative import make_schedule, run_comparison
 from repro.sim.metrics import MCEstimate
 from repro.sim.protocol_mc import ProtocolMonteCarlo
+from repro.sim.saturation import knee_clients, queue_summary, saturation_sweep
 from repro.sim.sweep import availability_sweep
 from repro.sim.trace_sim import (
     ClosedLoopConfig,
     ClosedLoopSimulation,
     PartitionWindow,
+    ShardedClosedLoopSimulation,
     TraceSimConfig,
     TraceSimulation,
 )
@@ -58,18 +70,11 @@ __all__ = ["ScenarioResult", "ScenarioRunner", "run_spec"]
 
 #: number of deterministic child streams carved out of ``spec.seed``.
 #: SeedSequence.spawn keys by child index, so growing this list appends
-#: new independent streams without perturbing streams 0..7 (existing
+#: new independent streams without perturbing streams 0..9 (existing
 #: scenario kinds keep reproducing their exact historical results).
-_NUM_STREAMS = 10
-
-
-def build_latency_model(spec: LatencySpec):
-    """The :class:`~repro.cluster.network.LatencyModel` a spec describes."""
-    if spec.kind == "fixed":
-        return FixedLatency(spec.delay)
-    if spec.kind == "uniform":
-        return UniformLatency(spec.low, spec.high)
-    return LognormalLatency(spec.mu, spec.sigma)
+#: Stream 10 feeds the per-node service queues, stream 11 the per-point
+#: streams of the saturation sweep.
+_NUM_STREAMS = 12
 
 
 @dataclass
@@ -167,6 +172,7 @@ class ScenarioRunner:
             "sweep": self._run_sweep,
             "optimize": self._run_optimize,
             "latency": self._run_latency,
+            "saturation": self._run_saturation,
         }
         data = runners[self.spec.scenario.kind]()
         return ScenarioResult(
@@ -489,6 +495,18 @@ class ScenarioRunner:
             return None, windows
         return None, []
 
+    def _sharding_requested(self) -> bool:
+        """True when the spec opts into the sharded runtime.
+
+        Any ``sharding`` section (even one shard) or a non-zero service
+        model routes through the router path; specs without either keep
+        the historical unsharded code path untouched. The property tests
+        pin a 1-shard / zero-service sharded run bit-identical to it.
+        """
+        if self.spec.sharding is not None:
+            return True
+        return self.spec.service is not None and self.spec.service.kind != "none"
+
     def _run_latency(self) -> dict:
         """Event-driven closed-loop run: latency percentiles under faults.
 
@@ -497,11 +515,16 @@ class ScenarioRunner:
         the faultload (churn or partitions) interleaves mid-operation.
         Stream 8 drives message-latency sampling, stream 9 the faultload,
         so the same spec + seed reproduces the identical event trace
-        (``trace_hash`` digests it).
+        (``trace_hash`` digests it). Specs with a ``sharding`` or
+        ``service`` section run on the sharded router path instead
+        (stream 10 feeds the service queues) and additionally report
+        per-shard percentiles and queue summaries.
         """
         scenario = self.spec.scenario
         latency_spec = self.spec.latency or LatencySpec()
         faultload = scenario.faultload or FaultloadSpec()
+        if self._sharding_requested():
+            return self._run_sharded_latency(scenario, latency_spec, faultload)
         simulator = Simulator()
         policy = RetryPolicy(
             timeout=latency_spec.timeout, retries=latency_spec.retries
@@ -556,6 +579,134 @@ class ScenarioRunner:
             "virtual_duration": simulator.now,
             "summary": tally.summary(),
             "trace_hash": coordinator[0].trace_hash(),
+        }
+
+    def _sharded_closed_loop(
+        self,
+        clients: int,
+        ops,
+        trace,
+        partitions,
+        rng,
+        service_rng,
+    ) -> ShardedClosedLoopSimulation:
+        """One fresh sharded closed-loop run (own simulator and cluster)."""
+        scenario = self.spec.scenario
+        system = build_sharded_system(
+            self.spec, rng=rng, service_rng=service_rng, record_trace=True
+        )
+        system.initialize()
+        config = ClosedLoopConfig(
+            clients=clients,
+            think_time=scenario.think_time,
+            horizon=scenario.horizon,
+            block_length=self.spec.workload.block_length,
+            repair_interval=scenario.repair_interval,
+        )
+        return ShardedClosedLoopSimulation(
+            system.cluster,
+            system.router,
+            list(ops),
+            config=config,
+            trace=trace,
+            partitions=partitions,
+            repairs=(
+                system.repairs if scenario.repair_interval is not None else None
+            ),
+        )
+
+    def _run_sharded_latency(self, scenario, latency_spec, faultload) -> dict:
+        """The latency scenario on the sharded router path.
+
+        Streams match the unsharded path (8 = coordinator sampling, 9 =
+        faultload, 1 = workload) plus stream 10 for the service queues,
+        so a 1-shard / zero-service spec reproduces the unsharded
+        summary and trace hash byte for byte while shards >= 2 adds the
+        per-shard and queue views.
+        """
+        shards = self.spec.sharding.shards if self.spec.sharding else 1
+        num_blocks = shards * self.spec.code.k
+        ops = _make_workload(self.spec, num_blocks, self._streams[1])
+        trace, partitions = self._faultload(
+            faultload, scenario.horizon, self._streams[9]
+        )
+        sim = self._sharded_closed_loop(
+            scenario.clients, ops, trace, partitions,
+            self._streams[8], self._streams[10],
+        )
+        tally = sim.run()
+        service_spec = self.spec.service or ServiceTimeSpec()
+        return {
+            "clients": scenario.clients,
+            "think_time": scenario.think_time,
+            "horizon": scenario.horizon,
+            "shards": shards,
+            "routing": sim.router.routing,
+            "faultload": faultload.to_dict(),
+            "latency_model": latency_spec.to_dict(),
+            "service": service_spec.to_dict(),
+            "ops_submitted": tally.reads_attempted + tally.writes_attempted,
+            "virtual_duration": sim.sim.now,
+            "summary": tally.summary(),
+            "operation_latency": tally.operation_percentiles(),
+            "per_shard": sim.shard_summaries(),
+            "queues": queue_summary(
+                sim.router.shards[0].coordinator.queues, sim.sim.now
+            ),
+            "trace_hash": sim.router.trace_hash(),
+        }
+
+    def _run_saturation(self) -> dict:
+        """The ops/s-vs-clients saturation sweep over the sharded runtime.
+
+        One fresh sharded closed-loop run per entry of
+        ``scenario.client_counts`` against the *same* workload tape and
+        faultload (streams 1 and 9); each point draws its coordinator
+        and service-queue streams from per-point children of stream 11,
+        so points are independent yet one seed reproduces the whole
+        curve, point hashes included.
+        """
+        scenario = self.spec.scenario
+        latency_spec = self.spec.latency or LatencySpec()
+        faultload = scenario.faultload or FaultloadSpec()
+        counts = scenario.client_counts or (1, 2, 4, 8, 16)
+        shards = self.spec.sharding.shards if self.spec.sharding else 1
+        num_blocks = shards * self.spec.code.k
+        ops = _make_workload(self.spec, num_blocks, self._streams[1])
+        trace, partitions = self._faultload(
+            faultload, scenario.horizon, self._streams[9]
+        )
+        point_streams = iter(
+            spawn_rngs(child, 2)
+            for child in spawn_rngs(self._streams[11], len(counts))
+        )
+
+        def make_run(clients: int) -> ShardedClosedLoopSimulation:
+            rng, service_rng = next(point_streams)
+            return self._sharded_closed_loop(
+                clients, ops, trace, partitions, rng, service_rng
+            )
+
+        points = saturation_sweep(make_run, counts)
+        digest = hashlib.sha256()
+        for point in points:
+            digest.update(point.trace_hash.encode("ascii"))
+            digest.update(b"\n")
+        service_spec = self.spec.service or ServiceTimeSpec()
+        return {
+            "shards": shards,
+            "routing": (
+                self.spec.sharding.routing if self.spec.sharding else "interleave"
+            ),
+            "client_counts": [p.clients for p in points],
+            "think_time": scenario.think_time,
+            "horizon": scenario.horizon,
+            "faultload": faultload.to_dict(),
+            "latency_model": latency_spec.to_dict(),
+            "service": service_spec.to_dict(),
+            "points": [p.to_dict() for p in points],
+            "knee_clients": knee_clients(points),
+            "trace_hash": digest.hexdigest(),
         }
 
 

@@ -26,6 +26,8 @@ __all__ = [
     "PlacementSpec",
     "WorkloadSpec",
     "LatencySpec",
+    "ServiceTimeSpec",
+    "ShardingSpec",
     "FaultloadSpec",
     "ScenarioSpec",
     "SystemSpec",
@@ -323,10 +325,13 @@ class LatencySpec(_SpecBase):
 
     ``kind`` selects the per-message-leg delay distribution (``fixed``:
     ``delay``; ``uniform``: [``low``, ``high``]; ``lognormal``:
-    exp(N(``mu``, ``sigma``²)), heavy-tailed). ``timeout``/``retries``
-    form the per-operation :class:`~repro.runtime.rounds.RetryPolicy`:
-    a request unanswered after ``timeout`` virtual seconds is resent up
-    to ``retries`` times, then counts as failed.
+    exp(N(``mu``, ``sigma``²)), heavy-tailed; ``two_tier``: per-link
+    rack/WAN — ``local`` within a rack of ``rack_size`` consecutive
+    nodes, ``remote`` across racks, widened by a fractional ``jitter``).
+    ``timeout``/``retries`` form the per-operation
+    :class:`~repro.runtime.rounds.RetryPolicy`: a request unanswered
+    after ``timeout`` virtual seconds is resent up to ``retries`` times,
+    then counts as failed.
     """
 
     kind: str = "lognormal"
@@ -335,12 +340,16 @@ class LatencySpec(_SpecBase):
     high: float = 0.002
     mu: float = -6.5
     sigma: float = 0.5
+    local: float = 0.0005
+    remote: float = 0.005
+    rack_size: int = 3
+    jitter: float = 0.0
     timeout: float = 0.05
     retries: int = 0
 
     def __post_init__(self) -> None:
         _require(
-            self.kind in ("fixed", "uniform", "lognormal"),
+            self.kind in ("fixed", "uniform", "lognormal", "two_tier"),
             f"unknown latency kind {self.kind!r}",
         )
         _require(self.delay >= 0, f"delay must be >= 0, got {self.delay}")
@@ -349,8 +358,77 @@ class LatencySpec(_SpecBase):
             f"need 0 <= low <= high, got low={self.low}, high={self.high}",
         )
         _require(self.sigma >= 0, f"sigma must be >= 0, got {self.sigma}")
+        _require(
+            0 <= self.local <= self.remote,
+            f"need 0 <= local <= remote, got local={self.local}, "
+            f"remote={self.remote}",
+        )
+        _require(self.rack_size >= 1, f"rack_size must be >= 1, got {self.rack_size}")
+        _require(
+            0.0 <= self.jitter < 1.0,
+            f"jitter must be in [0, 1), got {self.jitter}",
+        )
         _require(self.timeout > 0, f"timeout must be > 0, got {self.timeout}")
         _require(self.retries >= 0, f"retries must be >= 0, got {self.retries}")
+
+
+@dataclass(frozen=True)
+class ServiceTimeSpec(_SpecBase):
+    """Per-node request service time of the event runtime.
+
+    ``none`` (the default) keeps nodes as infinite servers — zero
+    service time, the pre-queue event path byte for byte. ``fixed``
+    (M/D/1-style) and ``exponential`` (M/M/1-style, ``time`` is the
+    mean) attach one FIFO service queue per node: every delivered
+    request waits its turn and occupies the node for a sampled service
+    time, so concurrent shards genuinely contend and throughput
+    saturates at the service capacity.
+    """
+
+    kind: str = "none"
+    time: float = 0.0005
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in ("none", "fixed", "exponential"),
+            f"unknown service-time kind {self.kind!r}",
+        )
+        if self.kind == "fixed":
+            _require(self.time >= 0, f"service time must be >= 0, got {self.time}")
+        elif self.kind == "exponential":
+            _require(self.time > 0, f"service mean must be > 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class ShardingSpec(_SpecBase):
+    """How many stripe families share the cluster, and the address map.
+
+    ``shards`` per-shard coordinators (each one stripe family of ``k``
+    data blocks, placed via the placement policy's stripe rotation) run
+    on one shared simulator/cluster; the front-end
+    :class:`~repro.runtime.router.ShardRouter` maps the
+    ``shards * k`` logical blocks onto them. ``routing`` is
+    ``interleave`` (round-robin; with one shard the identity map, pinned
+    bit-identical to the unsharded path) or ``hash`` (a fixed
+    pseudorandom permutation seeded by ``route_seed`` — configuration,
+    not experiment randomness — modelling hash placement of keys onto
+    stripe families).
+    """
+
+    shards: int = 1
+    routing: str = "interleave"
+    route_seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.shards >= 1, f"shards must be >= 1, got {self.shards}")
+        _require(
+            self.routing in ("interleave", "hash"),
+            f"unknown routing {self.routing!r}",
+        )
+        _require(
+            isinstance(self.route_seed, int),
+            f"route_seed must be an int, got {self.route_seed!r}",
+        )
 
 
 @dataclass(frozen=True)
@@ -425,10 +503,18 @@ class ScenarioSpec(_SpecBase):
         completion and the client's next one) under the ``faultload``,
         with messages travelling per the system's ``latency`` spec;
         reports p50/p95/p99 operation latency, availability and
-        per-round message counts.
+        per-round message counts. Honors the system's ``sharding`` and
+        ``service`` sections (per-shard results appear when either is
+        configured),
+    ``saturation``
+        the scaling question: the same sharded closed-loop run repeated
+        for every entry of ``client_counts`` (fresh cluster per point,
+        same workload tape and faultload), reporting the ops/s-vs-clients
+        curve with per-shard + aggregate percentiles, queue-wait
+        summaries and the knee of the curve.
     """
 
-    _TUPLES = ("ps", "protocols", "w_values")
+    _TUPLES = ("ps", "protocols", "w_values", "client_counts")
     _NESTED = {"faultload": FaultloadSpec}
 
     kind: str = "smoke"
@@ -445,6 +531,7 @@ class ScenarioSpec(_SpecBase):
     max_h: int = 3
     clients: int = 4
     think_time: float = 0.0
+    client_counts: tuple[int, ...] | None = None
     faultload: FaultloadSpec | None = None
 
     def __post_init__(self) -> None:
@@ -457,6 +544,7 @@ class ScenarioSpec(_SpecBase):
             "sweep",
             "optimize",
             "latency",
+            "saturation",
         )
         _require(
             self.kind in kinds,
@@ -498,6 +586,14 @@ class ScenarioSpec(_SpecBase):
             self.think_time >= 0,
             f"think_time must be >= 0, got {self.think_time}",
         )
+        if self.client_counts is not None:
+            counts = tuple(int(c) for c in self.client_counts)
+            _require(len(counts) >= 1, "client_counts must not be empty")
+            _require(
+                all(c >= 1 for c in counts),
+                f"every client count must be >= 1, got {counts}",
+            )
+            object.__setattr__(self, "client_counts", counts)
         if self.kind == "optimize":
             _require(
                 all(0.0 < p < 1.0 for p in self.ps),
@@ -528,6 +624,8 @@ class SystemSpec(_SpecBase):
         "placement": PlacementSpec,
         "workload": WorkloadSpec,
         "latency": LatencySpec,
+        "service": ServiceTimeSpec,
+        "sharding": ShardingSpec,
         "scenario": ScenarioSpec,
     }
 
@@ -538,6 +636,8 @@ class SystemSpec(_SpecBase):
     placement: PlacementSpec = field(default_factory=PlacementSpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     latency: LatencySpec | None = None
+    service: ServiceTimeSpec | None = None
+    sharding: ShardingSpec | None = None
     scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
     seed: int = 0
 

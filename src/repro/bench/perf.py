@@ -77,6 +77,14 @@ DEFAULT_SIZES = {
     "lat_clients": 8,
     "lat_block_length": 256,
     "lat_repeats": 3,
+    # sharded runtime: aggregate sim-ops/s through the router front end,
+    # four stripe families contending on per-node service queues.
+    "shard_count": 4,
+    "shard_ops": 800,
+    "shard_clients": 16,
+    "shard_block_length": 64,
+    "shard_service": 0.0005,
+    "shard_repeats": 2,
 }
 
 #: Tiny sizes for the tier-1-adjacent smoke target (< 1 s total).
@@ -102,6 +110,12 @@ TINY_SIZES = {
     "lat_clients": 4,
     "lat_block_length": 32,
     "lat_repeats": 2,
+    "shard_count": 4,
+    "shard_ops": 80,
+    "shard_clients": 8,
+    "shard_block_length": 32,
+    "shard_service": 0.0005,
+    "shard_repeats": 1,
 }
 
 
@@ -341,6 +355,46 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         "seconds_per_call": t_lat,
         "ops": lat_ops,
         "ops_per_s": lat_ops / t_lat,
+    }
+
+    # -- sharded runtime (router + contended service queues) ------------ #
+    shard_ops = cfg["shard_ops"]
+
+    def sharded_sim() -> None:
+        from repro.api import (
+            LatencySpec,
+            ScenarioRunner,
+            ScenarioSpec,
+            ServiceTimeSpec,
+            ShardingSpec,
+            SystemSpec,
+            WorkloadSpec,
+        )
+
+        spec = SystemSpec.trapezoid(
+            9, 6, 2, 1, 1, 2,
+            latency=LatencySpec(kind="lognormal"),
+            sharding=ShardingSpec(shards=cfg["shard_count"]),
+            service=ServiceTimeSpec(kind="fixed", time=cfg["shard_service"]),
+            workload=WorkloadSpec(
+                num_ops=shard_ops, block_length=cfg["shard_block_length"]
+            ),
+            scenario=ScenarioSpec(
+                kind="saturation",
+                client_counts=(cfg["shard_clients"],),
+                horizon=120.0,
+            ),
+            seed=rng_seed,
+        )
+        ScenarioRunner(spec).run()
+
+    t_shard = _time_call(sharded_sim, cfg["shard_repeats"])
+    results["sharded_throughput"] = {
+        "seconds_per_call": t_shard,
+        "ops": shard_ops,
+        "shards": cfg["shard_count"],
+        "clients": cfg["shard_clients"],
+        "ops_per_s": shard_ops / t_shard,
     }
 
     speedups = {

@@ -16,10 +16,14 @@ Commands
     Render a trapezoid layout.
 ``perf``
     Run the perf harness and write BENCH_perf.json.
+``saturate``
+    Sweep closed-loop client counts over the sharded runtime and print
+    the ops/s saturation curve (and its knee).
 
-``availability`` and ``optimize`` accept ``--dump-config PATH``: they
-write the equivalent declarative :class:`repro.api.SystemSpec` JSON so
-the run can be reproduced (and extended) with ``repro run --config``.
+``availability``, ``optimize`` and ``saturate`` accept ``--dump-config
+PATH``: they write the equivalent declarative
+:class:`repro.api.SystemSpec` JSON so the run can be reproduced (and
+extended) with ``repro run --config``.
 """
 
 from __future__ import annotations
@@ -91,6 +95,37 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--json", default="BENCH_perf.json", help="output path")
     perf.add_argument("--tiny", action="store_true", help="sub-second smoke sizes")
     perf.add_argument("--quiet", action="store_true", help="suppress the table")
+
+    sat = sub.add_parser(
+        "saturate", help="ops/s-vs-clients sweep on the sharded runtime"
+    )
+    sat.add_argument("--n", type=int, default=9)
+    sat.add_argument("--k", type=int, default=6)
+    sat.add_argument("--a", type=int, default=2)
+    sat.add_argument("--b", type=int, default=1)
+    sat.add_argument("--height", type=int, default=1)
+    sat.add_argument("--w", type=int, default=2, help="eq.16 uniform parameter")
+    sat.add_argument("--shards", type=int, default=4, help="stripe families")
+    sat.add_argument(
+        "--clients", type=int, nargs="+", default=[1, 2, 4, 8, 16],
+        help="closed-loop client counts to sweep",
+    )
+    sat.add_argument(
+        "--service", type=float, default=0.0005,
+        help="per-request node service time (virtual seconds)",
+    )
+    sat.add_argument(
+        "--service-kind", choices=("fixed", "exponential"), default="fixed",
+    )
+    sat.add_argument("--ops", type=int, default=400, help="workload operations")
+    sat.add_argument("--horizon", type=float, default=1000.0)
+    sat.add_argument("--seed", type=int, default=0)
+    sat.add_argument(
+        "--dump-config",
+        metavar="PATH",
+        default=None,
+        help="also write the equivalent SystemSpec JSON for `repro run`",
+    )
     return parser
 
 
@@ -222,6 +257,47 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_saturate(args) -> int:
+    from repro.api import (
+        ScenarioRunner,
+        ScenarioSpec,
+        ServiceTimeSpec,
+        ShardingSpec,
+        SystemSpec,
+        WorkloadSpec,
+    )
+
+    spec = SystemSpec.trapezoid(
+        args.n, args.k, args.a, args.b, args.height, args.w,
+        sharding=ShardingSpec(shards=args.shards),
+        service=ServiceTimeSpec(kind=args.service_kind, time=args.service),
+        workload=WorkloadSpec(num_ops=args.ops, block_length=32),
+        scenario=ScenarioSpec(
+            kind="saturation",
+            client_counts=tuple(args.clients),
+            horizon=args.horizon,
+        ),
+        seed=args.seed,
+    )
+    if args.dump_config:
+        _dump_spec(spec, args.dump_config)
+    data = ScenarioRunner(spec).run().data
+    print(
+        f"saturation: shards={data['shards']} routing={data['routing']} "
+        f"service={data['service']['kind']}({data['service']['time']})"
+    )
+    print(f"{'clients':>8s} {'ops/s':>10s} {'p95':>10s} {'q-wait':>10s} {'util':>6s}")
+    for point in data["points"]:
+        p95 = point["aggregate"]["operation_latency"]["p95"]
+        print(
+            f"{point['clients']:8d} {point['throughput']:10.1f} "
+            f"{p95:10.5f} {point['queues']['mean_wait']:10.6f} "
+            f"{point['queues']['max_utilization']:6.2f}"
+        )
+    print(f"knee of the curve: {data['knee_clients']} clients")
+    return 0
+
+
 def _cmd_layout(args) -> int:
     from repro.quorum import TrapezoidQuorum, TrapezoidShape
 
@@ -242,6 +318,7 @@ _COMMANDS = {
     "optimize": _cmd_optimize,
     "layout": _cmd_layout,
     "perf": _cmd_perf,
+    "saturate": _cmd_saturate,
 }
 
 

@@ -20,9 +20,19 @@ from repro.cluster.network import (
     LognormalLatency,
     Network,
     NetworkStats,
+    TwoTierLatency,
     UniformLatency,
 )
-from repro.cluster.node import DataRecord, NodeStats, ParityRecord, StorageNode
+from repro.cluster.node import (
+    DataRecord,
+    ExponentialServiceTime,
+    FixedServiceTime,
+    NodeStats,
+    ParityRecord,
+    QueueStats,
+    ServiceTimeModel,
+    StorageNode,
+)
 from repro.cluster.racks import RackTopology, rack_aware_assignment
 from repro.cluster.rng import make_rng, spawn_rngs
 
@@ -41,10 +51,15 @@ __all__ = [
     "FixedLatency",
     "UniformLatency",
     "LognormalLatency",
+    "TwoTierLatency",
     "StorageNode",
     "DataRecord",
     "ParityRecord",
     "NodeStats",
+    "ServiceTimeModel",
+    "FixedServiceTime",
+    "ExponentialServiceTime",
+    "QueueStats",
     "make_rng",
     "spawn_rngs",
     "RackTopology",

@@ -32,29 +32,49 @@ to schedule real message deliveries on the discrete-event engine in
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.cluster.node import StorageNode
-from repro.errors import NodeUnavailableError
+from repro.errors import ConfigurationError, NodeUnavailableError
 
 __all__ = [
     "LatencyModel",
     "FixedLatency",
     "UniformLatency",
     "LognormalLatency",
+    "TwoTierLatency",
     "NetworkStats",
     "Network",
 ]
 
 
 class LatencyModel:
-    """Base latency model: per-message delay in virtual seconds."""
+    """Base latency model: per-message delay in virtual seconds.
+
+    ``sample`` is the single-distribution interface every model provides.
+    ``sample_link`` adds per-link awareness: the event runtime calls it
+    with the endpoints of each message leg (``None`` marks an off-cluster
+    endpoint, e.g. an external client), and the default implementation
+    delegates to ``sample`` so existing models behave identically and
+    consume the same RNG draws. Topology-aware models like
+    :class:`TwoTierLatency` override it.
+    """
 
     def sample(self, rng: np.random.Generator) -> float:  # pragma: no cover
         raise NotImplementedError
+
+    def sample_link(
+        self,
+        rng: np.random.Generator,
+        src: int | None,
+        dst: int | None,
+    ) -> float:
+        """Delay of one message leg from ``src`` to ``dst``."""
+        return self.sample(rng)
 
 
 @dataclass(frozen=True)
@@ -94,6 +114,70 @@ class LognormalLatency(LatencyModel):
         return float(rng.lognormal(self.mu, self.sigma))
 
 
+@dataclass(frozen=True)
+class TwoTierLatency(LatencyModel):
+    """Rack/WAN two-tier per-link latency.
+
+    Nodes are grouped into racks of ``rack_size`` consecutive ids
+    (``rack = node_id // rack_size``, matching the contiguous blocks of
+    :class:`~repro.cluster.racks.RackTopology`). A message leg between
+    two endpoints in the same rack takes ``local`` seconds, everything
+    else takes ``remote`` seconds; ``jitter`` (a fraction in [0, 1))
+    widens either base delay uniformly to ``base * (1 ± jitter)``. An
+    endpoint of ``None`` — or any negative id — models an off-cluster
+    client and is always remote.
+
+    The single-distribution ``sample`` fallback (used by the instant
+    path's :meth:`Network.rpc`, which has no per-link information)
+    reports the remote tier: the conservative cross-rack figure.
+    """
+
+    local: float = 0.0005
+    remote: float = 0.005
+    rack_size: int = 3
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.local <= self.remote:
+            raise ConfigurationError(
+                f"need 0 <= local <= remote, got local={self.local}, "
+                f"remote={self.remote}"
+            )
+        if self.rack_size < 1:
+            raise ConfigurationError(
+                f"rack_size must be >= 1, got {self.rack_size}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def rack_of(self, endpoint: int | None) -> int:
+        """The rack of an endpoint id; -1 for off-cluster endpoints."""
+        if endpoint is None or endpoint < 0:
+            return -1
+        return int(endpoint) // self.rack_size
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._jittered(self.remote, rng)
+
+    def sample_link(
+        self,
+        rng: np.random.Generator,
+        src: int | None,
+        dst: int | None,
+    ) -> float:
+        src_rack = self.rack_of(src)
+        dst_rack = self.rack_of(dst)
+        same = src_rack == dst_rack and src_rack >= 0
+        return self._jittered(self.local if same else self.remote, rng)
+
+    def _jittered(self, base: float, rng: np.random.Generator) -> float:
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 + float(rng.uniform(-self.jitter, self.jitter)))
+
+
 @dataclass
 class NetworkStats:
     """Aggregate traffic counters.
@@ -125,6 +209,13 @@ class NetworkStats:
         should choose explicitly between ``total_message_delay`` and
         ``operation_latency``.
         """
+        warnings.warn(
+            "NetworkStats.virtual_latency is deprecated; read "
+            "total_message_delay (sum of message legs) or "
+            "operation_latency (max-of-parallel per round) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.total_message_delay
 
     def reset(self) -> None:

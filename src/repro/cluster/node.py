@@ -16,6 +16,18 @@ A :class:`StorageNode` models one storage server of the paper's system:
   concurrent coordinators.
 
 Nodes also keep per-operation counters so experiments can account for IO.
+
+Service time
+------------
+
+On the instant execution path a node answers an RPC in zero time. The
+event-driven runtime can instead attach a FIFO *service queue* to every
+node (:class:`~repro.runtime.event.NodeServiceQueue`): each delivered
+request then occupies the node for a sampled service time before its
+reply is produced, so concurrent coordinators genuinely contend for the
+node. The :class:`ServiceTimeModel` hierarchy here is the configurable
+distribution of that per-request service time; :class:`QueueStats`
+accumulates what the queue measured (waits, service, backlog).
 """
 
 from __future__ import annotations
@@ -26,7 +38,82 @@ import numpy as np
 
 from repro.errors import ConfigurationError, NodeUnavailableError, StaleNodeError
 
-__all__ = ["DataRecord", "ParityRecord", "NodeStats", "StorageNode"]
+__all__ = [
+    "DataRecord",
+    "ParityRecord",
+    "NodeStats",
+    "StorageNode",
+    "ServiceTimeModel",
+    "FixedServiceTime",
+    "ExponentialServiceTime",
+    "QueueStats",
+]
+
+
+class ServiceTimeModel:
+    """Base per-request service-time model (virtual seconds)."""
+
+    def sample(self, rng: np.random.Generator) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedServiceTime(ServiceTimeModel):
+    """Deterministic service time: the M/D/1-style server."""
+
+    time: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError(f"service time must be >= 0, got {self.time}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.time
+
+
+@dataclass(frozen=True)
+class ExponentialServiceTime(ServiceTimeModel):
+    """Memoryless service time with the given mean: the M/M/1 server."""
+
+    mean: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0:
+            raise ConfigurationError(f"service mean must be > 0, got {self.mean}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean))
+
+
+@dataclass
+class QueueStats:
+    """What one node's FIFO service queue measured.
+
+    ``total_wait`` sums the queueing delay (arrival to service start) of
+    every started request, ``total_service`` the sampled service times
+    (equals the server's busy time), ``max_queue_len`` the worst backlog
+    including the request in service.
+    """
+
+    arrivals: int = 0
+    started: int = 0
+    served: int = 0
+    total_wait: float = 0.0
+    total_service: float = 0.0
+    max_queue_len: int = 0
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean queueing delay per started request (0.0 when idle)."""
+        return self.total_wait / self.started if self.started else 0.0
+
+    @property
+    def mean_service(self) -> float:
+        return self.total_service / self.started if self.started else 0.0
+
+    def utilization(self, duration: float) -> float:
+        """Busy fraction of the server over ``duration`` virtual seconds."""
+        return self.total_service / duration if duration > 0 else 0.0
 
 
 @dataclass

@@ -12,6 +12,11 @@ rounds run:
   per-operation :class:`RetryPolicy`, and lets failures, repairs and
   partitions interleave mid-operation.
 
+For multi-volume scale-out, a :class:`ShardRouter` front end dispatches
+logical blocks to many per-shard :class:`EventCoordinator`\\ s sharing one
+simulator and cluster, optionally contending through per-node FIFO
+:class:`NodeServiceQueue` service stations.
+
 See docs/RUNTIME.md for the session lifecycle and semantics.
 """
 
@@ -21,7 +26,12 @@ from repro.runtime.coordinator import (
     OpHandle,
     Plan,
 )
-from repro.runtime.event import EventCoordinator
+from repro.runtime.event import (
+    EventCoordinator,
+    NodeServiceQueue,
+    make_service_queues,
+)
+from repro.runtime.router import Shard, ShardRouter
 from repro.runtime.rounds import (
     PAYLOAD_ROUND,
     VERSION_ROUND,
@@ -39,6 +49,10 @@ __all__ = [
     "Coordinator",
     "InstantCoordinator",
     "EventCoordinator",
+    "NodeServiceQueue",
+    "make_service_queues",
+    "Shard",
+    "ShardRouter",
     "OpHandle",
     "Plan",
     "Request",

@@ -31,18 +31,39 @@ Determinism: every latency sample comes from the coordinator's own RNG
 stream and every tie in the event queue breaks by insertion order, so one
 seed reproduces the exact event sequence; ``trace_hash()`` digests the
 recorded message trace to assert that end to end.
+
+Node service queues
+-------------------
+
+By default a delivered request executes instantly (zero service time) —
+the node is an infinite server and concurrent coordinators never contend.
+Attaching a :class:`NodeServiceQueue` per node (the ``queues`` mapping of
+:class:`EventCoordinator`) turns each node into a single FIFO server:
+a delivered request joins the node's backlog, waits for the requests
+ahead of it, occupies the server for a sampled
+:class:`~repro.cluster.node.ServiceTimeModel` service time, and only then
+executes (against the node's *then-current* state) and sends its reply.
+Because the queue object is shared by every coordinator targeting the
+node, many shards genuinely contend and the runtime becomes a closed
+queueing network — queue waits, not just wire latency, shape the
+operation percentiles, and throughput saturates at the service capacity.
+Timeouts keep running while a request is queued, so an overloaded node
+produces genuine client-visible failures. Without queues the delivery
+path is byte-for-byte the pre-queue behaviour (same RNG draws, same
+event insertion order, same trace).
 """
 
 from __future__ import annotations
 
 import hashlib
-from collections import Counter
-from typing import Any, Callable
+from collections import Counter, deque
+from typing import Any, Callable, Mapping
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.events import Simulator, Timer
 from repro.cluster.network import _payload_bytes
-from repro.cluster.rng import make_rng
+from repro.cluster.node import QueueStats, ServiceTimeModel
+from repro.cluster.rng import make_rng, spawn_rngs
 from repro.errors import NodeUnavailableError, SimulationError
 from repro.runtime.coordinator import OpHandle, Plan
 from repro.runtime.rounds import (
@@ -54,7 +75,82 @@ from repro.runtime.rounds import (
     RoundOutcome,
 )
 
-__all__ = ["EventCoordinator"]
+__all__ = ["EventCoordinator", "NodeServiceQueue", "make_service_queues"]
+
+
+class NodeServiceQueue:
+    """One node's FIFO service station on the discrete-event engine.
+
+    Jobs (zero-argument callables — the coordinator's execute-and-reply
+    continuations) are served one at a time in arrival order; each
+    occupies the server for ``model.sample(rng)`` virtual seconds before
+    it runs. The queue is owned by the shared substrate, not by any one
+    coordinator, so every shard delivering to the node joins the same
+    backlog. ``stats`` accumulates waits/service/backlog for the
+    queueing-theory checks and the saturation reports.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        node_id: int,
+        model: ServiceTimeModel,
+        rng=None,
+    ) -> None:
+        self.sim = simulator
+        self.node_id = int(node_id)
+        self.model = model
+        self.rng = make_rng(rng)
+        self.busy = False
+        self.stats = QueueStats()
+        self._pending: deque[tuple[float, Callable[[], None]]] = deque()
+
+    def __len__(self) -> int:
+        """Backlog including the job in service."""
+        return len(self._pending) + (1 if self.busy else 0)
+
+    def push(self, job: Callable[[], None]) -> None:
+        """Enqueue one delivered request; serve immediately if idle."""
+        self.stats.arrivals += 1
+        self._pending.append((self.sim.now, job))
+        self.stats.max_queue_len = max(self.stats.max_queue_len, len(self))
+        if not self.busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        arrived, job = self._pending.popleft()
+        self.busy = True
+        self.stats.started += 1
+        self.stats.total_wait += self.sim.now - arrived
+        service = float(self.model.sample(self.rng))
+        self.stats.total_service += service
+        self.sim.schedule_in(service, lambda: self._finish(job))
+
+    def _finish(self, job: Callable[[], None]) -> None:
+        self.stats.served += 1
+        job()
+        self.busy = False
+        if self._pending:
+            self._start_next()
+
+
+def make_service_queues(
+    simulator: Simulator,
+    num_nodes: int,
+    model: ServiceTimeModel,
+    rng=None,
+) -> dict[int, NodeServiceQueue]:
+    """One shared :class:`NodeServiceQueue` per node id.
+
+    Each queue samples service times from its own child stream of
+    ``rng``, so the schedule is independent of which coordinators happen
+    to deliver to the node (per-node streams, the standard HPC practice).
+    """
+    rngs = spawn_rngs(make_rng(rng), num_nodes)
+    return {
+        i: NodeServiceQueue(simulator, i, model, rngs[i])
+        for i in range(num_nodes)
+    }
 
 
 class _Attempt:
@@ -103,6 +199,18 @@ class EventCoordinator:
     record_trace:
         Keep the full message trace for ``trace_hash()`` (deterministic
         replay checks).
+    queues:
+        Optional node-id -> :class:`NodeServiceQueue` mapping. Deliveries
+        to a queued node wait their FIFO turn and a sampled service time
+        before executing; nodes absent from the mapping (or the default
+        ``None``) serve instantly, byte-identically to the queue-free
+        path. Share one mapping across every coordinator on the substrate
+        so shards contend for the same servers.
+    site:
+        Where this coordinator sits for per-link latency models
+        (``LatencyModel.sample_link``): a node id whose rack the
+        coordinator shares, or ``None`` for an off-cluster client.
+        Distribution-only models ignore it.
     """
 
     mode = "event"
@@ -116,6 +224,8 @@ class EventCoordinator:
         rng=None,
         policy: RetryPolicy | None = None,
         record_trace: bool = False,
+        queues: Mapping[int, NodeServiceQueue] | None = None,
+        site: int | None = None,
     ) -> None:
         self.cluster = cluster
         self.sim = simulator
@@ -128,6 +238,8 @@ class EventCoordinator:
         self.latency = latency
         self.rng = make_rng(rng)
         self.policy = policy if policy is not None else RetryPolicy()
+        self.queues = queues
+        self.site = site
         self.in_flight = 0
         self.max_in_flight = 0
         self.ops_completed = 0
@@ -264,7 +376,7 @@ class EventCoordinator:
             net.stats.messages_dropped += 1
             self._record("drop", request, attempt.number)
             return
-        delay = self.latency.sample(self.rng)
+        delay = self.latency.sample_link(self.rng, self.site, request.node_id)
         net.stats.total_message_delay += delay
         self.sim.schedule_in(delay, lambda: self._deliver(state, attempt))
 
@@ -279,6 +391,19 @@ class EventCoordinator:
             self._record("drop", request, attempt.number)
             return
         self._record("deliver", request, attempt.number)
+        queue = None if self.queues is None else self.queues.get(request.node_id)
+        if queue is None:
+            self._serve(state, attempt)
+        else:
+            # The request joins the node's FIFO backlog; _serve runs once
+            # the server reaches it (queue wait + sampled service time).
+            # A node failing — or the attempt timing out — while queued is
+            # handled at service time, against the then-current state.
+            queue.push(lambda: self._serve(state, attempt))
+
+    def _serve(self, state: _RoundState, attempt: _Attempt) -> None:
+        net = self.cluster.network
+        request = attempt.request
         node = self.cluster.node(request.node_id)
         if not node.alive:
             # Fail-stop refusal: an error reply travels back immediately
@@ -295,7 +420,7 @@ class EventCoordinator:
             except request.catches as exc:
                 net.stats.rpc_failures += 1
                 response = Response(request=request, ok=False, error=exc)
-        delay = self.latency.sample(self.rng)
+        delay = self.latency.sample_link(self.rng, request.node_id, self.site)
         net.stats.total_message_delay += delay
         self.sim.schedule_in(delay, lambda: self._reply(state, attempt, response))
 

@@ -32,11 +32,18 @@ from repro.sim.comparative import (
     run_comparison,
 )
 from repro.sim.protocol_mc import ProtocolMonteCarlo
+from repro.sim.saturation import (
+    SaturationPoint,
+    knee_clients,
+    queue_summary,
+    saturation_sweep,
+)
 from repro.sim.sweep import SweepRecord, availability_sweep, records_to_csv
 from repro.sim.trace_sim import (
     ClosedLoopConfig,
     ClosedLoopSimulation,
     PartitionWindow,
+    ShardedClosedLoopSimulation,
     TraceSimConfig,
     TraceSimulation,
     schedule_partitions,
@@ -72,9 +79,14 @@ __all__ = [
     "TraceSimulation",
     "ClosedLoopConfig",
     "ClosedLoopSimulation",
+    "ShardedClosedLoopSimulation",
     "PartitionWindow",
     "schedule_trace",
     "schedule_partitions",
+    "SaturationPoint",
+    "saturation_sweep",
+    "knee_clients",
+    "queue_summary",
     "OpKind",
     "Operation",
     "uniform_workload",

@@ -173,6 +173,24 @@ class LatencyTally:
     def write_percentiles(self) -> dict[str, float]:
         return percentile_summary(self.write_latencies)
 
+    def operation_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 over all successful operations (reads + writes)."""
+        return percentile_summary(self.read_latencies + self.write_latencies)
+
+    def merge(self, other: "LatencyTally") -> None:
+        """Fold another tally (e.g. one shard's) into this aggregate."""
+        self.reads_attempted += other.reads_attempted
+        self.reads_succeeded += other.reads_succeeded
+        self.writes_attempted += other.writes_attempted
+        self.writes_succeeded += other.writes_succeeded
+        self.consistency_violations += other.consistency_violations
+        self.repairs += other.repairs
+        self.read_latencies.extend(other.read_latencies)
+        self.write_latencies.extend(other.write_latencies)
+        self.failed_read_latencies.extend(other.failed_read_latencies)
+        self.failed_write_latencies.extend(other.failed_write_latencies)
+        self.round_messages.update(other.round_messages)
+
     def summary(self) -> dict:
         return {
             "read_availability": self.read_availability().mean,

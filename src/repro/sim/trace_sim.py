@@ -39,6 +39,7 @@ from repro.erasure.stripe import StripeLayout
 from repro.errors import ConfigurationError
 from repro.quorum.trapezoid import TrapezoidQuorum
 from repro.runtime.event import EventCoordinator
+from repro.runtime.router import ShardRouter
 from repro.sim.metrics import LatencyTally, OperationTally
 from repro.sim.workloads import OpKind, Operation, uniform_workload
 
@@ -48,6 +49,7 @@ __all__ = [
     "PartitionWindow",
     "ClosedLoopConfig",
     "ClosedLoopSimulation",
+    "ShardedClosedLoopSimulation",
     "schedule_trace",
     "schedule_partitions",
 ]
@@ -450,4 +452,162 @@ class ClosedLoopSimulation:
         self.tally.retries = stats.retries
         self.tally.max_in_flight = self.coordinator.max_in_flight
         self.tally.round_messages = self.coordinator.round_messages.copy()
+        return self.tally
+
+
+class ShardedClosedLoopSimulation:
+    """Closed-loop clients driving a :class:`ShardRouter`'s whole volume.
+
+    The multi-shard counterpart of :class:`ClosedLoopSimulation`: the
+    shared ``ops`` tape addresses the router's ``num_shards * k`` logical
+    blocks, every operation is dispatched to its owning shard's
+    coordinator, and all shards share one simulator, one cluster and —
+    when per-node service queues are attached — the same contended
+    servers. Up to ``clients`` operations are in flight across the
+    volume at once; faultloads (churn / partitions) interleave
+    mid-operation exactly as in the single-shard driver.
+
+    The client loop issues the very same simulator calls in the very
+    same order as :class:`ClosedLoopSimulation`, so a 1-shard router
+    with no service queues replays the unsharded run bit-identically
+    (results, message counts, trace hash — pinned by the property tests
+    in ``tests/runtime/test_sharded_runtime.py``).
+
+    ``run`` returns the aggregate :class:`LatencyTally`; per-shard
+    tallies stay available as ``shard_tallies`` and pre-digested
+    per-shard percentile rows via :meth:`shard_summaries`. Anti-entropy
+    (``repairs``: one instant-path service per shard) runs as
+    out-of-band maintenance passes, as in the single-shard driver.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        router: ShardRouter,
+        ops: list[Operation],
+        config: ClosedLoopConfig | None = None,
+        trace: FailureTrace | None = None,
+        partitions: list[PartitionWindow] | None = None,
+        repairs: list[RepairService] | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.router = router
+        self.sim = router.shards[0].coordinator.sim
+        self.ops = list(ops)
+        self.config = config if config is not None else ClosedLoopConfig()
+        self.trace = trace
+        self.partitions = partitions or []
+        self.repairs = list(repairs) if repairs is not None else []
+        self.tally = LatencyTally()
+        self.shard_tallies = [LatencyTally() for _ in router.shards]
+        self._cursor = 0
+        self._in_flight = 0
+        self._max_in_flight = 0
+        #: highest version whose write completed, per logical block
+        self._committed: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _next_op(self) -> None:
+        if self._cursor >= len(self.ops) or self.sim.now >= self.config.horizon:
+            return  # this client retires
+        op = self.ops[self._cursor]
+        self._cursor += 1
+        block = op.block
+        shard, _ = self.router.locate(block)
+        tally = self.shard_tallies[shard.index]
+        self._in_flight += 1
+        self._max_in_flight = max(self._max_in_flight, self._in_flight)
+        if op.kind is OpKind.READ:
+            tally.reads_attempted += 1
+            floor = self._committed.get(block, 0)
+            self.router.submit_read(
+                block, lambda result: self._read_done(result, floor, tally)
+            )
+        else:
+            tally.writes_attempted += 1
+            value = (
+                make_rng(op.payload_seed)
+                .integers(0, 256, self.config.block_length, dtype=np.int64)
+                .astype(np.uint8)
+            )
+            self.router.submit_write(
+                block, value, lambda result: self._write_done(result, block, tally)
+            )
+
+    def _reschedule(self) -> None:
+        self._in_flight -= 1
+        self.sim.schedule_in(self.config.think_time, self._next_op)
+
+    def _read_done(self, result, floor: int, tally: LatencyTally) -> None:
+        if result.success:
+            tally.reads_succeeded += 1
+            tally.read_latencies.append(result.latency)
+            if result.version < floor:
+                tally.consistency_violations += 1
+        else:
+            tally.failed_read_latencies.append(result.latency)
+        self._reschedule()
+
+    def _write_done(self, result, block: int, tally: LatencyTally) -> None:
+        if result.success:
+            tally.writes_succeeded += 1
+            tally.write_latencies.append(result.latency)
+            self._committed[block] = max(
+                self._committed.get(block, 0), result.version
+            )
+        else:
+            tally.failed_write_latencies.append(result.latency)
+        self._reschedule()
+
+    def _repair_pass(self) -> None:
+        self.tally.repairs += sum(repair.sync_all() for repair in self.repairs)
+
+    # ------------------------------------------------------------------ #
+
+    def shard_summaries(self) -> list[dict]:
+        """Per-shard percentile rows (the per-volume view of the run)."""
+        rows = []
+        for shard, tally in zip(self.router.shards, self.shard_tallies):
+            rows.append(
+                {
+                    "shard": shard.index,
+                    "reads": tally.reads_attempted,
+                    "writes": tally.writes_attempted,
+                    "read_availability": tally.read_availability().mean,
+                    "write_availability": tally.write_availability().mean,
+                    "operation_latency": tally.operation_percentiles(),
+                    "read_latency": tally.read_percentiles(),
+                    "write_latency": tally.write_percentiles(),
+                }
+            )
+        return rows
+
+    def run(self) -> LatencyTally:
+        """Run to completion; returns the aggregate tally."""
+        config = self.config
+        if self.trace is not None:
+            schedule_trace(
+                self.sim, self.cluster, self.trace, config.horizon,
+                wipe_on_repair=config.wipe_on_repair,
+            )
+        schedule_partitions(self.sim, self.cluster, self.partitions, config.horizon)
+        if self.repairs and config.repair_interval is not None:
+            t = config.repair_interval
+            while t < config.horizon:
+                self.sim.schedule_at(t, self._repair_pass)
+                t += config.repair_interval
+        for _ in range(config.clients):
+            self.sim.schedule_at(self.sim.now, self._next_op)
+        self.sim.run()
+
+        for shard_tally in self.shard_tallies:
+            self.tally.merge(shard_tally)
+        stats = self.cluster.network.stats
+        self.tally.messages = stats.messages
+        self.tally.messages_dropped = stats.messages_dropped
+        self.tally.timeouts = stats.timeouts
+        self.tally.retries = stats.retries
+        self.tally.max_in_flight = self._max_in_flight
+        self.tally.round_messages = self.router.round_messages()
         return self.tally

@@ -53,6 +53,34 @@ class TestLatencySimGate:
         assert regressions and "missing" in regressions[0]
 
 
+SHARDED_BASELINE = _doc(
+    sharded_throughput={
+        "seconds_per_call": 0.25, "ops": 800, "shards": 4, "clients": 16,
+        "ops_per_s": 3200.0,
+    },
+)
+
+
+class TestShardedThroughputGate:
+    """The sharded-runtime bench section gates on aggregate ops_per_s."""
+
+    def test_regression_detected(self):
+        fresh = _doc(
+            sharded_throughput={
+                "seconds_per_call": 0.8, "ops": 800, "shards": 4, "clients": 16,
+                "ops_per_s": 1000.0,
+            },
+        )
+        regressions = compare_docs(SHARDED_BASELINE, fresh)
+        assert len(regressions) == 1
+        assert "sharded_throughput" in regressions[0]
+        assert "ops_per_s" in regressions[0]
+
+    def test_missing_sharded_section_fails_gate(self):
+        regressions = compare_docs(SHARDED_BASELINE, _doc())
+        assert regressions and "missing" in regressions[0]
+
+
 class TestCompareDocs:
     def test_identical_docs_pass(self):
         assert compare_docs(BASELINE, BASELINE) == []

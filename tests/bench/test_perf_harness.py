@@ -40,8 +40,15 @@ class TestPerfHarness:
             "exact_enum_occupancy_warm",
             "optimizer_seed",
             "optimizer",
+            "latency_sim",
+            "sharded_throughput",
         ):
             assert name in perf_doc["results"], name
+
+    def test_sharded_throughput_entry(self, perf_doc):
+        entry = perf_doc["results"]["sharded_throughput"]
+        assert entry["shards"] == TINY_SIZES["shard_count"]
+        assert entry["ops_per_s"] > 0
 
     def test_throughputs_positive(self, perf_doc):
         for name, entry in perf_doc["results"].items():

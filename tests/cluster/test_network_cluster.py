@@ -64,8 +64,9 @@ class TestNetwork:
         cluster.rpc(1, "data_version", "k")
         # Sum over messages — a traffic proxy, not an operation latency.
         assert net.stats.total_message_delay == pytest.approx(0.004)
-        # The pre-runtime name survives as a read-only alias.
-        assert net.stats.virtual_latency == net.stats.total_message_delay
+        # The pre-runtime name survives as a deprecated read-only alias.
+        with pytest.warns(DeprecationWarning, match="total_message_delay"):
+            assert net.stats.virtual_latency == net.stats.total_message_delay
 
     def test_round_latency_is_max_of_parallel(self):
         net = Network(latency=FixedLatency(0.001))

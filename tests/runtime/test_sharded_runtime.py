@@ -1,0 +1,406 @@
+"""Sharded multi-volume runtime: router, service queues, bit-identity.
+
+The acceptance contract of the sharding refactor: a 1-shard router with
+zero service time is *transparent* — the sharded closed-loop driver
+replays the unsharded :class:`ClosedLoopSimulation` byte for byte
+(results, message counts, trace hash), pinned here property-style over
+seeds/clients/workloads. Everything the refactor adds (hash routing,
+FIFO service queues, shared-substrate contention, per-link latency)
+is tested on top of that floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    LatencySpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    ServiceTimeSpec,
+    ShardingSpec,
+    SystemSpec,
+    WorkloadSpec,
+    build_sharded_system,
+)
+from repro.cluster import (
+    Cluster,
+    ExponentialServiceTime,
+    FixedLatency,
+    FixedServiceTime,
+    Network,
+    Simulator,
+    TwoTierLatency,
+)
+from repro.cluster.rng import make_rng, spawn_rngs
+from repro.core.trap_erc import TrapErcProtocol
+from repro.erasure import MDSCode
+from repro.erasure.stripe import StripeLayout
+from repro.errors import ConfigurationError
+from repro.quorum import TrapezoidQuorum, TrapezoidShape
+from repro.runtime import (
+    EventCoordinator,
+    NodeServiceQueue,
+    RetryPolicy,
+    Shard,
+    ShardRouter,
+    make_service_queues,
+)
+from repro.sim import (
+    ClosedLoopConfig,
+    ClosedLoopSimulation,
+    ShardedClosedLoopSimulation,
+    uniform_workload,
+)
+
+N, K = 9, 6
+BLOCK = 8
+
+
+def _quorum():
+    return TrapezoidQuorum.uniform(TrapezoidShape(2, 1, 1), 2)
+
+
+def build_unsharded(seed, ops, clients, think, read_fraction):
+    network = Network(latency=FixedLatency(0.001))
+    cluster = Cluster(N, network=network)
+    sim = Simulator()
+    coordinator = EventCoordinator(
+        cluster, sim, rng=seed, policy=RetryPolicy(timeout=0.05),
+        record_trace=True,
+    )
+    engine = TrapErcProtocol(
+        cluster, MDSCode(N, K), _quorum(), coordinator=coordinator
+    )
+    engine.initialize(
+        make_rng(1).integers(0, 256, size=(K, BLOCK), dtype=np.int64).astype(np.uint8)
+    )
+    cluster.reset_stats()
+    workload = uniform_workload(ops, K, read_fraction, rng=make_rng(2))
+    return (
+        ClosedLoopSimulation(
+            cluster, engine, coordinator, workload,
+            config=ClosedLoopConfig(clients=clients, think_time=think, horizon=100.0),
+        ),
+        coordinator,
+    )
+
+
+def build_sharded(
+    seed, ops, clients, think, read_fraction,
+    shards=1, service=None, routing="interleave",
+):
+    network = Network(latency=FixedLatency(0.001))
+    cluster = Cluster(N, network=network)
+    sim = Simulator()
+    queues = (
+        make_service_queues(sim, N, service, rng=99) if service is not None else None
+    )
+    rngs = [make_rng(seed)] if shards == 1 else spawn_rngs(make_rng(seed), shards)
+    code = MDSCode(N, K)
+    init_rng = make_rng(1)
+    shard_objs = []
+    for s in range(shards):
+        coordinator = EventCoordinator(
+            cluster, sim, rng=rngs[s], policy=RetryPolicy(timeout=0.05),
+            record_trace=True, queues=queues,
+        )
+        layout = StripeLayout(N, K, tuple((b + s) % N for b in range(N)))
+        engine = TrapErcProtocol(
+            cluster, code, _quorum(), layout=layout,
+            stripe_id=f"shard-{s}", coordinator=coordinator,
+        )
+        engine.initialize(
+            init_rng.integers(0, 256, size=(K, BLOCK), dtype=np.int64)
+            .astype(np.uint8)
+        )
+        shard_objs.append(Shard(s, engine, coordinator, K))
+    cluster.reset_stats()
+    router = ShardRouter(shard_objs, routing=routing)
+    workload = uniform_workload(ops, router.num_blocks, read_fraction, rng=make_rng(2))
+    return (
+        ShardedClosedLoopSimulation(
+            cluster, router, workload,
+            config=ClosedLoopConfig(clients=clients, think_time=think, horizon=100.0),
+        ),
+        router,
+    )
+
+
+class TestOneShardBitIdentity:
+    """A 1-shard, zero-service router replays the unsharded path exactly."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        clients=st.integers(1, 6),
+        ops=st.integers(20, 80),
+        think=st.sampled_from([0.0, 0.01, 0.1]),
+        read_fraction=st.sampled_from([0.0, 0.3, 0.5, 1.0]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_summary_messages_and_trace_identical(
+        self, seed, clients, ops, think, read_fraction
+    ):
+        unsharded, coordinator = build_unsharded(
+            seed, ops, clients, think, read_fraction
+        )
+        sharded, router = build_sharded(seed, ops, clients, think, read_fraction)
+        tally_u = unsharded.run()
+        tally_s = sharded.run()
+        assert tally_u.summary() == tally_s.summary()
+        assert tally_u.messages == tally_s.messages
+        assert tally_u.max_in_flight == tally_s.max_in_flight
+        assert coordinator.trace_hash() == router.trace_hash()
+
+    def test_runner_level_identity(self):
+        """ShardingSpec(shards=1) reproduces the legacy latency scenario."""
+        base = SystemSpec.trapezoid(
+            N, K, 2, 1, 1, 2,
+            latency=LatencySpec(kind="lognormal"),
+            workload=WorkloadSpec(num_ops=80, block_length=16),
+            scenario=ScenarioSpec(kind="latency", clients=3, think_time=0.05,
+                                  horizon=30.0),
+            seed=11,
+        )
+        legacy = ScenarioRunner(base).run().data
+        sharded = ScenarioRunner(
+            base.replace(sharding=ShardingSpec(shards=1))
+        ).run().data
+        assert legacy["summary"] == sharded["summary"]
+        assert legacy["trace_hash"] == sharded["trace_hash"]
+        assert legacy["virtual_duration"] == sharded["virtual_duration"]
+        # The sharded path adds the per-shard/queue views on top.
+        assert sharded["shards"] == 1
+        assert len(sharded["per_shard"]) == 1
+
+
+class TestShardRouter:
+    def test_interleave_locate_is_a_bijection(self):
+        _, router = build_sharded(0, 10, 1, 0.0, 0.5, shards=4)
+        homes = {router.locate(b)[0].index * K + router.locate(b)[1]
+                 for b in range(router.num_blocks)}
+        assert len(homes) == router.num_blocks
+        # Round-robin: consecutive blocks land on consecutive shards.
+        assert [router.locate(b)[0].index for b in range(4)] == [0, 1, 2, 3]
+
+    def test_hash_routing_is_a_seeded_bijection(self):
+        _, router = build_sharded(0, 10, 1, 0.0, 0.5, shards=4, routing="hash")
+        homes = {(router.locate(b)[0].index, router.locate(b)[1])
+                 for b in range(router.num_blocks)}
+        assert len(homes) == router.num_blocks
+        _, router2 = build_sharded(0, 10, 1, 0.0, 0.5, shards=4, routing="hash")
+        assert all(
+            router.locate(b)[0].index == router2.locate(b)[0].index
+            for b in range(router.num_blocks)
+        )
+
+    def test_route_key_stable_and_in_range(self):
+        _, router = build_sharded(0, 10, 1, 0.0, 0.5, shards=4)
+        blocks = [router.route_key(("volume", i)) for i in range(100)]
+        assert blocks == [router.route_key(("volume", i)) for i in range(100)]
+        assert all(0 <= b < router.num_blocks for b in blocks)
+        assert len(set(blocks)) > 1  # keys spread over the volume
+
+    def test_locate_range_checked(self):
+        _, router = build_sharded(0, 10, 1, 0.0, 0.5, shards=2)
+        with pytest.raises(ConfigurationError, match="logical block"):
+            router.locate(router.num_blocks)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ShardRouter([])
+        _, router = build_sharded(0, 10, 1, 0.0, 0.5)
+        with pytest.raises(ConfigurationError, match="routing"):
+            ShardRouter(router.shards, routing="modulo")
+
+    def test_multi_shard_run_spreads_and_stays_consistent(self):
+        sharded, router = build_sharded(3, 160, 6, 0.0, 0.5, shards=4)
+        tally = sharded.run()
+        assert tally.reads_attempted + tally.writes_attempted == 160
+        assert tally.consistency_violations == 0
+        per_shard = sharded.shard_summaries()
+        assert [row["shard"] for row in per_shard] == [0, 1, 2, 3]
+        assert all(row["reads"] + row["writes"] > 0 for row in per_shard)
+        assert sum(row["reads"] + row["writes"] for row in per_shard) == 160
+
+
+class TestNodeServiceQueue:
+    def test_fifo_order_and_waits(self):
+        sim = Simulator()
+        queue = NodeServiceQueue(sim, 0, FixedServiceTime(1.0), rng=0)
+        order = []
+        for tag in "abc":
+            queue.push(lambda t=tag: order.append((t, sim.now)))
+        assert len(queue) == 3
+        sim.run()
+        assert order == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+        stats = queue.stats
+        assert stats.arrivals == stats.served == 3
+        assert stats.max_queue_len == 3
+        assert stats.total_service == pytest.approx(3.0)
+        # b waited 1s, c waited 2s.
+        assert stats.total_wait == pytest.approx(3.0)
+        assert stats.mean_wait == pytest.approx(1.0)
+        assert stats.utilization(3.0) == pytest.approx(1.0)
+
+    def test_idle_server_starts_immediately(self):
+        sim = Simulator()
+        queue = NodeServiceQueue(sim, 0, FixedServiceTime(0.5), rng=0)
+        queue.push(lambda: None)
+        sim.run()
+        queue.push(lambda: None)
+        sim.run()
+        assert queue.stats.total_wait == 0.0
+
+    def test_exponential_service_is_deterministic_per_stream(self):
+        draws = [
+            ExponentialServiceTime(0.01).sample(make_rng(5)) for _ in range(2)
+        ]
+        assert draws[0] == draws[1] > 0
+
+    def test_make_service_queues_independent_streams(self):
+        sim = Simulator()
+        queues = make_service_queues(sim, 3, ExponentialServiceTime(0.01), rng=7)
+        assert sorted(queues) == [0, 1, 2]
+        samples = {i: q.model.sample(q.rng) for i, q in queues.items()}
+        assert len(set(samples.values())) == 3
+
+
+class TestQueueAwareDelivery:
+    def test_service_time_adds_to_operation_latency(self):
+        fast, _ = build_sharded(0, 40, 1, 0.0, 1.0)
+        slow, _ = build_sharded(0, 40, 1, 0.0, 1.0, service=FixedServiceTime(0.01))
+        p50_fast = fast.run().read_percentiles()["p50"]
+        p50_slow = slow.run().read_percentiles()["p50"]
+        assert p50_slow >= p50_fast + 0.01
+
+    def test_contention_queues_requests(self):
+        sharded, router = build_sharded(
+            1, 200, 8, 0.0, 0.5, shards=4, service=FixedServiceTime(0.002)
+        )
+        tally = sharded.run()
+        queues = router.shards[0].coordinator.queues
+        stats = [q.stats for q in queues.values()]
+        assert sum(s.total_wait for s in stats) > 0  # someone queued
+        assert max(s.max_queue_len for s in stats) >= 2
+        assert tally.consistency_violations == 0
+
+    def test_node_failing_while_queued_refuses_at_service_time(self):
+        network = Network(latency=FixedLatency(0.001))
+        cluster = Cluster(N, network=network)
+        sim = Simulator()
+        queues = make_service_queues(sim, N, FixedServiceTime(0.05), rng=0)
+        coordinator = EventCoordinator(
+            cluster, sim, rng=0, policy=RetryPolicy(timeout=10.0), queues=queues,
+        )
+        engine = TrapErcProtocol(
+            cluster, MDSCode(N, K), _quorum(), coordinator=coordinator
+        )
+        engine.initialize(
+            make_rng(1).integers(0, 256, size=(K, BLOCK), dtype=np.int64)
+            .astype(np.uint8)
+        )
+        # Kill node 0 while its version-query sits in the queue: delivery
+        # happened, but service-time execution sees the failure.
+        handle = coordinator.submit(engine.read_plan(0))
+        sim.schedule_at(0.01, lambda: cluster.fail(0))
+        sim.run()
+        assert handle.done
+        assert handle.result.success  # quorum survives one refusal
+        assert cluster.node(0).stats.failed_rpcs > 0
+
+
+class TestPerLinkLatency:
+    def test_default_models_delegate_sample_link(self):
+        model = FixedLatency(0.003)
+        assert model.sample_link(make_rng(0), None, 5) == 0.003
+
+    def test_two_tier_local_vs_remote(self):
+        model = TwoTierLatency(local=0.001, remote=0.02, rack_size=3)
+        rng = make_rng(0)
+        assert model.sample_link(rng, 0, 2) == 0.001  # same rack
+        assert model.sample_link(rng, 0, 3) == 0.02  # cross rack
+        assert model.sample_link(rng, None, 2) == 0.02  # off-cluster client
+        assert model.sample(rng) == 0.02  # single-dist fallback is WAN
+
+    def test_two_tier_jitter_bounds_and_validation(self):
+        model = TwoTierLatency(local=0.001, remote=0.02, rack_size=3, jitter=0.5)
+        rng = make_rng(1)
+        draws = [model.sample_link(rng, 0, 1) for _ in range(50)]
+        assert all(0.0005 <= d <= 0.0015 for d in draws)
+        assert len(set(draws)) > 1
+        with pytest.raises(ConfigurationError, match="local <= remote"):
+            TwoTierLatency(local=0.01, remote=0.001)
+        with pytest.raises(ConfigurationError, match="jitter"):
+            TwoTierLatency(jitter=1.0)
+
+    def test_colocated_coordinator_is_faster(self):
+        def p50(site):
+            network = Network()
+            cluster = Cluster(N, network=network)
+            sim = Simulator()
+            coordinator = EventCoordinator(
+                cluster, sim, rng=0,
+                latency=TwoTierLatency(local=0.001, remote=0.02, rack_size=9),
+                policy=RetryPolicy(timeout=10.0), site=site,
+            )
+            engine = TrapErcProtocol(
+                cluster, MDSCode(N, K), _quorum(), coordinator=coordinator
+            )
+            engine.initialize(
+                make_rng(1).integers(0, 256, size=(K, BLOCK), dtype=np.int64)
+                .astype(np.uint8)
+            )
+            result = coordinator.execute(engine.read_plan(0))
+            assert result.success
+            return result.latency
+
+        # rack_size=9: one rack, so a colocated coordinator talks local
+        # to every node, an off-cluster one pays WAN both ways.
+        assert p50(site=0) < p50(site=None) / 5
+
+    def test_sharded_build_places_coordinators_in_racks(self):
+        spec = SystemSpec.trapezoid(
+            N, K, 2, 1, 1, 2,
+            latency=LatencySpec(kind="two_tier", local=0.001, remote=0.02,
+                                rack_size=3),
+            sharding=ShardingSpec(shards=4),
+            seed=0,
+        )
+        system = build_sharded_system(spec, rng=0)
+        sites = [shard.coordinator.site for shard in system.shards]
+        assert sites == [0, 3, 6, 0]  # round-robin over the 3 racks
+
+    def test_bare_build_is_reproducible_from_the_spec(self):
+        """Default rng/service_rng derive from spec.seed (streams 8/10)."""
+        spec = SystemSpec.trapezoid(
+            N, K, 2, 1, 1, 2,
+            latency=LatencySpec(kind="lognormal"),
+            sharding=ShardingSpec(shards=2),
+            service=ServiceTimeSpec(kind="exponential", time=0.001),
+            seed=13,
+        )
+
+        def one_run():
+            system = build_sharded_system(spec, record_trace=True)
+            system.initialize()
+            results = [system.router.execute_read(b) for b in range(4)]
+            assert all(r.success for r in results)
+            return system.trace_hash(), [r.latency for r in results]
+
+        assert one_run() == one_run()
+
+    def test_service_spec_build(self):
+        spec = SystemSpec.trapezoid(
+            N, K, 2, 1, 1, 2,
+            service=ServiceTimeSpec(kind="exponential", time=0.001),
+            sharding=ShardingSpec(shards=2),
+            seed=0,
+        )
+        system = build_sharded_system(spec, rng=0, service_rng=1)
+        assert system.queues is not None and len(system.queues) == N
+        # One shared mapping: every shard coordinator sees the same queues.
+        assert all(s.coordinator.queues is system.queues for s in system.shards)
