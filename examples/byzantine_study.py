@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Byzantine storage: what verified reads cost and what they buy.
+
+The paper's availability model is fail-stop — a node is either up or
+down. Real disks lie: bit rot, firmware bugs and tampering return
+*wrong bytes with a confident smile*, and a fail-stop quorum protocol
+happily serves them to the client. This study arms a growing fraction
+of the cluster with Byzantine behavior (corrupted payload replies) and
+compares two TRAP-ERC builds:
+
+* **fail-stop** — the paper's protocol as-is;
+* **verified** — the same protocol with a separate 3-node metadata
+  quorum holding per-block (version, digest) records; every payload
+  reply is digest-checked and rejected replies widen the round instead
+  of failing it (docs/RUNTIME.md, "Byzantine faults & verified reads").
+
+Three things to notice:
+
+* **silent corruption is real**: the probe below reads known data
+  through the fail-stop engine with two corrupt nodes — a measurable
+  share of "successful" reads returns garbage, with no error anywhere.
+  The verified engine returns zero wrong reads, ever;
+* **the defense is cheap until it is needed**: at fraction 0 the
+  verified path adds only the metadata round traffic; read latency
+  rises as corrupt nodes force round widening and decode retries;
+* **the tolerance bound is the erasure bound**: with at most
+  n - k = 3 corrupt nodes every verified read is still correct; at 4
+  the honest copies can no longer form a k-subset and reads fail
+  *cleanly* — availability collapses instead of correctness.
+
+Run:  python examples/byzantine_study.py
+"""
+
+import numpy as np
+
+from repro.api import (
+    FaultloadSpec,
+    LatencySpec,
+    MetadataSpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    SystemSpec,
+    WorkloadSpec,
+    build_system,
+)
+from repro.cluster import make_rng, spawn_rngs
+from repro.cluster.node import ByzantineBehavior
+
+N, K = 9, 6
+BLOCK = 32
+# 0..4 corrupt nodes out of 9 (round(f * 9)); n - k = 3 is the bound.
+FRACTIONS = (0.0, 0.12, 0.23, 0.34, 0.45)
+
+
+def base_spec(verified: bool, fraction: float) -> SystemSpec:
+    return SystemSpec.trapezoid(
+        N, K, 2, 1, 1, 2,
+        metadata=MetadataSpec(nodes=3) if verified else None,
+        latency=LatencySpec(kind="fixed", delay=0.001),
+        workload=WorkloadSpec(num_ops=80, block_length=BLOCK),
+        # One closed-loop client: concurrent-client version races would
+        # otherwise fail some reads in BOTH modes and blur the overhead
+        # comparison this study is after.
+        scenario=ScenarioSpec(
+            kind="latency",
+            clients=1,
+            think_time=0.0,
+            horizon=10_000.0,
+            faultload=FaultloadSpec(
+                kind="byzantine",
+                byzantine_fraction=fraction,
+                corruption_mode="payload",
+                corruption_rate=1.0,
+            ),
+        ),
+        seed=11,
+    )
+
+
+def silent_corruption_probe() -> None:
+    """Read known data through both engines with 2 corrupt nodes."""
+    print("--- Probe: 2 payload-corrupt nodes, 40 reads of known data ---")
+    for label, verified in (("fail-stop", False), ("verified ", True)):
+        spec = base_spec(verified, 0.0).replace(
+            scenario=ScenarioSpec(kind="smoke")
+        )
+        system = build_system(spec)
+        data = system.initialize()
+        streams = spawn_rngs(make_rng(99), 2)
+        for node_id, stream in zip((0, 3), streams):
+            system.cluster.node(node_id).set_byzantine(
+                ByzantineBehavior("payload", 0.5, stream)
+            )
+        wrong = served = 0
+        for trial in range(40):
+            result = system.engine.read_block(trial % K)
+            if result.success:
+                served += 1
+                if not np.array_equal(result.value, data[trial % K]):
+                    wrong += 1
+        print(
+            f"  {label}: {served:2d}/40 reads served, "
+            f"{wrong:2d} returned WRONG BYTES"
+            + ("  <- silent corruption" if wrong else "")
+        )
+    print()
+
+
+def sweep() -> None:
+    print(
+        "--- Sweep: byzantine fraction vs availability / latency "
+        f"(n={N}, k={K}, rate 1.0) ---"
+    )
+    print(
+        f"  {'corrupt':>8s} {'mode':>9s} {'read avail':>10s} "
+        f"{'p95 read (ms)':>13s} {'goodput/s':>9s} {'meta msgs':>9s} "
+        f"{'detected':>8s}"
+    )
+    for fraction in FRACTIONS:
+        corrupt = round(fraction * N)
+        for label, verified in (("fail-stop", False), ("verified", True)):
+            data = ScenarioRunner(base_spec(verified, fraction)).run().data
+            summary = data["summary"]
+            meta = summary["round_messages"].get("metadata", 0)
+            byz = data["byzantine"]
+            detected = (
+                byz["detected"]["digest_mismatches"]
+                if byz["detected"] is not None
+                else "-"
+            )
+            p95 = summary["read_latency"]["p95"]
+            good = (
+                summary["read_latency"]["count"]
+                + summary["write_latency"]["count"]
+            ) / data["virtual_duration"]
+            print(
+                f"  {corrupt:5d}/{N:<2d} {label:>9s} "
+                f"{summary['read_availability']:10.3f} "
+                f"{(p95 or 0.0) * 1e3:13.2f} {good:9.1f} {meta:9d} "
+                f"{detected!s:>8s}"
+            )
+    print(
+        f"\n  The fail-stop column keeps 'succeeding' past {N - K} corrupt "
+        "nodes — those reads are garbage (see the probe above). The "
+        f"verified column stays correct through {N - K} corrupt nodes and "
+        "fails cleanly beyond the bound: corruption becomes unavailability, "
+        "never wrong data."
+    )
+
+
+def main() -> None:
+    print(
+        f"Byzantine study: ({N}, {K}) TRAP-ERC, payload-corrupting nodes, "
+        "verified reads via a 3-node metadata quorum.\n"
+    )
+    silent_corruption_probe()
+    sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -62,6 +62,7 @@ from repro.api.spec import (
     CodeSpec,
     FaultloadSpec,
     LatencySpec,
+    MetadataSpec,
     PlacementSpec,
     QuorumSpec,
     ScenarioSpec,
@@ -81,6 +82,7 @@ __all__ = [
     "ServiceTimeSpec",
     "ShardingSpec",
     "FaultloadSpec",
+    "MetadataSpec",
     "ScenarioSpec",
     "SystemSpec",
     "QuorumEntry",

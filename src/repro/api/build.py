@@ -22,7 +22,7 @@ from repro.api.registry import (
     build_trapezoid_quorum,
     protocol_entry,
 )
-from repro.api.spec import LatencySpec, SystemSpec
+from repro.api.spec import LatencySpec, QuorumSpec, SystemSpec
 from repro.cluster.cluster import Cluster
 from repro.cluster.events import Simulator
 from repro.cluster.network import TwoTierLatency
@@ -42,6 +42,7 @@ from repro.runtime.event import (
 )
 from repro.runtime.rounds import RetryPolicy
 from repro.runtime.router import Shard, ShardRouter
+from repro.runtime.verify import BlockVerifier, MetadataQuorum
 from repro.storage.placement import IdentityPlacement, RotatingPlacement
 
 __all__ = [
@@ -94,6 +95,8 @@ class BuiltSystem:
     rng: np.random.Generator = field(repr=False)
     #: execution path injected into the engine (None = default instant)
     coordinator: Coordinator | None = None
+    #: verified-read digest/version authority (None = fail-stop trust)
+    verifier: BlockVerifier | None = None
 
     @property
     def num_blocks(self) -> int:
@@ -137,16 +140,47 @@ class BuiltSystem:
         return self.system.read_availability(p)
 
 
-def _builder_accepts_coordinator(builder) -> bool:
+def _builder_accepts(builder, keyword: str) -> bool:
     try:
         parameters = inspect.signature(builder).parameters
     except (TypeError, ValueError):  # pragma: no cover - exotic callables
         return False
-    if "coordinator" in parameters:
+    if keyword in parameters:
         return True
     return any(
         p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
     )
+
+
+def _builder_accepts_coordinator(builder) -> bool:
+    return _builder_accepts(builder, "coordinator")
+
+
+def _metadata_node_count(spec: SystemSpec) -> int:
+    """Extra cluster nodes appended for the metadata tier (0 = disabled)."""
+    return spec.metadata.nodes if spec.metadata is not None else 0
+
+
+def _make_verifier(
+    spec: SystemSpec, cluster: Cluster, namespace: str = "api-stripe"
+) -> BlockVerifier | None:
+    """The :class:`BlockVerifier` a spec's metadata section describes.
+
+    Metadata nodes occupy the ids *after* the data nodes (the cluster is
+    built ``num_nodes + metadata.nodes`` wide), so data placement,
+    faultloads and Byzantine arming — all expressed over
+    ``spec.cluster.num_nodes`` — never touch them. The quorum thresholds
+    derive from the registry system named by ``metadata.quorum``
+    (majority by default), sized to the metadata tier.
+    """
+    if spec.metadata is None:
+        return None
+    meta = spec.metadata
+    first = spec.cluster.num_nodes
+    node_ids = range(first, first + meta.nodes)
+    system = build_quorum_system(QuorumSpec(kind=meta.quorum, size=meta.nodes))
+    quorum = MetadataQuorum.from_system(node_ids, system)
+    return BlockVerifier(cluster, quorum, namespace=namespace)
 
 
 def _resolve_protocol(spec: SystemSpec):
@@ -198,9 +232,17 @@ def build_system(
     one, engines run on their default instant path.
     """
     entry, quorum, system = _resolve_protocol(spec)
-    cluster = Cluster(spec.cluster.num_nodes)
+    cluster = Cluster(spec.cluster.num_nodes + _metadata_node_count(spec))
     code = MDSCode(spec.code.n, spec.code.k, construction=spec.code.construction)
     layout = _layout_for(spec, stripe_index)
+    verifier = _make_verifier(spec, cluster)
+    if verifier is not None and not _builder_accepts(entry.builder, "verifier"):
+        raise ConfigurationError(
+            f"protocol {spec.protocol!r} does not support verified reads "
+            "(its registered builder takes no 'verifier' keyword); drop "
+            "the metadata section or register a verifier-aware builder"
+        )
+    extra = {} if verifier is None else {"verifier": verifier}
     coordinator = None
     if coordinator_factory is not None:
         if not _builder_accepts_coordinator(entry.builder):
@@ -210,19 +252,24 @@ def build_system(
                 "keyword); it cannot run on the event-driven path"
             )
         coordinator = coordinator_factory(cluster)
-        engine = entry.builder(spec, cluster, code, layout, coordinator=coordinator)
+        engine = entry.builder(
+            spec, cluster, code, layout, coordinator=coordinator, **extra
+        )
     else:
-        engine = entry.builder(spec, cluster, code, layout)
+        engine = entry.builder(spec, cluster, code, layout, **extra)
     if not entry.supports_repair:
         repair = None
-    elif coordinator is None:
+    elif coordinator is None and verifier is None:
         repair = RepairService(engine)
     else:
         # Anti-entropy runs as out-of-band instant maintenance even when
         # the engine itself is event-driven: a second engine instance on
         # the same cluster (protocol state lives on the nodes) with the
         # default instant coordinator backs the repair service, so repair
-        # passes never re-enter the running event loop.
+        # passes never re-enter the running event loop. The repair engine
+        # is also built *without* a verifier: anti-entropy reconciles
+        # whatever the nodes store and must not spend metadata rounds (or
+        # fail) while doing so.
         repair = RepairService(entry.builder(spec, cluster, code, layout))
     (rng,) = spawn_rngs(make_rng(spec.seed), 1)
     return BuiltSystem(
@@ -236,6 +283,7 @@ def build_system(
         repair=repair,
         rng=rng,
         coordinator=coordinator,
+        verifier=verifier,
     )
 
 
@@ -262,6 +310,8 @@ class ShardedSystem:
     queues: dict[int, NodeServiceQueue] | None
     repairs: list[RepairService]
     rng: np.random.Generator = field(repr=False)
+    #: per-shard verified-read authorities (empty = fail-stop trust)
+    verifiers: list[BlockVerifier] = field(default_factory=list)
 
     @property
     def num_shards(self) -> int:
@@ -358,6 +408,12 @@ def build_sharded_system(
             "injection (its registered builder takes no 'coordinator' "
             "keyword); it cannot run on the sharded event-driven path"
         )
+    if spec.metadata is not None and not _builder_accepts(entry.builder, "verifier"):
+        raise ConfigurationError(
+            f"protocol {spec.protocol!r} does not support verified reads "
+            "(its registered builder takes no 'verifier' keyword); drop "
+            "the metadata section or register a verifier-aware builder"
+        )
     if rng is None or service_rng is None:
         seed_streams = spawn_rngs(make_rng(spec.seed), 11)
         if rng is None:
@@ -366,7 +422,7 @@ def build_sharded_system(
             service_rng = seed_streams[10]
 
     simulator = simulator if simulator is not None else Simulator()
-    cluster = Cluster(spec.cluster.num_nodes)
+    cluster = Cluster(spec.cluster.num_nodes + _metadata_node_count(spec))
     code = MDSCode(spec.code.n, spec.code.k, construction=spec.code.construction)
     latency_spec = spec.latency or LatencySpec()
     latency_model = build_latency_model(latency_spec)
@@ -383,6 +439,7 @@ def build_sharded_system(
     coordinator_rngs = [rng] if num_shards == 1 else spawn_rngs(rng, num_shards)
     shards: list[Shard] = []
     repairs: list[RepairService] = []
+    verifiers: list[BlockVerifier] = []
     for index in range(num_shards):
         layout = _layout_for(spec, index)
         coordinator = EventCoordinator(
@@ -395,13 +452,22 @@ def build_sharded_system(
             queues=queues,
             site=_coordinator_site(latency_model, index, spec.cluster.num_nodes),
         )
+        # Shard 0 keeps the unsharded metadata namespace so a 1-shard
+        # system stays key-identical to build_system; further shards get
+        # their own (all shards share the one metadata tier).
+        namespace = "api-stripe" if index == 0 else f"api-stripe-{index}"
+        verifier = _make_verifier(spec, cluster, namespace=namespace)
+        extra = {} if verifier is None else {"verifier": verifier}
+        if verifier is not None:
+            verifiers.append(verifier)
         engine = entry.builder(
-            spec, cluster, code, layout, coordinator=coordinator
+            spec, cluster, code, layout, coordinator=coordinator, **extra
         )
         shards.append(Shard(index, engine, coordinator, code.k))
         if entry.supports_repair:
             # Out-of-band anti-entropy on the instant path, one service
-            # per stripe family (see build_system's repair note).
+            # per stripe family (see build_system's repair note; built
+            # without a verifier, like every repair engine).
             repairs.append(
                 RepairService(entry.builder(spec, cluster, code, layout))
             )
@@ -418,4 +484,5 @@ def build_sharded_system(
         queues=queues,
         repairs=repairs,
         rng=init_rng,
+        verifiers=verifiers,
     )

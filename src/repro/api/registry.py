@@ -259,24 +259,24 @@ def protocol_entry(name: str) -> ProtocolEntry:
 )
 def _build_trap_erc(
     spec: SystemSpec, cluster: "Cluster", code: "MDSCode", layout: "StripeLayout",
-    coordinator=None,
+    coordinator=None, verifier=None,
 ) -> TrapErcProtocol:
     quorum = build_trapezoid_quorum(spec.quorum)
     return TrapErcProtocol(
         cluster, code, quorum, layout=layout, stripe_id="api-stripe",
-        coordinator=coordinator,
+        coordinator=coordinator, verifier=verifier,
     )
 
 
 @register_protocol("trap-fr", TrapFrProtocol, needs_trapezoid=True)
 def _build_trap_fr(
     spec: SystemSpec, cluster: "Cluster", code: "MDSCode", layout: "StripeLayout",
-    coordinator=None,
+    coordinator=None, verifier=None,
 ) -> TrapFrProtocol:
     quorum = build_trapezoid_quorum(spec.quorum)
     return TrapFrProtocol(
         cluster, spec.code.n, spec.code.k, quorum, layout=layout,
-        stripe_id="api-stripe", coordinator=coordinator,
+        stripe_id="api-stripe", coordinator=coordinator, verifier=verifier,
     )
 
 
@@ -316,14 +316,14 @@ def _flat_system_builder(kind: str, system_class: type):
 )
 def _build_rowa(
     spec: SystemSpec, cluster: "Cluster", code: "MDSCode", layout: "StripeLayout",
-    coordinator=None,
+    coordinator=None, verifier=None,
 ) -> RowaProtocol:
     # Flat baselines replicate every block on block 0's consistency group:
     # the same n - k + 1 node budget the trapezoid defends (the setting of
     # examples/protocol_comparison.py).
     return RowaProtocol(
         cluster, list(layout.consistency_group(0)), "api-stripe",
-        coordinator=coordinator,
+        coordinator=coordinator, verifier=verifier,
     )
 
 
@@ -334,9 +334,9 @@ def _build_rowa(
 )
 def _build_majority(
     spec: SystemSpec, cluster: "Cluster", code: "MDSCode", layout: "StripeLayout",
-    coordinator=None,
+    coordinator=None, verifier=None,
 ) -> MajorityProtocol:
     return MajorityProtocol(
         cluster, list(layout.consistency_group(0)), "api-stripe",
-        coordinator=coordinator,
+        coordinator=coordinator, verifier=verifier,
     )

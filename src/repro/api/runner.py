@@ -40,6 +40,7 @@ from repro.api.spec import (
 )
 from repro.cluster.events import Simulator
 from repro.cluster.failures import exponential_trace
+from repro.cluster.node import ByzantineBehavior
 from repro.cluster.rng import make_rng, spawn_rngs
 from repro.errors import ConfigurationError
 from repro.quorum.trapezoid import TrapezoidQuorum
@@ -73,8 +74,10 @@ __all__ = ["ScenarioResult", "ScenarioRunner", "run_spec"]
 #: new independent streams without perturbing streams 0..9 (existing
 #: scenario kinds keep reproducing their exact historical results).
 #: Stream 10 feeds the per-node service queues, stream 11 the per-point
-#: streams of the saturation sweep.
-_NUM_STREAMS = 12
+#: streams of the saturation sweep, stream 12 the Byzantine faultload
+#: (node choice + per-node corruption coins — untouched for every other
+#: faultload kind, so rate-0 / kind-"none" runs stay bit-identical).
+_NUM_STREAMS = 13
 
 
 @dataclass
@@ -493,7 +496,64 @@ class ScenarioRunner:
                 )
                 start += faultload.period
             return None, windows
+        # "none" and "byzantine" inject no downtime; Byzantine arming is
+        # a separate step (corrupt nodes answer, they don't vanish).
         return None, []
+
+    def _arm_byzantine(self, cluster, faultload: FaultloadSpec, rng) -> list[int]:
+        """Flip a seed-chosen fraction of the *data* nodes Byzantine.
+
+        Returns the armed node ids (``[]`` for every other faultload
+        kind). Only ids below ``spec.cluster.num_nodes`` are candidates:
+        the metadata tier appended after them stays honest, which is the
+        trust assumption of the separate-metadata construction. Each
+        armed node corrupts with its own child stream of ``rng``, so the
+        coin sequence is independent of delivery order elsewhere.
+        """
+        if faultload.kind != "byzantine":
+            return []
+        num_nodes = self.spec.cluster.num_nodes
+        count = int(round(faultload.byzantine_fraction * num_nodes))
+        count = max(0, min(count, num_nodes))
+        if count == 0:
+            return []
+        chosen = sorted(
+            int(i) for i in rng.choice(num_nodes, size=count, replace=False)
+        )
+        streams = spawn_rngs(rng, count)
+        for node_id, stream in zip(chosen, streams):
+            cluster.node(node_id).set_byzantine(
+                ByzantineBehavior(
+                    faultload.corruption_mode, faultload.corruption_rate, stream
+                )
+            )
+        return chosen
+
+    def _byzantine_report(
+        self, faultload: FaultloadSpec, cluster, armed, verifiers
+    ) -> dict | None:
+        """The ``byzantine`` result block (None when nothing to report)."""
+        if faultload.kind != "byzantine" and not verifiers:
+            return None
+        detected = {
+            "digest_mismatches": 0,
+            "version_mismatches": 0,
+            "metadata_failures": 0,
+        }
+        for verifier in verifiers:
+            for key, value in verifier.counters().items():
+                detected[key] += value
+        active = faultload.kind == "byzantine"
+        return {
+            "nodes": list(armed),
+            "fraction": faultload.byzantine_fraction if active else 0.0,
+            "mode": faultload.corruption_mode,
+            "rate": faultload.corruption_rate if active else 0.0,
+            "injected": sum(
+                cluster.node(i).stats.corrupted_replies for i in armed
+            ),
+            "detected": detected if verifiers else None,
+        }
 
     def _sharding_requested(self) -> bool:
         """True when the spec opts into the sharded runtime.
@@ -547,6 +607,7 @@ class ScenarioRunner:
 
         built = build_system(self.spec, coordinator_factory=factory)
         built.initialize()
+        armed = self._arm_byzantine(built.cluster, faultload, self._streams[12])
         ops = _make_workload(self.spec, built.num_blocks, self._streams[1])
         trace, partitions = self._faultload(
             faultload, scenario.horizon, self._streams[9]
@@ -569,7 +630,7 @@ class ScenarioRunner:
             repair=built.repair if scenario.repair_interval is not None else None,
         )
         tally = sim.run()
-        return {
+        data = {
             "clients": scenario.clients,
             "think_time": scenario.think_time,
             "horizon": scenario.horizon,
@@ -580,6 +641,11 @@ class ScenarioRunner:
             "summary": tally.summary(),
             "trace_hash": coordinator[0].trace_hash(),
         }
+        verifiers = [built.verifier] if built.verifier is not None else []
+        report = self._byzantine_report(faultload, built.cluster, armed, verifiers)
+        if report is not None:
+            data["byzantine"] = report
+        return data
 
     def _sharded_closed_loop(
         self,
@@ -589,8 +655,12 @@ class ScenarioRunner:
         partitions,
         rng,
         service_rng,
-    ) -> ShardedClosedLoopSimulation:
-        """One fresh sharded closed-loop run (own simulator and cluster)."""
+    ):
+        """One fresh sharded closed-loop run (own simulator and cluster).
+
+        Returns ``(simulation, system)`` so callers can arm Byzantine
+        nodes before running and harvest detection counters after.
+        """
         scenario = self.spec.scenario
         system = build_sharded_system(
             self.spec, rng=rng, service_rng=service_rng, record_trace=True
@@ -603,7 +673,7 @@ class ScenarioRunner:
             block_length=self.spec.workload.block_length,
             repair_interval=scenario.repair_interval,
         )
-        return ShardedClosedLoopSimulation(
+        sim = ShardedClosedLoopSimulation(
             system.cluster,
             system.router,
             list(ops),
@@ -614,6 +684,7 @@ class ScenarioRunner:
                 system.repairs if scenario.repair_interval is not None else None
             ),
         )
+        return sim, system
 
     def _run_sharded_latency(self, scenario, latency_spec, faultload) -> dict:
         """The latency scenario on the sharded router path.
@@ -630,13 +701,14 @@ class ScenarioRunner:
         trace, partitions = self._faultload(
             faultload, scenario.horizon, self._streams[9]
         )
-        sim = self._sharded_closed_loop(
+        sim, system = self._sharded_closed_loop(
             scenario.clients, ops, trace, partitions,
             self._streams[8], self._streams[10],
         )
+        armed = self._arm_byzantine(system.cluster, faultload, self._streams[12])
         tally = sim.run()
         service_spec = self.spec.service or ServiceTimeSpec()
-        return {
+        data = {
             "clients": scenario.clients,
             "think_time": scenario.think_time,
             "horizon": scenario.horizon,
@@ -655,6 +727,12 @@ class ScenarioRunner:
             ),
             "trace_hash": sim.router.trace_hash(),
         }
+        report = self._byzantine_report(
+            faultload, system.cluster, armed, system.verifiers
+        )
+        if report is not None:
+            data["byzantine"] = report
+        return data
 
     def _run_saturation(self) -> dict:
         """The ops/s-vs-clients saturation sweep over the sharded runtime.
@@ -680,12 +758,20 @@ class ScenarioRunner:
             spawn_rngs(child, 2)
             for child in spawn_rngs(self._streams[11], len(counts))
         )
+        byz_streams = iter(spawn_rngs(self._streams[12], len(counts)))
+        point_context: list[tuple] = []
 
         def make_run(clients: int) -> ShardedClosedLoopSimulation:
             rng, service_rng = next(point_streams)
-            return self._sharded_closed_loop(
+            sim, system = self._sharded_closed_loop(
                 clients, ops, trace, partitions, rng, service_rng
             )
+            # Per-point arming from stream-12 children: every point gets
+            # its own corrupt set and coin streams, yet one seed still
+            # reproduces the whole curve.
+            armed = self._arm_byzantine(system.cluster, faultload, next(byz_streams))
+            point_context.append((system, armed))
+            return sim
 
         points = saturation_sweep(make_run, counts)
         digest = hashlib.sha256()
@@ -693,7 +779,7 @@ class ScenarioRunner:
             digest.update(point.trace_hash.encode("ascii"))
             digest.update(b"\n")
         service_spec = self.spec.service or ServiceTimeSpec()
-        return {
+        data = {
             "shards": shards,
             "routing": (
                 self.spec.sharding.routing if self.spec.sharding else "interleave"
@@ -708,6 +794,13 @@ class ScenarioRunner:
             "knee_clients": knee_clients(points),
             "trace_hash": digest.hexdigest(),
         }
+        reports = [
+            self._byzantine_report(faultload, system.cluster, armed, system.verifiers)
+            for system, armed in point_context
+        ]
+        if any(report is not None for report in reports):
+            data["byzantine"] = {"points": reports}
+        return data
 
 
 def run_spec(spec: SystemSpec) -> ScenarioResult:

@@ -15,6 +15,7 @@ concrete classes and :func:`repro.api.build.build_system` composes them.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field, fields, is_dataclass, replace
 
 from repro.errors import ConfigurationError
@@ -28,6 +29,7 @@ __all__ = [
     "LatencySpec",
     "ServiceTimeSpec",
     "ShardingSpec",
+    "MetadataSpec",
     "FaultloadSpec",
     "ScenarioSpec",
     "SystemSpec",
@@ -432,6 +434,46 @@ class ShardingSpec(_SpecBase):
 
 
 @dataclass(frozen=True)
+class MetadataSpec(_SpecBase):
+    """The separate metadata quorum of the verified (Byzantine) read path.
+
+    ``nodes`` extra fail-stop-but-honest metadata nodes are appended to
+    the cluster (ids ``num_nodes .. num_nodes + nodes - 1``); they store
+    the per-block (version, digest) records that make payload replies
+    verifiable. ``quorum`` names a registry kind
+    (:func:`repro.api.registry.register_quorum`-pluggable; ``majority``
+    by default, ``rowa`` also works out of the box — kinds needing more
+    geometry than a size raise at build time).
+    """
+
+    nodes: int = 3
+    quorum: str = "majority"
+
+    def __post_init__(self) -> None:
+        _require(self.nodes >= 1, f"metadata nodes must be >= 1, got {self.nodes}")
+        _require(
+            isinstance(self.quorum, str) and len(self.quorum) > 0,
+            f"metadata quorum must be a registry kind name, got {self.quorum!r}",
+        )
+
+
+def _require_positive_finite(value: float, label: str) -> None:
+    _require(
+        isinstance(value, (int, float)) and math.isfinite(value) and value > 0,
+        f"{label} must be a finite number > 0, got {value!r}",
+    )
+
+
+def _require_unit_interval(value: float, label: str) -> None:
+    _require(
+        isinstance(value, (int, float))
+        and math.isfinite(value)
+        and 0.0 <= value <= 1.0,
+        f"{label} must be a finite number in [0, 1], got {value!r}",
+    )
+
+
+@dataclass(frozen=True)
 class FaultloadSpec(_SpecBase):
     """What goes wrong *while* the latency scenario runs.
 
@@ -444,7 +486,18 @@ class FaultloadSpec(_SpecBase):
     ``partition``
         every ``period`` virtual seconds, ``partition_size`` randomly
         chosen nodes drop off the network for ``duration`` seconds
-        (messages to them are silently lost; timeouts resolve them).
+        (messages to them are silently lost; timeouts resolve them),
+    ``byzantine``
+        ``round(byzantine_fraction * num_nodes)`` payload nodes turn
+        Byzantine for the whole run: each read-type reply they serve is
+        corrupted with probability ``corruption_rate`` per
+        ``corruption_mode`` (``payload``: garbled bytes, ``stale``:
+        decremented versions, ``mixed``: a coin flip between the two).
+        Metadata nodes are never corrupted — they model the trusted
+        metadata tier.
+
+    All rates are validated eagerly (negative, NaN and infinite values
+    are spec-level errors, not late simulator failures).
     """
 
     kind: str = "none"
@@ -453,24 +506,35 @@ class FaultloadSpec(_SpecBase):
     partition_size: int = 1
     period: float = 100.0
     duration: float = 20.0
+    byzantine_fraction: float = 0.25
+    corruption_mode: str = "payload"
+    corruption_rate: float = 1.0
 
     def __post_init__(self) -> None:
         _require(
-            self.kind in ("none", "churn", "partition"),
+            self.kind in ("none", "churn", "partition", "byzantine"),
             f"unknown faultload kind {self.kind!r}",
         )
-        _require(self.mtbf > 0, f"mtbf must be > 0, got {self.mtbf}")
-        _require(self.mttr > 0, f"mttr must be > 0, got {self.mttr}")
+        _require_positive_finite(self.mtbf, "mtbf")
+        _require_positive_finite(self.mttr, "mttr")
         _require(
             self.partition_size >= 1,
             f"partition_size must be >= 1, got {self.partition_size}",
         )
-        _require(self.period > 0, f"period must be > 0, got {self.period}")
+        _require_positive_finite(self.period, "period")
         _require(
-            0 < self.duration <= self.period,
-            f"need 0 < duration <= period, got duration={self.duration}, "
+            isinstance(self.duration, (int, float))
+            and math.isfinite(self.duration)
+            and 0 < self.duration <= self.period,
+            f"need 0 < duration <= period, got duration={self.duration!r}, "
             f"period={self.period}",
         )
+        _require_unit_interval(self.byzantine_fraction, "byzantine_fraction")
+        _require(
+            self.corruption_mode in ("payload", "stale", "mixed"),
+            f"unknown corruption_mode {self.corruption_mode!r}",
+        )
+        _require_unit_interval(self.corruption_rate, "corruption_rate")
 
 
 @dataclass(frozen=True)
@@ -626,6 +690,7 @@ class SystemSpec(_SpecBase):
         "latency": LatencySpec,
         "service": ServiceTimeSpec,
         "sharding": ShardingSpec,
+        "metadata": MetadataSpec,
         "scenario": ScenarioSpec,
     }
 
@@ -638,6 +703,7 @@ class SystemSpec(_SpecBase):
     latency: LatencySpec | None = None
     service: ServiceTimeSpec | None = None
     sharding: ShardingSpec | None = None
+    metadata: MetadataSpec | None = None
     scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
     seed: int = 0
 

@@ -77,6 +77,16 @@ DEFAULT_SIZES = {
     "lat_clients": 8,
     "lat_block_length": 256,
     "lat_repeats": 3,
+    # verified read path: the same closed-loop scenario with a 3-node
+    # metadata quorum and a byzantine faultload (digest checks + round
+    # widening on the hot path); baseline is the fail-stop twin.
+    "byz_ops": 400,
+    "byz_clients": 8,
+    "byz_block_length": 256,
+    "byz_metadata_nodes": 3,
+    "byz_fraction": 0.25,
+    "byz_rate": 0.5,
+    "byz_repeats": 3,
     # sharded runtime: aggregate sim-ops/s through the router front end,
     # four stripe families contending on per-node service queues.
     "shard_count": 4,
@@ -110,6 +120,13 @@ TINY_SIZES = {
     "lat_clients": 4,
     "lat_block_length": 32,
     "lat_repeats": 2,
+    "byz_ops": 40,
+    "byz_clients": 4,
+    "byz_block_length": 32,
+    "byz_metadata_nodes": 3,
+    "byz_fraction": 0.25,
+    "byz_rate": 0.5,
+    "byz_repeats": 1,
     "shard_count": 4,
     "shard_ops": 80,
     "shard_clients": 8,
@@ -355,6 +372,60 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         "seconds_per_call": t_lat,
         "ops": lat_ops,
         "ops_per_s": lat_ops / t_lat,
+    }
+
+    # -- verified read path (metadata quorum + byzantine faultload) ------ #
+    byz_ops = cfg["byz_ops"]
+
+    def byzantine_sim(verified: bool):
+        from repro.api import (
+            FaultloadSpec,
+            LatencySpec,
+            MetadataSpec,
+            ScenarioRunner,
+            ScenarioSpec,
+            SystemSpec,
+            WorkloadSpec,
+        )
+
+        spec = SystemSpec.trapezoid(
+            9, 6, 2, 1, 1, 2,
+            metadata=(
+                MetadataSpec(nodes=cfg["byz_metadata_nodes"])
+                if verified
+                else None
+            ),
+            latency=LatencySpec(kind="lognormal"),
+            workload=WorkloadSpec(
+                num_ops=byz_ops, block_length=cfg["byz_block_length"]
+            ),
+            scenario=ScenarioSpec(
+                kind="latency",
+                clients=cfg["byz_clients"],
+                think_time=0.05,
+                horizon=60.0,
+                faultload=FaultloadSpec(
+                    kind="byzantine",
+                    byzantine_fraction=cfg["byz_fraction"],
+                    corruption_mode="payload",
+                    corruption_rate=cfg["byz_rate"],
+                ),
+            ),
+            seed=rng_seed,
+        )
+        return ScenarioRunner(spec).run()
+
+    byz_reps = cfg["byz_repeats"]
+    t_byz = _time_call(lambda: byzantine_sim(True), byz_reps)
+    t_byz_base = _time_call(lambda: byzantine_sim(False), byz_reps)
+    results["byzantine_overhead"] = {
+        "seconds_per_call": t_byz,
+        "ops": byz_ops,
+        "ops_per_s": byz_ops / t_byz,
+        # informational: the fail-stop twin of the same run, so the cost
+        # of digest checks + the metadata quorum is read off directly.
+        "baseline_seconds_per_call": t_byz_base,
+        "overhead_ratio": t_byz / t_byz_base if t_byz_base > 0 else None,
     }
 
     # -- sharded runtime (router + contended service queues) ------------ #

@@ -207,7 +207,11 @@ class NetworkStats:
 
         Kept so older notebooks keep reading the same number; new code
         should choose explicitly between ``total_message_delay`` and
-        ``operation_latency``.
+        ``operation_latency``. Every access warns (exactly once per
+        access — no ``__warningregistry__`` suppression games), no
+        internal code reads it anymore, and the alias is scheduled for
+        removal in the release after next (see docs/RUNTIME.md,
+        "Accounting").
         """
         warnings.warn(
             "NetworkStats.virtual_latency is deprecated; read "
@@ -310,7 +314,13 @@ class Network:
             self.stats.rpc_failures += 1
             raise NodeUnavailableError(node.node_id)
         try:
-            return getattr(node, method)(*args, **kwargs)
+            value = getattr(node, method)(*args, **kwargs)
         except NodeUnavailableError:
             self.stats.rpc_failures += 1
             raise
+        # Instant-path twin of the event runtime's delivery-time corruption
+        # hook: a Byzantine node lies on the reply leg, after the RPC
+        # itself succeeded, so both coordinators observe the same fault.
+        if node.byzantine is not None:
+            value = node.byzantine.apply(node, method, value)
+        return value

@@ -6,7 +6,10 @@ A :class:`StorageNode` models one storage server of the paper's system:
   (payload + per-contribution version vector, the column V[:, j-k] of
   Algorithm 1), keyed by arbitrary hashable keys;
 * it is fail-stop (assumption 3 of section IV): when failed, every RPC
-  raises :class:`NodeUnavailableError`; it never returns wrong data;
+  raises :class:`NodeUnavailableError`; it never returns wrong data —
+  unless a :class:`ByzantineBehavior` is armed on it, which flips the
+  node into corrupting read-type replies (garbled payloads and/or
+  understated versions) for robustness experiments;
 * parity delta application enforces the Algorithm-1 line-26 guard: the
   delta for contribution i at expected version v is accepted only if the
   stored contribution version equals v (otherwise the node is *stale* for
@@ -43,6 +46,7 @@ __all__ = [
     "ParityRecord",
     "NodeStats",
     "StorageNode",
+    "ByzantineBehavior",
     "ServiceTimeModel",
     "FixedServiceTime",
     "ExponentialServiceTime",
@@ -142,9 +146,86 @@ class NodeStats:
     version_queries: int = 0
     stale_rejections: int = 0
     failed_rpcs: int = 0
+    corrupted_replies: int = 0
 
     def total_ops(self) -> int:
         return self.reads + self.writes + self.deltas + self.version_queries
+
+
+#: RPC methods whose *replies* a Byzantine node may corrupt. Write-type
+#: RPCs return None — a Byzantine storage server can drop writes too, but
+#: that is already covered by the fail-stop faultloads; the interesting
+#: new failure mode is answering reads with garbage.
+_READ_METHODS = frozenset(
+    {"read_data", "data_version", "read_parity", "parity_versions"}
+)
+
+
+class ByzantineBehavior:
+    """Corruption policy armed on one node: lies on read-type replies.
+
+    ``mode``
+        ``payload``: XOR every byte of a returned payload with a nonzero
+        mask (the value is wrong in every position, version claims stay
+        truthful) — the cross-checksum-detectable corruption;
+        ``stale``: understate versions by one (payloads intact) — the
+        node pretends not to have seen the latest write;
+        ``mixed``: an independent coin flip between the two per reply.
+    ``rate``
+        per-reply probability of corruption; draws come from the
+        dedicated ``rng`` stream so arming a node at rate 0 consumes
+        nothing from the experiment's other streams.
+
+    The behavior mutates only the *reply* — the node's disk content stays
+    correct, so the same node answers honestly once disarmed.
+    """
+
+    def __init__(self, mode: str, rate: float, rng: np.random.Generator) -> None:
+        if mode not in ("payload", "stale", "mixed"):
+            raise ConfigurationError(f"unknown corruption mode {mode!r}")
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"corruption rate must be in [0, 1], got {rate}")
+        self.mode = mode
+        self.rate = float(rate)
+        self.rng = rng
+        self.injected = 0
+
+    def _corrupt_payload(self, payload: np.ndarray) -> np.ndarray:
+        mask = self.rng.integers(1, 256, size=payload.shape, dtype=np.int64)
+        return np.bitwise_xor(payload, mask.astype(payload.dtype))
+
+    def apply(self, node: "StorageNode", method: str, value):
+        """Possibly corrupt one reply; returns the (new) reply value."""
+        if method not in _READ_METHODS or self.rate == 0.0:
+            return value
+        if self.rng.random() >= self.rate:
+            return value
+        mode = self.mode
+        if mode == "mixed":
+            mode = "payload" if self.rng.random() < 0.5 else "stale"
+        if mode == "payload":
+            if method not in ("read_data", "read_parity"):
+                return value  # version queries carry no payload to garble
+            payload, meta = value
+            self.injected += 1
+            node.stats.corrupted_replies += 1
+            return (self._corrupt_payload(payload), meta)
+        # stale: understate versions by one, payloads untouched
+        if method == "read_data":
+            payload, version = value
+            result = (payload, int(version) - 1)
+        elif method == "data_version":
+            result = max(int(value) - 1, -1)
+        elif method == "read_parity":
+            payload, versions = value
+            result = (payload, np.maximum(versions - 1, 0))
+        else:  # parity_versions
+            if value is None:
+                return value
+            result = np.maximum(value - 1, 0)
+        self.injected += 1
+        node.stats.corrupted_replies += 1
+        return result
 
 
 class StorageNode:
@@ -156,6 +237,8 @@ class StorageNode:
         self._data: dict[object, DataRecord] = {}
         self._parity: dict[object, ParityRecord] = {}
         self.stats = NodeStats()
+        #: armed corruption policy, or None for the honest default
+        self.byzantine: ByzantineBehavior | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "up" if self.alive else "DOWN"
@@ -182,6 +265,14 @@ class StorageNode:
         if not self.alive:
             self.stats.failed_rpcs += 1
             raise NodeUnavailableError(self.node_id)
+
+    def set_byzantine(self, behavior: ByzantineBehavior) -> None:
+        """Arm a corruption policy on this node (survives fail/recover)."""
+        self.byzantine = behavior
+
+    def clear_byzantine(self) -> None:
+        """Disarm: the node answers honestly again."""
+        self.byzantine = None
 
     # ------------------------------------------------------------------ #
     # data-record RPCs

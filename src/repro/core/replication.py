@@ -24,6 +24,7 @@ from repro.runtime.rounds import (
     Request,
     Round,
 )
+from repro.runtime.verify import block_digest
 
 __all__ = ["RowaProtocol", "MajorityProtocol"]
 
@@ -37,6 +38,7 @@ class _ReplicationBase:
         node_ids,
         stripe_id: str,
         coordinator: Coordinator | None = None,
+        verifier=None,
     ) -> None:
         self.cluster = cluster
         self.node_ids = [int(i) for i in node_ids]
@@ -50,6 +52,7 @@ class _ReplicationBase:
         self.coordinator = (
             coordinator if coordinator is not None else InstantCoordinator(cluster)
         )
+        self.verifier = verifier
 
     def key(self, block: int):
         return (self._kind, self.stripe_id, block)
@@ -62,6 +65,8 @@ class _ReplicationBase:
         for b in range(blocks.shape[0]):
             for nid in self.node_ids:
                 self.cluster.rpc(nid, "put_data", self.key(b), blocks[b], 0)
+            if self.verifier is not None:
+                self.verifier.bootstrap(b, blocks[b])
 
     def _version_round(self, block: int) -> Round:
         """Gather-all version discovery across the replica set."""
@@ -90,6 +95,22 @@ class _ReplicationBase:
     def write_block(self, block: int, value: np.ndarray) -> WriteResult:
         return self.coordinator.execute(self.write_plan(block, value))
 
+    # -- verified-path helpers (no-ops when ``verifier`` is None) -------- #
+
+    def _meta_lookup_plan(self, block: int):
+        """Yield the metadata read round; returns ``(record | None, msgs)``."""
+        outcome = yield self.verifier.read_round(block)
+        return self.verifier.resolve(outcome), outcome.messages
+
+    def _meta_commit_plan(self, block: int, version: int, value: np.ndarray):
+        """Yield the commit round; returns ``(satisfied, messages)``."""
+        outcome = yield self.verifier.write_round(
+            block, version, block_digest(value)
+        )
+        if not outcome.satisfied:
+            self.verifier.metadata_failures += 1
+        return outcome.satisfied, outcome.messages
+
 
 class RowaProtocol(_ReplicationBase):
     """Read One, Write All over n replicas."""
@@ -109,6 +130,16 @@ class RowaProtocol(_ReplicationBase):
                 reason="replica unreachable during version lookup (ROWA requires all)",
             )
         new_version = max(r.value for r in outcome.accepted) + 1
+        if self.verifier is not None:
+            record, meta_messages = yield from self._meta_lookup_plan(block)
+            messages += meta_messages
+            if record is None:
+                return WriteResult(
+                    success=False,
+                    messages=messages,
+                    reason="metadata quorum unreachable",
+                )
+            new_version = max(new_version, record[0] + 1)
         # Write-All: any miss fails the operation.
         write_outcome = yield Round(
             self._write_requests(block, value, new_version),
@@ -132,6 +163,19 @@ class RowaProtocol(_ReplicationBase):
                     "(ROWA requires all)"
                 ),
             )
+        if self.verifier is not None:
+            committed, meta_messages = yield from self._meta_commit_plan(
+                block, new_version, value
+            )
+            messages += meta_messages
+            if not committed:
+                return WriteResult(
+                    success=False,
+                    version=new_version,
+                    acks_per_level=[acks],
+                    messages=messages,
+                    reason="metadata quorum write failed",
+                )
         return WriteResult(
             success=True,
             version=new_version,
@@ -140,6 +184,22 @@ class RowaProtocol(_ReplicationBase):
         )
 
     def read_plan(self, block: int):
+        messages = 0
+        accept = None
+        if self.verifier is not None:
+            # Read-one is safe under Byzantine replicas only with a
+            # trusted check: accept the first reply matching the metadata
+            # (version, digest) record; rejected replies widen the scan
+            # across the replica set.
+            record, meta_messages = yield from self._meta_lookup_plan(block)
+            messages += meta_messages
+            if record is None:
+                return ReadResult(
+                    success=False,
+                    messages=messages,
+                    reason="metadata quorum unreachable",
+                )
+            accept = self.verifier.payload_accept(record[0], record[1])
         outcome = yield Round(
             [
                 Request(
@@ -151,8 +211,10 @@ class RowaProtocol(_ReplicationBase):
                 for nid in self.node_ids
             ],
             need=1,
+            accept=accept,
             kind=PAYLOAD_ROUND,
         )
+        messages += outcome.messages
         if outcome.satisfied:
             payload, version = outcome.accepted[0].value
             return ReadResult(
@@ -160,12 +222,14 @@ class RowaProtocol(_ReplicationBase):
                 value=payload,
                 version=version,
                 case=ReadCase.DIRECT,
-                messages=outcome.messages,
+                messages=messages,
             )
         return ReadResult(
             success=False,
-            messages=outcome.messages,
-            reason="no replica reachable",
+            messages=messages,
+            reason="no replica reachable"
+            if self.verifier is None
+            else "no replica served a verifiable copy",
         )
 
 
@@ -189,6 +253,16 @@ class MajorityProtocol(_ReplicationBase):
                 reason="no majority reachable for version lookup",
             )
         new_version = max(r.value for r in outcome.accepted) + 1
+        if self.verifier is not None:
+            record, meta_messages = yield from self._meta_lookup_plan(block)
+            messages += meta_messages
+            if record is None:
+                return WriteResult(
+                    success=False,
+                    messages=messages,
+                    reason="metadata quorum unreachable",
+                )
+            new_version = max(new_version, record[0] + 1)
         write_outcome = yield Round(
             self._write_requests(block, value, new_version),
             need=self.threshold,
@@ -205,6 +279,19 @@ class MajorityProtocol(_ReplicationBase):
                 messages=messages,
                 reason=f"{acks} acks < majority {self.threshold}",
             )
+        if self.verifier is not None:
+            committed, meta_messages = yield from self._meta_commit_plan(
+                block, new_version, value
+            )
+            messages += meta_messages
+            if not committed:
+                return WriteResult(
+                    success=False,
+                    version=new_version,
+                    acks_per_level=[acks],
+                    messages=messages,
+                    reason="metadata quorum write failed",
+                )
         return WriteResult(
             success=True,
             version=new_version,
@@ -213,6 +300,21 @@ class MajorityProtocol(_ReplicationBase):
         )
 
     def read_plan(self, block: int):
+        messages = 0
+        record = None
+        if self.verifier is not None:
+            record, meta_messages = yield from self._meta_lookup_plan(block)
+            messages += meta_messages
+            if record is None:
+                return ReadResult(
+                    success=False,
+                    messages=messages,
+                    reason="metadata quorum unreachable",
+                )
+        # The gather round is identical with or without verification: a
+        # majority of replies (stale ones included) completes it; the
+        # verified path then *selects* among them instead of trusting the
+        # max version claim.
         outcome = yield Round(
             [
                 Request(
@@ -227,13 +329,32 @@ class MajorityProtocol(_ReplicationBase):
             send_all=True,
             kind=PAYLOAD_ROUND,
         )
+        messages += outcome.messages
         if not outcome.satisfied:
             return ReadResult(
                 success=False,
-                messages=outcome.messages,
+                messages=messages,
                 reason=(
                     f"{len(outcome.accepted)} responders < majority {self.threshold}"
                 ),
+            )
+        if record is not None:
+            target, digest = record
+            for response in outcome.accepted:
+                payload, version = response.value
+                if self.verifier.check(payload, version, target, digest):
+                    return ReadResult(
+                        success=True,
+                        value=payload,
+                        version=target,
+                        case=ReadCase.DIRECT,
+                        messages=messages,
+                    )
+            return ReadResult(
+                success=False,
+                version=target,
+                messages=messages,
+                reason="no verified reply at the committed version",
             )
         best_payload = None
         best_version = -1
@@ -247,5 +368,5 @@ class MajorityProtocol(_ReplicationBase):
             value=best_payload,
             version=best_version,
             case=ReadCase.DIRECT,
-            messages=outcome.messages,
+            messages=messages,
         )

@@ -31,6 +31,8 @@ are grouped by their full version vectors before solving (see DESIGN.md
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.cluster.cluster import Cluster
@@ -54,6 +56,7 @@ from repro.runtime.rounds import (
     Response,
     Round,
 )
+from repro.runtime.verify import block_digest
 
 __all__ = ["TrapErcProtocol"]
 
@@ -84,6 +87,14 @@ class TrapErcProtocol:
         ``cluster``); inject an
         :class:`~repro.runtime.event.EventCoordinator` to run the same
         plans event-driven.
+    verifier:
+        Optional :class:`~repro.runtime.verify.BlockVerifier` enabling
+        the Byzantine-tolerant verified path: writes commit a
+        (version, digest) record to the separate metadata quorum, reads
+        take the version authority from that record and cross-checksum
+        every payload reply against it (payload nodes need not be
+        trusted). ``None`` (the default) keeps the paper's fail-stop
+        protocol byte for byte.
 
     Examples
     --------
@@ -111,6 +122,7 @@ class TrapErcProtocol:
         stripe_id: str = "stripe-0",
         read_repair: bool = False,
         coordinator: Coordinator | None = None,
+        verifier=None,
     ) -> None:
         self.cluster = cluster
         self.code = code
@@ -130,6 +142,11 @@ class TrapErcProtocol:
         self.coordinator = (
             coordinator if coordinator is not None else InstantCoordinator(cluster)
         )
+        self.verifier = verifier
+        #: cap on decode-then-verify attempts per read (k-subset search
+        #: over candidate rows; 32 covers C(8, 6) = 28, i.e. exhaustive
+        #: for the paper's default (9, 6) geometry)
+        self.max_decode_attempts = 32
 
     # ------------------------------------------------------------------ #
     # keys
@@ -176,6 +193,9 @@ class TrapErcProtocol:
             self.cluster.rpc(
                 node_id, "put_parity", self.parity_key(), stripe[j], zero_versions
             )
+        if self.verifier is not None:
+            for i in range(self.code.k):
+                self.verifier.bootstrap(i, stripe[i])
 
     # ------------------------------------------------------------------ #
     # shared round builders
@@ -302,6 +322,23 @@ class TrapErcProtocol:
                         f"{self.quorum.w[level]}"
                     ),
                 )
+        if self.verifier is not None:
+            # Commit point of the verified path: the write is visible to
+            # verified readers only once (version, digest) reaches the
+            # metadata quorum.
+            meta_outcome = yield self.verifier.write_round(
+                i, new_version, block_digest(value)
+            )
+            messages += meta_outcome.messages
+            if not meta_outcome.satisfied:
+                self.verifier.metadata_failures += 1
+                return WriteResult(
+                    success=False,
+                    version=new_version,
+                    acks_per_level=acks,
+                    messages=messages,
+                    reason="metadata quorum write failed",
+                )
         return WriteResult(
             success=True,
             version=new_version,
@@ -318,9 +355,29 @@ class TrapErcProtocol:
         return self.coordinator.execute(self.read_plan(i))
 
     def read_plan(self, i: int):
-        """Algorithm 2 as a round plan."""
+        """Algorithm 2 as a round plan.
+
+        With a verifier, the metadata quorum is consulted first and
+        becomes the *version authority*: the level polls still locate a
+        responsive check quorum (and keep the fail-stop round structure,
+        so a rate-0 Byzantine config adds only the metadata round), but
+        the retrieved version/digest pair comes from the trusted tier —
+        a payload node understating or overstating its version cannot
+        redirect the read.
+        """
         self._check_block(i)
         messages = 0
+        meta: tuple[int, bytes] | None = None
+        if self.verifier is not None:
+            meta_outcome = yield self.verifier.read_round(i)
+            messages += meta_outcome.messages
+            meta = self.verifier.resolve(meta_outcome)
+            if meta is None:
+                return ReadResult(
+                    success=False,
+                    messages=messages,
+                    reason="metadata quorum unreachable",
+                )
         for level in self.quorum.shape.levels:
             outcome = yield Round(
                 self._version_requests(i, level),
@@ -332,9 +389,13 @@ class TrapErcProtocol:
             if not outcome.satisfied:
                 continue  # try the next level (Alg. 2 outer loop)
 
-            # Check complete: the max accepted version is the latest.
-            best = self._best_version(i, outcome.accepted)
-            result = yield from self._retrieve_plan(i, best, level)
+            # Check complete: the max accepted version is the latest —
+            # unless the metadata record overrules the untrusted claims.
+            if meta is not None:
+                target, digest = meta
+            else:
+                target, digest = self._best_version(i, outcome.accepted), None
+            result = yield from self._retrieve_plan(i, target, level, digest)
             result.messages += messages
             return result
 
@@ -344,8 +405,16 @@ class TrapErcProtocol:
             reason="no level reached its version-check quorum",
         )
 
-    def _retrieve_plan(self, i: int, target: int, check_level: int):
-        """Cases 1-2 of Algorithm 2 once the latest version is known."""
+    def _retrieve_plan(
+        self, i: int, target: int, check_level: int, digest: bytes | None = None
+    ):
+        """Cases 1-2 of Algorithm 2 once the latest version is known.
+
+        With a ``digest``, Case 1's payload round verifies the reply
+        through the accept predicate — a corrupted reply is rejected
+        (counted on the verifier) and the read widens into Case 2, the
+        substitute-fragment path.
+        """
         ni = self.layout.node_of_block(i)
         messages = 0
         # Case 1: N_i holds the latest version -> direct read.
@@ -362,6 +431,11 @@ class TrapErcProtocol:
         )
         messages += outcome.messages
         if outcome.accepted and outcome.accepted[0].value == target:
+            payload_accept = (
+                None
+                if digest is None
+                else self.verifier.payload_accept(target, digest)
+            )
             payload_outcome = yield Round(
                 [
                     Request(
@@ -371,6 +445,7 @@ class TrapErcProtocol:
                         catches=(NodeUnavailableError, KeyError),
                     )
                 ],
+                accept=payload_accept,
                 kind=PAYLOAD_ROUND,
             )
             messages += payload_outcome.messages
@@ -385,7 +460,7 @@ class TrapErcProtocol:
                     messages=messages,
                 )
         # Case 2: decode from k version-consistent fragments.
-        payload, decode_messages = yield from self._decode_plan(i, target)
+        payload, decode_messages = yield from self._decode_plan(i, target, digest)
         messages += decode_messages
         if payload is None:
             return ReadResult(
@@ -441,7 +516,7 @@ class TrapErcProtocol:
             self.read_repairs_performed += 1
         return messages
 
-    def _decode_plan(self, i: int, target: int):
+    def _decode_plan(self, i: int, target: int, digest: bytes | None = None):
         """Reconstruct b_i at version ``target`` from k consistent rows.
 
         Fragments are usable only under a consistent snapshot: parity rows
@@ -449,6 +524,14 @@ class TrapErcProtocol:
         and a data row m is compatible with that vector iff its version
         equals vv[m]. Any k such rows are solvable (MDS property).
         Returns ``(payload | None, messages)``.
+
+        With a ``digest`` this becomes decode-then-verify: fragment
+        content cannot be checked individually (only the data block has
+        a metadata record), so candidate k-subsets are decoded in
+        deterministic order and the result's cross-checksum is compared
+        against the metadata record; garbage fragments surface as digest
+        mismatches and the search moves to the next subset, up to
+        ``max_decode_attempts`` decodes.
         """
         # Gather parity fragments fresh for block i, grouped by full vector.
         parity_requests = [
@@ -492,17 +575,33 @@ class TrapErcProtocol:
             for response in data_outcome.accepted
         }
         # Try snapshot groups, largest first.
+        attempts = 0
         for vv, parity_rows in sorted(groups.items(), key=lambda kv: -len(kv[1])):
             rows = list(parity_rows)
             for m, (payload, v) in data_rows.items():
                 if v == vv[m]:
                     rows.append((m, payload))
-            if len(rows) >= self.code.k:
+            if len(rows) < self.code.k:
+                continue
+            if digest is None:
                 # reconstruct_block rides the decode-plan cache: trials and
                 # stripes that see the same survivor set skip Gauss-Jordan.
                 indices = [idx for idx, _ in rows[: self.code.k]]
                 frags = np.stack([buf for _, buf in rows[: self.code.k]])
                 return self.code.reconstruct_block(i, indices, frags), messages
+            # Decode-then-verify: search k-subsets for one whose decode
+            # matches the trusted cross-checksum. The first combination
+            # is rows[:k], so a clean snapshot costs exactly one decode —
+            # identical work to the fail-stop path.
+            for combo in itertools.combinations(range(len(rows)), self.code.k):
+                attempts += 1
+                if attempts > self.max_decode_attempts:
+                    return None, messages
+                indices = [rows[c][0] for c in combo]
+                frags = np.stack([rows[c][1] for c in combo])
+                decoded = self.code.reconstruct_block(i, indices, frags)
+                if self.verifier.check_decoded(decoded, digest):
+                    return decoded, messages
         return None, messages
 
     # ------------------------------------------------------------------ #

@@ -35,6 +35,7 @@ from repro.runtime.rounds import (
     Response,
     Round,
 )
+from repro.runtime.verify import block_digest
 
 __all__ = ["TrapFrProtocol"]
 
@@ -56,6 +57,7 @@ class TrapFrProtocol:
         layout: StripeLayout | None = None,
         stripe_id: str = "stripe-0",
         coordinator: Coordinator | None = None,
+        verifier=None,
     ) -> None:
         self.cluster = cluster
         self.layout = layout if layout is not None else StripeLayout(n, k)
@@ -73,6 +75,7 @@ class TrapFrProtocol:
         self.coordinator = (
             coordinator if coordinator is not None else InstantCoordinator(cluster)
         )
+        self.verifier = verifier
 
     def replica_key(self, i: int):
         """Key of block i's replica (same key on every group node)."""
@@ -96,6 +99,8 @@ class TrapFrProtocol:
         for i in range(self.k):
             for node_id in self.placement.group_nodes(i):
                 self.cluster.rpc(node_id, "put_data", self.replica_key(i), data[i], 0)
+            if self.verifier is not None:
+                self.verifier.bootstrap(i, data[i])
 
     # ------------------------------------------------------------------ #
 
@@ -125,6 +130,20 @@ class TrapFrProtocol:
                 messages=messages,
                 reason="version check before write failed",
             )
+        if self.verifier is not None:
+            # The metadata record is the trusted version floor: replicas
+            # understating their versions cannot make the writer reuse a
+            # committed version number.
+            meta_outcome = yield self.verifier.read_round(i)
+            messages += meta_outcome.messages
+            meta = self.verifier.resolve(meta_outcome)
+            if meta is None:
+                return WriteResult(
+                    success=False,
+                    messages=messages,
+                    reason="metadata quorum unreachable",
+                )
+            current = max(current, meta[0])
         new_version = current + 1
         acks: list[int] = []
         for level in self.quorum.shape.levels:
@@ -158,6 +177,20 @@ class TrapFrProtocol:
                         f"{self.quorum.w[level]}"
                     ),
                 )
+        if self.verifier is not None:
+            meta_outcome = yield self.verifier.write_round(
+                i, new_version, block_digest(value)
+            )
+            messages += meta_outcome.messages
+            if not meta_outcome.satisfied:
+                self.verifier.metadata_failures += 1
+                return WriteResult(
+                    success=False,
+                    version=new_version,
+                    acks_per_level=acks,
+                    messages=messages,
+                    reason="metadata quorum write failed",
+                )
         return WriteResult(
             success=True,
             version=new_version,
@@ -174,6 +207,20 @@ class TrapFrProtocol:
     def read_plan(self, i: int):
         self._check_block(i)
         messages = 0
+        meta: tuple[int, bytes] | None = None
+        if self.verifier is not None:
+            # Version authority moves to the metadata quorum; the level
+            # polls below still locate responsive replicas but cannot
+            # redirect the read to a stale (or fabricated) version.
+            meta_outcome = yield self.verifier.read_round(i)
+            messages += meta_outcome.messages
+            meta = self.verifier.resolve(meta_outcome)
+            if meta is None:
+                return ReadResult(
+                    success=False,
+                    messages=messages,
+                    reason="metadata quorum unreachable",
+                )
         for level in self.quorum.shape.levels:
             outcome = yield Round(
                 [
@@ -187,12 +234,24 @@ class TrapFrProtocol:
             messages += outcome.messages
             if not outcome.satisfied:
                 continue
-            best = max(int(response.value) for response in outcome.accepted)
+            if meta is not None:
+                best, digest = meta
+                accept = self.verifier.payload_accept(best, digest)
+            else:
+                best = max(int(response.value) for response in outcome.accepted)
+                accept = (
+                    lambda response, _b=best: response.ok
+                    and response.value[1] == _b
+                )
             holders = [
                 response.request.node_id
                 for response in outcome.accepted
                 if int(response.value) == best
             ]
+            if not holders:
+                # Verified path only: every polled replica understates
+                # the committed version — widen to the next level.
+                continue
             # Any holder of the max version serves the payload directly.
             payload_outcome = yield Round(
                 [
@@ -205,7 +264,7 @@ class TrapFrProtocol:
                     for node_id in holders
                 ],
                 need=1,
-                accept=lambda response: response.ok and response.value[1] == best,
+                accept=accept,
                 kind=PAYLOAD_ROUND,
             )
             messages += payload_outcome.messages
@@ -219,6 +278,12 @@ class TrapFrProtocol:
                     check_level=level,
                     messages=messages,
                 )
+            if meta is not None:
+                # Verified widening: every holder at this level served a
+                # reply the digest check rejected (or vanished). Other
+                # levels hold more replicas — keep scanning; only a full
+                # sweep with no verifiable copy fails the read.
+                continue
             return ReadResult(
                 success=False,
                 version=best,

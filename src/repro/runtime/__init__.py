@@ -17,6 +17,11 @@ logical blocks to many per-shard :class:`EventCoordinator`\\ s sharing one
 simulator and cluster, optionally contending through per-node FIFO
 :class:`NodeServiceQueue` service stations.
 
+:mod:`repro.runtime.verify` adds the Byzantine-tolerant read path: a
+:class:`BlockVerifier` over a separate :class:`MetadataQuorum` stores
+per-block :func:`block_digest` records and rejects corrupted payload
+replies, widening rounds instead of failing them.
+
 See docs/RUNTIME.md for the session lifecycle and semantics.
 """
 
@@ -44,6 +49,13 @@ from repro.runtime.rounds import (
     Round,
     RoundOutcome,
 )
+from repro.runtime.verify import (
+    DIGEST_SIZE,
+    METADATA_ROUND,
+    BlockVerifier,
+    MetadataQuorum,
+    block_digest,
+)
 
 __all__ = [
     "Coordinator",
@@ -65,4 +77,9 @@ __all__ = [
     "PAYLOAD_ROUND",
     "WRITE_ROUND",
     "WRITEBACK_ROUND",
+    "METADATA_ROUND",
+    "DIGEST_SIZE",
+    "block_digest",
+    "MetadataQuorum",
+    "BlockVerifier",
 ]

@@ -416,6 +416,11 @@ class EventCoordinator:
         else:
             try:
                 value = getattr(node, request.method)(*request.args, **request.kwargs)
+                # Delivery-time corruption: a Byzantine node lies as it
+                # serves the request, so messages that were queued or
+                # in-flight when the node turned are affected too.
+                if node.byzantine is not None:
+                    value = node.byzantine.apply(node, request.method, value)
                 response = Response(request=request, ok=True, value=value)
             except request.catches as exc:
                 net.stats.rpc_failures += 1

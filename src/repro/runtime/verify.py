@@ -1,0 +1,258 @@
+"""Verified read path: per-block digests + the separate metadata quorum.
+
+The paper assumes fail-stop nodes (assumption 3), so its quorum math says
+nothing about nodes that answer with *garbage*. Following the separate-
+metadata construction of Androulaki et al. (*Erasure-Coded Byzantine
+Storage with Separate Metadata*), this module adds the trust anchor that
+makes payload replies checkable without trusting payload nodes:
+
+* :func:`block_digest` — the cross-checksum primitive: a 16-byte BLAKE2b
+  digest of a data block's bytes, computed by the writer;
+* :class:`MetadataQuorum` — a lightweight, count-threshold quorum over
+  ``nodes`` extra fail-stop-but-honest metadata nodes appended to the
+  cluster. Thresholds derive from any registry quorum system
+  (``majority`` by default) via
+  :meth:`~repro.quorum.base.QuorumSystem.as_level_thresholds`, falling
+  back to the size of a minimal quorum over the full metadata set;
+* :class:`BlockVerifier` — builds the ``metadata`` rounds that store and
+  fetch per-block ``(version, digest)`` records, and the accept
+  predicates that verify payload replies against them. Verification
+  failures are counted (``digest_mismatches`` for content lies,
+  ``version_mismatches`` for stale-or-lying version claims) and simply
+  *reject* the response — both coordinators then widen the round
+  naturally (the event path's :class:`~repro.runtime.rounds.QuorumWait`
+  keeps waiting for substitute replies, the instant path keeps issuing),
+  so a read only fails once the quorum is genuinely exhausted.
+
+Metadata records are stored as ordinary data records on the metadata
+nodes (digest bytes as the payload, the block version as the record
+version), so every existing piece of machinery — service queues, latency
+legs, failure injection, the trace — applies to the metadata tier
+unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NodeUnavailableError, StaleNodeError
+from repro.quorum.base import QuorumSystem
+from repro.runtime.rounds import Request, Response, Round, RoundOutcome
+
+__all__ = [
+    "METADATA_ROUND",
+    "DIGEST_SIZE",
+    "block_digest",
+    "MetadataQuorum",
+    "BlockVerifier",
+]
+
+#: round-kind label of metadata-quorum traffic (message accounting key)
+METADATA_ROUND = "metadata"
+
+#: digest width in bytes (BLAKE2b truncated output)
+DIGEST_SIZE = 16
+
+
+def block_digest(payload: np.ndarray) -> bytes:
+    """The cross-checksum of one data block: BLAKE2b-128 over its bytes."""
+    data = np.ascontiguousarray(payload).tobytes()
+    return hashlib.blake2b(data, digest_size=DIGEST_SIZE).digest()
+
+
+class MetadataQuorum:
+    """Count-threshold read/write quorums over the metadata node ids.
+
+    The metadata tier is flat and small, so its quorums are expressed as
+    simple counts: a write must reach ``write_need`` of the ``node_ids``,
+    a read gathers ``read_need`` replies (any write/read pair then
+    intersects, so the max version over a read quorum is the last
+    committed one). :meth:`from_system` derives the counts from a full
+    :class:`~repro.quorum.base.QuorumSystem` — exactly for
+    count-structured systems (majority, ROWA, unit-weight voting), via
+    the size of a minimal quorum over the whole tier otherwise.
+    """
+
+    def __init__(self, node_ids, write_need: int, read_need: int) -> None:
+        self.node_ids = tuple(int(i) for i in node_ids)
+        if not self.node_ids:
+            raise ConfigurationError("metadata quorum needs at least one node")
+        self.write_need = int(write_need)
+        self.read_need = int(read_need)
+        for label, need in (("write_need", self.write_need), ("read_need", self.read_need)):
+            if not 1 <= need <= len(self.node_ids):
+                raise ConfigurationError(
+                    f"{label} must be in [1, {len(self.node_ids)}], got {need}"
+                )
+
+    @classmethod
+    def from_system(cls, node_ids, system: QuorumSystem) -> "MetadataQuorum":
+        """Derive count thresholds from a registry quorum system."""
+        ids = tuple(int(i) for i in node_ids)
+        full = set(range(len(ids)))
+
+        def need(kind: str) -> int:
+            predicate = system.as_level_thresholds(kind)
+            if (
+                predicate is not None
+                and len(predicate.sizes) == 1
+                and predicate.sizes[0] == len(ids)
+            ):
+                return int(predicate.thresholds[0])
+            finder = (
+                system.find_write_quorum if kind == "write" else system.find_read_quorum
+            )
+            quorum = finder(full)
+            if quorum is None:
+                raise ConfigurationError(
+                    f"metadata quorum system has no {kind} quorum even with "
+                    f"all {len(ids)} nodes alive"
+                )
+            return len(quorum)
+
+        return cls(ids, need("write"), need("read"))
+
+
+class BlockVerifier:
+    """Digest/version authority for one engine's blocks.
+
+    Owns the metadata key namespace, the ``metadata`` rounds, and the
+    detection counters. One verifier per engine (per shard, in sharded
+    systems); counters are therefore per-engine too.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        quorum: MetadataQuorum,
+        namespace: str = "stripe-0",
+    ) -> None:
+        self.cluster = cluster
+        self.quorum = quorum
+        self.namespace = str(namespace)
+        #: payload replies whose content hash contradicted the metadata
+        #: record (definite corruption — the version claim matched)
+        self.digest_mismatches = 0
+        #: payload replies whose version claim contradicted the metadata
+        #: record (stale or lying node; indistinguishable, both rejected)
+        self.version_mismatches = 0
+        #: metadata rounds that failed to assemble their quorum
+        self.metadata_failures = 0
+
+    # ------------------------------------------------------------------ #
+    # record layout
+    # ------------------------------------------------------------------ #
+
+    def meta_key(self, block: int):
+        return ("meta", self.namespace, int(block))
+
+    @staticmethod
+    def _record(digest: bytes) -> np.ndarray:
+        return np.frombuffer(digest, dtype=np.uint8)
+
+    # ------------------------------------------------------------------ #
+    # rounds
+    # ------------------------------------------------------------------ #
+
+    def bootstrap(self, block: int, payload: np.ndarray) -> None:
+        """Write the version-0 record during volume load (instant path)."""
+        record = self._record(block_digest(payload))
+        for node_id in self.quorum.node_ids:
+            self.cluster.rpc(node_id, "put_data", self.meta_key(block), record, 0)
+
+    def write_round(self, block: int, version: int, digest: bytes) -> Round:
+        """The commit round: store (version, digest) on a write quorum."""
+        record = self._record(digest)
+        requests = [
+            Request(
+                node_id,
+                "write_data",
+                (self.meta_key(block), record, int(version)),
+                catches=(NodeUnavailableError, StaleNodeError),
+            )
+            for node_id in self.quorum.node_ids
+        ]
+        return Round(
+            requests,
+            need=self.quorum.write_need,
+            send_all=True,
+            kind=METADATA_ROUND,
+        )
+
+    def read_round(self, block: int) -> Round:
+        """Fetch (version, digest) records from a read quorum."""
+        requests = [
+            Request(
+                node_id,
+                "read_data",
+                (self.meta_key(block),),
+                catches=(NodeUnavailableError, KeyError),
+            )
+            for node_id in self.quorum.node_ids
+        ]
+        return Round(requests, need=self.quorum.read_need, kind=METADATA_ROUND)
+
+    def resolve(self, outcome: RoundOutcome) -> tuple[int, bytes] | None:
+        """Newest (version, digest) over a metadata read outcome.
+
+        Returns None when the quorum was not assembled (the caller fails
+        the operation) — also counted in ``metadata_failures``.
+        """
+        if not outcome.satisfied or not outcome.accepted:
+            self.metadata_failures += 1
+            return None
+        best_version = -1
+        best_digest = b""
+        for response in outcome.accepted:
+            payload, version = response.value
+            if int(version) > best_version:
+                best_version = int(version)
+                best_digest = bytes(payload.tobytes())
+        return best_version, best_digest
+
+    # ------------------------------------------------------------------ #
+    # payload verification
+    # ------------------------------------------------------------------ #
+
+    def check(self, payload: np.ndarray, version: int, target: int, digest: bytes) -> bool:
+        """Verify one payload reply against the metadata record."""
+        if int(version) != int(target):
+            self.version_mismatches += 1
+            return False
+        if block_digest(payload) != digest:
+            self.digest_mismatches += 1
+            return False
+        return True
+
+    def check_decoded(self, payload: np.ndarray, digest: bytes) -> bool:
+        """Verify a decode-then-verify candidate block."""
+        if block_digest(payload) != digest:
+            self.digest_mismatches += 1
+            return False
+        return True
+
+    def payload_accept(self, target: int, digest: bytes):
+        """Accept predicate for ``read_data``-shaped replies.
+
+        A rejected-but-resolved response does not count toward ``need``,
+        which is exactly the graceful-degradation mechanism: both
+        coordinators widen the round to substitute replies and only fail
+        once the fan-out is exhausted.
+        """
+
+        def accept(response: Response) -> bool:
+            if not response.ok:
+                return False
+            payload, version = response.value
+            return self.check(payload, version, target, digest)
+
+        return accept
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "digest_mismatches": self.digest_mismatches,
+            "version_mismatches": self.version_mismatches,
+            "metadata_failures": self.metadata_failures,
+        }

@@ -13,6 +13,7 @@ from repro.api import (
     CodeSpec,
     FaultloadSpec,
     LatencySpec,
+    MetadataSpec,
     PlacementSpec,
     QuorumSpec,
     ScenarioSpec,
@@ -233,6 +234,55 @@ class TestValidation:
             FaultloadSpec(kind="churn", mtbf=0.0)
         with pytest.raises(ConfigurationError, match="duration"):
             FaultloadSpec(kind="partition", period=1.0, duration=2.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0, 0.0])
+    @pytest.mark.parametrize("field", ["mtbf", "mttr", "period"])
+    def test_faultload_rates_reject_nonfinite(self, field, bad):
+        # Validated for every kind, not just the one consuming the field:
+        # a NaN in a results artifact must fail at load, not at replay.
+        with pytest.raises(ConfigurationError, match=field):
+            FaultloadSpec(**{field: bad})
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -0.1, 1.1])
+    @pytest.mark.parametrize(
+        "field", ["byzantine_fraction", "corruption_rate"]
+    )
+    def test_faultload_fractions_reject_out_of_range(self, field, bad):
+        with pytest.raises(ConfigurationError, match=field):
+            FaultloadSpec(**{field: bad})
+
+    def test_faultload_duration_rejects_nonfinite(self):
+        for bad in (float("nan"), float("inf"), -1.0, 0.0):
+            with pytest.raises(ConfigurationError, match="duration"):
+                FaultloadSpec(duration=bad)
+
+    def test_byzantine_faultload_round_trip(self):
+        fl = FaultloadSpec(
+            kind="byzantine",
+            byzantine_fraction=0.25,
+            corruption_mode="mixed",
+            corruption_rate=0.5,
+        )
+        assert FaultloadSpec.from_dict(fl.to_dict()) == fl
+        with pytest.raises(ConfigurationError, match="corruption_mode"):
+            FaultloadSpec(kind="byzantine", corruption_mode="gaslight")
+
+    def test_metadata_spec_validation_and_round_trip(self):
+        meta = MetadataSpec(nodes=5, quorum="rowa")
+        assert MetadataSpec.from_dict(meta.to_dict()) == meta
+        with pytest.raises(ConfigurationError, match="nodes"):
+            MetadataSpec(nodes=0)
+        with pytest.raises(ConfigurationError, match="registry kind"):
+            MetadataSpec(quorum="")
+
+    def test_system_spec_metadata_round_trip(self):
+        spec = SystemSpec(metadata=MetadataSpec(nodes=3))
+        assert SystemSpec.from_dict(spec.to_dict()) == spec
+        assert SystemSpec.from_dict(spec.to_dict()).metadata.quorum == "majority"
+        # Pre-metadata artifacts (no "metadata" key) must keep loading.
+        payload = SystemSpec().to_dict()
+        payload.pop("metadata", None)
+        assert SystemSpec.from_dict(payload).metadata is None
 
     def test_latency_scenario_validation(self):
         with pytest.raises(ConfigurationError, match="clients"):

@@ -41,6 +41,7 @@ class TestPerfHarness:
             "optimizer_seed",
             "optimizer",
             "latency_sim",
+            "byzantine_overhead",
             "sharded_throughput",
         ):
             assert name in perf_doc["results"], name
@@ -49,6 +50,12 @@ class TestPerfHarness:
         entry = perf_doc["results"]["sharded_throughput"]
         assert entry["shards"] == TINY_SIZES["shard_count"]
         assert entry["ops_per_s"] > 0
+
+    def test_byzantine_overhead_entry(self, perf_doc):
+        entry = perf_doc["results"]["byzantine_overhead"]
+        assert entry["ops_per_s"] > 0
+        assert entry["baseline_seconds_per_call"] > 0
+        assert entry["overhead_ratio"] > 0
 
     def test_throughputs_positive(self, perf_doc):
         for name, entry in perf_doc["results"].items():
