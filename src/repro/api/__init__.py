@@ -69,6 +69,7 @@ from repro.api.spec import (
     ServiceTimeSpec,
     ShardingSpec,
     SystemSpec,
+    TransportSpec,
     WorkloadSpec,
 )
 
@@ -84,6 +85,7 @@ __all__ = [
     "FaultloadSpec",
     "MetadataSpec",
     "ScenarioSpec",
+    "TransportSpec",
     "SystemSpec",
     "QuorumEntry",
     "ProtocolEntry",

@@ -150,10 +150,18 @@ def _make_workload(spec: SystemSpec, num_blocks: int, rng) -> list:
 
 
 class ScenarioRunner:
-    """Execute the scenario one spec describes."""
+    """Execute the scenario one spec describes.
 
-    def __init__(self, spec: SystemSpec) -> None:
+    ``transports`` only matters to the ``wallclock`` kind: a
+    ``{node_id: transport}`` map pointing at an already-running service
+    fleet (e.g. ``repro serve``); the measured half then drives that
+    fleet — mirroring the initialized state over the wire first —
+    instead of spawning services in-process.
+    """
+
+    def __init__(self, spec: SystemSpec, *, transports=None) -> None:
         self.spec = spec
+        self.transports = transports
         self._streams: list = []
 
     # ------------------------------------------------------------------ #
@@ -176,6 +184,7 @@ class ScenarioRunner:
             "optimize": self._run_optimize,
             "latency": self._run_latency,
             "saturation": self._run_saturation,
+            "wallclock": self._run_wallclock,
         }
         data = runners[self.spec.scenario.kind]()
         return ScenarioResult(
@@ -646,6 +655,53 @@ class ScenarioRunner:
         if report is not None:
             data["byzantine"] = report
         return data
+
+    def _run_wallclock(self) -> dict:
+        """Predicted vs measured: the simulator and live services, one spec.
+
+        The prediction half is a plain ``latency`` run of the identical
+        spec (virtual seconds from the ``latency`` model); the measured
+        half drives the same seeded workload tape against real node
+        services through :func:`repro.services.wallclock.run_wallclock`
+        (wall seconds over the spec's ``transport``). The two columns
+        share *shape* — ordering, tail ratios — not units; see
+        docs/RUNTIME.md, *Wall-clock backend*.
+        """
+        # imported here: the services subsystem pulls in asyncio plumbing
+        # no simulated scenario needs, and it imports this module back
+        from repro.services.wallclock import run_wallclock
+
+        # the measured half drives the single-volume engine, so the
+        # prediction drops sharding/service to stay apples-to-apples
+        predicted_spec = self.spec.replace(
+            scenario=self.spec.scenario.replace(kind="latency"),
+            sharding=None,
+            service=None,
+        )
+        predicted = ScenarioRunner(predicted_spec).run()
+        measured = run_wallclock(self.spec, transports=self.transports)
+
+        def _percentiles(summary: dict) -> dict:
+            return {
+                op: {
+                    key: summary[f"{op}_latency"][key]
+                    for key in ("count", "p50", "p95", "p99")
+                }
+                for op in ("read", "write")
+            }
+
+        return {
+            "predicted": {
+                "summary": predicted.data["summary"],
+                "virtual_duration": predicted.data["virtual_duration"],
+                "trace_hash": predicted.data["trace_hash"],
+            },
+            "measured": measured,
+            "comparison": {
+                "predicted": _percentiles(predicted.data["summary"]),
+                "measured": _percentiles(measured["summary"]),
+            },
+        }
 
     def _sharded_closed_loop(
         self,

@@ -32,6 +32,7 @@ __all__ = [
     "MetadataSpec",
     "FaultloadSpec",
     "ScenarioSpec",
+    "TransportSpec",
     "SystemSpec",
 ]
 
@@ -457,6 +458,51 @@ class MetadataSpec(_SpecBase):
         )
 
 
+@dataclass(frozen=True)
+class TransportSpec(_SpecBase):
+    """How the ``wallclock`` scenario reaches its live node services.
+
+    ``kind``
+        ``inproc`` — asyncio queue pairs inside the driving process
+        (zero network latency, full wire-protocol round trip); ``tcp`` —
+        one ``asyncio.start_server`` per node on ``host``.
+    ``port_base``
+        ``0`` asks the OS for ephemeral ports (self-contained runs;
+        collision-free in CI); a non-zero base pins node *i* to
+        ``port_base + i`` — the layout ``repro serve`` announces and
+        ``repro wallclock --connect`` dials.
+    ``serialization``
+        ``json`` (always available) or ``msgpack`` (only if the package
+        is installed — checked at run time, not spec time).
+    """
+
+    kind: str = "inproc"
+    host: str = "127.0.0.1"
+    port_base: int = 0
+    serialization: str = "json"
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in ("inproc", "tcp"),
+            f"transport kind must be 'inproc' or 'tcp', got {self.kind!r}",
+        )
+        _require(
+            isinstance(self.host, str) and len(self.host) > 0,
+            f"host must be a non-empty string, got {self.host!r}",
+        )
+        _require(
+            isinstance(self.port_base, int)
+            and (self.port_base == 0 or 1024 <= self.port_base <= 65000),
+            f"port_base must be 0 (ephemeral) or in [1024, 65000], "
+            f"got {self.port_base!r}",
+        )
+        _require(
+            self.serialization in ("json", "msgpack"),
+            f"serialization must be 'json' or 'msgpack', "
+            f"got {self.serialization!r}",
+        )
+
+
 def _require_positive_finite(value: float, label: str) -> None:
     _require(
         isinstance(value, (int, float)) and math.isfinite(value) and value > 0,
@@ -575,7 +621,15 @@ class ScenarioSpec(_SpecBase):
         for every entry of ``client_counts`` (fresh cluster per point,
         same workload tape and faultload), reporting the ops/s-vs-clients
         curve with per-shard + aggregate percentiles, queue-wait
-        summaries and the knee of the curve.
+        summaries and the knee of the curve,
+    ``wallclock``
+        the measured counterpart of ``latency``: the same spec runs once
+        through the simulator (prediction) and once against live node
+        services (the system's ``transport`` section; in-process by
+        default, TCP for real sockets), reporting predicted and measured
+        p50/p95/p99 side by side. ``horizon`` acts as a hard wall-clock
+        guard in real seconds. Faultloads are simulation-only and
+        rejected here.
     """
 
     _TUPLES = ("ps", "protocols", "w_values", "client_counts")
@@ -609,6 +663,7 @@ class ScenarioSpec(_SpecBase):
             "optimize",
             "latency",
             "saturation",
+            "wallclock",
         )
         _require(
             self.kind in kinds,
@@ -663,6 +718,12 @@ class ScenarioSpec(_SpecBase):
                 all(0.0 < p < 1.0 for p in self.ps),
                 f"optimize needs every p strictly inside (0, 1), got {self.ps}",
             )
+        if self.kind == "wallclock":
+            _require(
+                self.faultload is None or self.faultload.kind == "none",
+                "wallclock scenarios cannot run a faultload "
+                "(faults are simulation-only)",
+            )
 
 
 # --------------------------------------------------------------------- #
@@ -692,6 +753,7 @@ class SystemSpec(_SpecBase):
         "sharding": ShardingSpec,
         "metadata": MetadataSpec,
         "scenario": ScenarioSpec,
+        "transport": TransportSpec,
     }
 
     protocol: str = "trap-erc"
@@ -705,6 +767,7 @@ class SystemSpec(_SpecBase):
     sharding: ShardingSpec | None = None
     metadata: MetadataSpec | None = None
     scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
+    transport: TransportSpec | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:

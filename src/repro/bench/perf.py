@@ -95,6 +95,13 @@ DEFAULT_SIZES = {
     "shard_block_length": 64,
     "shard_service": 0.0005,
     "shard_repeats": 2,
+    # wall-clock backend: real operations per real second through the
+    # AsyncCoordinator over the in-process transport (wire codec + event
+    # loop included, sockets excluded).
+    "wc_ops": 200,
+    "wc_clients": 4,
+    "wc_block_length": 64,
+    "wc_repeats": 2,
 }
 
 #: Tiny sizes for the tier-1-adjacent smoke target (< 1 s total).
@@ -133,6 +140,10 @@ TINY_SIZES = {
     "shard_block_length": 32,
     "shard_service": 0.0005,
     "shard_repeats": 1,
+    "wc_ops": 24,
+    "wc_clients": 2,
+    "wc_block_length": 32,
+    "wc_repeats": 1,
 }
 
 
@@ -466,6 +477,42 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         "shards": cfg["shard_count"],
         "clients": cfg["shard_clients"],
         "ops_per_s": shard_ops / t_shard,
+    }
+
+    # -- wall-clock backend (AsyncCoordinator over inproc services) ------ #
+    wc_ops = cfg["wc_ops"]
+
+    def wallclock_inproc() -> None:
+        from repro.api import (
+            ScenarioSpec,
+            SystemSpec,
+            TransportSpec,
+            WorkloadSpec,
+        )
+        from repro.services import run_wallclock
+
+        spec = SystemSpec.trapezoid(
+            9, 6, 2, 1, 1, 2,
+            workload=WorkloadSpec(
+                num_ops=wc_ops, block_length=cfg["wc_block_length"]
+            ),
+            transport=TransportSpec(kind="inproc"),
+            scenario=ScenarioSpec(
+                kind="wallclock",
+                clients=cfg["wc_clients"],
+                think_time=0.0,
+                horizon=300.0,
+            ),
+            seed=rng_seed,
+        )
+        run_wallclock(spec)
+
+    t_wc = _time_call(wallclock_inproc, cfg["wc_repeats"])
+    results["wallclock_inproc"] = {
+        "seconds_per_call": t_wc,
+        "ops": wc_ops,
+        "clients": cfg["wc_clients"],
+        "ops_per_s": wc_ops / t_wc,
     }
 
     speedups = {

@@ -19,6 +19,14 @@ Commands
 ``saturate``
     Sweep closed-loop client counts over the sharded runtime and print
     the ops/s saturation curve (and its knee).
+``serve``
+    Bring up a standalone TCP fleet of storage node services
+    (``repro.services``) and block until interrupted.
+``wallclock``
+    Run a ``wallclock`` SystemSpec: predicted (simulated) vs measured
+    (live services) latency side by side. ``--connect HOST:PORT``
+    targets an already-running ``repro serve`` fleet instead of
+    spawning services in-process.
 
 ``availability``, ``optimize`` and ``saturate`` accept ``--dump-config
 PATH``: they write the equivalent declarative
@@ -126,6 +134,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the equivalent SystemSpec JSON for `repro run`",
     )
+
+    srv = sub.add_parser(
+        "serve", help="run TCP storage node services until interrupted"
+    )
+    srv.add_argument("--nodes", type=int, default=9, help="number of node services")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port-base", type=int, default=9300,
+        help="node i listens on port-base + i",
+    )
+    srv.add_argument(
+        "--serialization", choices=("json", "msgpack"), default="json"
+    )
+    srv.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="stop after this many seconds (default: run until ctrl-C)",
+    )
+
+    wc = sub.add_parser(
+        "wallclock", help="predicted-vs-measured run against live services"
+    )
+    wc.add_argument("--config", required=True, help="SystemSpec JSON file")
+    wc.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="drive an already-running `repro serve` fleet at HOST:PORT "
+        "(PORT is the fleet's port base) instead of in-process services",
+    )
+    wc.add_argument("--out", default=None, help="results JSON path")
     return parser
 
 
@@ -298,6 +336,71 @@ def _cmd_saturate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.services import serve_forever
+
+    def announce(message: str) -> None:
+        print(f"{message} — ctrl-C to stop", flush=True)
+
+    serve_forever(
+        args.nodes,
+        host=args.host,
+        port_base=args.port_base,
+        serialization=args.serialization,
+        max_seconds=args.max_seconds,
+        announce=announce,
+    )
+    print("stopped", flush=True)
+    return 0
+
+
+def _cmd_wallclock(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.api import ScenarioRunner, ScenarioSpec, SystemSpec
+
+    spec = SystemSpec.from_json(Path(args.config).read_text())
+    scenario = spec.scenario or ScenarioSpec()
+    if scenario.kind != "wallclock":
+        spec = spec.replace(scenario=scenario.replace(kind="wallclock"))
+    transports = None
+    if args.connect:
+        from repro.services import connect_transports
+
+        host, _, port = args.connect.rpartition(":")
+        transports = connect_transports(
+            (spec.cluster.num_nodes if spec.cluster else spec.code.n),
+            host=host or "127.0.0.1",
+            port_base=int(port),
+            serialization=(spec.transport.serialization if spec.transport else "json"),
+        )
+    result = ScenarioRunner(spec, transports=transports).run()
+    data = result.data
+    measured = data["measured"]
+    print(
+        f"wallclock: protocol={result.protocol} "
+        f"transport={measured['transport']['kind']} "
+        f"remote={measured['remote']} clients={measured['clients']} "
+        f"ops={measured['ops_submitted']} "
+        f"throughput={measured['throughput']:.1f} ops/s"
+    )
+    print(f"{'op':>6s} {'':>9s} {'count':>6s} {'p50':>10s} {'p95':>10s} {'p99':>10s}")
+    for op in ("read", "write"):
+        for column in ("predicted", "measured"):
+            row = data["comparison"][column][op]
+            print(
+                f"{op:>6s} {column:>9s} {int(row['count']):6d} "
+                f"{row['p50']:10.6f} {row['p95']:10.6f} {row['p99']:10.6f}"
+            )
+    if args.out:
+        Path(args.out).write_text(result.to_json() + "\n")
+        print(f"Wrote: {args.out}")
+    else:
+        sys.stderr.write(json.dumps(data["comparison"]) + "\n")
+    return 0
+
+
 def _cmd_layout(args) -> int:
     from repro.quorum import TrapezoidQuorum, TrapezoidShape
 
@@ -319,6 +422,8 @@ _COMMANDS = {
     "layout": _cmd_layout,
     "perf": _cmd_perf,
     "saturate": _cmd_saturate,
+    "serve": _cmd_serve,
+    "wallclock": _cmd_wallclock,
 }
 
 

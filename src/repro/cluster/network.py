@@ -15,8 +15,8 @@ Latency accounting distinguishes two counters:
 * ``total_message_delay`` sums the sampled delay of *every* message —
   useful as a traffic-volume proxy, but **not** an operation latency: a
   quorum fan-out contacts its nodes in parallel, so summing the legs
-  overstates the wall time by the fan-out factor (this counter was
-  historically, and misleadingly, called ``virtual_latency``);
+  overstates the wall time by the fan-out factor (the deprecated
+  ``virtual_latency`` alias for it has been removed);
 * ``operation_latency`` accumulates the **max-of-parallel** delay per
   fan-out round, recorded by the round coordinators in
   :mod:`repro.runtime` via :meth:`Network.record_round` — this is the
@@ -32,7 +32,6 @@ to schedule real message deliveries on the discrete-event engine in
 
 from __future__ import annotations
 
-import warnings
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -200,27 +199,6 @@ class NetworkStats:
     timeouts: int = 0
     retries: int = 0
     by_kind: Counter = field(default_factory=Counter)
-
-    @property
-    def virtual_latency(self) -> float:
-        """Deprecated alias of ``total_message_delay`` (pre-runtime name).
-
-        Kept so older notebooks keep reading the same number; new code
-        should choose explicitly between ``total_message_delay`` and
-        ``operation_latency``. Every access warns (exactly once per
-        access — no ``__warningregistry__`` suppression games), no
-        internal code reads it anymore, and the alias is scheduled for
-        removal in the release after next (see docs/RUNTIME.md,
-        "Accounting").
-        """
-        warnings.warn(
-            "NetworkStats.virtual_latency is deprecated; read "
-            "total_message_delay (sum of message legs) or "
-            "operation_latency (max-of-parallel per round) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.total_message_delay
 
     def reset(self) -> None:
         self.messages = 0

@@ -10,7 +10,13 @@ rounds run:
   discrete-event engine, completes rounds via :class:`QuorumWait` (the
   q-th fastest healthy response — max-of-parallel latency), applies a
   per-operation :class:`RetryPolicy`, and lets failures, repairs and
-  partitions interleave mid-operation.
+  partitions interleave mid-operation;
+* :class:`AsyncCoordinator` runs the same plans in *wall-clock* time
+  against live node services (:mod:`repro.services`) over asyncio
+  transports — in-process queue pairs or real TCP — with the same
+  timeout/retry/fast-fail semantics, so simulator predictions can be
+  validated against measured latencies. Both non-instant backends share
+  the :class:`DrainSet` drain/shutdown discipline.
 
 For multi-volume scale-out, a :class:`ShardRouter` front end dispatches
 logical blocks to many per-shard :class:`EventCoordinator`\\ s sharing one
@@ -25,12 +31,14 @@ replies, widening rounds instead of failing them.
 See docs/RUNTIME.md for the session lifecycle and semantics.
 """
 
+from repro.runtime.async_coord import AsyncCoordinator
 from repro.runtime.coordinator import (
     Coordinator,
     InstantCoordinator,
     OpHandle,
     Plan,
 )
+from repro.runtime.drain import DrainSet
 from repro.runtime.event import (
     EventCoordinator,
     NodeServiceQueue,
@@ -61,6 +69,8 @@ __all__ = [
     "Coordinator",
     "InstantCoordinator",
     "EventCoordinator",
+    "AsyncCoordinator",
+    "DrainSet",
     "NodeServiceQueue",
     "make_service_queues",
     "Shard",

@@ -1,0 +1,288 @@
+"""Wall-clock coordinator: round plans on asyncio transports.
+
+:class:`AsyncCoordinator` is the third execution path for the engines'
+round plans. It mirrors the :class:`~repro.runtime.event.
+EventCoordinator` send/deliver/reply lifecycle in *real* time: each
+request becomes an RPC on a per-node transport (in-process queue pair
+or TCP — see :mod:`repro.services`), guarded by a per-attempt
+``asyncio.wait_for`` timeout and resent per :class:`~repro.runtime.
+rounds.RetryPolicy`; a transport that reports the node unreachable
+(refused connection, closed channel, a service replying
+``NodeUnavailableError``) fails the request immediately — the dead-node
+RST path. Round completion runs through the same
+:class:`~repro.runtime.rounds.QuorumWait` as the event path; stragglers
+keep running in the background and are awaited by :meth:`drain` or
+cancelled by :meth:`aclose` via the shared :class:`~repro.runtime.
+drain.DrainSet` discipline.
+
+Message accounting mirrors the simulated paths: 2 messages (request +
+reply) per resolved RPC, 1 for a send that times out unanswered.
+Rounds with a threshold and ``send_all=False`` issue *quorum-first*:
+the first ``need`` requests go out concurrently and further requests
+are issued only as failures resolve, so a deterministic zero-latency
+in-process run issues exactly the requests
+:class:`~repro.runtime.coordinator.InstantCoordinator` would (the
+equivalence property suite pins results *and* message counts).
+
+The class lives in :mod:`repro.runtime` but depends only on asyncio and
+the round primitives — transports are duck-typed (``await call(...)``,
+``await aclose()``), so the runtime layer never imports the services
+subsystem.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from collections import Counter
+from typing import Any, Callable
+
+from repro.errors import NodeUnavailableError, SimulationError
+from repro.runtime.coordinator import OpHandle, Plan
+from repro.runtime.drain import DrainSet
+from repro.runtime.rounds import (
+    QuorumWait,
+    Request,
+    Response,
+    RetryPolicy,
+    Round,
+    RoundOutcome,
+)
+
+__all__ = ["AsyncCoordinator"]
+
+
+class AsyncCoordinator:
+    """Runs round plans against live node services on an event loop.
+
+    ``transports`` maps node id → transport; it may be populated after
+    construction (the wall-clock harness builds the coordinator first,
+    starts services, then installs the transports). ``loop`` binds the
+    coordinator to an externally owned event loop; without one a private
+    loop is created on first synchronous :meth:`execute` and closed by
+    :meth:`close`.
+    """
+
+    mode = "async"
+
+    def __init__(
+        self,
+        transports: dict[int, Any] | None = None,
+        *,
+        policy: RetryPolicy | None = None,
+        loop: asyncio.AbstractEventLoop | None = None,
+    ) -> None:
+        self.transports: dict[int, Any] = dict(transports or {})
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.rounds_run = 0
+        self.ops_completed = 0
+        self.in_flight = 0
+        self.max_in_flight = 0
+        self.messages = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.round_messages: Counter = Counter()
+        self.outstanding = DrainSet()
+        self.closed = False
+        self._loop = loop
+        self._owns_loop = False
+
+    # ------------------------------------------------------------------ #
+    # synchronous bridge (engines call read_block/write_block directly)
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.new_event_loop()
+            self._owns_loop = True
+        return self._loop
+
+    def execute(self, plan: Plan) -> Any:
+        """Drive one plan to completion from synchronous code."""
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        else:
+            raise SimulationError(
+                "AsyncCoordinator.execute called from a running event loop; "
+                "await execute_plan(plan) instead"
+            )
+        return self._ensure_loop().run_until_complete(self.execute_plan(plan))
+
+    def submit(
+        self, plan: Plan, on_done: Callable[[Any], None] | None = None
+    ) -> OpHandle:
+        """Start one plan; async context interleaves, sync completes now."""
+        handle = OpHandle()
+
+        async def runner():
+            result = await self.execute_plan(plan)
+            handle.done = True
+            handle.result = result
+            if on_done is not None:
+                on_done(result)
+            return result
+
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            self._ensure_loop().run_until_complete(runner())
+        else:
+            task = loop.create_task(runner())
+            self.outstanding.add(task, task.cancel)
+            task.add_done_callback(self.outstanding.discard)
+        return handle
+
+    def close(self) -> None:
+        """Synchronous teardown: drain, close transports, release loop."""
+        loop = self._loop
+        if loop is None or loop.is_closed() or loop.is_running():
+            return
+        loop.run_until_complete(self.aclose())
+        if self._owns_loop:
+            loop.close()
+
+    # ------------------------------------------------------------------ #
+    # async core
+
+    async def execute_plan(self, plan: Plan) -> Any:
+        """Run one plan round by round; returns the plan's result."""
+        if self.closed:
+            raise SimulationError("AsyncCoordinator is closed")
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        self.in_flight += 1
+        self.max_in_flight = max(self.max_in_flight, self.in_flight)
+        outcome: RoundOutcome | None = None
+        try:
+            while True:
+                try:
+                    round_ = plan.send(outcome)  # first send(None) == next
+                except StopIteration as stop:
+                    result = stop.value
+                    break
+                outcome = await self.run_round(round_)
+        finally:
+            self.in_flight -= 1
+        self.ops_completed += 1
+        if hasattr(result, "latency"):
+            result.latency = loop.time() - started
+        return result
+
+    async def run_round(self, round_: Round) -> RoundOutcome:
+        """One fan-out round: issue, quorum-wait, widen on failures."""
+        self.rounds_run += 1
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        requests = round_.requests
+        wait = QuorumWait(round_)
+        if not requests:
+            return RoundOutcome(round=round_, satisfied=round_.need is None)
+
+        counted = 0
+
+        def count() -> None:
+            nonlocal counted
+            self.messages += 1
+            self.round_messages[round_.kind] += 1
+            if not wait.done:
+                counted += 1
+
+        lazy = round_.need is not None and not round_.send_all
+        next_ix = 0
+        live = 0
+        done_future = loop.create_future()
+
+        def issue_next() -> None:
+            nonlocal next_ix, live
+            request = requests[next_ix]
+            next_ix += 1
+            live += 1
+            task = loop.create_task(self._attempt(request, count))
+            self.outstanding.add(task, task.cancel)
+            task.add_done_callback(resolved)
+
+        def resolved(task: asyncio.Task) -> None:
+            nonlocal live
+            live -= 1
+            self.outstanding.discard(task)
+            if task.cancelled():
+                return
+            exc = task.exception()
+            if exc is not None:
+                if not done_future.done():
+                    done_future.set_exception(exc)
+                return
+            if wait.done:
+                return  # straggler: background traffic only
+            if wait.offer(task.result()):
+                if not done_future.done():
+                    done_future.set_result(None)
+                return
+            if lazy:
+                # widen exactly as the instant path would keep issuing
+                while (
+                    len(wait.accepted) + live < round_.need
+                    and next_ix < len(requests)
+                ):
+                    issue_next()
+
+        initial = len(requests) if not lazy else min(round_.need, len(requests))
+        while next_ix < initial:
+            issue_next()
+        await done_future
+        return RoundOutcome(
+            round=round_,
+            responses=list(wait.responses),
+            accepted=list(wait.accepted),
+            satisfied=wait.satisfied,
+            elapsed=loop.time() - started,
+            messages=counted,
+        )
+
+    async def _attempt(self, request: Request, count: Callable[[], None]) -> Response:
+        transport = self.transports.get(request.node_id)
+        if transport is None:
+            raise SimulationError(f"no transport for node {request.node_id}")
+        error: BaseException = NodeUnavailableError(request.node_id)
+        for number in range(self.policy.retries + 1):
+            if number > 0:
+                self.retries += 1
+            count()  # the request leaves
+            try:
+                value = await asyncio.wait_for(
+                    transport.call(request.method, request.args, request.kwargs),
+                    self.policy.timeout,
+                )
+            except asyncio.TimeoutError:
+                self.timeouts += 1
+                continue  # resend; exhausted attempts fall through below
+            except request.catches as exc:
+                count()  # the error reply (or refusal) arrives
+                return Response(request=request, ok=False, error=exc)
+            count()  # the reply arrives
+            return Response(request=request, ok=True, value=value)
+        return Response(request=request, ok=False, error=error)
+
+    # ------------------------------------------------------------------ #
+    # drain / shutdown
+
+    async def drain(self) -> int:
+        """Await every outstanding straggler task; returns how many."""
+        tasks = [t for t in self.outstanding.items() if isinstance(t, asyncio.Task)]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        return len(tasks)
+
+    async def aclose(self) -> None:
+        """Cancel outstanding work and close every transport."""
+        self.closed = True
+        tasks = [t for t in self.outstanding.items() if isinstance(t, asyncio.Task)]
+        self.outstanding.cancel_all()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for transport in self.transports.values():
+            closer = getattr(transport, "aclose", None)
+            if closer is not None:
+                with contextlib.suppress(Exception):
+                    await closer()

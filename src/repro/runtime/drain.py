@@ -1,0 +1,52 @@
+"""Shared drain/cancel registry for coordinator in-flight work.
+
+Both execution backends keep one :class:`DrainSet` of outstanding work:
+
+* :class:`~repro.runtime.event.EventCoordinator` registers in-flight
+  request *attempts* — cancelling one cancels its armed timeout
+  :class:`~repro.sim.event_sim.Timer` and marks the attempt resolved,
+  so a coordinator discarded mid-simulation (a saturation sweep point,
+  an aborted run) stops retaining dead sessions in the event heap;
+* :class:`~repro.runtime.async_coord.AsyncCoordinator` registers
+  ``asyncio.Task`` objects — cancelling one cancels the task.
+
+``shutdown()`` / ``aclose()`` on the coordinators call
+:meth:`cancel_all`; completed work unregisters itself via
+:meth:`discard`, so the set's size is always the live in-flight count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["DrainSet"]
+
+
+class DrainSet:
+    """Outstanding work items, each with a cancel callable."""
+
+    def __init__(self) -> None:
+        self._cancels: dict[Any, Callable[[], Any]] = {}
+
+    def add(self, item: Any, cancel: Callable[[], Any]) -> None:
+        self._cancels[item] = cancel
+
+    def discard(self, item: Any) -> None:
+        self._cancels.pop(item, None)
+
+    def items(self) -> list:
+        return list(self._cancels)
+
+    def __len__(self) -> int:
+        return len(self._cancels)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._cancels
+
+    def cancel_all(self) -> int:
+        """Cancel everything outstanding; returns how many were live."""
+        entries = list(self._cancels.items())
+        self._cancels.clear()
+        for _, cancel in entries:
+            cancel()
+        return len(entries)

@@ -66,6 +66,7 @@ from repro.cluster.node import QueueStats, ServiceTimeModel
 from repro.cluster.rng import make_rng, spawn_rngs
 from repro.errors import NodeUnavailableError, SimulationError
 from repro.runtime.coordinator import OpHandle, Plan
+from repro.runtime.drain import DrainSet
 from repro.runtime.rounds import (
     QuorumWait,
     Request,
@@ -245,6 +246,9 @@ class EventCoordinator:
         self.ops_completed = 0
         self.rounds_run = 0
         self.round_messages: Counter = Counter()
+        #: in-flight attempts with live timeout timers (shared drain
+        #: discipline with the async backend — see runtime/drain.py)
+        self.outstanding = DrainSet()
         self._trace: list[str] | None = [] if record_trace else None
         self._draining = False
 
@@ -297,6 +301,19 @@ class EventCoordinator:
     @property
     def trace_length(self) -> int:
         return len(self._trace) if self._trace is not None else 0
+
+    def shutdown(self) -> int:
+        """Cancel every outstanding attempt's timeout timer.
+
+        Call when a coordinator is discarded mid-simulation (a finished
+        sweep point, an aborted run): pending attempts are marked
+        resolved and their armed :class:`~repro.cluster.events.Timer`
+        handles cancelled, so the shared simulator's heap stops
+        retaining dead sessions. Returns how many attempts were live.
+        The coordinator stays usable — shutdown drains, it does not
+        poison.
+        """
+        return self.outstanding.cancel_all()
 
     # ------------------------------------------------------------------ #
     # plan driving
@@ -371,6 +388,7 @@ class EventCoordinator:
         attempt.timer = self.sim.schedule_in(
             self.policy.timeout, lambda: self._timeout(state, attempt)
         )
+        self.outstanding.add(attempt, lambda: self._discard_attempt(attempt))
         if net.is_partitioned(request.node_id):
             # Silent drop: only the timeout resolves this attempt.
             net.stats.messages_dropped += 1
@@ -443,10 +461,17 @@ class EventCoordinator:
         self._count_message(state)
         self._resolve(state, attempt, response)
 
+    def _discard_attempt(self, attempt: _Attempt) -> None:
+        """Drain-path cancel: kill the timer, deaden the attempt."""
+        attempt.resolved = True
+        if attempt.timer is not None:
+            attempt.timer.cancel()
+
     def _timeout(self, state: _RoundState, attempt: _Attempt) -> None:
         if attempt.resolved:
             return
         attempt.resolved = True  # the original attempt is dead to the op
+        self.outstanding.discard(attempt)
         if state.wait.done:
             # The round completed without this attempt: drop it quietly.
             # Straggler *responses* keep flowing (they are real traffic),
@@ -474,6 +499,7 @@ class EventCoordinator:
         cancel_timer: bool = True,
     ) -> None:
         attempt.resolved = True
+        self.outstanding.discard(attempt)
         if cancel_timer and attempt.timer is not None:
             attempt.timer.cancel()
         if state.wait.done:

@@ -1,0 +1,123 @@
+"""Storage-node RPC service: real block state behind the wire protocol.
+
+A :class:`StorageNodeService` owns one :class:`~repro.cluster.node.
+StorageNode` — the *same* versioned data/parity stores the simulators
+use — and exposes its RPC surface (the eight methods the protocol
+engines issue, plus ``ping``) through :mod:`repro.services.wire`
+messages. The service is transport-agnostic: the in-process transport
+hands it decoded frames directly, ``asyncio.start_server`` plugs
+:meth:`serve_connection` in as the TCP connection callback.
+
+Failure semantics mirror the simulated paths: a dead node's
+``NodeUnavailableError`` (and any other :class:`~repro.errors.
+ReproError` or ``KeyError`` the node raises) travels back as an error
+reply the client rebuilds and the round plans catch; anything else is a
+server-side programming error and is surfaced as an uncatchable
+:class:`~repro.services.wire.RemoteCallError` on the client. Nodes armed
+with a :class:`~repro.cluster.node.ByzantineBehavior` corrupt read-type
+replies exactly like ``Network.rpc`` does.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.cluster.node import StorageNode
+from repro.errors import ReproError
+
+from .wire import Codec, WireError, encode_error, frame, read_frame
+
+__all__ = ["RPC_METHODS", "StorageNodeService"]
+
+#: the node methods a service will dispatch — the engines' RPC surface
+RPC_METHODS = frozenset(
+    {
+        "put_data",
+        "write_data",
+        "read_data",
+        "data_version",
+        "put_parity",
+        "apply_delta",
+        "read_parity",
+        "parity_versions",
+    }
+)
+
+
+class StorageNodeService:
+    """One storage node's RPC surface behind the wire protocol."""
+
+    def __init__(self, node: StorageNode, serialization: str = "json") -> None:
+        self.node = node
+        self.codec = Codec(serialization)
+        #: replies sent, split by outcome
+        self.served = 0
+        self.faults = 0
+
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    # ------------------------------------------------------------------ #
+
+    def dispatch(self, message: dict) -> dict:
+        """Execute one decoded request message; returns the reply dict."""
+        msg_id = message.get("id") if isinstance(message, dict) else None
+        method = message.get("method") if isinstance(message, dict) else None
+        if method == "ping":
+            self.served += 1
+            return {"id": msg_id, "ok": True, "value": self.node.node_id}
+        if method not in RPC_METHODS:
+            self.faults += 1
+            return {
+                "id": msg_id,
+                "ok": False,
+                "error": {
+                    "type": "ConfigurationError",
+                    "message": f"unknown RPC method {method!r}",
+                },
+            }
+        node = self.node
+        args = message.get("args") or []
+        kwargs = message.get("kwargs") or {}
+        try:
+            value = getattr(node, method)(*args, **kwargs)
+            if node.byzantine is not None:
+                value = node.byzantine.apply(node, method, value)
+        except (ReproError, KeyError) as exc:
+            self.faults += 1
+            return {"id": msg_id, "ok": False, "error": encode_error(exc)}
+        except Exception as exc:  # server-side bug: loud, uncatchable reply
+            self.faults += 1
+            return {"id": msg_id, "ok": False, "error": encode_error(exc)}
+        self.served += 1
+        return {"id": msg_id, "ok": True, "value": value}
+
+    def handle_frame(self, body: bytes) -> bytes:
+        """Decode → dispatch → encode one frame body."""
+        try:
+            message = self.codec.decode(body)
+        except WireError as exc:
+            self.faults += 1
+            return self.codec.encode(
+                {"id": None, "ok": False, "error": encode_error(exc)}
+            )
+        return self.codec.encode(self.dispatch(message))
+
+    # ------------------------------------------------------------------ #
+
+    async def serve_connection(self, reader, writer) -> None:
+        """``asyncio.start_server`` callback: frame loop for one client."""
+        try:
+            while True:
+                body = await read_frame(reader)
+                if body is None:
+                    break
+                writer.write(frame(self.handle_frame(body)))
+                await writer.drain()
+        except (ConnectionError, WireError, OSError):
+            pass  # client vanished or sent garbage: drop the connection
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()

@@ -1,0 +1,211 @@
+"""Client transports: in-process queue pairs and real TCP.
+
+A transport is one client's channel to one node service; the
+:class:`~repro.runtime.async_coord.AsyncCoordinator` holds one per node
+and duck-types against ``await call(method, args, kwargs)`` /
+``await aclose()``. Both transports speak the full wire protocol —
+every call is encoded, framed and decoded even in-process, so the
+zero-latency path exercises exactly the bytes the TCP path ships.
+
+Unreachability is normalized to :class:`~repro.errors.
+NodeUnavailableError`: a closed transport, a refused TCP connection or
+a connection lost mid-call all raise it, mirroring the dead-node RST
+fast-fail of the simulated paths.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+
+from repro.errors import NodeUnavailableError
+
+from .wire import Codec, WireError, decode_error, frame, read_frame
+
+__all__ = ["InprocTransport", "TcpTransport", "connect_transports"]
+
+
+class _TransportBase:
+    """Shared bookkeeping: message ids, reply finishing, call counter."""
+
+    def __init__(self, node_id: int, serialization: str) -> None:
+        self.node_id = node_id
+        self.codec = Codec(serialization)
+        self.calls = 0
+        self.closed = False
+        self._ids = itertools.count()
+
+    def _request(self, method: str, args, kwargs) -> dict:
+        return {
+            "id": next(self._ids),
+            "method": method,
+            "args": list(args),
+            "kwargs": dict(kwargs or {}),
+        }
+
+    def _finish(self, reply):
+        if not isinstance(reply, dict) or "ok" not in reply:
+            raise WireError(f"malformed reply: {reply!r}")
+        if reply["ok"]:
+            return reply.get("value")
+        raise decode_error(reply.get("error") or {})
+
+    async def call(self, method: str, args=(), kwargs=None):
+        """Issue one RPC; returns the decoded value or raises the error."""
+        if self.closed:
+            raise NodeUnavailableError(self.node_id)
+        self.calls += 1
+        return await self._call(self._request(method, args, kwargs))
+
+
+class InprocTransport(_TransportBase):
+    """Zero-latency transport over an in-process ``asyncio.Queue`` pair.
+
+    One lazily-started worker task drains the queue FIFO, so requests to
+    one node resolve in issue order — the deterministic ordering the
+    instant-path equivalence suite relies on. A call abandoned by a
+    client timeout is still executed by the worker (at-least-once, like
+    an event-path delivery after the sender gave up); the node's version
+    guards make that safe.
+    """
+
+    def __init__(self, service, serialization: str | None = None) -> None:
+        super().__init__(
+            service.node_id, serialization or service.codec.serialization
+        )
+        self.service = service
+        self._queue: asyncio.Queue | None = None
+        self._worker: asyncio.Task | None = None
+
+    async def _call(self, message: dict):
+        loop = asyncio.get_running_loop()
+        if self._queue is None:
+            self._queue = asyncio.Queue()
+        if self._worker is None or self._worker.done():
+            self._worker = loop.create_task(self._run())
+        future = loop.create_future()
+        self._queue.put_nowait((self.codec.encode(message), future))
+        reply_body = await future
+        return self._finish(self.codec.decode(reply_body))
+
+    async def _run(self) -> None:
+        while True:
+            body, future = await self._queue.get()
+            reply = self.service.handle_frame(body)
+            if not future.done():
+                future.set_result(reply)
+
+    async def aclose(self) -> None:
+        self.closed = True
+        worker, self._worker = self._worker, None
+        if worker is not None:
+            worker.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await worker
+
+
+class TcpTransport(_TransportBase):
+    """One multiplexed TCP connection to a node service.
+
+    Requests carry ids; a reader task resolves pending futures as framed
+    replies arrive, so concurrent calls share the connection. The first
+    call connects; a refused connection or a connection lost mid-call
+    fails with :class:`NodeUnavailableError` (the RST path) and the next
+    call reconnects.
+    """
+
+    def __init__(
+        self, node_id: int, host: str, port: int, serialization: str = "json"
+    ) -> None:
+        super().__init__(node_id, serialization)
+        self.host = host
+        self.port = port
+        self.refusals = 0
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._conn_lock: asyncio.Lock | None = None
+
+    async def _call(self, message: dict):
+        loop = asyncio.get_running_loop()
+        if self._conn_lock is None:
+            self._conn_lock = asyncio.Lock()
+        future = loop.create_future()
+        msg_id = message["id"]
+        async with self._conn_lock:
+            if self.closed:
+                raise NodeUnavailableError(self.node_id)
+            if self._writer is None:
+                await self._connect(loop)
+            self._pending[msg_id] = future
+            try:
+                self._writer.write(frame(self.codec.encode(message)))
+                await self._writer.drain()
+            except (ConnectionError, OSError) as exc:
+                self._pending.pop(msg_id, None)
+                self._drop_connection()
+                self.refusals += 1
+                raise NodeUnavailableError(self.node_id) from exc
+        try:
+            reply = await future
+        finally:
+            self._pending.pop(msg_id, None)
+        return self._finish(reply)
+
+    async def _connect(self, loop) -> None:
+        try:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+        except (ConnectionError, OSError) as exc:
+            self.refusals += 1
+            raise NodeUnavailableError(self.node_id) from exc
+        self._writer = writer
+        self._reader_task = loop.create_task(self._read_loop(reader))
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                body = await read_frame(reader)
+                if body is None:
+                    break
+                reply = self.codec.decode(body)
+                if not isinstance(reply, dict):
+                    continue
+                future = self._pending.get(reply.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (ConnectionError, WireError, OSError):
+            pass
+        finally:
+            self._drop_connection()
+
+    def _drop_connection(self) -> None:
+        writer, self._writer = self._writer, None
+        if writer is not None:
+            writer.close()
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.set_exception(NodeUnavailableError(self.node_id))
+        self._pending.clear()
+
+    async def aclose(self) -> None:
+        self.closed = True
+        task, self._reader_task = self._reader_task, None
+        self._drop_connection()
+        if task is not None:
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+
+
+def connect_transports(
+    num_nodes: int,
+    host: str = "127.0.0.1",
+    port_base: int = 9300,
+    serialization: str = "json",
+) -> dict[int, TcpTransport]:
+    """Transports to a running ``repro serve`` fleet (port_base + id)."""
+    return {
+        node_id: TcpTransport(node_id, host, port_base + node_id, serialization)
+        for node_id in range(num_nodes)
+    }

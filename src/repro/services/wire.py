@@ -1,0 +1,225 @@
+"""Length-prefixed wire protocol for storage-node RPCs.
+
+Every message on a transport — in-process queue pair or TCP stream — is
+one *frame*: a 4-byte big-endian length followed by a serialized body.
+Bodies are dicts (``{"id", "method", "args", "kwargs"}`` requests,
+``{"id", "ok", "value"}`` / ``{"id", "ok": False, "error"}`` replies)
+reduced to a JSON-compatible tree first, so both serializations share
+one reduction:
+
+* tuples become ``{"__t__": [...]}`` — storage keys are tuples like
+  ``("erc-data", stripe_id, i)`` and must survive the round trip intact;
+* ``numpy`` arrays become ``{"__nd__": [dtype, shape, base64]}``;
+* ``bytes`` become ``{"__b__": base64}``;
+* numpy scalars collapse to plain ints/floats.
+
+``json`` is the default serialization and always available; ``msgpack``
+is accepted only when the package is importable (it is an optional
+accelerator, never a hard dependency).
+
+Error replies carry ``{"type", "message", ...}``; :func:`decode_error`
+rebuilds the matching :mod:`repro.errors` class on the client so round
+plans catch remote failures exactly like local ones (a remote
+``NodeUnavailableError`` *is* the dead-node fast-fail path). Unknown
+types surface as :class:`RemoteCallError`, which no plan catches — a
+server-side programming error stays loud.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import struct
+
+import numpy as np
+
+from repro import errors as _errors
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "MAX_FRAME",
+    "SERIALIZATIONS",
+    "Codec",
+    "RemoteCallError",
+    "WireError",
+    "decode_error",
+    "encode_error",
+    "frame",
+    "read_frame",
+]
+
+#: hard cap on one frame body (a stripe block is a few KiB; 64 MiB is
+#: far beyond any legitimate message and bounds a corrupted length word)
+MAX_FRAME = 64 * 1024 * 1024
+
+SERIALIZATIONS = ("json", "msgpack")
+
+_LEN = struct.Struct(">I")
+
+_TUPLE = "__t__"
+_BYTES = "__b__"
+_NDARRAY = "__nd__"
+_MARKERS = frozenset((_TUPLE, _BYTES, _NDARRAY))
+
+
+class WireError(ReproError):
+    """Malformed frame or undecodable message on the wire."""
+
+
+class RemoteCallError(ReproError):
+    """A service replied with an error this client cannot rebuild."""
+
+
+# --------------------------------------------------------------------- #
+# value reduction
+
+
+def _pack(obj):
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        return {
+            _NDARRAY: [
+                data.dtype.str,
+                list(data.shape),
+                base64.b64encode(data.tobytes()).decode("ascii"),
+            ]
+        }
+    if isinstance(obj, (bytes, bytearray)):
+        return {_BYTES: base64.b64encode(bytes(obj)).decode("ascii")}
+    if isinstance(obj, tuple):
+        return {_TUPLE: [_pack(item) for item in obj]}
+    if isinstance(obj, list):
+        return [_pack(item) for item in obj]
+    if isinstance(obj, dict):
+        packed = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise WireError(
+                    f"mapping key {key!r} is not wire-encodable (string keys only)"
+                )
+            if key in _MARKERS:
+                raise WireError(f"mapping key {key!r} collides with a wire marker")
+            packed[key] = _pack(value)
+        return packed
+    raise WireError(f"{type(obj).__name__} value is not wire-encodable")
+
+
+def _unpack(obj):
+    if isinstance(obj, list):
+        return [_unpack(item) for item in obj]
+    if isinstance(obj, dict):
+        if _NDARRAY in obj:
+            dtype, shape, blob = obj[_NDARRAY]
+            array = np.frombuffer(base64.b64decode(blob), dtype=np.dtype(dtype))
+            return array.reshape([int(dim) for dim in shape]).copy()
+        if _BYTES in obj:
+            return base64.b64decode(obj[_BYTES])
+        if _TUPLE in obj:
+            return tuple(_unpack(item) for item in obj[_TUPLE])
+        return {key: _unpack(value) for key, value in obj.items()}
+    return obj
+
+
+# --------------------------------------------------------------------- #
+# serialization
+
+
+def _load_msgpack():
+    try:
+        import msgpack  # an optional accelerator, never a dependency
+    except ImportError as exc:
+        raise ConfigurationError(
+            "serialization 'msgpack' requested but the msgpack package "
+            "is not installed; use serialization='json'"
+        ) from exc
+    return msgpack
+
+
+class Codec:
+    """Encode/decode wire message bodies for one serialization format."""
+
+    def __init__(self, serialization: str = "json") -> None:
+        if serialization not in SERIALIZATIONS:
+            raise ConfigurationError(
+                f"serialization must be one of {SERIALIZATIONS}, got {serialization!r}"
+            )
+        self.serialization = serialization
+        self._msgpack = _load_msgpack() if serialization == "msgpack" else None
+
+    def encode(self, message: dict) -> bytes:
+        packed = _pack(message)
+        if self._msgpack is not None:
+            return self._msgpack.packb(packed, use_bin_type=True)
+        return json.dumps(packed, separators=(",", ":")).encode("utf-8")
+
+    def decode(self, body: bytes):
+        try:
+            if self._msgpack is not None:
+                raw = self._msgpack.unpackb(body, raw=False)
+            else:
+                raw = json.loads(body.decode("utf-8"))
+        except ValueError as exc:
+            raise WireError(f"undecodable frame body: {exc}") from exc
+        return _unpack(raw)
+
+
+# --------------------------------------------------------------------- #
+# framing
+
+
+def frame(body: bytes) -> bytes:
+    """Prefix one encoded body with its 4-byte big-endian length."""
+    if len(body) > MAX_FRAME:
+        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return _LEN.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one frame body; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireError("connection closed mid-frame") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise WireError(f"frame of {length} bytes exceeds MAX_FRAME")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise WireError("connection closed mid-frame") from exc
+
+
+# --------------------------------------------------------------------- #
+# error marshalling
+
+
+def encode_error(exc: BaseException) -> dict:
+    """Reduce an exception to its wire form (type name + message)."""
+    payload = {"type": type(exc).__name__, "message": str(exc)}
+    node_id = getattr(exc, "node_id", None)
+    if node_id is not None:
+        payload["node_id"] = int(node_id)
+    return payload
+
+
+def decode_error(payload: dict) -> Exception:
+    """Rebuild a client-side exception from an error reply."""
+    kind = payload.get("type", "Exception")
+    message = payload.get("message", "")
+    if kind == "NodeUnavailableError":
+        return _errors.NodeUnavailableError(int(payload.get("node_id", -1)))
+    if kind == "KeyError":
+        return KeyError(message)
+    cls = getattr(_errors, kind, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls(message)
+    return RemoteCallError(f"{kind}: {message}")

@@ -444,6 +444,9 @@ class ClosedLoopSimulation:
         for _ in range(config.clients):
             self.sim.schedule_at(self.sim.now, self._next_op)
         self.sim.run()
+        # Drain discipline: a fully-run queue leaves nothing outstanding,
+        # but an aborted/partial run must not retain dead sessions.
+        self.coordinator.shutdown()
 
         stats = self.cluster.network.stats
         self.tally.messages = stats.messages
@@ -600,6 +603,8 @@ class ShardedClosedLoopSimulation:
         for _ in range(config.clients):
             self.sim.schedule_at(self.sim.now, self._next_op)
         self.sim.run()
+        for shard in self.router.shards:
+            shard.coordinator.shutdown()
 
         for shard_tally in self.shard_tallies:
             self.tally.merge(shard_tally)

@@ -43,12 +43,19 @@ class TestPerfHarness:
             "latency_sim",
             "byzantine_overhead",
             "sharded_throughput",
+            "wallclock_inproc",
         ):
             assert name in perf_doc["results"], name
 
     def test_sharded_throughput_entry(self, perf_doc):
         entry = perf_doc["results"]["sharded_throughput"]
         assert entry["shards"] == TINY_SIZES["shard_count"]
+        assert entry["ops_per_s"] > 0
+
+    def test_wallclock_inproc_entry(self, perf_doc):
+        entry = perf_doc["results"]["wallclock_inproc"]
+        assert entry["ops"] == TINY_SIZES["wc_ops"]
+        assert entry["clients"] == TINY_SIZES["wc_clients"]
         assert entry["ops_per_s"] > 0
 
     def test_byzantine_overhead_entry(self, perf_doc):

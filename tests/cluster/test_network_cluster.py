@@ -5,8 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-import warnings
-
 from repro.cluster import (
     BernoulliSnapshot,
     Cluster,
@@ -68,24 +66,15 @@ class TestNetwork:
         # Sum over messages — a traffic proxy, not an operation latency.
         assert net.stats.total_message_delay == pytest.approx(0.004)
 
-    def test_virtual_latency_alias_warns_once_per_access(self):
-        # The pre-runtime name survives as a deprecated read-only alias,
-        # scheduled for removal (docs/RUNTIME.md, "Accounting"). Each
-        # access must emit exactly one DeprecationWarning — no
-        # once-per-module suppression hiding later reads.
+    def test_virtual_latency_alias_removed(self):
+        # The deprecated pre-runtime alias for ``total_message_delay``
+        # completed its removal cycle (docs/RUNTIME.md, "Accounting").
         net = Network(latency=FixedLatency(0.001))
         cluster = Cluster(2, network=net)
         cluster.rpc(0, "data_version", "k")
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            value = net.stats.virtual_latency
-            value2 = net.stats.virtual_latency
-        assert value == value2 == net.stats.total_message_delay
-        deprecations = [
-            w for w in caught if issubclass(w.category, DeprecationWarning)
-        ]
-        assert len(deprecations) == 2  # one per access
-        assert "total_message_delay" in str(deprecations[0].message)
+        assert not hasattr(net.stats, "virtual_latency")
+        with pytest.raises(AttributeError):
+            net.stats.virtual_latency
 
     def test_round_latency_is_max_of_parallel(self):
         net = Network(latency=FixedLatency(0.001))

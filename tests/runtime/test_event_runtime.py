@@ -214,3 +214,60 @@ class TestDeterminism:
 
     def test_different_schedule_different_trace(self):
         assert self._trace() != self._trace(fail_at=0.0005)
+
+
+class TestShutdownHygiene:
+    """Discarding a coordinator mid-simulation must not leak sessions."""
+
+    def test_shutdown_cancels_outstanding_timers(self):
+        cluster, sim, coordinator = make_world(timeout=0.05)
+        cluster.network.partition(range(len(cluster)))  # all silent
+        handle = coordinator.submit(
+            (lambda: (yield version_round(cluster, need=5)))()
+        )
+        # every attempt sent, dropped, and now waiting on its timer
+        assert len(coordinator.outstanding) == len(cluster)
+        cancelled = coordinator.shutdown()
+        assert cancelled == len(cluster)
+        assert len(coordinator.outstanding) == 0
+        # the heap holds only dead timers: nothing fires, time never moves
+        processed = sim.processed
+        sim.run()
+        assert sim.processed == processed
+        assert not handle.done  # the abandoned operation stays abandoned
+
+    def test_shutdown_after_clean_run_is_noop(self):
+        cluster, sim, coordinator = make_world()
+        outcome = run_plan(coordinator, version_round(cluster))
+        assert outcome.satisfied
+        assert coordinator.shutdown() == 0
+
+    def test_coordinator_stays_usable_after_shutdown(self):
+        cluster, sim, coordinator = make_world(timeout=0.05)
+        cluster.network.partition([0])
+        coordinator.submit(
+            (lambda: (yield version_round(cluster, need=5)))()
+        )
+        coordinator.shutdown()
+        cluster.network.heal()
+        # shutdown drains, it does not poison: a fresh plan completes
+        outcome = run_plan(coordinator, version_round(cluster, need=3))
+        assert outcome.satisfied
+
+    def test_closed_loop_sim_shuts_coordinator_down(self):
+        # the trace-sim driver calls shutdown() after run(): no attempt
+        # may survive with a live timer once a simulation finishes
+        from repro.api import ScenarioRunner, SystemSpec
+
+        spec = SystemSpec.from_dict(
+            {
+                "protocol": "trap-erc",
+                "code": {"n": 9, "k": 6},
+                "quorum": {"kind": "trapezoid", "a": 2, "b": 1, "h": 1, "w": 2},
+                "workload": {"num_ops": 30, "block_length": 16},
+                "scenario": {"kind": "latency", "clients": 2, "horizon": 60.0},
+                "seed": 3,
+            }
+        )
+        result = ScenarioRunner(spec).run()
+        assert result.data["summary"]["read_latency"]["count"] > 0

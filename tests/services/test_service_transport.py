@@ -1,0 +1,273 @@
+"""Node services and the two client transports, driven directly."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import ByzantineBehavior, StorageNode
+from repro.cluster.rng import make_rng
+from repro.errors import ConfigurationError, NodeUnavailableError
+from repro.services import (
+    RPC_METHODS,
+    InprocTransport,
+    ServiceGroup,
+    StorageNodeService,
+    TcpTransport,
+    connect_transports,
+    mirror_state,
+)
+
+
+def run(coro):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        pending = asyncio.all_tasks(loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        loop.close()
+
+
+def payload(seed: int = 0) -> np.ndarray:
+    return make_rng(seed).integers(0, 256, 16, dtype=np.int64).astype(np.uint8)
+
+
+class TestServiceDispatch:
+    def test_ping_returns_node_id(self):
+        service = StorageNodeService(StorageNode(3))
+        reply = service.dispatch({"id": 1, "method": "ping"})
+        assert reply == {"id": 1, "ok": True, "value": 3}
+
+    def test_versioned_write_read_cycle(self):
+        service = StorageNodeService(StorageNode(0))
+        value = payload()
+        ok = service.dispatch(
+            {"id": 1, "method": "write_data", "args": ["k", value, 1]}
+        )
+        assert ok["ok"]
+        back = service.dispatch({"id": 2, "method": "read_data", "args": ["k"]})
+        got, version = back["value"]
+        assert np.array_equal(got, value) and version == 1
+
+    def test_unknown_method_is_configuration_error_reply(self):
+        service = StorageNodeService(StorageNode(0))
+        reply = service.dispatch({"id": 1, "method": "rm_rf"})
+        assert not reply["ok"]
+        assert reply["error"]["type"] == "ConfigurationError"
+        assert service.faults == 1
+
+    def test_internal_methods_not_dispatchable(self):
+        assert "fail" not in RPC_METHODS
+        assert "recover" not in RPC_METHODS
+        service = StorageNodeService(StorageNode(0))
+        assert not service.dispatch({"id": 1, "method": "fail"})["ok"]
+
+    def test_dead_node_replies_node_unavailable(self):
+        node = StorageNode(5)
+        node.fail()
+        service = StorageNodeService(node)
+        reply = service.dispatch({"id": 1, "method": "data_version", "args": ["k"]})
+        assert not reply["ok"]
+        assert reply["error"]["type"] == "NodeUnavailableError"
+        assert reply["error"]["node_id"] == 5
+
+    def test_byzantine_node_corrupts_read_replies(self):
+        node = StorageNode(0)
+        node.put_data("k", payload(), 1)
+        node.byzantine = ByzantineBehavior(
+            mode="payload", rate=1.0, rng=make_rng(3)
+        )
+        service = StorageNodeService(node)
+        reply = service.dispatch({"id": 1, "method": "read_data", "args": ["k"]})
+        got, version = reply["value"]
+        assert reply["ok"] and version == 1
+        assert not np.array_equal(got, payload())  # the lie, as Network.rpc
+
+    def test_malformed_frame_becomes_error_reply(self):
+        service = StorageNodeService(StorageNode(0))
+        reply = service.codec.decode(service.handle_frame(b"\xffgarbage"))
+        assert not reply["ok"]
+
+
+class TestInprocTransport:
+    def test_full_wire_round_trip(self):
+        service = StorageNodeService(StorageNode(0))
+        transport = InprocTransport(service)
+
+        async def go():
+            await transport.call("write_data", ("k", payload(), 1))
+            value, version = await transport.call("read_data", ("k",))
+            await transport.aclose()
+            return value, version
+
+        value, version = run(go())
+        assert np.array_equal(value, payload()) and version == 1
+        assert transport.calls == 2
+
+    def test_fifo_resolution_order(self):
+        service = StorageNodeService(StorageNode(0))
+        transport = InprocTransport(service)
+
+        async def go():
+            tasks = [
+                asyncio.ensure_future(transport.call("ping"))
+                for _ in range(4)
+            ]
+            order = []
+            for ix, task in enumerate(tasks):
+                task.add_done_callback(lambda _t, ix=ix: order.append(ix))
+            await asyncio.gather(*tasks)
+            await transport.aclose()
+            return order
+
+        assert run(go()) == [0, 1, 2, 3]
+
+    def test_error_replies_raise_on_the_client(self):
+        node = StorageNode(2)
+        node.fail()
+        transport = InprocTransport(StorageNodeService(node))
+
+        async def go():
+            try:
+                with pytest.raises(NodeUnavailableError):
+                    await transport.call("data_version", ("k",))
+            finally:
+                await transport.aclose()
+
+        run(go())
+
+    def test_closed_transport_fails_fast(self):
+        transport = InprocTransport(StorageNodeService(StorageNode(0)))
+
+        async def go():
+            await transport.aclose()
+            with pytest.raises(NodeUnavailableError):
+                await transport.call("ping")
+
+        run(go())
+
+
+class TestTcpTransport:
+    def test_round_trip_over_real_sockets(self):
+        nodes = [StorageNode(i) for i in range(3)]
+        group = ServiceGroup(nodes, kind="tcp")
+
+        async def go():
+            await group.start()
+            transports = group.make_transports()
+            try:
+                await transports[1].call("write_data", ("k", payload(), 1))
+                value, version = await transports[1].call("read_data", ("k",))
+                pong = await transports[2].call("ping")
+                return value, version, pong
+            finally:
+                for transport in transports.values():
+                    await transport.aclose()
+                await group.aclose()
+
+        value, version, pong = run(go())
+        assert np.array_equal(value, payload()) and version == 1 and pong == 2
+
+    def test_refused_connection_is_node_unavailable(self):
+        # Nothing listens on this transport's port: the very first call
+        # must fail fast with the dead-node error, no timeout involved.
+        transport = TcpTransport(0, "127.0.0.1", 1)  # port 1: never open
+
+        async def go():
+            with pytest.raises(NodeUnavailableError):
+                await transport.call("ping")
+            await transport.aclose()
+
+        run(go())
+        assert transport.refusals == 1
+
+    def test_lost_connection_reconnects_then_fails_fast(self):
+        node = StorageNode(0)
+        group = ServiceGroup([node], kind="tcp")
+
+        async def go():
+            await group.start()
+            transport = group.make_transports()[0]
+            assert await transport.call("ping") == 0
+            # a severed connection reconnects transparently while the
+            # service still listens...
+            transport._drop_connection()
+            assert await transport.call("ping") == 0
+            # ...and once the fleet is gone, reconnection is refused:
+            # the dead-node fast-fail, not a timeout
+            await group.aclose()
+            transport._drop_connection()
+            with pytest.raises(NodeUnavailableError):
+                await transport.call("ping")
+            await transport.aclose()
+
+        run(go())
+
+    def test_connect_transports_layout(self):
+        transports = connect_transports(3, port_base=9400)
+        assert sorted(transports) == [0, 1, 2]
+        assert transports[2].port == 9402
+        assert transports[2].node_id == 2
+
+
+class TestServiceGroupAndMirror:
+    def test_inproc_group_serves_cluster_nodes(self):
+        from repro.api import SystemSpec, build_system
+
+        built = build_system(SystemSpec.trapezoid(9, 6, 2, 1, 1, 2, seed=3))
+        built.initialize()
+        group = ServiceGroup.for_cluster(built.cluster)
+        transports = group.make_transports()
+        assert len(transports) == 9
+
+        async def go():
+            # services wrap the very node objects initialize() seeded
+            value, version = await transports[0].call(
+                "read_data", (("erc-data", "api-stripe", 0),)
+            )
+            for transport in transports.values():
+                await transport.aclose()
+            return version
+
+        assert run(go()) == 0
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceGroup([StorageNode(0)], kind="carrier-pigeon")
+
+    def test_tcp_transports_require_start(self):
+        group = ServiceGroup([StorageNode(0)], kind="tcp")
+        with pytest.raises(ConfigurationError):
+            group.make_transports()
+
+    def test_mirror_state_replays_local_records(self):
+        from repro.api import SystemSpec, build_system
+
+        built = build_system(SystemSpec.trapezoid(9, 6, 2, 1, 1, 2, seed=3))
+        built.initialize()
+        fleet = [StorageNode(i) for i in range(9)]  # fresh and empty
+        group = ServiceGroup(fleet, kind="tcp")
+
+        async def go():
+            await group.start()
+            transports = group.make_transports()
+            try:
+                return await mirror_state(transports, built.cluster)
+            finally:
+                for transport in transports.values():
+                    await transport.aclose()
+                await group.aclose()
+
+        pushed = run(go())
+        assert pushed > 0
+        for local, remote in zip(built.cluster.nodes, fleet):
+            assert set(local._data) == set(remote._data)
+            assert set(local._parity) == set(remote._parity)

@@ -1,0 +1,145 @@
+"""TransportSpec validation, the wallclock scenario, and docs sync."""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    ScenarioRunner,
+    ScenarioSpec,
+    SystemSpec,
+    TransportSpec,
+)
+from repro.errors import ConfigurationError
+from repro.services import run_wallclock
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+
+
+def wallclock_spec(**transport_kwargs) -> SystemSpec:
+    from repro.api import WorkloadSpec
+
+    return SystemSpec.trapezoid(
+        9, 6, 2, 1, 1, 2,
+        workload=WorkloadSpec(num_ops=24, block_length=16),
+        scenario=ScenarioSpec(
+            kind="wallclock", clients=3, think_time=0.0, horizon=60.0
+        ),
+        transport=TransportSpec(**transport_kwargs),
+        seed=11,
+    )
+
+
+class TestTransportSpec:
+    def test_defaults(self):
+        spec = TransportSpec()
+        assert spec.kind == "inproc"
+        assert spec.port_base == 0
+        assert spec.serialization == "json"
+
+    def test_round_trip(self):
+        spec = TransportSpec(kind="tcp", port_base=9300, serialization="json")
+        assert TransportSpec.from_dict(spec.to_dict()) == spec
+
+    def test_system_spec_embeds_transport(self):
+        spec = wallclock_spec(kind="tcp", port_base=9300)
+        again = SystemSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.transport.kind == "tcp"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "udp"},
+            {"host": ""},
+            {"port_base": 80},
+            {"port_base": 70000},
+            {"serialization": "pickle"},
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TransportSpec(**kwargs)
+
+    def test_wallclock_rejects_faultloads(self):
+        from repro.api import FaultloadSpec
+
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                kind="wallclock",
+                faultload=FaultloadSpec(kind="churn", mtbf=10.0, mttr=1.0),
+            )
+
+
+class TestRunWallclock:
+    def test_inproc_self_contained_run(self):
+        report = run_wallclock(wallclock_spec())
+        assert report["transport"]["kind"] == "inproc"
+        assert report["remote"] is False
+        assert report["ops_submitted"] == 24
+        assert report["wall_duration"] > 0
+        assert report["throughput"] > 0
+        summary = report["summary"]
+        assert summary["read_latency"]["count"] + summary["write_latency"]["count"] > 0
+        assert report["operation_latency"]["p95"] > 0
+        assert json.dumps(report)  # tidy: JSON-serializable end to end
+
+    def test_tcp_self_contained_run(self):
+        report = run_wallclock(wallclock_spec(kind="tcp", port_base=0))
+        assert report["transport"]["kind"] == "tcp"
+        assert report["ops_submitted"] == 24
+        assert report["summary"]["read_latency"]["count"] > 0
+
+    def test_scenario_runner_reports_both_columns(self):
+        result = ScenarioRunner(wallclock_spec()).run()
+        assert result.kind == "wallclock"
+        comparison = result.data["comparison"]
+        for column in ("predicted", "measured"):
+            for op in ("read", "write"):
+                row = comparison[column][op]
+                assert set(row) == {"count", "p50", "p95", "p99"}
+        # measured percentiles are real elapsed seconds — non-empty run
+        assert comparison["measured"]["read"]["count"] > 0
+        assert comparison["measured"]["read"]["p95"] > 0
+        assert result.data["predicted"]["trace_hash"]
+        # the embedded spec replays: the artifact is reproducible
+        assert SystemSpec.from_dict(json.loads(result.to_json())["spec"])
+
+
+class TestDocsSync:
+    """The satellite contract: new surface is documented, pinned here."""
+
+    def test_api_md_lists_every_scenario_kind(self):
+        text = (DOCS / "API.md").read_text(encoding="utf-8")
+        section = text.split("## Scenario kinds", 1)[1]
+        documented = set(re.findall(r"^\| `([a-z_]+)` \|", section, flags=re.M))
+        with pytest.raises(ConfigurationError) as err:
+            ScenarioSpec(kind="definitely-not-a-kind")
+        kinds = set(re.findall(r"'([a-z_]+)'", str(err.value)))
+        assert kinds, "could not extract scenario kinds from the validator"
+        assert documented >= kinds, f"undocumented kinds: {kinds - documented}"
+
+    def test_api_md_documents_transport_spec(self):
+        text = (DOCS / "API.md").read_text(encoding="utf-8")
+        table = text.split("## The spec tree", 1)[1].split("###", 1)[0]
+        assert "`TransportSpec`" in table
+        for field in ("kind", "host", "port_base", "serialization"):
+            assert field in table
+
+    def test_runtime_md_wallclock_section(self):
+        text = (DOCS / "RUNTIME.md").read_text(encoding="utf-8")
+        assert "## Wall-clock backend" in text
+        section = text.split("## Wall-clock backend", 1)[1].split("\n## ", 1)[0]
+        for needed in (
+            "AsyncCoordinator",
+            "inproc",
+            "tcp",
+            "NodeUnavailableError",
+            "repro serve",
+            "wallclock",
+        ):
+            assert needed in section, f"Wall-clock backend section lacks {needed}"

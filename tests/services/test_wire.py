@@ -1,0 +1,171 @@
+"""Wire protocol: value reduction, framing, error marshalling."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    NodeUnavailableError,
+    ReproError,
+    StaleNodeError,
+)
+from repro.services import (
+    MAX_FRAME,
+    Codec,
+    RemoteCallError,
+    WireError,
+    decode_error,
+    encode_error,
+    frame,
+    read_frame,
+)
+
+
+class TestCodecRoundTrip:
+    def test_storage_key_tuples_survive(self):
+        codec = Codec()
+        message = {"args": [("erc-data", 3, 1), ("erc-parity", 0)]}
+        decoded = codec.decode(codec.encode(message))
+        assert decoded["args"] == [("erc-data", 3, 1), ("erc-parity", 0)]
+        assert isinstance(decoded["args"][0], tuple)
+
+    def test_ndarray_round_trip_dtype_and_shape(self):
+        codec = Codec()
+        value = np.arange(24, dtype=np.uint8).reshape(4, 6)
+        decoded = codec.decode(codec.encode({"value": value}))
+        assert np.array_equal(decoded["value"], value)
+        assert decoded["value"].dtype == np.uint8
+        assert decoded["value"].shape == (4, 6)
+
+    def test_bytes_and_scalars(self):
+        codec = Codec()
+        message = {
+            "b": b"\x00\xff",
+            "i": np.int64(7),
+            "f": np.float64(0.5),
+            "n": None,
+            "t": True,
+        }
+        decoded = codec.decode(codec.encode(message))
+        assert decoded["b"] == b"\x00\xff"
+        assert decoded["i"] == 7 and isinstance(decoded["i"], int)
+        assert decoded["f"] == 0.5 and isinstance(decoded["f"], float)
+        assert decoded["n"] is None and decoded["t"] is True
+
+    def test_nested_structures(self):
+        codec = Codec()
+        message = {"versions": [(0, 1), (2, 3)], "map": {"inner": (1, b"x")}}
+        decoded = codec.decode(codec.encode(message))
+        assert decoded == {"versions": [(0, 1), (2, 3)], "map": {"inner": (1, b"x")}}
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(WireError):
+            Codec().encode({1: "x"})
+
+    def test_marker_collision_rejected(self):
+        with pytest.raises(WireError):
+            Codec().encode({"__t__": "not a tuple"})
+
+    def test_unencodable_value_rejected(self):
+        with pytest.raises(WireError):
+            Codec().encode({"obj": object()})
+
+    def test_undecodable_body_raises_wire_error(self):
+        with pytest.raises(WireError):
+            Codec().decode(b"\xff not json")
+
+    def test_unknown_serialization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Codec("pickle")
+
+    def test_msgpack_gated_when_missing(self):
+        # The container deliberately has no msgpack; requesting it must
+        # fail loudly at construction, not at first encode.
+        try:
+            import msgpack  # noqa: F401
+        except ImportError:
+            with pytest.raises(ConfigurationError):
+                Codec("msgpack")
+        else:  # pragma: no cover - environment-dependent branch
+            codec = Codec("msgpack")
+            value = {"args": [("k", 1)], "nd": np.arange(4, dtype=np.uint8)}
+            decoded = codec.decode(codec.encode(value))
+            assert decoded["args"] == [("k", 1)]
+
+
+class TestFraming:
+    def test_frame_prefixes_length(self):
+        body = b"hello"
+        framed = frame(body)
+        assert framed == b"\x00\x00\x00\x05hello"
+
+    def test_frame_rejects_oversize(self):
+        class FakeBytes(bytes):
+            def __len__(self):
+                return MAX_FRAME + 1
+
+        with pytest.raises(WireError):
+            frame(FakeBytes())
+
+    def _read(self, payload: bytes):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(payload)
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        loop = asyncio.new_event_loop()
+        try:
+            return loop.run_until_complete(go())
+        finally:
+            loop.close()
+
+    def test_read_frame_round_trip(self):
+        assert self._read(frame(b"body")) == b"body"
+
+    def test_read_frame_clean_eof_returns_none(self):
+        assert self._read(b"") is None
+
+    def test_read_frame_mid_header_eof_raises(self):
+        with pytest.raises(WireError):
+            self._read(b"\x00\x00")
+
+    def test_read_frame_mid_body_eof_raises(self):
+        with pytest.raises(WireError):
+            self._read(b"\x00\x00\x00\x09short")
+
+    def test_read_frame_oversize_length_raises(self):
+        with pytest.raises(WireError):
+            self._read(b"\xff\xff\xff\xff")
+
+
+class TestErrorMarshalling:
+    def test_node_unavailable_round_trip_keeps_node_id(self):
+        payload = encode_error(NodeUnavailableError(4))
+        rebuilt = decode_error(payload)
+        assert isinstance(rebuilt, NodeUnavailableError)
+        assert rebuilt.node_id == 4
+
+    def test_repro_error_subclass_by_name(self):
+        rebuilt = decode_error(encode_error(StaleNodeError("stale write")))
+        assert isinstance(rebuilt, StaleNodeError)
+        assert "stale write" in str(rebuilt)
+
+    def test_key_error_passthrough(self):
+        rebuilt = decode_error(encode_error(KeyError("missing")))
+        assert isinstance(rebuilt, KeyError)
+
+    def test_unknown_type_becomes_remote_call_error(self):
+        rebuilt = decode_error({"type": "ZeroDivisionError", "message": "boom"})
+        assert isinstance(rebuilt, RemoteCallError)
+        assert not isinstance(rebuilt, (NodeUnavailableError, KeyError))
+        assert "ZeroDivisionError" in str(rebuilt)
+
+    def test_remote_call_error_is_repro_error(self):
+        # uncatchable by plans (no plan catches RemoteCallError), but
+        # still inside the repo's exception hierarchy for callers
+        assert issubclass(RemoteCallError, ReproError)
