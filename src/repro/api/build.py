@@ -179,8 +179,10 @@ def _make_verifier(
     first = spec.cluster.num_nodes
     node_ids = range(first, first + meta.nodes)
     system = build_quorum_system(QuorumSpec(kind=meta.quorum, size=meta.nodes))
-    quorum = MetadataQuorum.from_system(node_ids, system)
-    return BlockVerifier(cluster, quorum, namespace=namespace)
+    quorum = MetadataQuorum.from_system(node_ids, system, f=meta.f)
+    return BlockVerifier(
+        cluster, quorum, namespace=namespace, signed=meta.effective_signed
+    )
 
 
 def _resolve_protocol(spec: SystemSpec):
@@ -267,10 +269,15 @@ def build_system(
         # the same cluster (protocol state lives on the nodes) with the
         # default instant coordinator backs the repair service, so repair
         # passes never re-enter the running event loop. The repair engine
-        # is also built *without* a verifier: anti-entropy reconciles
-        # whatever the nodes store and must not spend metadata rounds (or
-        # fail) while doing so.
-        repair = RepairService(entry.builder(spec, cluster, code, layout))
+        # is built *without* a verifier (engine-level verified reads would
+        # spend metadata rounds per quorum read); instead the service
+        # itself verifies candidate blocks against the metadata tier via
+        # its own verifier instance — its counters stay separate from the
+        # engine's read-path counters.
+        repair = RepairService(
+            entry.builder(spec, cluster, code, layout),
+            verifier=None if verifier is None else _make_verifier(spec, cluster),
+        )
     (rng,) = spawn_rngs(make_rng(spec.seed), 1)
     return BuiltSystem(
         spec=spec,
@@ -466,10 +473,16 @@ def build_sharded_system(
         shards.append(Shard(index, engine, coordinator, code.k))
         if entry.supports_repair:
             # Out-of-band anti-entropy on the instant path, one service
-            # per stripe family (see build_system's repair note; built
-            # without a verifier, like every repair engine).
+            # per stripe family (see build_system's repair note; the
+            # repair engine is unverified but the service checks its
+            # candidates against this shard's metadata namespace).
             repairs.append(
-                RepairService(entry.builder(spec, cluster, code, layout))
+                RepairService(
+                    entry.builder(spec, cluster, code, layout),
+                    verifier=None
+                    if verifier is None
+                    else _make_verifier(spec, cluster, namespace=namespace),
+                )
             )
     router = ShardRouter(shards, routing=routing, route_seed=route_seed)
     (init_rng,) = spawn_rngs(make_rng(spec.seed), 1)

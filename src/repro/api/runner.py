@@ -40,7 +40,7 @@ from repro.api.spec import (
 )
 from repro.cluster.events import Simulator
 from repro.cluster.failures import exponential_trace
-from repro.cluster.node import ByzantineBehavior
+from repro.cluster.node import ByzantineBehavior, MetadataByzantineBehavior
 from repro.cluster.rng import make_rng, spawn_rngs
 from repro.errors import ConfigurationError
 from repro.quorum.trapezoid import TrapezoidQuorum
@@ -77,7 +77,10 @@ __all__ = ["ScenarioResult", "ScenarioRunner", "run_spec"]
 #: streams of the saturation sweep, stream 12 the Byzantine faultload
 #: (node choice + per-node corruption coins — untouched for every other
 #: faultload kind, so rate-0 / kind-"none" runs stay bit-identical).
-_NUM_STREAMS = 13
+#: Stream 13 arms the *metadata* liars (``metadata_liars`` > 0) — again
+#: appended, and consumed only when that field is set, so every older
+#: spec replays its exact historical results.
+_NUM_STREAMS = 14
 
 
 @dataclass
@@ -538,8 +541,55 @@ class ScenarioRunner:
             )
         return chosen
 
+    def _arm_metadata_byzantine(
+        self, cluster, faultload: FaultloadSpec, rng
+    ) -> list[int]:
+        """Turn ``metadata_liars`` seed-chosen *metadata* nodes Byzantine.
+
+        The complement of :meth:`_arm_byzantine`: candidates are the
+        metadata ids appended after ``spec.cluster.num_nodes``. Must run
+        *after* the system is initialized — ``stale_record`` mode primes
+        each liar with a snapshot of the records it holds at arm time, so
+        arming before the version-0 bootstrap would leave nothing to
+        roll back to. Returns the armed ids (``[]`` when unused).
+        """
+        if faultload.kind != "byzantine" or faultload.metadata_liars == 0:
+            return []
+        meta = self.spec.metadata
+        if meta is None:
+            raise ConfigurationError(
+                "metadata_liars > 0 needs a metadata section in the spec"
+            )
+        if faultload.metadata_liars > meta.nodes:
+            raise ConfigurationError(
+                f"metadata_liars = {faultload.metadata_liars} exceeds the "
+                f"metadata tier size {meta.nodes}"
+            )
+        first = self.spec.cluster.num_nodes
+        chosen = sorted(
+            first + int(i)
+            for i in rng.choice(
+                meta.nodes, size=faultload.metadata_liars, replace=False
+            )
+        )
+        streams = spawn_rngs(rng, len(chosen))
+        for node_id, stream in zip(chosen, streams):
+            behavior = MetadataByzantineBehavior(
+                faultload.metadata_mode, faultload.metadata_rate, stream
+            )
+            node = cluster.node(node_id)
+            behavior.prime(node)
+            node.set_byzantine(behavior)
+        return chosen
+
     def _byzantine_report(
-        self, faultload: FaultloadSpec, cluster, armed, verifiers
+        self,
+        faultload: FaultloadSpec,
+        cluster,
+        armed,
+        verifiers,
+        meta_armed=(),
+        repairs=(),
     ) -> dict | None:
         """The ``byzantine`` result block (None when nothing to report)."""
         if faultload.kind != "byzantine" and not verifiers:
@@ -548,12 +598,14 @@ class ScenarioRunner:
             "digest_mismatches": 0,
             "version_mismatches": 0,
             "metadata_failures": 0,
+            "tag_rejections": 0,
+            "record_conflicts": 0,
         }
         for verifier in verifiers:
             for key, value in verifier.counters().items():
                 detected[key] += value
         active = faultload.kind == "byzantine"
-        return {
+        report = {
             "nodes": list(armed),
             "fraction": faultload.byzantine_fraction if active else 0.0,
             "mode": faultload.corruption_mode,
@@ -561,8 +613,24 @@ class ScenarioRunner:
             "injected": sum(
                 cluster.node(i).stats.corrupted_replies for i in armed
             ),
+            "metadata_nodes": list(meta_armed),
+            "metadata_mode": faultload.metadata_mode,
+            "metadata_injected": sum(
+                cluster.node(i).stats.corrupted_replies for i in meta_armed
+            ),
             "detected": detected if verifiers else None,
         }
+        if repairs:
+            repair_totals = {
+                "repairs_performed": 0,
+                "repairs_blocked": 0,
+                "records_rejected": 0,
+            }
+            for service in repairs:
+                for key, value in service.counters().items():
+                    repair_totals[key] += value
+            report["repair"] = repair_totals
+        return report
 
     def _sharding_requested(self) -> bool:
         """True when the spec opts into the sharded runtime.
@@ -617,6 +685,9 @@ class ScenarioRunner:
         built = build_system(self.spec, coordinator_factory=factory)
         built.initialize()
         armed = self._arm_byzantine(built.cluster, faultload, self._streams[12])
+        meta_armed = self._arm_metadata_byzantine(
+            built.cluster, faultload, self._streams[13]
+        )
         ops = _make_workload(self.spec, built.num_blocks, self._streams[1])
         trace, partitions = self._faultload(
             faultload, scenario.horizon, self._streams[9]
@@ -651,7 +722,14 @@ class ScenarioRunner:
             "trace_hash": coordinator[0].trace_hash(),
         }
         verifiers = [built.verifier] if built.verifier is not None else []
-        report = self._byzantine_report(faultload, built.cluster, armed, verifiers)
+        report = self._byzantine_report(
+            faultload,
+            built.cluster,
+            armed,
+            verifiers,
+            meta_armed=meta_armed,
+            repairs=[built.repair] if built.repair is not None else (),
+        )
         if report is not None:
             data["byzantine"] = report
         return data
@@ -762,6 +840,9 @@ class ScenarioRunner:
             self._streams[8], self._streams[10],
         )
         armed = self._arm_byzantine(system.cluster, faultload, self._streams[12])
+        meta_armed = self._arm_metadata_byzantine(
+            system.cluster, faultload, self._streams[13]
+        )
         tally = sim.run()
         service_spec = self.spec.service or ServiceTimeSpec()
         data = {
@@ -784,7 +865,12 @@ class ScenarioRunner:
             "trace_hash": sim.router.trace_hash(),
         }
         report = self._byzantine_report(
-            faultload, system.cluster, armed, system.verifiers
+            faultload,
+            system.cluster,
+            armed,
+            system.verifiers,
+            meta_armed=meta_armed,
+            repairs=system.repairs,
         )
         if report is not None:
             data["byzantine"] = report
@@ -815,6 +901,7 @@ class ScenarioRunner:
             for child in spawn_rngs(self._streams[11], len(counts))
         )
         byz_streams = iter(spawn_rngs(self._streams[12], len(counts)))
+        meta_streams = iter(spawn_rngs(self._streams[13], len(counts)))
         point_context: list[tuple] = []
 
         def make_run(clients: int) -> ShardedClosedLoopSimulation:
@@ -822,11 +909,14 @@ class ScenarioRunner:
             sim, system = self._sharded_closed_loop(
                 clients, ops, trace, partitions, rng, service_rng
             )
-            # Per-point arming from stream-12 children: every point gets
-            # its own corrupt set and coin streams, yet one seed still
-            # reproduces the whole curve.
+            # Per-point arming from stream-12/13 children: every point
+            # gets its own corrupt set and coin streams, yet one seed
+            # still reproduces the whole curve.
             armed = self._arm_byzantine(system.cluster, faultload, next(byz_streams))
-            point_context.append((system, armed))
+            meta_armed = self._arm_metadata_byzantine(
+                system.cluster, faultload, next(meta_streams)
+            )
+            point_context.append((system, armed, meta_armed))
             return sim
 
         points = saturation_sweep(make_run, counts)
@@ -851,8 +941,15 @@ class ScenarioRunner:
             "trace_hash": digest.hexdigest(),
         }
         reports = [
-            self._byzantine_report(faultload, system.cluster, armed, system.verifiers)
-            for system, armed in point_context
+            self._byzantine_report(
+                faultload,
+                system.cluster,
+                armed,
+                system.verifiers,
+                meta_armed=meta_armed,
+                repairs=system.repairs,
+            )
+            for system, armed, meta_armed in point_context
         ]
         if any(report is not None for report in reports):
             data["byzantine"] = {"points": reports}

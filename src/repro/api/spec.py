@@ -445,10 +445,23 @@ class MetadataSpec(_SpecBase):
     (:func:`repro.api.registry.register_quorum`-pluggable; ``majority``
     by default, ``rowa`` also works out of the box — kinds needing more
     geometry than a size raise at build time).
+
+    ``f`` is the number of *Byzantine* (lying, not just fail-stop)
+    metadata nodes the tier tolerates. ``f > 0`` requires ``nodes >=
+    3f + 1``, replaces the registry thresholds with 2f+1 write/read
+    counts, and makes reads demand f+1 matching records (see
+    :class:`~repro.runtime.verify.MetadataQuorum`). ``signed`` turns on
+    writer-keyed record tags (self-verifying records); it defaults to
+    ``f > 0`` — Byzantine tolerance without authentication is refused,
+    while a trusted tier may opt in to signing alone (rollback-detection
+    without the 3f+1 cost is not possible, but forged records still die
+    at the tag check).
     """
 
     nodes: int = 3
     quorum: str = "majority"
+    f: int = 0
+    signed: bool | None = None
 
     def __post_init__(self) -> None:
         _require(self.nodes >= 1, f"metadata nodes must be >= 1, got {self.nodes}")
@@ -456,6 +469,30 @@ class MetadataSpec(_SpecBase):
             isinstance(self.quorum, str) and len(self.quorum) > 0,
             f"metadata quorum must be a registry kind name, got {self.quorum!r}",
         )
+        _require(
+            isinstance(self.f, int) and self.f >= 0,
+            f"metadata f must be an int >= 0, got {self.f!r}",
+        )
+        if self.f > 0:
+            _require(
+                self.nodes >= 3 * self.f + 1,
+                f"metadata f = {self.f} needs nodes >= 3f + 1 = "
+                f"{3 * self.f + 1}, got {self.nodes}",
+            )
+            _require(
+                self.signed is not False,
+                "metadata f > 0 requires signed records (signed=False "
+                "cannot tolerate Byzantine metadata nodes)",
+            )
+        _require(
+            self.signed is None or isinstance(self.signed, bool),
+            f"metadata signed must be a bool or None, got {self.signed!r}",
+        )
+
+    @property
+    def effective_signed(self) -> bool:
+        """Signing on? Explicit flag wins; otherwise implied by ``f > 0``."""
+        return self.signed if self.signed is not None else self.f > 0
 
 
 @dataclass(frozen=True)
@@ -539,8 +576,14 @@ class FaultloadSpec(_SpecBase):
         corrupted with probability ``corruption_rate`` per
         ``corruption_mode`` (``payload``: garbled bytes, ``stale``:
         decremented versions, ``mixed``: a coin flip between the two).
-        Metadata nodes are never corrupted — they model the trusted
-        metadata tier.
+        Additionally ``metadata_liars`` *metadata* nodes (requires a
+        ``metadata`` section with at least that many nodes) lie on their
+        record replies with probability ``metadata_rate`` per
+        ``metadata_mode`` — ``forge`` (fabricated record, bumped
+        version), ``stale_record`` (authentic-rollback replay of the
+        record held when armed) or ``equivocate`` (a coin flip between
+        the two per reply). With ``metadata_liars = 0`` (default) the
+        metadata tier stays honest — the pre-hardening trust model.
 
     All rates are validated eagerly (negative, NaN and infinite values
     are spec-level errors, not late simulator failures).
@@ -555,6 +598,9 @@ class FaultloadSpec(_SpecBase):
     byzantine_fraction: float = 0.25
     corruption_mode: str = "payload"
     corruption_rate: float = 1.0
+    metadata_liars: int = 0
+    metadata_mode: str = "forge"
+    metadata_rate: float = 1.0
 
     def __post_init__(self) -> None:
         _require(
@@ -581,6 +627,21 @@ class FaultloadSpec(_SpecBase):
             f"unknown corruption_mode {self.corruption_mode!r}",
         )
         _require_unit_interval(self.corruption_rate, "corruption_rate")
+        _require(
+            isinstance(self.metadata_liars, int) and self.metadata_liars >= 0,
+            f"metadata_liars must be an int >= 0, got {self.metadata_liars!r}",
+        )
+        _require(
+            self.metadata_mode in ("forge", "stale_record", "equivocate"),
+            f"unknown metadata_mode {self.metadata_mode!r}",
+        )
+        _require_unit_interval(self.metadata_rate, "metadata_rate")
+        if self.metadata_liars > 0:
+            _require(
+                self.kind == "byzantine",
+                "metadata_liars > 0 requires the 'byzantine' faultload kind, "
+                f"got {self.kind!r}",
+            )
 
 
 @dataclass(frozen=True)

@@ -87,6 +87,15 @@ DEFAULT_SIZES = {
     "byz_fraction": 0.25,
     "byz_rate": 0.5,
     "byz_repeats": 3,
+    # Byzantine metadata tier: the same closed loop with the hardened
+    # 3f+1 signed quorum and f forging metadata liars (record tags +
+    # f+1-matching resolution on every read); baseline is the fail-stop
+    # unsigned tier with honest metadata.
+    "mbyz_ops": 400,
+    "mbyz_clients": 8,
+    "mbyz_block_length": 256,
+    "mbyz_f": 1,
+    "mbyz_repeats": 3,
     # sharded runtime: aggregate sim-ops/s through the router front end,
     # four stripe families contending on per-node service queues.
     "shard_count": 4,
@@ -134,6 +143,11 @@ TINY_SIZES = {
     "byz_fraction": 0.25,
     "byz_rate": 0.5,
     "byz_repeats": 1,
+    "mbyz_ops": 40,
+    "mbyz_clients": 4,
+    "mbyz_block_length": 32,
+    "mbyz_f": 1,
+    "mbyz_repeats": 1,
     "shard_count": 4,
     "shard_ops": 80,
     "shard_clients": 8,
@@ -437,6 +451,63 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         # of digest checks + the metadata quorum is read off directly.
         "baseline_seconds_per_call": t_byz_base,
         "overhead_ratio": t_byz / t_byz_base if t_byz_base > 0 else None,
+    }
+
+    # -- Byzantine metadata tier (signed records + 3f+1 quorums) --------- #
+    mbyz_ops = cfg["mbyz_ops"]
+
+    def metadata_byzantine_sim(hardened: bool):
+        from repro.api import (
+            FaultloadSpec,
+            LatencySpec,
+            MetadataSpec,
+            ScenarioRunner,
+            ScenarioSpec,
+            SystemSpec,
+            WorkloadSpec,
+        )
+
+        f = cfg["mbyz_f"]
+        spec = SystemSpec.trapezoid(
+            9, 6, 2, 1, 1, 2,
+            metadata=(
+                MetadataSpec(nodes=3 * f + 1, f=f)
+                if hardened
+                else MetadataSpec(nodes=cfg["byz_metadata_nodes"])
+            ),
+            latency=LatencySpec(kind="lognormal"),
+            workload=WorkloadSpec(
+                num_ops=mbyz_ops, block_length=cfg["mbyz_block_length"]
+            ),
+            scenario=ScenarioSpec(
+                kind="latency",
+                clients=cfg["mbyz_clients"],
+                think_time=0.05,
+                horizon=60.0,
+                faultload=FaultloadSpec(
+                    kind="byzantine",
+                    byzantine_fraction=0.0,
+                    metadata_liars=f if hardened else 0,
+                    metadata_mode="forge",
+                ),
+            ),
+            seed=rng_seed,
+        )
+        return ScenarioRunner(spec).run()
+
+    mbyz_reps = cfg["mbyz_repeats"]
+    t_mbyz = _time_call(lambda: metadata_byzantine_sim(True), mbyz_reps)
+    t_mbyz_base = _time_call(lambda: metadata_byzantine_sim(False), mbyz_reps)
+    results["metadata_byzantine"] = {
+        "seconds_per_call": t_mbyz,
+        "ops": mbyz_ops,
+        "ops_per_s": mbyz_ops / t_mbyz,
+        "f": cfg["mbyz_f"],
+        # informational: the fail-stop unsigned tier on honest metadata,
+        # so the cost of record tags + f+1-matching reads under f live
+        # forgers is read off directly.
+        "baseline_seconds_per_call": t_mbyz_base,
+        "overhead_ratio": t_mbyz / t_mbyz_base if t_mbyz_base > 0 else None,
     }
 
     # -- sharded runtime (router + contended service queues) ------------ #

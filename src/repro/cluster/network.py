@@ -300,5 +300,5 @@ class Network:
         # hook: a Byzantine node lies on the reply leg, after the RPC
         # itself succeeded, so both coordinators observe the same fault.
         if node.byzantine is not None:
-            value = node.byzantine.apply(node, method, value)
+            value = node.byzantine.apply(node, method, value, args)
         return value

@@ -47,6 +47,7 @@ __all__ = [
     "NodeStats",
     "StorageNode",
     "ByzantineBehavior",
+    "MetadataByzantineBehavior",
     "ServiceTimeModel",
     "FixedServiceTime",
     "ExponentialServiceTime",
@@ -194,8 +195,13 @@ class ByzantineBehavior:
         mask = self.rng.integers(1, 256, size=payload.shape, dtype=np.int64)
         return np.bitwise_xor(payload, mask.astype(payload.dtype))
 
-    def apply(self, node: "StorageNode", method: str, value):
-        """Possibly corrupt one reply; returns the (new) reply value."""
+    def apply(self, node: "StorageNode", method: str, value, args=()):
+        """Possibly corrupt one reply; returns the (new) reply value.
+
+        ``args`` (the RPC positional arguments) is accepted for interface
+        parity with :class:`MetadataByzantineBehavior` — storage-node
+        corruption is key-oblivious, so it goes unused here.
+        """
         if method not in _READ_METHODS or self.rate == 0.0:
             return value
         if self.rng.random() >= self.rate:
@@ -228,6 +234,102 @@ class ByzantineBehavior:
         return result
 
 
+class MetadataByzantineBehavior:
+    """Corruption policy armed on one *metadata* node.
+
+    Metadata records live in ordinary data records (``read_data`` /
+    ``data_version`` are the only read RPCs the tier serves), but the
+    interesting lies differ from payload-node corruption:
+
+    ``mode``
+        ``forge``: fabricate a record — garble every byte of the stored
+        digest(+tag) and bump the claimed version by one. Against a
+        *signed* tier the writer-keyed tag cannot be regenerated, so
+        forgeries die at the accept predicate (``tag_rejections``);
+        against an unsigned tier the bumped version wins the max-version
+        fold and poisons the read.
+        ``stale_record``: replay the *authentic* record snapshotted when
+        the node was armed (see :meth:`prime`) — a rollback attack. Tags
+        verify (the record is genuine, merely old), so only the f+1
+        matching rule of a Byzantine-sized quorum defeats it.
+        ``equivocate``: an independent coin flip between the two per
+        reply — the node tells different stories to different readers.
+    ``rate``
+        per-reply probability of lying, drawn from the dedicated ``rng``
+        stream (a new appended stream, so arming changes nothing for
+        existing seeds).
+
+    Replies for keys first written *after* arming are adopted into the
+    snapshot on first sight, so later replays roll back to that first
+    version. ``injected`` counts only replies that actually differ from
+    the truth.
+    """
+
+    def __init__(self, mode: str, rate: float, rng: np.random.Generator) -> None:
+        if mode not in ("forge", "stale_record", "equivocate"):
+            raise ConfigurationError(f"unknown metadata corruption mode {mode!r}")
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"corruption rate must be in [0, 1], got {rate}")
+        self.mode = mode
+        self.rate = float(rate)
+        self.rng = rng
+        self.injected = 0
+        self._snapshot: dict[object, DataRecord] = {}
+
+    def prime(self, node: "StorageNode") -> None:
+        """Snapshot the node's authentic records as the rollback targets."""
+        for key, rec in node._data.items():
+            self._snapshot.setdefault(
+                key, DataRecord(np.array(rec.payload, copy=True), rec.version)
+            )
+
+    def _garble(self, payload: np.ndarray) -> np.ndarray:
+        mask = self.rng.integers(1, 256, size=payload.shape, dtype=np.int64)
+        return np.bitwise_xor(payload, mask.astype(payload.dtype))
+
+    def apply(self, node: "StorageNode", method: str, value, args=()):
+        """Possibly replace one reply with a lie; returns the reply value."""
+        if method not in ("read_data", "data_version") or self.rate == 0.0:
+            return value
+        if self.rng.random() >= self.rate:
+            return value
+        mode = self.mode
+        if mode == "equivocate":
+            mode = "forge" if self.rng.random() < 0.5 else "stale_record"
+        if mode == "forge":
+            if method == "read_data":
+                payload, version = value
+                result = (self._garble(payload), int(version) + 1)
+            else:  # data_version
+                result = int(value) + 1
+        else:  # stale_record: replay the record from arm time
+            key = args[0] if args else None
+            if key is None:
+                return value
+            rec = self._snapshot.get(key)
+            if rec is None:
+                if method == "read_data":
+                    payload, version = value
+                    self._snapshot[key] = DataRecord(
+                        np.array(payload, copy=True), int(version)
+                    )
+                return value
+            if method == "read_data":
+                payload, version = value
+                if int(version) == rec.version and np.array_equal(
+                    payload, rec.payload
+                ):
+                    return value
+                result = (np.array(rec.payload, copy=True), rec.version)
+            else:  # data_version
+                if int(value) == rec.version:
+                    return value
+                result = rec.version
+        self.injected += 1
+        node.stats.corrupted_replies += 1
+        return result
+
+
 class StorageNode:
     """One fail-stop storage server."""
 
@@ -237,8 +339,9 @@ class StorageNode:
         self._data: dict[object, DataRecord] = {}
         self._parity: dict[object, ParityRecord] = {}
         self.stats = NodeStats()
-        #: armed corruption policy, or None for the honest default
-        self.byzantine: ByzantineBehavior | None = None
+        #: armed corruption policy (storage or metadata flavor), or None
+        #: for the honest default
+        self.byzantine: ByzantineBehavior | MetadataByzantineBehavior | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "up" if self.alive else "DOWN"
@@ -266,7 +369,9 @@ class StorageNode:
             self.stats.failed_rpcs += 1
             raise NodeUnavailableError(self.node_id)
 
-    def set_byzantine(self, behavior: ByzantineBehavior) -> None:
+    def set_byzantine(
+        self, behavior: "ByzantineBehavior | MetadataByzantineBehavior"
+    ) -> None:
         """Arm a corruption policy on this node (survives fail/recover)."""
         self.byzantine = behavior
 

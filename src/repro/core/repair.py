@@ -15,6 +15,18 @@ recovery unspecified ("the blocks it owned have to be reconstructed").
 
 The history-model experiments (EXPERIMENTS.md) quantify how much read
 availability this recovers.
+
+Verified anti-entropy
+---------------------
+
+Without cross-checks, repair is a laundering channel: a quorum read that
+was fooled by corrupt replicas gets written back onto a *healthy* node
+with a fresh version stamp. When constructed with a
+:class:`~repro.runtime.verify.BlockVerifier`, the service checks every
+candidate block against the metadata tier's ``(version, digest)`` record
+before any ``put_data`` / ``put_parity``, refuses to propagate state it
+cannot verify, and counts the refusals (``repairs_blocked``) and the
+individually rejected blocks (``records_rejected``).
 """
 
 from __future__ import annotations
@@ -23,6 +35,7 @@ import numpy as np
 
 from repro.core.trap_erc import TrapErcProtocol
 from repro.errors import NodeUnavailableError
+from repro.runtime.verify import BlockVerifier, block_digest
 
 __all__ = ["RepairService"]
 
@@ -30,9 +43,30 @@ __all__ = ["RepairService"]
 class RepairService:
     """Anti-entropy companion of one :class:`TrapErcProtocol` stripe."""
 
-    def __init__(self, protocol: TrapErcProtocol) -> None:
+    def __init__(
+        self, protocol: TrapErcProtocol, verifier: BlockVerifier | None = None
+    ) -> None:
         self.protocol = protocol
+        self.verifier = verifier
         self.repairs_performed = 0
+        self.repairs_blocked = 0
+        self.records_rejected = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _verify_block(self, i: int, payload: np.ndarray, version: int) -> bool:
+        """True when block ``i`` matches the metadata record (or no verifier)."""
+        if self.verifier is None:
+            return True
+        record = self.verifier.lookup(i)
+        if record is None:
+            self.records_rejected += 1
+            return False
+        meta_version, meta_digest = record
+        if int(version) != meta_version or block_digest(payload) != meta_digest:
+            self.records_rejected += 1
+            return False
+        return True
 
     # ------------------------------------------------------------------ #
 
@@ -56,6 +90,9 @@ class RepairService:
         result = proto.read_block(i)
         if not result.success:
             return False
+        if not self._verify_block(i, result.value, result.version):
+            self.repairs_blocked += 1
+            return False
         try:
             proto.cluster.rpc(
                 node_id, "put_data", proto.data_key(i), result.value, result.version
@@ -75,6 +112,13 @@ class RepairService:
         if snapshot is None:
             return False
         data, versions = snapshot
+        ok = True
+        for i in range(proto.code.k):
+            if not self._verify_block(i, data[i], versions[i]):
+                ok = False
+        if not ok:
+            self.repairs_blocked += 1
+            return False
         payload = proto.code.encode_block(j, data)
         try:
             proto.cluster.rpc(
@@ -144,3 +188,11 @@ class RepairService:
     def sync_all(self) -> int:
         """Full anti-entropy pass (data first, then parity)."""
         return self.sync_data() + self.sync_parities()
+
+    def counters(self) -> dict[str, int]:
+        """Repair counters for scenario reporting."""
+        return {
+            "repairs_performed": self.repairs_performed,
+            "repairs_blocked": self.repairs_blocked,
+            "records_rejected": self.records_rejected,
+        }

@@ -26,7 +26,9 @@ simulator and cluster, optionally contending through per-node FIFO
 :mod:`repro.runtime.verify` adds the Byzantine-tolerant read path: a
 :class:`BlockVerifier` over a separate :class:`MetadataQuorum` stores
 per-block :func:`block_digest` records and rejects corrupted payload
-replies, widening rounds instead of failing them.
+replies, widening rounds instead of failing them. The metadata tier
+itself hardens with writer-keyed :func:`record_tag` signatures
+(self-verifying records) and 3f+1 Byzantine quorum sizing.
 
 See docs/RUNTIME.md for the session lifecycle and semantics.
 """
@@ -60,9 +62,12 @@ from repro.runtime.rounds import (
 from repro.runtime.verify import (
     DIGEST_SIZE,
     METADATA_ROUND,
+    TAG_SIZE,
     BlockVerifier,
     MetadataQuorum,
     block_digest,
+    record_tag,
+    writer_key,
 )
 
 __all__ = [
@@ -89,7 +94,10 @@ __all__ = [
     "WRITEBACK_ROUND",
     "METADATA_ROUND",
     "DIGEST_SIZE",
+    "TAG_SIZE",
     "block_digest",
+    "writer_key",
+    "record_tag",
     "MetadataQuorum",
     "BlockVerifier",
 ]

@@ -438,7 +438,9 @@ class EventCoordinator:
                 # serves the request, so messages that were queued or
                 # in-flight when the node turned are affected too.
                 if node.byzantine is not None:
-                    value = node.byzantine.apply(node, request.method, value)
+                    value = node.byzantine.apply(
+                        node, request.method, value, request.args
+                    )
                 response = Response(request=request, ok=True, value=value)
             except request.catches as exc:
                 net.stats.rpc_failures += 1

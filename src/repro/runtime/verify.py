@@ -9,11 +9,14 @@ makes payload replies checkable without trusting payload nodes:
 * :func:`block_digest` — the cross-checksum primitive: a 16-byte BLAKE2b
   digest of a data block's bytes, computed by the writer;
 * :class:`MetadataQuorum` — a lightweight, count-threshold quorum over
-  ``nodes`` extra fail-stop-but-honest metadata nodes appended to the
-  cluster. Thresholds derive from any registry quorum system
-  (``majority`` by default) via
+  ``nodes`` extra metadata nodes appended to the cluster. With ``f = 0``
+  the tier is trusted fail-stop and thresholds derive from any registry
+  quorum system (``majority`` by default) via
   :meth:`~repro.quorum.base.QuorumSystem.as_level_thresholds`, falling
-  back to the size of a minimal quorum over the full metadata set;
+  back to the size of a minimal quorum over the full metadata set. With
+  ``f > 0`` the tier itself tolerates ``f`` Byzantine members: the
+  classic 3f+1 sizing with 2f+1 write/read thresholds (any two quorums
+  then intersect in f+1 nodes — *Byzantine Reliable Broadcast*, Locher);
 * :class:`BlockVerifier` — builds the ``metadata`` rounds that store and
   fetch per-block ``(version, digest)`` records, and the accept
   predicates that verify payload replies against them. Verification
@@ -24,16 +27,34 @@ makes payload replies checkable without trusting payload nodes:
   keeps waiting for substitute replies, the instant path keeps issuing),
   so a read only fails once the quorum is genuinely exhausted.
 
+Self-verifying records
+----------------------
+
+With ``signed=True`` every record carries a writer-keyed HMAC (BLAKE2b
+keyed mode, :func:`record_tag`) over ``(namespace, block, version,
+digest)``. A metadata node holds no writer key, so it cannot *forge* a
+record — it can only serve authentic ones (possibly old: a rollback).
+Signed read rounds reject bad-tag records at the accept predicate
+(``tag_rejections``), which widens the round to substitute metadata
+replies; with ``f > 0``, :meth:`BlockVerifier.resolve` additionally
+requires **f+1 matching** ``(version, digest)`` records instead of
+trusting the single max-version reply, which defeats authentic-record
+rollback replay by up to f liars. Unsigned f=0 verifiers keep the
+original 16-byte record layout bit for bit, so existing seeds replay
+identically.
+
 Metadata records are stored as ordinary data records on the metadata
-nodes (digest bytes as the payload, the block version as the record
-version), so every existing piece of machinery — service queues, latency
-legs, failure injection, the trace — applies to the metadata tier
-unchanged.
+nodes (digest — plus tag — bytes as the payload, the block version as
+the record version), so every existing piece of machinery — service
+queues, latency legs, failure injection, the trace — applies to the
+metadata tier unchanged.
 """
 
 from __future__ import annotations
 
 import hashlib
+import hmac
+from collections import Counter
 
 import numpy as np
 
@@ -44,7 +65,10 @@ from repro.runtime.rounds import Request, Response, Round, RoundOutcome
 __all__ = [
     "METADATA_ROUND",
     "DIGEST_SIZE",
+    "TAG_SIZE",
     "block_digest",
+    "writer_key",
+    "record_tag",
     "MetadataQuorum",
     "BlockVerifier",
 ]
@@ -55,11 +79,42 @@ METADATA_ROUND = "metadata"
 #: digest width in bytes (BLAKE2b truncated output)
 DIGEST_SIZE = 16
 
+#: record-tag width in bytes (BLAKE2b keyed-mode truncated output)
+TAG_SIZE = 16
+
 
 def block_digest(payload: np.ndarray) -> bytes:
     """The cross-checksum of one data block: BLAKE2b-128 over its bytes."""
     data = np.ascontiguousarray(payload).tobytes()
     return hashlib.blake2b(data, digest_size=DIGEST_SIZE).digest()
+
+
+def writer_key(namespace: str) -> bytes:
+    """The deterministic per-namespace writer key of the signed tier.
+
+    Derived (BLAKE2b with a personalization string) rather than sampled
+    so one spec reproduces one key: simulated metadata nodes never see
+    it — the threat model is a storage server without the writer's
+    credential, not a compromised writer.
+    """
+    return hashlib.blake2b(
+        namespace.encode("utf-8"), digest_size=32, person=b"repro-meta-key"
+    ).digest()
+
+
+def record_tag(
+    key: bytes, namespace: str, block: int, version: int, digest: bytes
+) -> bytes:
+    """Writer-keyed HMAC over one metadata record (BLAKE2b keyed mode).
+
+    The tag binds the digest to its coordinates — namespace, block and
+    version — so a lying metadata node can neither fabricate a record
+    nor re-label an authentic one (serve block j's record for block i,
+    or an old digest under a bumped version)."""
+    mac = hashlib.blake2b(digest_size=TAG_SIZE, key=key)
+    mac.update(f"{namespace}|{int(block)}|{int(version)}|".encode("utf-8"))
+    mac.update(digest)
+    return mac.digest()
 
 
 class MetadataQuorum:
@@ -73,24 +128,73 @@ class MetadataQuorum:
     :class:`~repro.quorum.base.QuorumSystem` — exactly for
     count-structured systems (majority, ROWA, unit-weight voting), via
     the size of a minimal quorum over the whole tier otherwise.
+
+    ``f`` is the number of *Byzantine* metadata members tolerated. With
+    ``f > 0`` the tier must hold at least 3f+1 nodes and both thresholds
+    become 2f+1 — any write/read quorum pair then intersects in f+1
+    nodes, of which at most f lie, so the reader always hears at least
+    one honest latest record and f+1 matching replies outvote any
+    rollback (:meth:`BlockVerifier.resolve` enforces the matching rule).
+    Configurations whose quorums cannot intersect are rejected here, not
+    discovered as silent staleness mid-run.
     """
 
-    def __init__(self, node_ids, write_need: int, read_need: int) -> None:
+    def __init__(
+        self, node_ids, write_need: int, read_need: int, f: int = 0
+    ) -> None:
         self.node_ids = tuple(int(i) for i in node_ids)
         if not self.node_ids:
             raise ConfigurationError("metadata quorum needs at least one node")
         self.write_need = int(write_need)
         self.read_need = int(read_need)
+        self.f = int(f)
+        if self.f < 0:
+            raise ConfigurationError(f"metadata f must be >= 0, got {self.f}")
+        total = len(self.node_ids)
+        if self.f > 0 and total < 3 * self.f + 1:
+            raise ConfigurationError(
+                f"tolerating f = {self.f} Byzantine metadata nodes needs "
+                f"at least 3f + 1 = {3 * self.f + 1} nodes, got {total}"
+            )
         for label, need in (("write_need", self.write_need), ("read_need", self.read_need)):
-            if not 1 <= need <= len(self.node_ids):
+            if not 1 <= need <= total:
                 raise ConfigurationError(
-                    f"{label} must be in [1, {len(self.node_ids)}], got {need}"
+                    f"{label} must be in [1, {total}], got {need}"
                 )
+        if self.write_need + self.read_need <= total:
+            raise ConfigurationError(
+                f"write_need + read_need must exceed the tier size for "
+                f"quorums to intersect: {self.write_need} + {self.read_need} "
+                f"<= {total}"
+            )
+        if self.f > 0:
+            floor = 2 * self.f + 1
+            for label, need in (
+                ("write_need", self.write_need),
+                ("read_need", self.read_need),
+            ):
+                if need < floor:
+                    raise ConfigurationError(
+                        f"{label} must be at least 2f + 1 = {floor} to "
+                        f"guarantee an f+1 honest intersection, got {need}"
+                    )
 
     @classmethod
-    def from_system(cls, node_ids, system: QuorumSystem) -> "MetadataQuorum":
-        """Derive count thresholds from a registry quorum system."""
+    def from_system(
+        cls, node_ids, system: QuorumSystem, f: int = 0
+    ) -> "MetadataQuorum":
+        """Derive count thresholds from a registry quorum system.
+
+        With ``f > 0`` the Byzantine math replaces the registry
+        derivation outright: both thresholds are 2f+1 over a >= 3f+1
+        tier, whatever the named quorum kind would have said — a
+        fail-stop majority of a Byzantine-sized tier cannot guarantee an
+        honest intersection.
+        """
         ids = tuple(int(i) for i in node_ids)
+        if int(f) > 0:
+            threshold = 2 * int(f) + 1
+            return cls(ids, threshold, threshold, f=int(f))
         full = set(range(len(ids)))
 
         def need(kind: str) -> int:
@@ -128,18 +232,29 @@ class BlockVerifier:
         cluster,
         quorum: MetadataQuorum,
         namespace: str = "stripe-0",
+        signed: bool = False,
     ) -> None:
         self.cluster = cluster
         self.quorum = quorum
         self.namespace = str(namespace)
+        #: self-verifying records: digest + writer-keyed tag per record
+        self.signed = bool(signed)
+        self._key = writer_key(self.namespace) if self.signed else None
         #: payload replies whose content hash contradicted the metadata
         #: record (definite corruption — the version claim matched)
         self.digest_mismatches = 0
         #: payload replies whose version claim contradicted the metadata
         #: record (stale or lying node; indistinguishable, both rejected)
         self.version_mismatches = 0
-        #: metadata rounds that failed to assemble their quorum
+        #: metadata rounds that failed to assemble their quorum (or, with
+        #: f > 0, to find f+1 matching records)
         self.metadata_failures = 0
+        #: metadata records rejected for a bad or missing writer tag
+        self.tag_rejections = 0
+        #: equal-version records with differing digests seen in resolve —
+        #: surfaced even in fail-stop mode, where the max-version fold
+        #: would otherwise keep the first-seen digest silently
+        self.record_conflicts = 0
 
     # ------------------------------------------------------------------ #
     # record layout
@@ -148,9 +263,54 @@ class BlockVerifier:
     def meta_key(self, block: int):
         return ("meta", self.namespace, int(block))
 
-    @staticmethod
-    def _record(digest: bytes) -> np.ndarray:
-        return np.frombuffer(digest, dtype=np.uint8)
+    def _record(self, block: int, version: int, digest: bytes) -> np.ndarray:
+        raw = digest
+        if self.signed:
+            raw += record_tag(self._key, self.namespace, block, version, digest)
+        return np.frombuffer(raw, dtype=np.uint8)
+
+    def _parse(self, block: int, payload, version: int) -> bytes | None:
+        """The digest of one metadata reply, or None when unauthentic.
+
+        Unsigned verifiers accept the raw bytes as-is (the original
+        trusted-tier layout); signed verifiers require the exact
+        digest+tag width and a tag that verifies for the *claimed*
+        coordinates — so both forged records and authentic records
+        re-labelled with a shifted version fail here.
+        """
+        raw = bytes(np.asarray(payload).tobytes())
+        if not self.signed:
+            return raw
+        if len(raw) != DIGEST_SIZE + TAG_SIZE:
+            return None
+        digest, tag = raw[:DIGEST_SIZE], raw[DIGEST_SIZE:]
+        expected = record_tag(
+            self._key, self.namespace, int(block), int(version), digest
+        )
+        if not hmac.compare_digest(tag, expected):
+            return None
+        return digest
+
+    def record_accept(self, block: int):
+        """Accept predicate of signed metadata reads: valid-tag records.
+
+        A bad-tag record is rejected (counted in ``tag_rejections``) and
+        therefore does not count toward ``read_need`` — the round widens
+        to substitute metadata replies, so up to f forging liars in a
+        3f+1 tier cost latency, never correctness, and f+1 of them
+        exhaust the quorum into a clean failure.
+        """
+
+        def accept(response: Response) -> bool:
+            if not response.ok:
+                return False
+            payload, version = response.value
+            if self._parse(block, payload, version) is None:
+                self.tag_rejections += 1
+                return False
+            return True
+
+        return accept
 
     # ------------------------------------------------------------------ #
     # rounds
@@ -158,13 +318,13 @@ class BlockVerifier:
 
     def bootstrap(self, block: int, payload: np.ndarray) -> None:
         """Write the version-0 record during volume load (instant path)."""
-        record = self._record(block_digest(payload))
+        record = self._record(block, 0, block_digest(payload))
         for node_id in self.quorum.node_ids:
             self.cluster.rpc(node_id, "put_data", self.meta_key(block), record, 0)
 
     def write_round(self, block: int, version: int, digest: bytes) -> Round:
         """The commit round: store (version, digest) on a write quorum."""
-        record = self._record(digest)
+        record = self._record(block, int(version), digest)
         requests = [
             Request(
                 node_id,
@@ -182,7 +342,12 @@ class BlockVerifier:
         )
 
     def read_round(self, block: int) -> Round:
-        """Fetch (version, digest) records from a read quorum."""
+        """Fetch (version, digest) records from a read quorum.
+
+        Signed verifiers attach :meth:`record_accept`, so only
+        authenticated records count toward ``read_need``; unsigned
+        rounds keep the original accept-everything shape bit for bit.
+        """
         requests = [
             Request(
                 node_id,
@@ -192,25 +357,109 @@ class BlockVerifier:
             )
             for node_id in self.quorum.node_ids
         ]
-        return Round(requests, need=self.quorum.read_need, kind=METADATA_ROUND)
+        accept = self.record_accept(block) if self.signed else None
+        return Round(
+            requests, need=self.quorum.read_need, accept=accept,
+            kind=METADATA_ROUND,
+        )
 
     def resolve(self, outcome: RoundOutcome) -> tuple[int, bytes] | None:
-        """Newest (version, digest) over a metadata read outcome.
+        """The authoritative (version, digest) over a metadata read outcome.
 
-        Returns None when the quorum was not assembled (the caller fails
-        the operation) — also counted in ``metadata_failures``.
+        Fail-stop mode (``f = 0``) trusts the newest record; Byzantine
+        mode requires **f+1 matching** ``(version, digest)`` records —
+        up to f liars cannot assemble a matching group, so an authentic-
+        but-old record replayed by the liars is outvoted by the honest
+        intersection — and additionally refuses whenever an
+        authenticated record is newer than the best certifiable group
+        (f+1 colluding replays never beat a lone honest latest reply).
+        Returns None when the quorum was not assembled, no group
+        qualifies, or freshness cannot be certified (the caller fails
+        the operation cleanly) — also counted in ``metadata_failures``.
         """
         if not outcome.satisfied or not outcome.accepted:
             self.metadata_failures += 1
             return None
-        best_version = -1
-        best_digest = b""
+        records: list[tuple[int, bytes]] = []
         for response in outcome.accepted:
             payload, version = response.value
-            if int(version) > best_version:
-                best_version = int(version)
-                best_digest = bytes(payload.tobytes())
+            if self.signed:
+                # ("meta", namespace, block) — recover the block from the
+                # request so engines need not thread it through resolve.
+                block = response.request.args[0][2]
+                digest = self._parse(block, payload, version)
+                if digest is None:  # defensive: accept() already filters
+                    self.tag_rejections += 1
+                    continue
+            else:
+                digest = bytes(payload.tobytes())
+            records.append((int(version), digest))
+        return self._resolve_records(records)
+
+    def _resolve_records(
+        self, records: list[tuple[int, bytes]]
+    ) -> tuple[int, bytes] | None:
+        """Shared resolution fold over parsed, authenticated records."""
+        if not records:
+            self.metadata_failures += 1
+            return None
+        best_version = -1
+        best_digest = b""
+        for version, digest in records:
+            if version > best_version:
+                best_version = version
+                best_digest = digest
+            elif version == best_version and digest != best_digest:
+                self.record_conflicts += 1
+        if self.quorum.f > 0:
+            counts = Counter(records)
+            qualifying = [
+                record
+                for record, count in counts.items()
+                if count >= self.quorum.f + 1
+            ]
+            if not qualifying:
+                self.metadata_failures += 1
+                return None
+            candidate = max(qualifying)
+            if best_version > candidate[0]:
+                # An authenticated record is *newer* than anything we can
+                # certify with f+1 matches — f+1 colluding replays of one
+                # old record must not outvote a lone honest latest reply.
+                # Refusing beats rolling back: clean failure, never stale.
+                self.metadata_failures += 1
+                return None
+            return candidate
         return best_version, best_digest
+
+    def lookup(self, block: int) -> tuple[int, bytes] | None:
+        """Instant-path metadata fetch for out-of-band anti-entropy.
+
+        The repair service runs outside the coordinators (direct RPCs),
+        so this is the round-free twin of :meth:`read_round` +
+        :meth:`resolve`: issue reads across the tier in id order until
+        ``read_need`` *valid* records are gathered (unreachable nodes
+        and bad-tag records are skipped — the widening behavior of the
+        round path), then resolve them under the same f+1 rule.
+        """
+        key = self.meta_key(block)
+        records: list[tuple[int, bytes]] = []
+        for node_id in self.quorum.node_ids:
+            try:
+                payload, version = self.cluster.rpc(node_id, "read_data", key)
+            except (NodeUnavailableError, KeyError):
+                continue
+            digest = self._parse(block, payload, version)
+            if digest is None:
+                self.tag_rejections += 1
+                continue
+            records.append((int(version), digest))
+            if len(records) == self.quorum.read_need:
+                break
+        if len(records) < self.quorum.read_need:
+            self.metadata_failures += 1
+            return None
+        return self._resolve_records(records)
 
     # ------------------------------------------------------------------ #
     # payload verification
@@ -255,4 +504,6 @@ class BlockVerifier:
             "digest_mismatches": self.digest_mismatches,
             "version_mismatches": self.version_mismatches,
             "metadata_failures": self.metadata_failures,
+            "tag_rejections": self.tag_rejections,
+            "record_conflicts": self.record_conflicts,
         }

@@ -83,7 +83,7 @@ class StorageNodeService:
         try:
             value = getattr(node, method)(*args, **kwargs)
             if node.byzantine is not None:
-                value = node.byzantine.apply(node, method, value)
+                value = node.byzantine.apply(node, method, value, tuple(args))
         except (ReproError, KeyError) as exc:
             self.faults += 1
             return {"id": msg_id, "ok": False, "error": encode_error(exc)}

@@ -42,6 +42,7 @@ class TestPerfHarness:
             "optimizer",
             "latency_sim",
             "byzantine_overhead",
+            "metadata_byzantine",
             "sharded_throughput",
             "wallclock_inproc",
         ):
@@ -61,6 +62,13 @@ class TestPerfHarness:
     def test_byzantine_overhead_entry(self, perf_doc):
         entry = perf_doc["results"]["byzantine_overhead"]
         assert entry["ops_per_s"] > 0
+        assert entry["baseline_seconds_per_call"] > 0
+        assert entry["overhead_ratio"] > 0
+
+    def test_metadata_byzantine_entry(self, perf_doc):
+        entry = perf_doc["results"]["metadata_byzantine"]
+        assert entry["ops_per_s"] > 0
+        assert entry["f"] == TINY_SIZES["mbyz_f"]
         assert entry["baseline_seconds_per_call"] > 0
         assert entry["overhead_ratio"] > 0
 

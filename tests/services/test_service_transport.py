@@ -112,6 +112,31 @@ class TestInprocTransport:
         assert np.array_equal(value, payload()) and version == 1
         assert transport.calls == 2
 
+    def test_version_rpcs_round_trip_with_tuple_keys(self):
+        # The verified read path interrogates versions before payloads
+        # and keys metadata records by tuple; both version RPCs and the
+        # tuple-key encoding must survive the wire codec end to end.
+        service = StorageNodeService(StorageNode(0))
+        transport = InprocTransport(service)
+        meta_key = ("meta", "api-stripe", 0)
+        vv = np.arange(6, dtype=np.int64)
+
+        async def go():
+            await transport.call("put_data", (meta_key, payload(), 4))
+            await transport.call("put_parity", (("erc-parity", "s"), payload(), vv))
+            data_v = await transport.call("data_version", (meta_key,))
+            missing_v = await transport.call("data_version", (("meta", "x", 1),))
+            parity_vv = await transport.call(
+                "parity_versions", (("erc-parity", "s"),)
+            )
+            await transport.aclose()
+            return data_v, missing_v, parity_vv
+
+        data_v, missing_v, parity_vv = run(go())
+        assert data_v == 4
+        assert missing_v == -1  # absent key: the sentinel, not an error
+        assert np.array_equal(np.asarray(parity_vv), vv)
+
     def test_fifo_resolution_order(self):
         service = StorageNodeService(StorageNode(0))
         transport = InprocTransport(service)
