@@ -64,6 +64,7 @@ from repro.sim.workloads import (
     sequential_workload,
     uniform_workload,
     vm_disk_workload,
+    write_payload,
     zipf_workload,
 )
 
@@ -224,12 +225,8 @@ class ScenarioRunner:
                 reads_ok += bool(built.engine.read_block(op.block).success)
             else:
                 writes += 1
-                value = (
-                    make_rng(op.payload_seed)
-                    .integers(
-                        0, 256, self.spec.workload.block_length, dtype=np.int64
-                    )
-                    .astype(np.uint8)
+                value = write_payload(
+                    op.payload_seed, self.spec.workload.block_length
                 )
                 writes_ok += bool(built.engine.write_block(op.block, value).success)
         return {

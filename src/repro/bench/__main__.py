@@ -35,11 +35,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress table output"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="perf harness only: cProfile each section's warmup call and "
+        "print its top-15 cumulative functions",
+    )
     args = parser.parse_args(argv)
 
     if args.json is not None:
         path = write_perf_json(
-            args.json, sizes=TINY_SIZES if args.tiny else None, quiet=args.quiet
+            args.json,
+            sizes=TINY_SIZES if args.tiny else None,
+            quiet=args.quiet,
+            profile=args.profile,
         )
         print(f"Wrote: {path}")
         return 0

@@ -111,6 +111,18 @@ DEFAULT_SIZES = {
     "wc_clients": 4,
     "wc_block_length": 64,
     "wc_repeats": 2,
+    # event core: the vectorized session layer against the frozen
+    # per-object reference loop — one pinned quorum fan-out resubmitted
+    # by ec_clients concurrent closed-loop sessions, the regime where
+    # per-message heap/timer bookkeeping dominates. The reference runs
+    # ec_ref_ops rounds (it is ~10x slower); rates are compared.
+    "ec_ops": 100_000,
+    "ec_ref_ops": 10_000,
+    "ec_nodes": 24,
+    "ec_fanout": 24,
+    "ec_need": 13,
+    "ec_clients": 256,
+    "ec_repeats": 1,
 }
 
 #: Tiny sizes for the tier-1-adjacent smoke target (< 1 s total).
@@ -158,12 +170,41 @@ TINY_SIZES = {
     "wc_clients": 2,
     "wc_block_length": 32,
     "wc_repeats": 1,
+    "ec_ops": 2_000,
+    "ec_ref_ops": 400,
+    "ec_nodes": 12,
+    "ec_fanout": 12,
+    "ec_need": 7,
+    "ec_clients": 64,
+    "ec_repeats": 1,
 }
 
 
-def _time_call(fn, repeats: int) -> float:
-    """Best-of-runs seconds per call (one warmup call outside the clock)."""
-    fn()
+#: ``--profile`` switch: when True, every section's warmup call runs
+#: under cProfile and its top-15 cumulative functions print (the timed
+#: repeats themselves stay unprofiled so the numbers are clean).
+_PROFILE_SECTIONS = False
+
+
+def _time_call(fn, repeats: int, label: str = "") -> float:
+    """Best-of-runs seconds per call (one warmup call outside the clock).
+
+    With :data:`_PROFILE_SECTIONS` set (the ``--profile`` flag), the
+    warmup call is wrapped in ``cProfile`` and the section's top-15
+    cumulative functions print before the timed repeats run.
+    """
+    if _PROFILE_SECTIONS:
+        import cProfile
+        import pstats
+
+        prof = cProfile.Profile()
+        prof.enable()
+        fn()
+        prof.disable()
+        print(f"\n=== profile: {label or '<unnamed section>'} ===")
+        pstats.Stats(prof).sort_stats("cumulative").print_stats(15)
+    else:
+        fn()
     best = float("inf")
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
@@ -213,8 +254,23 @@ def _seed_optimize(n: int, k: int, p: float, max_h: int):
     return _collect_result(points)
 
 
-def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
-    """Run every benchmark; returns the JSON-ready document as a dict."""
+def run_perf(
+    sizes: dict | None = None, rng_seed: int = 0, profile: bool = False
+) -> dict:
+    """Run every benchmark; returns the JSON-ready document as a dict.
+
+    ``profile=True`` (the CLI ``--profile`` flag) prints each section's
+    top-15 cumulative-time functions from a cProfile of its warmup call.
+    """
+    global _PROFILE_SECTIONS
+    _PROFILE_SECTIONS = profile
+    try:
+        return _run_perf(sizes, rng_seed)
+    finally:
+        _PROFILE_SECTIONS = False
+
+
+def _run_perf(sizes: dict | None, rng_seed: int) -> dict:
     cfg = dict(DEFAULT_SIZES if sizes is None else sizes)
     n, k = cfg["n"], cfg["k"]
     length = cfg["block_length"]
@@ -232,11 +288,11 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
 
     # -- encode ------------------------------------------------------- #
     enc_reps = cfg["encode_repeats"]
-    t_seed_enc = _time_call(lambda: _seed_encode(code, data), enc_reps)
+    t_seed_enc = _time_call(lambda: _seed_encode(code, data), enc_reps, "encode_seed")
     results["encode_seed"] = _entry(t_seed_enc, data_bytes)
-    t_enc = _time_call(lambda: code.encode(data), enc_reps)
+    t_enc = _time_call(lambda: code.encode(data), enc_reps, "encode")
     results["encode"] = _entry(t_enc, data_bytes)
-    t_enc_batch = _time_call(lambda: code.encode_batch(batch), max(1, enc_reps // 4))
+    t_enc_batch = _time_call(lambda: code.encode_batch(batch), max(1, enc_reps // 4), "encode_batch")
     results["encode_batch"] = _entry(t_enc_batch, stripes * data_bytes)
 
     # -- small-block batch (the dispatch-bound regime fusion targets) -- #
@@ -252,11 +308,11 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         for stripe_data in small:
             code.encode(stripe_data)
 
-    t_small_loop = _time_call(encode_loop, max(1, enc_reps // 4))
+    t_small_loop = _time_call(encode_loop, max(1, enc_reps // 4), "encode_small_loop")
     results["encode_small_loop"] = _entry(t_small_loop, small_bytes)
     t_small_batch = _time_call(
         lambda: code.encode_batch(small), max(1, enc_reps // 4)
-    )
+    , "encode_small_batch")
     results["encode_small_batch"] = _entry(t_small_batch, small_bytes)
 
     # -- decode (repeated survivor set: the acceptance benchmark) ------ #
@@ -265,16 +321,16 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
     survivors = [i for i in range(n) if i not in lost][:k]
     frag = np.ascontiguousarray(stripe[survivors])
     dec_reps = cfg["decode_repeats"]
-    t_seed_dec = _time_call(lambda: _seed_decode(code, survivors, frag), dec_reps)
+    t_seed_dec = _time_call(lambda: _seed_decode(code, survivors, frag), dec_reps, "decode_seed")
     results["decode_seed"] = _entry(t_seed_dec, data_bytes)
     code.clear_plan_cache()
-    t_dec = _time_call(lambda: code.decode(survivors, frag), dec_reps)
+    t_dec = _time_call(lambda: code.decode(survivors, frag), dec_reps, "decode_repeated")
     results["decode_repeated"] = _entry(t_dec, data_bytes)
     stripe_batch = code.encode_batch(batch)
     frag_batch = np.ascontiguousarray(stripe_batch[:, survivors])
     t_dec_batch = _time_call(
         lambda: code.decode_batch(survivors, frag_batch), max(1, dec_reps // 4)
-    )
+    , "decode_batch")
     results["decode_batch"] = _entry(t_dec_batch, stripes * data_bytes)
     results["decode_plan_cache"] = code.plan_cache_info()
 
@@ -286,7 +342,7 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         for j in range(code.k, code.n):
             code.apply_parity_delta(parity, j, 0, delta)
 
-    t_upd = _time_call(update, enc_reps)
+    t_upd = _time_call(update, enc_reps, "update_deltas")
     results["update_deltas"] = _entry(t_upd, max(1, code.m) * length)
 
     # -- Monte-Carlo estimators --------------------------------------- #
@@ -294,7 +350,7 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
     trials = cfg["mc_trials"]
     t_mc_w = _time_call(
         lambda: mc_write_availability(quorum, 0.9, trials=trials, rng=123), 3
-    )
+    , "mc_write")
     results["mc_write"] = {
         "seconds_per_call": t_mc_w,
         "trials": trials,
@@ -303,6 +359,7 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
     t_mc_r = _time_call(
         lambda: mc_read_availability_erc(quorum, n, k, 0.9, trials=trials, rng=123),
         3,
+    "mc_read_erc",
     )
     results["mc_read_erc"] = {
         "seconds_per_call": t_mc_r,
@@ -317,6 +374,7 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
     t_enum_seed = _time_call(
         lambda: exact_read_erc(e_quorum, e_n, e_k, 0.9, method="enumeration"),
         e_reps,
+    "exact_enum_seed",
     )
     results["exact_enum_seed"] = {
         "seconds_per_call": t_enum_seed,
@@ -327,7 +385,7 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         occupancy_cache_clear()
         exact_read_erc(e_quorum, e_n, e_k, 0.9)
 
-    t_enum_occ = _time_call(exact_occupancy_cold, e_reps)
+    t_enum_occ = _time_call(exact_occupancy_cold, e_reps, "exact_enum_occupancy")
     results["exact_enum_occupancy"] = {
         "seconds_per_call": t_enum_occ,
         "nbnode": e_quorum.shape.total_nodes,
@@ -335,7 +393,7 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
     # Warm tables: the sweep/optimizer regime, where only the p fold runs.
     t_enum_warm = _time_call(
         lambda: exact_read_erc(e_quorum, e_n, e_k, 0.9), e_reps
-    )
+    , "exact_enum_occupancy_warm")
     results["exact_enum_occupancy_warm"] = {
         "seconds_per_call": t_enum_warm,
         "nbnode": e_quorum.shape.total_nodes,
@@ -345,7 +403,7 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
     o_n, o_k = cfg["opt_n"], cfg["opt_k"]
     o_p, o_max_h = cfg["opt_p"], cfg["opt_max_h"]
     o_reps = cfg["opt_repeats"]
-    t_opt_seed = _time_call(lambda: _seed_optimize(o_n, o_k, o_p, o_max_h), o_reps)
+    t_opt_seed = _time_call(lambda: _seed_optimize(o_n, o_k, o_p, o_max_h), o_reps, "optimizer_seed")
     evaluated = optimize_config(o_n, o_k, o_p, max_h=o_max_h).evaluated
     results["optimizer_seed"] = {
         "seconds_per_call": t_opt_seed,
@@ -356,7 +414,7 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         occupancy_cache_clear()
         optimize_config(o_n, o_k, o_p, max_h=o_max_h)
 
-    t_opt = _time_call(optimize_cold, o_reps)
+    t_opt = _time_call(optimize_cold, o_reps, "optimizer")
     results["optimizer"] = {
         "seconds_per_call": t_opt,
         "evaluated": evaluated,
@@ -392,7 +450,7 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         )
         ScenarioRunner(spec).run()
 
-    t_lat = _time_call(latency_sim, cfg["lat_repeats"])
+    t_lat = _time_call(latency_sim, cfg["lat_repeats"], "latency_sim")
     results["latency_sim"] = {
         "seconds_per_call": t_lat,
         "ops": lat_ops,
@@ -441,8 +499,8 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         return ScenarioRunner(spec).run()
 
     byz_reps = cfg["byz_repeats"]
-    t_byz = _time_call(lambda: byzantine_sim(True), byz_reps)
-    t_byz_base = _time_call(lambda: byzantine_sim(False), byz_reps)
+    t_byz = _time_call(lambda: byzantine_sim(True), byz_reps, "byzantine_overhead")
+    t_byz_base = _time_call(lambda: byzantine_sim(False), byz_reps, "byzantine_baseline")
     results["byzantine_overhead"] = {
         "seconds_per_call": t_byz,
         "ops": byz_ops,
@@ -496,8 +554,8 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         return ScenarioRunner(spec).run()
 
     mbyz_reps = cfg["mbyz_repeats"]
-    t_mbyz = _time_call(lambda: metadata_byzantine_sim(True), mbyz_reps)
-    t_mbyz_base = _time_call(lambda: metadata_byzantine_sim(False), mbyz_reps)
+    t_mbyz = _time_call(lambda: metadata_byzantine_sim(True), mbyz_reps, "metadata_byzantine")
+    t_mbyz_base = _time_call(lambda: metadata_byzantine_sim(False), mbyz_reps, "metadata_baseline")
     results["metadata_byzantine"] = {
         "seconds_per_call": t_mbyz,
         "ops": mbyz_ops,
@@ -541,7 +599,7 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         )
         ScenarioRunner(spec).run()
 
-    t_shard = _time_call(sharded_sim, cfg["shard_repeats"])
+    t_shard = _time_call(sharded_sim, cfg["shard_repeats"], "sharded_throughput")
     results["sharded_throughput"] = {
         "seconds_per_call": t_shard,
         "ops": shard_ops,
@@ -578,7 +636,7 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         )
         run_wallclock(spec)
 
-    t_wc = _time_call(wallclock_inproc, cfg["wc_repeats"])
+    t_wc = _time_call(wallclock_inproc, cfg["wc_repeats"], "wallclock_inproc")
     results["wallclock_inproc"] = {
         "seconds_per_call": t_wc,
         "ops": wc_ops,
@@ -586,7 +644,91 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
         "ops_per_s": wc_ops / t_wc,
     }
 
+    # -- event core (vectorized session layer vs per-object loop) ------- #
+    from repro.runtime.event import EventCoordinator
+    from repro.runtime.reference import ReferenceEventCoordinator
+
+    ec_events: dict[str, int] = {}
+
+    def event_core_run(coordinator_cls, ops: int) -> int:
+        from repro.cluster.cluster import Cluster
+        from repro.cluster.events import Simulator
+        from repro.cluster.network import FixedLatency, Network
+        from repro.runtime.rounds import Request, RetryPolicy, Round
+
+        nodes = cfg["ec_nodes"]
+        fanout = cfg["ec_fanout"]
+        clients = min(cfg["ec_clients"], ops)
+        sim = Simulator()
+        cluster = Cluster(nodes, network=Network(latency=FixedLatency(0.001)))
+        for i in range(nodes):
+            cluster.nodes[i].put_data(i, np.zeros(8, dtype=np.uint8), 1)
+        coordinator = coordinator_cls(
+            cluster, sim, rng=1, policy=RetryPolicy(timeout=0.05, retries=1)
+        )
+        # One pinned fan-out, reused every round: the section measures
+        # the session layer (scheduling, delivery, quorum bookkeeping),
+        # not request-object construction.
+        requests = [
+            Request(i % nodes, "data_version", (i % nodes,))
+            for i in range(fanout)
+        ]
+        done = [0]
+
+        def plan():
+            outcome = yield Round(
+                requests, need=cfg["ec_need"], kind="version-query"
+            )
+            return outcome
+
+        def resubmit(_result) -> None:
+            done[0] += 1
+            if done[0] + clients <= ops:
+                coordinator.submit(plan(), resubmit)
+
+        for _ in range(clients):
+            coordinator.submit(plan(), resubmit)
+        while sim.step():
+            pass
+        return sim.processed
+
+    ec_ops = cfg["ec_ops"]
+    ec_ref_ops = cfg["ec_ref_ops"]
+    t_ec = _time_call(
+        lambda: ec_events.__setitem__(
+            "vectorized", event_core_run(EventCoordinator, ec_ops)
+        ),
+        cfg["ec_repeats"],
+        "event_core",
+    )
+    t_ec_ref = _time_call(
+        lambda: ec_events.__setitem__(
+            "reference", event_core_run(ReferenceEventCoordinator, ec_ref_ops)
+        ),
+        cfg["ec_repeats"],
+        "event_core_reference",
+    )
+    results["event_core"] = {
+        "seconds_per_call": t_ec,
+        "ops": ec_ops,
+        "fanout": cfg["ec_fanout"],
+        "need": cfg["ec_need"],
+        "clients": min(cfg["ec_clients"], ec_ops),
+        "events_per_op": ec_events["vectorized"] / ec_ops,
+        "ops_per_s": ec_ops / t_ec,
+    }
+    results["event_core_reference"] = {
+        "seconds_per_call": t_ec_ref,
+        "ops": ec_ref_ops,
+        "fanout": cfg["ec_fanout"],
+        "need": cfg["ec_need"],
+        "clients": min(cfg["ec_clients"], ec_ref_ops),
+        "events_per_op": ec_events["reference"] / ec_ref_ops,
+        "ops_per_s": ec_ref_ops / t_ec_ref,
+    }
+
     speedups = {
+        "event_core_vs_reference": (ec_ops / t_ec) / (ec_ref_ops / t_ec_ref),
         "decode_repeated_vs_seed": t_seed_dec / t_dec,
         "decode_batch_vs_seed": (t_seed_dec * stripes) / t_dec_batch,
         "encode_vs_seed": t_seed_enc / t_enc,
@@ -604,10 +746,13 @@ def run_perf(sizes: dict | None = None, rng_seed: int = 0) -> dict:
 
 
 def write_perf_json(
-    path: str | Path, sizes: dict | None = None, quiet: bool = False
+    path: str | Path,
+    sizes: dict | None = None,
+    quiet: bool = False,
+    profile: bool = False,
 ) -> Path:
     """Run the harness and write ``path``; returns the path."""
-    doc = run_perf(sizes=sizes)
+    doc = run_perf(sizes=sizes, profile=profile)
     path = Path(path)
     path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     if not quiet:

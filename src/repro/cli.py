@@ -103,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--json", default="BENCH_perf.json", help="output path")
     perf.add_argument("--tiny", action="store_true", help="sub-second smoke sizes")
     perf.add_argument("--quiet", action="store_true", help="suppress the table")
+    perf.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each section's warmup call (top-15 cumulative)",
+    )
 
     sat = sub.add_parser(
         "saturate", help="ops/s-vs-clients sweep on the sharded runtime"
@@ -289,7 +294,10 @@ def _cmd_perf(args) -> int:
     from repro.bench.perf import TINY_SIZES, write_perf_json
 
     path = write_perf_json(
-        args.json, sizes=TINY_SIZES if args.tiny else None, quiet=args.quiet
+        args.json,
+        sizes=TINY_SIZES if args.tiny else None,
+        quiet=args.quiet,
+        profile=args.profile,
     )
     print(f"Wrote: {path}")
     return 0

@@ -6,34 +6,125 @@ from a :class:`~repro.cluster.failures.FailureTrace`, workload operation
 arrivals) and the event-driven protocol runtime in :mod:`repro.runtime`,
 whose message timeouts need the cancellable :class:`Timer` handles that
 ``schedule_at``/``schedule_in`` return.
+
+Three mechanisms keep the engine fast at million-event scale:
+
+* **Heap compaction** — cancellation is lazy (a cancelled entry stays
+  queued until it surfaces), but the engine counts housed-dead entries
+  and rebuilds the heap once more than half of it is cancelled timers,
+  so churn-heavy runs (every resolved message cancels its timeout) keep
+  the heap proportional to *live* events instead of total ever armed.
+* **Monotone lanes** (:meth:`Simulator.monotone_lane`) — a deque-backed
+  side channel for callers whose deadlines are scheduled in
+  non-decreasing order (constant-delay timeout timers). Push and cancel
+  are O(1) with no heap traffic; the main loop merges lane heads with
+  the heap by the same ``(time, seq)`` key, so ordering is exactly as
+  if every entry had gone through the heap.
+* **Batch drain** (:meth:`Simulator.register_batch_handler` /
+  :meth:`Simulator.schedule_batch`) — events that share one timestamp
+  and one registered vectorized handler are popped as a group and
+  handed over in a single call, instead of one Python callback per
+  event. Grouping only spans *globally consecutive* events: a foreign
+  event (heap or lane) ordered between two batch entries breaks the
+  group, so handlers observe the same interleaving a per-event loop
+  would.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from collections import deque
+from typing import Any, Callable
 
 from repro.errors import SimulationError
 
-__all__ = ["Timer", "Simulator"]
+__all__ = ["Timer", "Simulator", "MonotoneLane"]
+
+#: compaction triggers only past this many dead entries (tiny queues are
+#: cheaper to prune lazily than to rebuild)
+_COMPACT_MIN = 64
 
 
 class Timer:
     """Cancellable handle for one scheduled event.
 
-    Cancellation is lazy: the entry stays in the heap and is discarded
-    when it surfaces, so ``cancel()`` is O(1) and safe to call from any
-    callback (including after the event already ran, where it is a no-op).
+    Cancellation is lazy: the entry stays in its container (heap or
+    lane) and is discarded when it surfaces, so ``cancel()`` is O(1) and
+    safe to call from any callback (including after the event already
+    ran, where it is a no-op). While housed, a cancelled timer is
+    counted by its container so compaction can trigger once dead
+    entries dominate.
     """
 
-    __slots__ = ("time", "cancelled")
+    __slots__ = ("time", "cancelled", "_home")
 
-    def __init__(self, time: float) -> None:
+    def __init__(self, time: float, home=None) -> None:
         self.time = time
         self.cancelled = False
+        self._home = home
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            home = self._home
+            if home is not None:
+                home._dead += 1
+
+
+class MonotoneLane:
+    """Deque-backed event lane for monotonically non-decreasing deadlines.
+
+    Made by :meth:`Simulator.monotone_lane`. ``schedule_call`` appends in
+    O(1) but requires each deadline to be >= the lane's current tail —
+    the natural shape of constant-delay timeout timers, where deadline
+    ``now + T`` only grows as the simulation advances. Entries carry
+    global sequence numbers, and the simulator merges lane heads with
+    the heap by ``(time, seq)``, so lane events fire in exactly the
+    order they would have from the heap.
+    """
+
+    __slots__ = ("_sim", "_entries", "_dead")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._entries: deque = deque()
+        self._dead = 0
+
+    def __len__(self) -> int:
+        return len(self._entries) - self._dead
+
+    def schedule_call(self, time: float, callback, *args) -> Timer:
+        """Schedule ``callback(*args)`` at absolute time ``time`` (>= tail)."""
+        sim = self._sim
+        entries = self._entries
+        if time < sim._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {sim._now}"
+            )
+        if entries and time < entries[-1][0]:
+            raise SimulationError(
+                f"monotone lane requires non-decreasing deadlines: "
+                f"{time} < tail {entries[-1][0]}"
+            )
+        timer = Timer(time, self)
+        entries.append((time, sim._seq, callback, args, timer))
+        sim._seq += 1
+        if self._dead > _COMPACT_MIN and self._dead * 2 > len(entries):
+            self._compact()
+        return timer
+
+    def _compact(self) -> None:
+        self._entries = deque(
+            entry for entry in self._entries if not entry[4].cancelled
+        )
+        self._dead = 0
+
+    def _prune(self) -> None:
+        entries = self._entries
+        while entries and entries[0][4].cancelled:
+            entry = entries.popleft()
+            entry[4]._home = None
+            self._dead -= 1
 
 
 class Simulator:
@@ -42,57 +133,213 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: list[tuple[float, int, Callable[[], None], Timer]] = []
+        #: heap entries: (time, seq, callback-or-handler-id, args, timer)
+        self._queue: list[tuple] = []
+        self._dead = 0
+        self._lanes: list[MonotoneLane] = []
+        self._lane_cache: dict = {}
+        self._handlers: list[Callable[[list], None]] = []
         self.processed = 0
+        #: high-water mark of raw heap entries (live + not-yet-pruned
+        #: cancelled) — the compaction regression tests bound this
+        self.peak_queue_depth = 0
 
     @property
     def now(self) -> float:
         """Current virtual time."""
         return self._now
 
+    @property
+    def queue_depth(self) -> int:
+        """Raw heap entries currently housed, including cancelled ones."""
+        return len(self._queue)
+
     def __len__(self) -> int:
         """Pending (non-cancelled) events still queued."""
-        self._prune()
-        return sum(1 for entry in self._queue if not entry[3].cancelled)
+        return (
+            len(self._queue)
+            - self._dead
+            + sum(len(lane) for lane in self._lanes)
+        )
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
-        """Schedule ``callback`` at absolute virtual time ``time``."""
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+
+    def schedule_call(self, time: float, callback, *args) -> Timer:
+        """Schedule ``callback(*args)`` at absolute virtual time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule in the past: {time} < now {self._now}"
             )
-        timer = Timer(float(time))
-        heapq.heappush(self._queue, (float(time), self._seq, callback, timer))
+        timer = Timer(time, self)
+        queue = self._queue
+        heapq.heappush(queue, (time, self._seq, callback, args, timer))
         self._seq += 1
+        depth = len(queue)
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+        if self._dead > _COMPACT_MIN and self._dead * 2 > depth:
+            self._compact()
         return timer
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        return self.schedule_call(float(time), callback)
 
     def schedule_in(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Schedule ``callback`` after ``delay`` virtual seconds."""
         if delay < 0:
             raise SimulationError(f"delay must be >= 0, got {delay}")
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_call(self._now + delay, callback)
+
+    def monotone_lane(self, key=None) -> MonotoneLane:
+        """A :class:`MonotoneLane` merged into this simulator's loop.
+
+        With a ``key``, callers sharing the key share one lane — e.g.
+        every shard coordinator arming constant-``timeout`` timers uses
+        ``("timeout", T)``, keeping the per-step lane scan O(distinct
+        timeouts) instead of O(coordinators). Sharing is only sound when
+        all users push non-decreasing deadlines, which a shared ``now``
+        plus a constant delay guarantees.
+        """
+        if key is not None:
+            lane = self._lane_cache.get(key)
+            if lane is not None:
+                return lane
+        lane = MonotoneLane(self)
+        self._lanes.append(lane)
+        if key is not None:
+            self._lane_cache[key] = lane
+        return lane
+
+    def register_batch_handler(self, handler: Callable[[list], None]) -> int:
+        """Register a vectorized handler; returns its id for ``schedule_batch``."""
+        self._handlers.append(handler)
+        return len(self._handlers) - 1
+
+    def schedule_batch(self, time: float, handler_id: int, payload: Any) -> Timer:
+        """Schedule ``payload`` for the batch handler ``handler_id``.
+
+        Consecutive pending events sharing ``(time, handler_id)`` are
+        drained as one ``handler(payloads)`` call; an unrelated event
+        ordered between them splits the group.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        timer = Timer(time, self)
+        queue = self._queue
+        heapq.heappush(queue, (time, self._seq, handler_id, payload, timer))
+        self._seq += 1
+        depth = len(queue)
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+        if self._dead > _COMPACT_MIN and self._dead * 2 > depth:
+            self._compact()
+        return timer
+
+    # ------------------------------------------------------------------ #
+    # draining
+    # ------------------------------------------------------------------ #
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries."""
+        self._queue = [
+            entry for entry in self._queue if not entry[4].cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._dead = 0
 
     def _prune(self) -> None:
         """Drop cancelled entries sitting at the head of the heap."""
-        while self._queue and self._queue[0][3].cancelled:
-            heapq.heappop(self._queue)
+        queue = self._queue
+        while queue and queue[0][4].cancelled:
+            entry = heapq.heappop(queue)
+            entry[4]._home = None
+            self._dead -= 1
+
+    def _next_source(self):
+        """Prune dead heads; return the container holding the next event.
+
+        ``self`` means the heap, a :class:`MonotoneLane` means that lane,
+        ``None`` means nothing is pending anywhere.
+        """
+        self._prune()
+        queue = self._queue
+        best = self if queue else None
+        best_key = (queue[0][0], queue[0][1]) if queue else None
+        for lane in self._lanes:
+            lane._prune()
+            entries = lane._entries
+            if entries:
+                key = (entries[0][0], entries[0][1])
+                if best_key is None or key < best_key:
+                    best = lane
+                    best_key = key
+        return best
+
+    def _lane_head_before(self, time: float, seq: int) -> bool:
+        """Is any live lane entry ordered before ``(time, seq)``?"""
+        for lane in self._lanes:
+            lane._prune()
+            entries = lane._entries
+            if entries and (entries[0][0], entries[0][1]) < (time, seq):
+                return True
+        return False
 
     def step(self) -> bool:
         """Run the next live event; returns False when the queue is empty."""
-        self._prune()
-        if not self._queue:
+        source = self._next_source()
+        if source is None:
             return False
-        time, _, callback, _timer = heapq.heappop(self._queue)
+        if source is self:
+            entry = heapq.heappop(self._queue)
+        else:
+            entry = source._entries.popleft()
+        time, _seq, callback, args, timer = entry
+        timer._home = None
         self._now = time
-        callback()
         self.processed += 1
+        if type(callback) is int:
+            # Batch entry: drain the run of same-(time, handler) events
+            # that are globally next, then dispatch once.
+            payloads = [args]
+            queue = self._queue
+            while True:
+                self._prune()
+                if not queue:
+                    break
+                head = queue[0]
+                if (
+                    head[0] != time
+                    or type(head[2]) is not int
+                    or head[2] != callback
+                    or self._lane_head_before(time, head[1])
+                ):
+                    break
+                grouped = heapq.heappop(queue)
+                grouped[4]._home = None
+                payloads.append(grouped[3])
+                self.processed += 1
+            self._handlers[callback](payloads)
+        elif args:
+            callback(*args)
+        else:
+            callback()
         return True
 
     def run_until(self, horizon: float) -> None:
         """Process events with time <= horizon, then advance to horizon."""
         while True:
-            self._prune()
-            if not self._queue or self._queue[0][0] > horizon:
+            source = self._next_source()
+            if source is None:
+                break
+            head = (
+                self._queue[0] if source is self else source._entries[0]
+            )
+            if head[0] > horizon:
                 break
             self.step()
         self._now = max(self._now, horizon)

@@ -75,6 +75,27 @@ class LatencyModel:
         """Delay of one message leg from ``src`` to ``dst``."""
         return self.sample(rng)
 
+    def sample_links(
+        self,
+        rng: np.random.Generator,
+        site: int | None,
+        peers,
+    ) -> list[float]:
+        """Delays of one message leg between ``site`` and each peer.
+
+        The batched twin of :meth:`sample_link`, used by the vectorized
+        event core to draw a whole fan-out wave at once. The contract is
+        **stream identity**: the returned list must equal ``len(peers)``
+        sequential ``sample_link`` calls on the same generator (numpy's
+        sized draws satisfy this for the uniform/lognormal families).
+        Links are treated as direction-symmetric — every built-in model
+        is (rack membership does not depend on leg direction) — so the
+        same method serves request legs (coordinator -> peer) and reply
+        legs (peer -> coordinator). Asymmetric custom models must
+        override it.
+        """
+        return [self.sample_link(rng, site, peer) for peer in peers]
+
 
 @dataclass(frozen=True)
 class FixedLatency(LatencyModel):
@@ -84,6 +105,14 @@ class FixedLatency(LatencyModel):
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.delay
+
+    def sample_links(
+        self,
+        rng: np.random.Generator,
+        site: int | None,
+        peers,
+    ) -> list[float]:
+        return [self.delay] * len(peers)
 
 
 @dataclass(frozen=True)
@@ -95,6 +124,16 @@ class UniformLatency(LatencyModel):
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.uniform(self.low, self.high))
+
+    def sample_links(
+        self,
+        rng: np.random.Generator,
+        site: int | None,
+        peers,
+    ) -> list[float]:
+        # Sized draws are bit-identical to sequential scalar draws for
+        # the uniform family, so traces are unchanged.
+        return rng.uniform(self.low, self.high, len(peers)).tolist()
 
 
 @dataclass(frozen=True)
@@ -111,6 +150,16 @@ class LognormalLatency(LatencyModel):
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.lognormal(self.mu, self.sigma))
+
+    def sample_links(
+        self,
+        rng: np.random.Generator,
+        site: int | None,
+        peers,
+    ) -> list[float]:
+        # Sized draws are bit-identical to sequential scalar draws for
+        # the lognormal family, so traces are unchanged.
+        return rng.lognormal(self.mu, self.sigma, len(peers)).tolist()
 
 
 @dataclass(frozen=True)
@@ -175,6 +224,25 @@ class TwoTierLatency(LatencyModel):
         if self.jitter == 0.0:
             return base
         return base * (1.0 + float(rng.uniform(-self.jitter, self.jitter)))
+
+    def sample_links(
+        self,
+        rng: np.random.Generator,
+        site: int | None,
+        peers,
+    ) -> list[float]:
+        site_rack = self.rack_of(site)
+        local, remote = self.local, self.remote
+        bases = [
+            local
+            if site_rack >= 0 and self.rack_of(peer) == site_rack
+            else remote
+            for peer in peers
+        ]
+        if self.jitter == 0.0:
+            return bases
+        factors = rng.uniform(-self.jitter, self.jitter, len(peers)).tolist()
+        return [base * (1.0 + f) for base, f in zip(bases, factors)]
 
 
 @dataclass

@@ -46,7 +46,7 @@ WRITE_ROUND = "write"
 WRITEBACK_ROUND = "write-back"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One node RPC inside a fan-out round.
 
@@ -64,7 +64,7 @@ class Request:
     catches: tuple = (NodeUnavailableError,)
 
 
-@dataclass
+@dataclass(slots=True)
 class Response:
     """One resolved request: a value, or a caught failure."""
 

@@ -106,8 +106,15 @@ class ShardRouter:
             self._perm = np.random.default_rng(self.route_seed).permutation(
                 self.num_blocks
             )
+            keys = self._perm
         else:
             self._perm = None
+            keys = np.arange(self.num_blocks)
+        # Precomputed address map: logical block -> (shard index, local
+        # block), so the hot dispatch path is two array lookups instead
+        # of a divmod (plus a permutation gather under hash routing).
+        self._shard_of = (keys % self.num_shards).astype(np.intp)
+        self._local_of = (keys // self.num_shards).astype(np.intp)
 
     # ------------------------------------------------------------------ #
     # address map
@@ -120,8 +127,7 @@ class ShardRouter:
             raise ConfigurationError(
                 f"logical block must be in [0, {self.num_blocks}), got {block}"
             )
-        key = block if self._perm is None else int(self._perm[block])
-        return self.shards[key % self.num_shards], key // self.num_shards
+        return self.shards[self._shard_of[block]], int(self._local_of[block])
 
     def route_key(self, key: object) -> int:
         """Fold an arbitrary hashable key onto a logical block (FNV-1a)."""

@@ -31,7 +31,7 @@ from repro.cluster.rng import make_rng, spawn_rngs
 from repro.runtime.async_coord import AsyncCoordinator
 from repro.runtime.rounds import RetryPolicy
 from repro.sim.metrics import LatencyTally
-from repro.sim.workloads import OpKind
+from repro.sim.workloads import OpKind, write_payload
 
 from .harness import ServiceGroup, mirror_state
 
@@ -67,11 +67,7 @@ async def _drive(
                     tally.failed_read_latencies.append(elapsed)
             else:
                 tally.writes_attempted += 1
-                value = (
-                    make_rng(op.payload_seed)
-                    .integers(0, 256, block_length, dtype=np.int64)
-                    .astype(np.uint8)
-                )
+                value = write_payload(op.payload_seed, block_length)
                 result = await coordinator.execute_plan(
                     engine.write_plan(op.block, value)
                 )

@@ -55,6 +55,7 @@ from repro.sim.workloads import (
     sequential_workload,
     uniform_workload,
     vm_disk_workload,
+    write_payload,
     zipf_workload,
 )
 
@@ -90,6 +91,7 @@ __all__ = [
     "OpKind",
     "Operation",
     "uniform_workload",
+    "write_payload",
     "sequential_workload",
     "zipf_workload",
     "vm_disk_workload",

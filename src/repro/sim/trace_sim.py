@@ -41,7 +41,7 @@ from repro.quorum.trapezoid import TrapezoidQuorum
 from repro.runtime.event import EventCoordinator
 from repro.runtime.router import ShardRouter
 from repro.sim.metrics import LatencyTally, OperationTally
-from repro.sim.workloads import OpKind, Operation, uniform_workload
+from repro.sim.workloads import OpKind, Operation, uniform_workload, write_payload
 
 __all__ = [
     "TraceSimConfig",
@@ -248,10 +248,7 @@ class TraceSimulation:
                         self.tally.consistency_violations += 1
         else:
             self.tally.writes_attempted += 1
-            payload_rng = np.random.default_rng(op.payload_seed)
-            value = payload_rng.integers(
-                0, 256, self.config.block_length, dtype=np.int64
-            ).astype(np.uint8)
+            value = write_payload(op.payload_seed, self.config.block_length)
             result = protocol.write_block(i, value)
             if result.success:
                 self.tally.writes_succeeded += 1
@@ -388,11 +385,7 @@ class ClosedLoopSimulation:
             )
         else:
             self.tally.writes_attempted += 1
-            value = (
-                make_rng(op.payload_seed)
-                .integers(0, 256, self.config.block_length, dtype=np.int64)
-                .astype(np.uint8)
-            )
+            value = write_payload(op.payload_seed, self.config.block_length)
             plan = self.engine.write_plan(block, value)
             self.coordinator.submit(
                 plan, lambda result: self._write_done(result, block)
@@ -517,25 +510,25 @@ class ShardedClosedLoopSimulation:
         op = self.ops[self._cursor]
         self._cursor += 1
         block = op.block
-        shard, _ = self.router.locate(block)
+        # One address-map lookup serves both the tally pick and the
+        # dispatch (submit_read/submit_write would locate() again).
+        shard, local = self.router.locate(block)
         tally = self.shard_tallies[shard.index]
         self._in_flight += 1
         self._max_in_flight = max(self._max_in_flight, self._in_flight)
         if op.kind is OpKind.READ:
             tally.reads_attempted += 1
             floor = self._committed.get(block, 0)
-            self.router.submit_read(
-                block, lambda result: self._read_done(result, floor, tally)
+            shard.coordinator.submit(
+                shard.engine.read_plan(local),
+                lambda result: self._read_done(result, floor, tally),
             )
         else:
             tally.writes_attempted += 1
-            value = (
-                make_rng(op.payload_seed)
-                .integers(0, 256, self.config.block_length, dtype=np.int64)
-                .astype(np.uint8)
-            )
-            self.router.submit_write(
-                block, value, lambda result: self._write_done(result, block, tally)
+            value = write_payload(op.payload_seed, self.config.block_length)
+            shard.coordinator.submit(
+                shard.engine.write_plan(local, value),
+                lambda result: self._write_done(result, block, tally),
             )
 
     def _reschedule(self) -> None:

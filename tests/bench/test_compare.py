@@ -81,6 +81,48 @@ class TestShardedThroughputGate:
         assert regressions and "missing" in regressions[0]
 
 
+EVENT_CORE_BASELINE = _doc(
+    event_core={
+        "seconds_per_call": 4.0, "ops": 100_000, "fanout": 24, "need": 13,
+        "clients": 256, "events_per_op": 2.0, "ops_per_s": 25_000.0,
+    },
+    event_core_reference={
+        "seconds_per_call": 7.0, "ops": 10_000, "fanout": 24, "need": 13,
+        "clients": 256, "events_per_op": 48.0, "ops_per_s": 1_400.0,
+    },
+)
+
+
+class TestEventCoreGate:
+    """The vectorized-session-layer bench section gates on ops_per_s."""
+
+    def test_drift_tolerated(self):
+        fresh = _doc(
+            event_core={"seconds_per_call": 4.5, "ops": 100_000, "ops_per_s": 22_000.0},
+            event_core_reference={
+                "seconds_per_call": 7.5, "ops": 10_000, "ops_per_s": 1_300.0,
+            },
+        )
+        assert compare_docs(EVENT_CORE_BASELINE, fresh) == []
+
+    def test_regression_detected(self):
+        fresh = _doc(
+            event_core={"seconds_per_call": 10.0, "ops": 100_000, "ops_per_s": 10_000.0},
+            event_core_reference=EVENT_CORE_BASELINE["results"][
+                "event_core_reference"
+            ],
+        )
+        regressions = compare_docs(EVENT_CORE_BASELINE, fresh)
+        assert len(regressions) == 1
+        assert "event_core" in regressions[0] and "ops_per_s" in regressions[0]
+
+    def test_missing_event_core_section_fails_gate(self):
+        regressions = compare_docs(EVENT_CORE_BASELINE, _doc())
+        assert len(regressions) == 2
+        assert any("event_core:" in r and "missing" in r for r in regressions)
+        assert any("event_core_reference:" in r and "missing" in r for r in regressions)
+
+
 class TestCompareDocs:
     def test_identical_docs_pass(self):
         assert compare_docs(BASELINE, BASELINE) == []

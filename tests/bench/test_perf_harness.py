@@ -45,6 +45,8 @@ class TestPerfHarness:
             "metadata_byzantine",
             "sharded_throughput",
             "wallclock_inproc",
+            "event_core",
+            "event_core_reference",
         ):
             assert name in perf_doc["results"], name
 
@@ -72,6 +74,19 @@ class TestPerfHarness:
         assert entry["baseline_seconds_per_call"] > 0
         assert entry["overhead_ratio"] > 0
 
+    def test_event_core_entries(self, perf_doc):
+        entry = perf_doc["results"]["event_core"]
+        reference = perf_doc["results"]["event_core_reference"]
+        assert entry["ops"] == TINY_SIZES["ec_ops"]
+        assert reference["ops"] == TINY_SIZES["ec_ref_ops"]
+        assert entry["ops_per_s"] > 0
+        assert reference["ops_per_s"] > 0
+        # The architectural signature: the vectorized path batches a
+        # whole wave into ~2 events per round, the per-object loop pays
+        # two legs plus a timer per attempt.
+        assert entry["events_per_op"] < reference["events_per_op"]
+        assert perf_doc["speedups"]["event_core_vs_reference"] > 0
+
     def test_throughputs_positive(self, perf_doc):
         for name, entry in perf_doc["results"].items():
             if "mb_per_s" in entry:
@@ -82,6 +97,7 @@ class TestPerfHarness:
     def test_speedups_present_and_positive(self, perf_doc):
         speedups = perf_doc["speedups"]
         for name in (
+            "event_core_vs_reference",
             "decode_repeated_vs_seed",
             "decode_batch_vs_seed",
             "encode_vs_seed",
@@ -126,3 +142,26 @@ class TestCliEntry:
         assert out.exists()
         captured = capsys.readouterr()
         assert "Wrote:" in captured.out
+
+    def test_profile_flag_prints_section_profiles(self, capsys, monkeypatch):
+        # The plumbing behind --profile: with the switch set, a section's
+        # warmup call is profiled and its top-15 cumulative table prints.
+        from repro.bench import perf
+
+        monkeypatch.setattr(perf, "_PROFILE_SECTIONS", True)
+        seconds = perf._time_call(lambda: sum(range(1000)), 1, "demo_section")
+        out = capsys.readouterr().out
+        assert seconds >= 0
+        assert "=== profile: demo_section ===" in out
+        assert "cumulative" in out
+
+    def test_run_perf_restores_profile_switch(self, monkeypatch):
+        import repro.bench.perf as perf
+
+        calls = []
+        monkeypatch.setattr(
+            perf, "_run_perf", lambda sizes, seed: calls.append(perf._PROFILE_SECTIONS)
+        )
+        perf.run_perf(sizes={}, profile=True)
+        assert calls == [True]
+        assert perf._PROFILE_SECTIONS is False

@@ -1,0 +1,231 @@
+"""Event-engine mechanics: compaction, monotone lanes, batch drain.
+
+The vectorized event core leans on three :class:`Simulator` mechanisms
+(heap compaction of cancelled timers, deque-backed monotone lanes, and
+same-timestamp batch grouping); each is pinned here in isolation,
+including the regression bound on peak heap depth under cancel-heavy
+churn that motivated compaction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.events import MonotoneLane, Simulator, Timer
+from repro.errors import SimulationError
+
+
+class TestOrdering:
+    def test_time_then_fifo(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(2.0, lambda: order.append("late"))
+        sim.schedule_at(1.0, lambda: order.append("a"))
+        sim.schedule_at(1.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "late"]
+        assert sim.now == 2.0
+        assert sim.processed == 3
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="in the past"):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_run_until_advances_to_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(0.5, lambda: fired.append(0.5))
+        sim.schedule_at(2.5, lambda: fired.append(2.5))
+        sim.run_until(1.0)
+        assert fired == [0.5]
+        assert sim.now == 1.0
+        assert len(sim) == 1
+
+
+class TestCompaction:
+    def test_cancelled_timer_is_lazy_but_counted(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule_in(1.0, lambda: fired.append("x"))
+        timer.cancel()
+        timer.cancel()  # idempotent
+        assert sim.queue_depth == 1  # still housed
+        assert len(sim) == 0  # but not live
+        sim.run()
+        assert fired == []
+
+    def test_peak_heap_bounded_under_cancel_churn(self):
+        """Arm-and-cancel churn must not grow the heap past ~2x live.
+
+        This is the workload shape of the event runtime before lanes:
+        every resolved message cancels its timeout timer, so without
+        compaction the heap holds every timer ever armed (10_000 here).
+        """
+        sim = Simulator()
+        live = sim.schedule_at(10_000.0, lambda: None)  # one long-lived event
+        for i in range(10_000):
+            timer = sim.schedule_at(float(i + 1), lambda: None)
+            timer.cancel()
+            sim.run_until(float(i))
+        assert live is not None
+        assert len(sim) == 1
+        # >50% dead triggers a rebuild, so the raw heap stays near the
+        # compaction threshold instead of the 10_001 armed entries.
+        assert sim.peak_queue_depth < 200
+        assert sim.queue_depth < 200
+
+    def test_dead_heads_pruned_without_running(self):
+        sim = Simulator()
+        order = []
+        dead = sim.schedule_at(1.0, lambda: order.append("dead"))
+        sim.schedule_at(1.0, lambda: order.append("live"))
+        dead.cancel()
+        sim.run()
+        assert order == ["live"]
+        assert sim.processed == 1
+
+
+class TestMonotoneLane:
+    def test_merges_with_heap_in_global_order(self):
+        sim = Simulator()
+        lane = sim.monotone_lane()
+        order = []
+        sim.schedule_at(1.0, lambda: order.append("h1"))
+        lane.schedule_call(1.5, lambda: order.append("l1"))
+        sim.schedule_at(2.0, lambda: order.append("h2"))
+        lane.schedule_call(2.5, lambda: order.append("l2"))
+        sim.run()
+        assert order == ["h1", "l1", "h2", "l2"]
+
+    def test_same_time_resolves_by_schedule_order(self):
+        sim = Simulator()
+        lane = sim.monotone_lane()
+        order = []
+        sim.schedule_at(1.0, lambda: order.append("heap-first"))
+        lane.schedule_call(1.0, lambda: order.append("lane-second"))
+        sim.schedule_at(1.0, lambda: order.append("heap-third"))
+        sim.run()
+        assert order == ["heap-first", "lane-second", "heap-third"]
+
+    def test_rejects_non_monotone_deadline(self):
+        sim = Simulator()
+        lane = sim.monotone_lane()
+        lane.schedule_call(2.0, lambda: None)
+        with pytest.raises(SimulationError, match="non-decreasing"):
+            lane.schedule_call(1.0, lambda: None)
+
+    def test_keyed_lanes_are_shared(self):
+        sim = Simulator()
+        assert sim.monotone_lane(key=("timeout", 0.05)) is sim.monotone_lane(
+            key=("timeout", 0.05)
+        )
+        assert sim.monotone_lane(key=("timeout", 0.1)) is not sim.monotone_lane(
+            key=("timeout", 0.05)
+        )
+        assert sim.monotone_lane() is not sim.monotone_lane()
+
+    def test_lane_cancel_and_compaction(self):
+        sim = Simulator()
+        lane = sim.monotone_lane()
+        fired = []
+        timers = [
+            lane.schedule_call(float(i), lambda i=i: fired.append(i))
+            for i in range(300)
+        ]
+        for timer in timers[:299]:
+            timer.cancel()
+        assert len(lane) == 1
+        # Compaction (>50% dead past the floor) keeps the deque small.
+        lane.schedule_call(300.0, lambda: fired.append(300))
+        assert len(lane._entries) < 150
+        sim.run()
+        assert fired == [299, 300]
+
+
+class TestBatchDrain:
+    def test_same_time_events_dispatch_in_one_call(self):
+        sim = Simulator()
+        calls = []
+        handler = sim.register_batch_handler(lambda payloads: calls.append(payloads))
+        for i in range(5):
+            sim.schedule_batch(1.0, handler, i)
+        sim.run()
+        assert calls == [[0, 1, 2, 3, 4]]
+        assert sim.processed == 5
+
+    def test_foreign_event_splits_the_group(self):
+        """A plain event sequenced between batch entries breaks the run —
+        handlers observe exactly the per-event interleaving."""
+        sim = Simulator()
+        order = []
+        handler = sim.register_batch_handler(lambda p: order.append(("batch", p)))
+        sim.schedule_batch(1.0, handler, "a")
+        sim.schedule_at(1.0, lambda: order.append(("plain", None)))
+        sim.schedule_batch(1.0, handler, "b")
+        sim.run()
+        assert order == [
+            ("batch", ["a"]),
+            ("plain", None),
+            ("batch", ["b"]),
+        ]
+
+    def test_lane_event_splits_the_group(self):
+        sim = Simulator()
+        order = []
+        handler = sim.register_batch_handler(lambda p: order.append(("batch", p)))
+        lane = sim.monotone_lane()
+        sim.schedule_batch(1.0, handler, "a")
+        lane.schedule_call(1.0, lambda: order.append(("lane", None)))
+        sim.schedule_batch(1.0, handler, "b")
+        sim.run()
+        assert order == [("batch", ["a"]), ("lane", None), ("batch", ["b"])]
+
+    def test_distinct_handlers_do_not_merge(self):
+        sim = Simulator()
+        order = []
+        h1 = sim.register_batch_handler(lambda p: order.append(("h1", p)))
+        h2 = sim.register_batch_handler(lambda p: order.append(("h2", p)))
+        sim.schedule_batch(1.0, h1, 1)
+        sim.schedule_batch(1.0, h2, 2)
+        sim.schedule_batch(1.0, h1, 3)
+        sim.run()
+        assert order == [("h1", [1]), ("h2", [2]), ("h1", [3])]
+
+    def test_different_times_do_not_merge(self):
+        sim = Simulator()
+        calls = []
+        handler = sim.register_batch_handler(lambda p: calls.append((sim.now, p)))
+        sim.schedule_batch(1.0, handler, "a")
+        sim.schedule_batch(2.0, handler, "b")
+        sim.run()
+        assert calls == [(1.0, ["a"]), (2.0, ["b"])]
+
+    def test_cancelled_batch_entry_skipped(self):
+        sim = Simulator()
+        calls = []
+        handler = sim.register_batch_handler(lambda p: calls.append(p))
+        sim.schedule_batch(1.0, handler, "a")
+        timer = sim.schedule_batch(1.0, handler, "b")
+        sim.schedule_batch(1.0, handler, "c")
+        timer.cancel()
+        sim.run()
+        assert calls == [["a", "c"]]
+
+
+class TestTimerHandle:
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.run()
+        timer.cancel()
+        assert fired == [1]
+        assert len(sim) == 0
+
+    def test_standalone_timer(self):
+        timer = Timer(1.0)
+        timer.cancel()
+        assert timer.cancelled
