@@ -44,12 +44,14 @@ from repro.errors import (
     DecodeError,
     FieldError,
     NodeUnavailableError,
+    ParallelExecutionError,
     QuorumError,
     ReadQuorumError,
     ReproError,
     SimulationError,
     SingularMatrixError,
     StaleNodeError,
+    WorkerCrashError,
     WriteQuorumError,
 )
 
@@ -68,4 +70,6 @@ __all__ = [
     "StaleNodeError",
     "ConsistencyError",
     "SimulationError",
+    "ParallelExecutionError",
+    "WorkerCrashError",
 ]

@@ -34,6 +34,7 @@ from repro.analysis.availability import write_availability_family
 from repro.analysis.exact import fold_read_erc
 from repro.analysis.occupancy import erc_level_counts_family
 from repro.errors import ConfigurationError
+from repro.parallel import ParallelExecutor
 from repro.quorum.trapezoid import TrapezoidShape, shapes_for_nbnode
 
 __all__ = [
@@ -115,6 +116,38 @@ def _collect_result(points: list[ConfigPoint]) -> OptimizationResult:
     )
 
 
+def _shape_family_task(payload: dict) -> dict:
+    """Score one shape's full w-vector family — the optimizer's fan-out unit.
+
+    Purely deterministic (no RNG): tables build in the worker, only
+    plain floats come back, so parallel sweeps are byte-identical to
+    serial ones by construction.
+    """
+    shape = TrapezoidShape(*payload["shape"])
+    ps = payload["ps"]
+    nbnode, k = payload["nbnode"], payload["k"]
+    p_grid = np.asarray(ps, dtype=np.float64)
+    vectors = _w_vectors(shape, payload["max_vectors"])
+    thresholds = [_read_thresholds(shape, w) for w in vectors]
+    direct, decode = erc_level_counts_family(shape.level_sizes, thresholds)
+    # One Φ-table build per (shape, level): rows are (vector, p) grids.
+    writes = write_availability_family(shape, vectors, p_grid)
+    return {
+        "vectors": [list(w) for w in vectors],
+        "write": [
+            [float(writes[j][i]) for i in range(len(ps))]
+            for j in range(len(vectors))
+        ],
+        "read": [
+            [
+                float(fold_read_erc(direct[j], decode[j], nbnode, k, np.float64(p)))
+                for p in ps
+            ]
+            for j in range(len(vectors))
+        ],
+    }
+
+
 def optimize_config_sweep(
     n: int,
     k: int,
@@ -122,6 +155,8 @@ def optimize_config_sweep(
     *,
     max_h: int = 3,
     max_vectors: int = 512,
+    jobs: int = 0,
+    executor: ParallelExecutor | None = None,
 ) -> tuple[OptimizationResult, ...]:
     """:func:`optimize_config` across a whole availability grid at once.
 
@@ -130,7 +165,9 @@ def optimize_config_sweep(
     family-sized occupancy-grid sweep, and only the cheap probability
     folds are repeated per p. Returns one :class:`OptimizationResult` per
     entry of ``ps``, each identical to calling ``optimize_config`` at
-    that p alone.
+    that p alone. ``jobs`` fans the shape families across worker
+    processes (``executor`` shares an existing pool); the search is
+    deterministic, so any worker count returns identical results.
     """
     ps = [float(p) for p in np.atleast_1d(np.asarray(ps, dtype=np.float64))]
     for p in ps:
@@ -139,26 +176,34 @@ def optimize_config_sweep(
     nbnode = n - k + 1
     if nbnode < 1:
         raise ConfigurationError(f"invalid (n={n}, k={k})")
+    shapes = list(shapes_for_nbnode(nbnode, max_h=max_h))
+    payloads = [
+        {
+            "shape": (shape.a, shape.b, shape.h),
+            "ps": ps,
+            "nbnode": nbnode,
+            "k": k,
+            "max_vectors": max_vectors,
+        }
+        for shape in shapes
+    ]
+    owned = executor is None
+    pool = ParallelExecutor(jobs) if owned else executor
+    try:
+        families = pool.map(_shape_family_task, payloads)
+    finally:
+        if owned:
+            pool.close()
     points: list[list[ConfigPoint]] = [[] for _ in ps]
-    p_grid = np.asarray(ps, dtype=np.float64)
-    for shape in shapes_for_nbnode(nbnode, max_h=max_h):
-        vectors = _w_vectors(shape, max_vectors)
-        thresholds = [_read_thresholds(shape, w) for w in vectors]
-        direct, decode = erc_level_counts_family(shape.level_sizes, thresholds)
-        # One Φ-table build per (shape, level): rows are (vector, p) grids.
-        writes = write_availability_family(shape, vectors, p_grid)
-        for i, p in enumerate(ps):
-            for j, w in enumerate(vectors):
+    for shape, family in zip(shapes, families):
+        for j, w in enumerate(family["vectors"]):
+            for i in range(len(ps)):
                 points[i].append(
                     ConfigPoint(
                         shape=shape,
-                        w=w,
-                        write=float(writes[j][i]),
-                        read=float(
-                            fold_read_erc(
-                                direct[j], decode[j], nbnode, k, np.float64(p)
-                            )
-                        ),
+                        w=tuple(w),
+                        write=family["write"][j][i],
+                        read=family["read"][j][i],
                     )
                 )
     if not points[0]:

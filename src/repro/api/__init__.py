@@ -71,6 +71,7 @@ from repro.api.spec import (
     SystemSpec,
     TransportSpec,
     WorkloadSpec,
+    execution_options,
 )
 
 __all__ = [
@@ -105,6 +106,7 @@ __all__ = [
     "ScenarioRunner",
     "ScenarioResult",
     "run_spec",
+    "execution_options",
     "build_latency_model",
     "build_service_model",
 ]

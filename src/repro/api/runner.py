@@ -14,6 +14,14 @@ for :func:`~repro.api.build.build_system` (engine/initialization data);
 the runner consumes streams 1+ for workloads, schedules, traces and
 Monte-Carlo sampling, so the individual sub-experiments stay independent
 and an identical spec reproduces identical numbers end to end.
+
+Parallelism: ``ScenarioRunner(spec, jobs=N)`` fans the independent units
+of the saturation / sweep / availability / protocol_mc / comparison /
+optimize kinds across a :class:`~repro.parallel.ParallelExecutor`
+process pool. ``jobs`` is an *execution* option, never part of the spec:
+every unit re-derives its child streams positionally from ``spec.seed``
+(tasks cross the process boundary as spec JSON plus a task index), so
+the same spec + seed produces byte-identical results at any parallelism.
 """
 
 from __future__ import annotations
@@ -43,13 +51,24 @@ from repro.cluster.failures import exponential_trace
 from repro.cluster.node import ByzantineBehavior, MetadataByzantineBehavior
 from repro.cluster.rng import make_rng, spawn_rngs
 from repro.errors import ConfigurationError
+from repro.parallel import ParallelExecutor
+from repro.parallel.tasks import (
+    comparison_protocol_task,
+    protocol_mc_chunk_task,
+    saturation_point_task,
+)
 from repro.quorum.trapezoid import TrapezoidQuorum
 from repro.runtime.event import EventCoordinator
 from repro.runtime.rounds import RetryPolicy
 from repro.sim.comparative import make_schedule, run_comparison
 from repro.sim.metrics import MCEstimate
 from repro.sim.protocol_mc import ProtocolMonteCarlo
-from repro.sim.saturation import knee_clients, queue_summary, saturation_sweep
+from repro.sim.saturation import (
+    SaturationPoint,
+    knee_clients,
+    queue_summary,
+    run_saturation_point,
+)
 from repro.sim.sweep import availability_sweep
 from repro.sim.trace_sim import (
     ClosedLoopConfig,
@@ -82,6 +101,12 @@ __all__ = ["ScenarioResult", "ScenarioRunner", "run_spec"]
 #: appended, and consumed only when that field is set, so every older
 #: spec replays its exact historical results.
 _NUM_STREAMS = 14
+
+#: protocol_mc trial chunks per operation: the fan-out grain of the
+#: protocol-MC scenario. Fixed (not derived from ``jobs``) so the
+#: stream layout — child c of stream 3 feeds chunk c — and therefore
+#: the sampled numbers are independent of the worker count.
+_PROTOCOL_MC_CHUNKS = 8
 
 
 @dataclass
@@ -161,12 +186,36 @@ class ScenarioRunner:
     fleet (e.g. ``repro serve``); the measured half then drives that
     fleet — mirroring the initialized state over the wire first —
     instead of spawning services in-process.
+
+    ``jobs`` fans the independent units of the parallelizable kinds
+    (saturation points, sweep/availability MC columns, protocol_mc trial
+    chunks, optimizer shape families, comparison sub-runs) across a
+    process pool; ``jobs <= 1`` runs the same task functions inline.
+    ``jobs`` is an execution option: it never enters the spec, the
+    result data, or any hash, and every worker count produces the byte
+    stream ``jobs=0`` produces.
+
+    ``executor`` lends the runner an already-open
+    :class:`~repro.parallel.ParallelExecutor` instead of ``jobs``: the
+    caller keeps ownership (``run()`` will not close it), and repeated
+    runs reuse the warm worker pool instead of paying spawn + import
+    per run.
     """
 
-    def __init__(self, spec: SystemSpec, *, transports=None) -> None:
+    def __init__(
+        self,
+        spec: SystemSpec,
+        *,
+        transports=None,
+        jobs: int = 0,
+        executor: ParallelExecutor | None = None,
+    ) -> None:
         self.spec = spec
         self.transports = transports
+        self.jobs = jobs
         self._streams: list = []
+        self._executor: ParallelExecutor | None = None
+        self._shared_executor = executor
 
     # ------------------------------------------------------------------ #
 
@@ -190,13 +239,33 @@ class ScenarioRunner:
             "saturation": self._run_saturation,
             "wallclock": self._run_wallclock,
         }
-        data = runners[self.spec.scenario.kind]()
+        shared = self._shared_executor is not None
+        self._executor = (
+            self._shared_executor if shared else ParallelExecutor(self.jobs)
+        )
+        try:
+            data = runners[self.spec.scenario.kind]()
+        finally:
+            if not shared:
+                self._executor.close()
+            self._executor = None
         return ScenarioResult(
             kind=self.spec.scenario.kind,
             protocol=self.spec.protocol,
             spec=self.spec.to_dict(),
             data=data,
         )
+
+    def _map(self, fn, payloads: list) -> list:
+        """Run the scenario's fan-out units through the active executor.
+
+        Falls back to a plain inline loop when called outside
+        :meth:`run` (no executor open) — the same code path
+        ``jobs=0`` takes, so results never depend on how we got here.
+        """
+        if self._executor is None:
+            return [fn(payload) for payload in payloads]
+        return self._executor.map(fn, payloads)
 
     # ------------------------------------------------------------------ #
     # scenario kinds
@@ -247,11 +316,19 @@ class ScenarioRunner:
             self.spec.scenario.ps,
             mc_trials=self.spec.scenario.trials,
             rng=self._streams[2],
+            executor=self._executor,
         )
         return {"records": [asdict(r) for r in records]}
 
     def _run_protocol_mc(self) -> dict:
-        """Per-trial execution of the real engine under sampled failures."""
+        """Per-trial execution of the real engine under sampled failures.
+
+        The trial budget splits into :data:`_PROTOCOL_MC_CHUNKS` chunks
+        per operation, each sampling on its own child of stream 3 (see
+        :meth:`protocol_mc_chunk` for the layout); the chunk is the
+        fan-out unit, and because the layout is fixed by the spec alone
+        the estimates are identical at any worker count.
+        """
         p = self.spec.cluster.p
         trials = self.spec.scenario.trials
         if trials < 1:
@@ -262,30 +339,83 @@ class ScenarioRunner:
             )
         entry = protocol_entry(self.spec.protocol)
         if entry.needs_trapezoid:
-            quorum = self._require_trapezoid()
-            mc = ProtocolMonteCarlo(
-                self.spec.code.n,
-                self.spec.code.k,
-                quorum,
-                block_length=self.spec.workload.block_length,
-                rng=self._streams[3],
-                stripes=self.spec.placement.stripes,
-            )
-            variant = "erc" if self.spec.protocol == "trap-erc" else "fr"
-            read = mc.read_availability(p, trials=trials, protocol=variant)
-            write = mc.write_availability(p, trials=trials, protocol=variant)
-        else:
-            read, write = self._generic_protocol_mc(p, trials)
+            self._require_trapezoid()  # surface config errors pre-dispatch
+        num_chunks = min(trials, _PROTOCOL_MC_CHUNKS)
+        base, extra = divmod(trials, num_chunks)
+        sizes = [base + (1 if i < extra else 0) for i in range(num_chunks)]
+        spec_dict = self.spec.to_dict()
+        payloads = [
+            {
+                "spec": spec_dict,
+                "op": op,
+                "index": i,
+                "num_chunks": num_chunks,
+                "chunk_trials": sizes[i],
+            }
+            for op in ("read", "write")
+            for i in range(num_chunks)
+        ]
+        outs = self._map(protocol_mc_chunk_task, payloads)
+        read = MCEstimate(
+            sum(o[0] for o in outs[:num_chunks]),
+            sum(o[1] for o in outs[:num_chunks]),
+        )
+        write = MCEstimate(
+            sum(o[0] for o in outs[num_chunks:]),
+            sum(o[1] for o in outs[num_chunks:]),
+        )
         return {
             "p": p,
             "read": _estimate_dict(read),
             "write": _estimate_dict(write),
         }
 
-    def _generic_protocol_mc(
-        self, p: float, trials: int
-    ) -> tuple[MCEstimate, MCEstimate]:
-        """Snapshot-model MC for engines ProtocolMonteCarlo doesn't cover.
+    def protocol_mc_chunk(
+        self, op: str, index: int, num_chunks: int, chunk_trials: int
+    ) -> list[int]:
+        """One protocol_mc trial chunk: ``[successes, trials]``.
+
+        Stream layout: stream 3 spawns ``1 + 2 * num_chunks`` children —
+        child 0 seeds the harness (stripe payload data), children
+        ``1 .. num_chunks`` sample the read chunks and the rest the write
+        chunks. Child selection depends only on (op, index, num_chunks),
+        never on which worker runs the chunk, and the streams are
+        respawned from ``spec.seed`` here so inline and worker execution
+        see identical state.
+        """
+        self._streams = spawn_rngs(make_rng(self.spec.seed), _NUM_STREAMS)
+        children = spawn_rngs(self._streams[3], 1 + 2 * num_chunks)
+        offset = 1 + (num_chunks if op == "write" else 0)
+        chunk_rng = children[offset + index]
+        p = self.spec.cluster.p
+        entry = protocol_entry(self.spec.protocol)
+        if entry.needs_trapezoid:
+            quorum = self._require_trapezoid()
+            mc = ProtocolMonteCarlo(
+                self.spec.code.n,
+                self.spec.code.k,
+                quorum,
+                block_length=self.spec.workload.block_length,
+                rng=children[0],
+                stripes=self.spec.placement.stripes,
+            )
+            variant = "erc" if self.spec.protocol == "trap-erc" else "fr"
+            if op == "read":
+                est = mc.read_availability(
+                    p, trials=chunk_trials, protocol=variant, rng=chunk_rng
+                )
+            else:
+                est = mc.write_availability(
+                    p, trials=chunk_trials, protocol=variant, rng=chunk_rng
+                )
+        else:
+            est = self._generic_protocol_mc_chunk(op, p, chunk_trials, chunk_rng)
+        return [est.successes, est.trials]
+
+    def _generic_protocol_mc_chunk(
+        self, op: str, p: float, trials: int, rng
+    ) -> MCEstimate:
+        """Snapshot-model MC chunk for engines ProtocolMonteCarlo skips.
 
         Same discipline as :class:`ProtocolMonteCarlo`: one vectorized
         alive draw, reads on synced state, full re-initialization after
@@ -293,22 +423,24 @@ class ScenarioRunner:
         """
         built = build_system(self.spec)
         data = built.initialize()
-        rng = self._streams[3]
-        alive = rng.random((2 * trials, len(built.cluster))) < p
-        reads_ok = 0
-        for t in range(trials):
-            built.cluster.apply_alive_vector(alive[t])
-            reads_ok += bool(built.engine.read_block(0).success)
-        built.cluster.recover_all()
-        writes_ok = 0
-        length = self.spec.workload.block_length
-        for t in range(trials):
-            built.cluster.apply_alive_vector(alive[trials + t])
-            value = rng.integers(0, 256, length, dtype=np.int64).astype(np.uint8)
-            writes_ok += bool(built.engine.write_block(0, value).success)
+        alive = rng.random((trials, len(built.cluster))) < p
+        successes = 0
+        if op == "read":
+            for t in range(trials):
+                built.cluster.apply_alive_vector(alive[t])
+                successes += bool(built.engine.read_block(0).success)
             built.cluster.recover_all()
-            built.initialize(data)  # reset to synced version-0 replicas
-        return MCEstimate(reads_ok, trials), MCEstimate(writes_ok, trials)
+        else:
+            length = self.spec.workload.block_length
+            for t in range(trials):
+                built.cluster.apply_alive_vector(alive[t])
+                value = rng.integers(0, 256, length, dtype=np.int64).astype(
+                    np.uint8
+                )
+                successes += bool(built.engine.write_block(0, value).success)
+                built.cluster.recover_all()
+                built.initialize(data)  # reset to synced version-0 replicas
+        return MCEstimate(successes, trials)
 
     def _run_trace(self) -> dict:
         """History-model run over an exponential failure trace."""
@@ -359,7 +491,13 @@ class ScenarioRunner:
         return {**asdict(tally), "summary": tally.summary()}
 
     def _run_comparison(self) -> dict:
-        """Registry protocols against one shared failure/op schedule."""
+        """Registry protocols against one shared failure/op schedule.
+
+        Each protocol is an independent sub-run (own cluster and engine
+        replaying the same seed-derived schedule), so the comparison
+        fans one task per protocol; :meth:`comparison_single` regrows
+        the shared data and schedule identically inside each task.
+        """
         scenario = self.spec.scenario
         names = scenario.protocols or protocol_names()
         num_blocks = scenario.num_blocks or self.spec.code.k
@@ -367,6 +505,22 @@ class ScenarioRunner:
             raise ConfigurationError(
                 f"num_blocks must be <= k = {self.spec.code.k}, got {num_blocks}"
             )
+        spec_dict = self.spec.to_dict()
+        payloads = [{"spec": spec_dict, "name": name} for name in names]
+        outs = self._map(comparison_protocol_task, payloads)
+        return dict(zip(names, outs))
+
+    def comparison_single(self, name: str) -> dict:
+        """One protocol's comparison sub-run — the comparison fan-out unit.
+
+        The shared payload data (stream 1) and the failure/op schedule
+        (stream 2) are regenerated from freshly respawned seed streams,
+        so every protocol replays the *same* schedule against its own
+        cluster whether it runs inline or on a worker.
+        """
+        self._streams = spawn_rngs(make_rng(self.spec.seed), _NUM_STREAMS)
+        scenario = self.spec.scenario
+        num_blocks = scenario.num_blocks or self.spec.code.k
         shared_data = (
             self._streams[1]
             .integers(
@@ -377,15 +531,9 @@ class ScenarioRunner:
             )
             .astype(np.uint8)
         )
-        engines = {}
-        repair_fns = {}
-        for name in names:
-            built = build_system(self.spec.replace(protocol=name))
-            built.initialize(shared_data)
-            engines[name] = (built.cluster, built.engine)
-            repair = built.repair_fn()
-            if repair is not None:
-                repair_fns[name] = repair
+        built = build_system(self.spec.replace(protocol=name))
+        built.initialize(shared_data)
+        repair = built.repair_fn()
         schedule = make_schedule(
             scenario.steps,
             self.spec.cluster.num_nodes,
@@ -395,17 +543,18 @@ class ScenarioRunner:
             rng=self._streams[2],
         )
         results = run_comparison(
-            engines, schedule, self.spec.workload.block_length, repair_fns=repair_fns
+            {name: (built.cluster, built.engine)},
+            schedule,
+            self.spec.workload.block_length,
+            repair_fns={name: repair} if repair is not None else {},
         )
+        res = results[name]
         return {
-            name: {
-                **asdict(res),
-                "read_availability": res.read_availability,
-                "write_availability": res.write_availability,
-                "messages_per_read": res.messages_per_read,
-                "messages_per_write": res.messages_per_write,
-            }
-            for name, res in results.items()
+            **asdict(res),
+            "read_availability": res.read_availability,
+            "write_availability": res.write_availability,
+            "messages_per_read": res.messages_per_read,
+            "messages_per_write": res.messages_per_write,
         }
 
     def _run_sweep(self) -> dict:
@@ -436,6 +585,7 @@ class ScenarioRunner:
                 self.spec.scenario.ps,
                 mc_trials=self.spec.scenario.trials,
                 rng=rng,
+                executor=self._executor,
             ):
                 records.append({"w": w, **asdict(rec)})
         return {"w_values": list(w_values), "records": records}
@@ -454,6 +604,7 @@ class ScenarioRunner:
             self.spec.code.k,
             scenario.ps,
             max_h=scenario.max_h,
+            executor=self._executor,
         )
 
         def point(pt: ConfigPoint) -> dict:
@@ -878,45 +1029,34 @@ class ScenarioRunner:
 
         One fresh sharded closed-loop run per entry of
         ``scenario.client_counts`` against the *same* workload tape and
-        faultload (streams 1 and 9); each point draws its coordinator
-        and service-queue streams from per-point children of stream 11,
-        so points are independent yet one seed reproduces the whole
-        curve, point hashes included.
+        faultload (streams 1 and 9, regenerated per point); each point
+        draws its coordinator and service-queue streams from per-point
+        children of stream 11, so points are independent — the fan-out
+        unit of the saturation kind (:meth:`saturation_point`) — yet one
+        seed reproduces the whole curve, point hashes included.
         """
         scenario = self.spec.scenario
         latency_spec = self.spec.latency or LatencySpec()
         faultload = scenario.faultload or FaultloadSpec()
         counts = scenario.client_counts or (1, 2, 4, 8, 16)
         shards = self.spec.sharding.shards if self.spec.sharding else 1
-        num_blocks = shards * self.spec.code.k
-        ops = _make_workload(self.spec, num_blocks, self._streams[1])
-        trace, partitions = self._faultload(
-            faultload, scenario.horizon, self._streams[9]
-        )
-        point_streams = iter(
-            spawn_rngs(child, 2)
-            for child in spawn_rngs(self._streams[11], len(counts))
-        )
-        byz_streams = iter(spawn_rngs(self._streams[12], len(counts)))
-        meta_streams = iter(spawn_rngs(self._streams[13], len(counts)))
-        point_context: list[tuple] = []
-
-        def make_run(clients: int) -> ShardedClosedLoopSimulation:
-            rng, service_rng = next(point_streams)
-            sim, system = self._sharded_closed_loop(
-                clients, ops, trace, partitions, rng, service_rng
-            )
-            # Per-point arming from stream-12/13 children: every point
-            # gets its own corrupt set and coin streams, yet one seed
-            # still reproduces the whole curve.
-            armed = self._arm_byzantine(system.cluster, faultload, next(byz_streams))
-            meta_armed = self._arm_metadata_byzantine(
-                system.cluster, faultload, next(meta_streams)
-            )
-            point_context.append((system, armed, meta_armed))
-            return sim
-
-        points = saturation_sweep(make_run, counts)
+        for clients in counts:
+            if int(clients) < 1:
+                raise ConfigurationError(
+                    f"client counts must be >= 1, got {int(clients)}"
+                )
+        spec_dict = self.spec.to_dict()
+        payloads = [
+            {
+                "spec": spec_dict,
+                "index": i,
+                "clients": int(clients),
+                "num_points": len(counts),
+            }
+            for i, clients in enumerate(counts)
+        ]
+        outs = self._map(saturation_point_task, payloads)
+        points = [SaturationPoint(**out["point"]) for out in outs]
         digest = hashlib.sha256()
         for point in points:
             digest.update(point.trace_hash.encode("ascii"))
@@ -937,22 +1077,57 @@ class ScenarioRunner:
             "knee_clients": knee_clients(points),
             "trace_hash": digest.hexdigest(),
         }
-        reports = [
-            self._byzantine_report(
-                faultload,
-                system.cluster,
-                armed,
-                system.verifiers,
-                meta_armed=meta_armed,
-                repairs=system.repairs,
-            )
-            for system, armed, meta_armed in point_context
-        ]
+        reports = [out["report"] for out in outs]
         if any(report is not None for report in reports):
             data["byzantine"] = {"points": reports}
         return data
 
+    def saturation_point(self, index: int, clients: int, num_points: int) -> dict:
+        """One saturation curve point — the saturation fan-out unit.
 
-def run_spec(spec: SystemSpec) -> ScenarioResult:
-    """One-call convenience: ``ScenarioRunner(spec).run()``."""
-    return ScenarioRunner(spec).run()
+        Regenerates the shared workload tape (stream 1) and faultload
+        (stream 9) from freshly respawned seed streams, then draws this
+        point's coordinator/service/Byzantine streams from child
+        ``index`` of streams 11/12/13 — the same assignment the serial
+        sweep makes, keyed by grid position so any worker count (and the
+        inline path) produces the identical point.
+        """
+        self._streams = spawn_rngs(make_rng(self.spec.seed), _NUM_STREAMS)
+        scenario = self.spec.scenario
+        faultload = scenario.faultload or FaultloadSpec()
+        shards = self.spec.sharding.shards if self.spec.sharding else 1
+        num_blocks = shards * self.spec.code.k
+        ops = _make_workload(self.spec, num_blocks, self._streams[1])
+        trace, partitions = self._faultload(
+            faultload, scenario.horizon, self._streams[9]
+        )
+        rng, service_rng = spawn_rngs(
+            spawn_rngs(self._streams[11], num_points)[index], 2
+        )
+        byz_rng = spawn_rngs(self._streams[12], num_points)[index]
+        meta_rng = spawn_rngs(self._streams[13], num_points)[index]
+        sim, system = self._sharded_closed_loop(
+            clients, ops, trace, partitions, rng, service_rng
+        )
+        # Per-point arming from stream-12/13 children: every point gets
+        # its own corrupt set and coin streams, yet one seed still
+        # reproduces the whole curve.
+        armed = self._arm_byzantine(system.cluster, faultload, byz_rng)
+        meta_armed = self._arm_metadata_byzantine(
+            system.cluster, faultload, meta_rng
+        )
+        point = run_saturation_point(clients, sim)
+        report = self._byzantine_report(
+            faultload,
+            system.cluster,
+            armed,
+            system.verifiers,
+            meta_armed=meta_armed,
+            repairs=system.repairs,
+        )
+        return {"point": point.to_dict(), "report": report}
+
+
+def run_spec(spec: SystemSpec, *, jobs: int = 0) -> ScenarioResult:
+    """One-call convenience: ``ScenarioRunner(spec, jobs=jobs).run()``."""
+    return ScenarioRunner(spec, jobs=jobs).run()

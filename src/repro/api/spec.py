@@ -34,6 +34,7 @@ __all__ = [
     "ScenarioSpec",
     "TransportSpec",
     "SystemSpec",
+    "execution_options",
 ]
 
 
@@ -850,6 +851,24 @@ class SystemSpec(_SpecBase):
         _require(isinstance(self.seed, int), f"seed must be an int, got {self.seed!r}")
 
     @classmethod
+    def from_dict(cls, data: dict) -> "SystemSpec":
+        """Round-trip inverse of :meth:`to_dict`, tolerant of an advisory
+        ``execution`` block.
+
+        ``execution`` carries host-side options — currently only
+        ``jobs``, the process-pool width — that change how a run
+        executes, never what it computes. It is validated and then
+        *dropped*: it is not a spec field, ``to_dict`` never emits it,
+        and two configs differing only in ``execution`` are the same
+        spec (same hash, same results). Use
+        :func:`execution_options` to read it from raw config JSON.
+        """
+        if isinstance(data, dict) and "execution" in data:
+            data = dict(data)
+            execution_options(data.pop("execution"))
+        return super().from_dict(data)
+
+    @classmethod
     def trapezoid(
         cls,
         n: int,
@@ -869,3 +888,37 @@ class SystemSpec(_SpecBase):
             quorum=QuorumSpec(kind="trapezoid", a=a, b=b, h=h, w=w),
             **kwargs,
         )
+
+
+# --------------------------------------------------------------------- #
+# execution options (advisory, never part of spec identity)
+# --------------------------------------------------------------------- #
+
+
+def execution_options(block) -> dict:
+    """Validate an advisory ``execution`` config block -> ``{"jobs": N}``.
+
+    Execution options describe *how* to run a spec on this host (the
+    process-pool width), not *what* to compute, so they live outside
+    :class:`SystemSpec`: ``SystemSpec.from_dict`` strips the block and
+    ``to_dict`` never emits it — spec hashing, equality and result
+    embedding are all jobs-blind. ``None`` (block absent) means
+    ``jobs = 0``, the inline serial path.
+    """
+    if block is None:
+        return {"jobs": 0}
+    if not isinstance(block, dict):
+        raise ConfigurationError(
+            f"execution must be a mapping, got {type(block).__name__}"
+        )
+    unknown = set(block) - {"jobs"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown execution keys: {sorted(unknown)} (known: ['jobs'])"
+        )
+    jobs = block.get("jobs", 0)
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 0:
+        raise ConfigurationError(
+            f"execution.jobs must be an int >= 0, got {jobs!r}"
+        )
+    return {"jobs": jobs}

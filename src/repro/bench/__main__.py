@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.bench.perf import TINY_SIZES, write_perf_json
+from repro.bench.perf import TINY_SIZES, section_names, write_perf_json
 from repro.bench.runner import run_all
 
 
@@ -41,6 +41,21 @@ def main(argv: list[str] | None = None) -> int:
         help="perf harness only: cProfile each section's warmup call and "
         "print its top-15 cumulative functions",
     )
+    parser.add_argument(
+        "--sections",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="perf harness only: run just these sections "
+        f"(valid: {', '.join(section_names())})",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="perf harness only: fan sections across N worker processes "
+        "(0 = serial)",
+    )
     args = parser.parse_args(argv)
 
     if args.json is not None:
@@ -49,6 +64,8 @@ def main(argv: list[str] | None = None) -> int:
             sizes=TINY_SIZES if args.tiny else None,
             quiet=args.quiet,
             profile=args.profile,
+            sections=args.sections,
+            jobs=args.jobs,
         )
         print(f"Wrote: {path}")
         return 0

@@ -9,6 +9,15 @@ that only report wall time, like the exact-enumeration and optimizer
 benchmarks — ``seconds_per_call`` rising. CI runs this after the perf
 smoke so a PR cannot silently slow a tracked hot path.
 
+The ``parallel_scaling`` entry gets its own gate: ``byte_identical``
+must hold (a process-pool run that diverges from serial is a
+correctness bug, not a perf number), and on hosts with at least as many
+CPUs as the benchmarked worker count the measured speedup must reach
+``--min-parallel-speedup`` (default 2.5). A host with fewer cores than
+workers cannot realize the speedup, so its entry is informational —
+the committed baseline may come from a small container while CI's
+multi-core runners enforce the ratio.
+
 Documents produced with different ``config`` sections measure different
 workloads; comparing them is meaningless, so that is an error by default
 (``--allow-config-mismatch`` to override, e.g. when resizing the harness
@@ -23,9 +32,18 @@ from pathlib import Path
 
 from repro.errors import ConfigurationError
 
-__all__ = ["DEFAULT_MAX_REGRESSION", "compare_docs", "main"]
+__all__ = [
+    "DEFAULT_MAX_REGRESSION",
+    "DEFAULT_MIN_PARALLEL_SPEEDUP",
+    "compare_docs",
+    "main",
+    "wallclock_deltas",
+]
 
 DEFAULT_MAX_REGRESSION = 0.30
+
+#: Required parallel_scaling speedup where the host has the cores for it.
+DEFAULT_MIN_PARALLEL_SPEEDUP = 2.5
 
 #: metric preference per results entry; (key, higher_is_better). Only the
 #: first key present is compared — mb_per_s / ops_per_s and
@@ -49,19 +67,88 @@ def _metric(entry) -> tuple[str, float, bool] | None:
     return None
 
 
+def _parallel_scaling_gate(fresh: dict, min_speedup: float) -> list[str]:
+    """Failures for the fresh document's ``parallel_scaling`` entry.
+
+    ``byte_identical`` must be present and true. The speedup floor is
+    enforced only when the measuring host had at least ``jobs`` CPUs;
+    a smaller host physically cannot realize it, so its (recorded)
+    numbers stay informational.
+    """
+    entry = fresh.get("results", {}).get("parallel_scaling")
+    if entry is None:
+        return []
+    failures: list[str] = []
+    if entry.get("byte_identical") is not True:
+        failures.append(
+            "parallel_scaling: byte_identical is not true — the parallel "
+            "run diverged from serial (determinism contract broken)"
+        )
+    jobs = entry.get("jobs")
+    host_cpus = entry.get("host_cpus")
+    speedup = entry.get("speedup")
+    if not isinstance(speedup, (int, float)):
+        failures.append("parallel_scaling: speedup missing from fresh entry")
+    elif (
+        isinstance(jobs, int)
+        and isinstance(host_cpus, int)
+        and host_cpus >= jobs
+        and speedup < min_speedup
+    ):
+        failures.append(
+            f"parallel_scaling: speedup {speedup:.2f}x below the "
+            f"{min_speedup:.2f}x floor at jobs={jobs} on a "
+            f"{host_cpus}-CPU host"
+        )
+    return failures
+
+
+def wallclock_deltas(baseline: dict, fresh: dict) -> list[str]:
+    """Human-readable per-section wall-clock deltas (old -> new seconds).
+
+    Informational only — covers every entry both documents time,
+    regardless of which metric the gate compares.
+    """
+    lines: list[str] = []
+    fresh_results = fresh.get("results", {})
+    for name, entry in baseline.get("results", {}).items():
+        if not isinstance(entry, dict):
+            continue
+        old = entry.get("seconds_per_call")
+        fresh_entry = fresh_results.get(name)
+        new = (
+            fresh_entry.get("seconds_per_call")
+            if isinstance(fresh_entry, dict)
+            else None
+        )
+        if not isinstance(old, (int, float)) or old <= 0:
+            continue
+        if not isinstance(new, (int, float)) or new <= 0:
+            lines.append(f"{name}: {old:.6g}s -> (missing)")
+            continue
+        change = (new - old) / old * 100.0
+        lines.append(
+            f"{name}: {old:.6g}s -> {new:.6g}s ({change:+.1f}%)"
+        )
+    return lines
+
+
 def compare_docs(
     baseline: dict,
     fresh: dict,
     *,
     max_regression: float = DEFAULT_MAX_REGRESSION,
     require_matching_config: bool = True,
+    min_parallel_speedup: float = DEFAULT_MIN_PARALLEL_SPEEDUP,
 ) -> list[str]:
     """Regression messages for every baseline metric the fresh run lost.
 
     A metric regresses when its better-direction ratio falls below
     ``1 - max_regression``; a baseline metric missing from the fresh
     document counts as a regression (a silently dropped benchmark must
-    not pass the gate). Returns an empty list when the gate is green.
+    not pass the gate). The fresh ``parallel_scaling`` entry additionally
+    passes :func:`_parallel_scaling_gate`. Returns an empty list when
+    the gate is green.
     """
     if not 0.0 < max_regression < 1.0:
         raise ConfigurationError(
@@ -91,6 +178,7 @@ def compare_docs(
                 f"{name}: {key} regressed {old:.6g} -> {new:.6g} "
                 f"({(1.0 - ratio) * 100.0:.1f}% worse)"
             )
+    regressions.extend(_parallel_scaling_gate(fresh, min_parallel_speedup))
     return regressions
 
 
@@ -112,6 +200,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="compare even when the two documents ran different sizes",
     )
+    parser.add_argument(
+        "--min-parallel-speedup",
+        type=float,
+        default=DEFAULT_MIN_PARALLEL_SPEEDUP,
+        help="required parallel_scaling speedup on hosts with >= jobs "
+        "CPUs (default 2.5)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-section wall-clock delta summary",
+    )
     args = parser.parse_args(argv)
     baseline = json.loads(Path(args.baseline).read_text())
     fresh = json.loads(Path(args.fresh).read_text())
@@ -120,7 +220,14 @@ def main(argv=None) -> int:
         fresh,
         max_regression=args.max_regression,
         require_matching_config=not args.allow_config_mismatch,
+        min_parallel_speedup=args.min_parallel_speedup,
     )
+    if not args.quiet:
+        deltas = wallclock_deltas(baseline, fresh)
+        if deltas:
+            print("wall-clock per section (baseline -> fresh):")
+            for line in deltas:
+                print(f"  {line}")
     if regressions:
         print(f"{len(regressions)} perf regression(s) beyond {args.max_regression:.0%}:")
         for line in regressions:

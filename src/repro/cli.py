@@ -54,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--config", required=True, help="SystemSpec JSON file")
     run.add_argument("--out", default=None, help="results JSON path (default stdout)")
     run.add_argument("--quiet", action="store_true", help="suppress the summary line")
+    run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the parallelizable scenario kinds "
+        "(0/1 = inline; overrides the config's advisory execution.jobs; "
+        "results are byte-identical at any value)",
+    )
 
     fig = sub.add_parser("figures", help="regenerate every paper figure")
     fig.add_argument("--out", default=None, help="results directory")
@@ -73,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
     av.add_argument("--p", type=float, nargs="+", default=[0.5, 0.7, 0.9])
     av.add_argument("--mc-trials", type=int, default=0)
     av.add_argument(
+        "--seed", type=int, default=None,
+        help="MC column seed (default: fresh OS entropy per run)",
+    )
+    av.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for the MC columns (0/1 = inline)",
+    )
+    av.add_argument(
         "--dump-config",
         metavar="PATH",
         default=None,
@@ -87,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="one or more availabilities (occupancy tables are shared)",
     )
     opt.add_argument("--max-h", type=int, default=3)
+    opt.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for the shape families (0/1 = inline)",
+    )
     opt.add_argument(
         "--dump-config",
         metavar="PATH",
@@ -107,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="cProfile each section's warmup call (top-15 cumulative)",
+    )
+    perf.add_argument(
+        "--sections", nargs="+", default=None, metavar="NAME",
+        help="run only these sections (unknown names fail with the valid list)",
+    )
+    perf.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes fanning the sections out (0/1 = inline)",
     )
 
     sat = sub.add_parser(
@@ -133,6 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
     sat.add_argument("--ops", type=int, default=400, help="workload operations")
     sat.add_argument("--horizon", type=float, default=1000.0)
     sat.add_argument("--seed", type=int, default=0)
+    sat.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for the saturation points (0/1 = inline)",
+    )
     sat.add_argument(
         "--dump-config",
         metavar="PATH",
@@ -173,12 +203,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
+    import json
     from pathlib import Path
 
-    from repro.api import ScenarioRunner, SystemSpec
+    from repro.api import ScenarioRunner, SystemSpec, execution_options
+    from repro.errors import ConfigurationError
 
-    spec = SystemSpec.from_json(Path(args.config).read_text())
-    result = ScenarioRunner(spec).run()
+    text = Path(args.config).read_text()
+    spec = SystemSpec.from_json(text)
+    if args.jobs is not None:
+        jobs = args.jobs
+    else:
+        # The config's advisory execution block (stripped from the spec:
+        # jobs never enters spec identity or the result file).
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid spec JSON: {exc}") from exc
+        jobs = execution_options(raw.get("execution"))["jobs"]
+    result = ScenarioRunner(spec, jobs=jobs).run()
     payload = result.to_json()
     if args.out:
         Path(args.out).write_text(payload + "\n")
@@ -248,7 +291,8 @@ def _cmd_availability(args) -> int:
         f"r={quorum.read_thresholds}"
     )
     records = availability_sweep(
-        quorum, args.n, args.k, args.p, mc_trials=args.mc_trials
+        quorum, args.n, args.k, args.p,
+        mc_trials=args.mc_trials, rng=args.seed, jobs=args.jobs,
     )
     sys.stdout.write(records_to_csv(records))
     return 0
@@ -258,7 +302,9 @@ def _cmd_optimize(args) -> int:
     from repro.analysis import optimize_config_sweep
 
     ps = tuple(args.p)
-    results = optimize_config_sweep(args.n, args.k, ps, max_h=args.max_h)
+    results = optimize_config_sweep(
+        args.n, args.k, ps, max_h=args.max_h, jobs=args.jobs
+    )
 
     def fmt(pt) -> str:
         return (
@@ -298,6 +344,8 @@ def _cmd_perf(args) -> int:
         sizes=TINY_SIZES if args.tiny else None,
         quiet=args.quiet,
         profile=args.profile,
+        sections=args.sections,
+        jobs=args.jobs,
     )
     print(f"Wrote: {path}")
     return 0
@@ -327,7 +375,7 @@ def _cmd_saturate(args) -> int:
     )
     if args.dump_config:
         _dump_spec(spec, args.dump_config)
-    data = ScenarioRunner(spec).run().data
+    data = ScenarioRunner(spec, jobs=args.jobs).run().data
     print(
         f"saturation: shards={data['shards']} routing={data['routing']} "
         f"service={data['service']['kind']}({data['service']['time']})"

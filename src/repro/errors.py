@@ -22,6 +22,8 @@ __all__ = [
     "StaleNodeError",
     "ConsistencyError",
     "SimulationError",
+    "ParallelExecutionError",
+    "WorkerCrashError",
 ]
 
 
@@ -98,3 +100,38 @@ class ConsistencyError(ReproError):
 
 class SimulationError(ReproError):
     """Generic failure inside the simulation substrate."""
+
+
+class ParallelExecutionError(ReproError):
+    """A task dispatched to the process pool raised.
+
+    The worker-side exception cannot always be unpickled faithfully
+    (protocol errors carry constructor arguments), so the original type
+    name, message and traceback text are carried here instead.
+    """
+
+    def __init__(self, task_index: int, exc_type: str, message: str,
+                 worker_traceback: str = "") -> None:
+        self.task_index = task_index
+        self.exc_type = exc_type
+        self.message = message
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            f"parallel task {task_index} raised {exc_type}: {message}"
+        )
+
+
+class WorkerCrashError(ParallelExecutionError):
+    """A pool worker died without reporting a result (signal, os._exit,
+    unpicklable payload). Distinct from :class:`ParallelExecutionError`
+    because no task-level traceback exists — the process itself is gone."""
+
+    def __init__(self, detail: str) -> None:
+        self.detail = detail
+        self.task_index = -1
+        self.exc_type = "WorkerCrash"
+        self.message = detail
+        self.worker_traceback = ""
+        ReproError.__init__(
+            self, f"parallel worker crashed before returning a result: {detail}"
+        )

@@ -1,0 +1,57 @@
+"""Importable worker entry points for the spec-driven runner's fan-out.
+
+Every unit the :class:`~repro.api.runner.ScenarioRunner` parallelizes
+crosses the process boundary as its lossless ``SystemSpec`` dict plus
+the unit's position in the task grid — never a pickled live coordinator
+or cluster. The worker rebuilds a fresh runner from the spec and
+re-derives the unit's child streams positionally from ``spec.seed``
+(``SeedSequence.spawn`` keys children by index), so a unit computes the
+same bytes inline, in any worker, in any order.
+
+These functions must stay module-level: the spawn-context pool pickles
+them by reference and the child resolves them by import.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "saturation_point_task",
+    "protocol_mc_chunk_task",
+    "comparison_protocol_task",
+]
+
+
+def _runner(spec_dict: dict):
+    # Imported lazily — and fully: runner.py imports this module for
+    # dispatch, and in a spawn worker THIS module is the first repro
+    # import, so even repro.api.spec would re-enter the cycle here.
+    from repro.api.runner import ScenarioRunner
+    from repro.api.spec import SystemSpec
+
+    return ScenarioRunner(SystemSpec.from_dict(spec_dict))
+
+
+def saturation_point_task(payload: dict) -> dict:
+    """One client-count point of the saturation curve."""
+    return _runner(payload["spec"]).saturation_point(
+        payload["index"], payload["clients"], payload["num_points"]
+    )
+
+
+def protocol_mc_chunk_task(payload: dict) -> list:
+    """One (op, chunk) slice of the protocol-MC trial budget.
+
+    Returns ``[successes, trials]`` — MCEstimate fields, summed by the
+    parent in chunk order.
+    """
+    return _runner(payload["spec"]).protocol_mc_chunk(
+        payload["op"],
+        payload["index"],
+        payload["num_chunks"],
+        payload["chunk_trials"],
+    )
+
+
+def comparison_protocol_task(payload: dict) -> dict:
+    """One protocol's full comparison sub-run (own cluster and engine)."""
+    return _runner(payload["spec"]).comparison_single(payload["name"])

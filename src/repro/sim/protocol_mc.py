@@ -113,24 +113,34 @@ class ProtocolMonteCarlo:
             erc.load_stripe(stripe)
             fr.initialize(data)
 
-    def _sample_alive_matrix(self, p: float, trials: int) -> np.ndarray:
+    def _sample_alive_matrix(self, p: float, trials: int, rng=None) -> np.ndarray:
         """(trials, n) Bernoulli(p) alive matrix in one vectorized draw."""
-        return self.rng.random((trials, self.n)) < p
+        rng = self.rng if rng is None else rng
+        return rng.random((trials, self.n)) < p
 
     # ------------------------------------------------------------------ #
 
     def read_availability(
-        self, p: float, trials: int = 400, protocol: str = "erc", block: int = 0
+        self,
+        p: float,
+        trials: int = 400,
+        protocol: str = "erc",
+        block: int = 0,
+        rng=None,
     ) -> MCEstimate:
         """Fraction of (trial, stripe) reads of ``block`` that succeed.
 
         Reads do not mutate state, so the stripes stay synced across
-        trials (pure snapshot model).
+        trials (pure snapshot model). ``rng`` overrides the instance
+        stream for this call — how the runner hands a trial chunk its
+        own pre-spawned child stream (default: the instance stream,
+        the exact historical behavior).
         """
         if not 0.0 <= p <= 1.0:
             raise ConfigurationError(f"p must be in [0, 1], got {p}")
         engines = self._engines(protocol)
-        alive = self._sample_alive_matrix(p, trials)
+        rng = self.rng if rng is None else make_rng(rng)
+        alive = self._sample_alive_matrix(p, trials, rng)
         successes = 0
         for t in range(trials):
             self.cluster.apply_alive_vector(alive[t])
@@ -142,25 +152,33 @@ class ProtocolMonteCarlo:
         return MCEstimate(successes, trials * len(engines))
 
     def write_availability(
-        self, p: float, trials: int = 200, protocol: str = "erc", block: int = 0
+        self,
+        p: float,
+        trials: int = 200,
+        protocol: str = "erc",
+        block: int = 0,
+        rng=None,
     ) -> MCEstimate:
         """Fraction of (trial, stripe) writes of ``block`` that succeed.
 
         Writes mutate state (including partially-failed ones), so the
         stripes are re-loaded from the cached version-0 codewords after
         every trial to keep trials i.i.d. under the snapshot model.
+        ``rng`` (as in :meth:`read_availability`) drives both the alive
+        draw and the per-trial payloads when given.
         """
         if not 0.0 <= p <= 1.0:
             raise ConfigurationError(f"p must be in [0, 1], got {p}")
         engines = self._engines(protocol)
+        rng = self.rng if rng is None else make_rng(rng)
         length = self.data.shape[2]
-        alive = self._sample_alive_matrix(p, trials)
+        alive = self._sample_alive_matrix(p, trials, rng)
         successes = 0
         for t in range(trials):
             self.cluster.apply_alive_vector(alive[t])
             for engine in engines:
                 value = (
-                    self.rng.integers(0, 256, length, dtype=np.int64).astype(np.uint8)
+                    rng.integers(0, 256, length, dtype=np.int64).astype(np.uint8)
                 )
                 result = engine.write_block(block, value)
                 if result.success:

@@ -28,6 +28,7 @@ from repro.sim.trace_sim import ShardedClosedLoopSimulation
 
 __all__ = [
     "SaturationPoint",
+    "run_saturation_point",
     "saturation_sweep",
     "knee_clients",
     "queue_summary",
@@ -101,6 +102,41 @@ class SaturationPoint:
         }
 
 
+def run_saturation_point(
+    clients: int, run: ShardedClosedLoopSimulation
+) -> SaturationPoint:
+    """Run one fresh closed-loop simulation and distil its curve point.
+
+    The per-client-count unit of both the serial sweep below and the
+    runner's process-pool fan-out: everything a point reports (tally
+    summary, per-shard views, queue stats, trace hash) is derived from
+    the one ``run``, so a point computes identically wherever it runs.
+    """
+    tally = run.run()
+    duration = run.sim.now
+    completed = tally.reads_succeeded + tally.writes_succeeded
+    failed = (
+        tally.reads_attempted
+        + tally.writes_attempted
+        - completed
+    )
+    aggregate = tally.summary()
+    aggregate["operation_latency"] = tally.operation_percentiles()
+    # The service-queue mapping is shared by every shard coordinator.
+    queues = run.router.shards[0].coordinator.queues
+    return SaturationPoint(
+        clients=clients,
+        ops_completed=completed,
+        ops_failed=failed,
+        virtual_duration=duration,
+        throughput=completed / duration if duration > 0 else 0.0,
+        aggregate=aggregate,
+        per_shard=run.shard_summaries(),
+        queues=queue_summary(queues, duration),
+        trace_hash=run.router.trace_hash(),
+    )
+
+
 def saturation_sweep(
     make_run: Callable[[int], ShardedClosedLoopSimulation],
     client_counts: Iterable[int],
@@ -119,32 +155,7 @@ def saturation_sweep(
         clients = int(clients)
         if clients < 1:
             raise ConfigurationError(f"client counts must be >= 1, got {clients}")
-        run = make_run(clients)
-        tally = run.run()
-        duration = run.sim.now
-        completed = tally.reads_succeeded + tally.writes_succeeded
-        failed = (
-            tally.reads_attempted
-            + tally.writes_attempted
-            - completed
-        )
-        aggregate = tally.summary()
-        aggregate["operation_latency"] = tally.operation_percentiles()
-        # The service-queue mapping is shared by every shard coordinator.
-        queues = run.router.shards[0].coordinator.queues
-        points.append(
-            SaturationPoint(
-                clients=clients,
-                ops_completed=completed,
-                ops_failed=failed,
-                virtual_duration=duration,
-                throughput=completed / duration if duration > 0 else 0.0,
-                aggregate=aggregate,
-                per_shard=run.shard_summaries(),
-                queues=queue_summary(queues, duration),
-                trace_hash=run.router.trace_hash(),
-            )
-        )
+        points.append(run_saturation_point(clients, make_run(clients)))
     return points
 
 

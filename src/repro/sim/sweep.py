@@ -29,6 +29,7 @@ from repro.analysis.availability import (
 from repro.analysis.exact import exact_read_erc
 from repro.cluster.rng import make_rng, spawn_rngs
 from repro.errors import ConfigurationError
+from repro.parallel import ParallelExecutor
 from repro.quorum.trapezoid import TrapezoidQuorum
 from repro.sim.montecarlo import mc_read_availability_erc, mc_write_availability
 
@@ -45,6 +46,24 @@ class SweepRecord:
     value: float
 
 
+def _mc_column_task(payload: dict) -> float:
+    """One (p, metric) Monte-Carlo column — the sweep's unit of fan-out.
+
+    The payload carries the (picklable, inert) quorum value object and
+    the column's pre-spawned child stream; the same function runs inline
+    on the serial path, so parallel results are byte-identical.
+    """
+    quorum = payload["quorum"]
+    p = payload["p"]
+    trials = payload["trials"]
+    rng = payload["rng"]
+    if payload["metric"] == "write":
+        return mc_write_availability(quorum, p, trials=trials, rng=rng).mean
+    return mc_read_availability_erc(
+        quorum, payload["n"], payload["k"], p, trials=trials, rng=rng
+    ).mean
+
+
 def availability_sweep(
     quorum: TrapezoidQuorum,
     n: int,
@@ -53,18 +72,25 @@ def availability_sweep(
     *,
     mc_trials: int = 0,
     rng=None,
+    jobs: int = 0,
+    executor: ParallelExecutor | None = None,
 ) -> list[SweepRecord]:
     """Evaluate write/read availability across ``ps`` with every method.
 
     ``mc_trials = 0`` disables the Monte-Carlo column (closed forms and
-    exact enumeration are deterministic and fast).
+    exact enumeration are deterministic and fast). ``jobs`` fans the MC
+    columns across worker processes (``executor`` shares an existing
+    pool instead); each (p, metric) column owns the child stream at its
+    grid position, so any worker count reproduces the serial bytes.
     """
     ps = [float(p) for p in np.atleast_1d(np.asarray(ps, dtype=np.float64))]
     if mc_trials < 0:
         raise ConfigurationError(f"mc_trials must be >= 0, got {mc_trials}")
-    # One independent child stream per (p, metric) MC estimate: values
-    # depend only on the seed, not on the position within the grid.
-    mc_rngs = iter(spawn_rngs(make_rng(rng), 2 * len(ps))) if mc_trials else None
+    # One independent child stream per (p, metric) MC estimate,
+    # pre-materialized and indexed by grid position: values depend only
+    # on the seed and the position, never on evaluation order (a lazy
+    # iterator here would skew every later stream if a column raised).
+    mc_rngs = spawn_rngs(make_rng(rng), 2 * len(ps)) if mc_trials else []
     # The deterministic columns are all vectorized over p, and the exact
     # column's occupancy tables are p-independent: evaluate each method
     # once across the whole grid instead of once per grid point.
@@ -73,6 +99,29 @@ def availability_sweep(
     read_fr_vals = read_availability_fr(quorum, p_grid)
     read_erc_vals = read_availability_erc(quorum, n, k, p_grid)
     exact_vals = exact_read_erc(quorum, n, k, p_grid)
+    mc_values: list[float] = []
+    if mc_trials:
+        payloads = []
+        for i, p in enumerate(ps):
+            for j, metric in enumerate(("write", "read_erc")):
+                payloads.append(
+                    {
+                        "quorum": quorum,
+                        "n": n,
+                        "k": k,
+                        "p": p,
+                        "metric": metric,
+                        "trials": mc_trials,
+                        "rng": mc_rngs[2 * i + j],
+                    }
+                )
+        owned = executor is None
+        pool = ParallelExecutor(jobs) if owned else executor
+        try:
+            mc_values = pool.map(_mc_column_task, payloads)
+        finally:
+            if owned:
+                pool.close()
     records: list[SweepRecord] = []
     for i, p in enumerate(ps):
         records.append(SweepRecord(p, "write", "closed_form", float(write_vals[i])))
@@ -85,24 +134,10 @@ def availability_sweep(
         records.append(SweepRecord(p, "read_erc", "exact", float(exact_vals[i])))
         if mc_trials:
             records.append(
-                SweepRecord(
-                    p,
-                    "write",
-                    "monte_carlo",
-                    mc_write_availability(
-                        quorum, p, trials=mc_trials, rng=next(mc_rngs)
-                    ).mean,
-                )
+                SweepRecord(p, "write", "monte_carlo", mc_values[2 * i])
             )
             records.append(
-                SweepRecord(
-                    p,
-                    "read_erc",
-                    "monte_carlo",
-                    mc_read_availability_erc(
-                        quorum, n, k, p, trials=mc_trials, rng=next(mc_rngs)
-                    ).mean,
-                )
+                SweepRecord(p, "read_erc", "monte_carlo", mc_values[2 * i + 1])
             )
     return records
 

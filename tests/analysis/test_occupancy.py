@@ -332,6 +332,14 @@ class TestOptimizerEquivalence:
         swept = optimize_config_sweep(9, 6, ps)
         assert swept == tuple(optimize_config(9, 6, p) for p in ps)
 
+    def test_sweep_jobs2_identical_to_serial(self):
+        # The shape-family fan-out is pure enumeration: any worker count
+        # must reassemble the exact serial result tuple.
+        ps = (0.5, 0.9)
+        assert optimize_config_sweep(9, 6, ps, jobs=2) == optimize_config_sweep(
+            9, 6, ps
+        )
+
     def test_sweep_validates_each_p(self):
         with pytest.raises(ConfigurationError):
             optimize_config_sweep(9, 6, (0.5, 1.0))

@@ -19,6 +19,7 @@ from repro.api import (
     ScenarioSpec,
     SystemSpec,
     WorkloadSpec,
+    execution_options,
 )
 from repro.errors import ConfigurationError
 
@@ -302,3 +303,51 @@ class TestValidation:
         spec = SystemSpec.from_dict(payload)
         assert spec.latency is None
         assert spec.scenario.faultload is None
+
+
+class TestExecutionOptions:
+    """The advisory execution block: validated, then kept out of identity."""
+
+    def test_absent_block_means_serial(self):
+        assert execution_options(None) == {"jobs": 0}
+
+    def test_valid_block(self):
+        assert execution_options({"jobs": 4}) == {"jobs": 4}
+        assert execution_options({}) == {"jobs": 0}
+
+    @pytest.mark.parametrize(
+        "block",
+        [
+            "4",
+            ["jobs"],
+            {"jobs": -2},
+            {"jobs": 1.5},
+            {"jobs": True},
+            {"jobs": "many"},
+            {"workers": 4},
+        ],
+    )
+    def test_invalid_blocks_rejected(self, block):
+        with pytest.raises(ConfigurationError):
+            execution_options(block)
+
+    def test_from_dict_strips_execution_block(self):
+        spec = SystemSpec.trapezoid(9, 6, 2, 1, 1, 2, seed=3)
+        payload = spec.to_dict()
+        payload["execution"] = {"jobs": 8}
+        again = SystemSpec.from_dict(payload)
+        assert again == spec
+        assert hash(again) == hash(spec)
+        assert "execution" not in again.to_dict()
+
+    def test_from_dict_still_validates_the_block(self):
+        payload = SystemSpec().to_dict()
+        payload["execution"] = {"jobs": -1}
+        with pytest.raises(ConfigurationError, match="jobs"):
+            SystemSpec.from_dict(payload)
+
+    def test_from_dict_leaves_caller_dict_untouched(self):
+        payload = SystemSpec().to_dict()
+        payload["execution"] = {"jobs": 2}
+        SystemSpec.from_dict(payload)
+        assert payload["execution"] == {"jobs": 2}

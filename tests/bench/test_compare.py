@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.bench.compare import compare_docs, main
+from repro.bench.compare import compare_docs, main, wallclock_deltas
 from repro.errors import ConfigurationError
 
 
@@ -123,6 +123,117 @@ class TestEventCoreGate:
         assert any("event_core_reference:" in r and "missing" in r for r in regressions)
 
 
+def _par_entry(speedup, jobs=4, host_cpus=8, byte_identical=True, **over):
+    entry = {
+        "seconds_per_call": 1.0,
+        "serial_seconds_per_call": speedup,
+        "jobs": jobs,
+        "host_cpus": host_cpus,
+        "points": 4,
+        "ops": 1200,
+        "speedup": speedup,
+        "byte_identical": byte_identical,
+    }
+    entry.update(over)
+    return entry
+
+
+PARALLEL_BASELINE = _doc(parallel_scaling=_par_entry(3.1))
+
+
+class TestParallelScalingGate:
+    """parallel_scaling gates on byte-identity always, and on the
+    speedup floor only where the host has the cores to realize it."""
+
+    def test_fast_enough_passes(self):
+        fresh = _doc(parallel_scaling=_par_entry(3.0))
+        assert compare_docs(PARALLEL_BASELINE, fresh) == []
+
+    def test_slow_on_capable_host_fails(self):
+        fresh = _doc(parallel_scaling=_par_entry(1.4, jobs=4, host_cpus=8))
+        regressions = compare_docs(PARALLEL_BASELINE, fresh)
+        assert len(regressions) == 1
+        assert "parallel_scaling" in regressions[0]
+        assert "floor" in regressions[0]
+
+    def test_small_host_is_informational(self):
+        # A 1-CPU container cannot beat serial; its entry records the
+        # numbers but must not fail the gate.
+        fresh = _doc(parallel_scaling=_par_entry(0.5, jobs=4, host_cpus=1))
+        assert compare_docs(PARALLEL_BASELINE, fresh) == []
+
+    def test_byte_identity_violation_always_fails(self):
+        fresh = _doc(
+            parallel_scaling=_par_entry(
+                3.0, jobs=4, host_cpus=1, byte_identical=False
+            )
+        )
+        regressions = compare_docs(PARALLEL_BASELINE, fresh)
+        assert len(regressions) == 1
+        assert "byte_identical" in regressions[0]
+
+    def test_missing_section_fails_gate(self):
+        regressions = compare_docs(PARALLEL_BASELINE, _doc())
+        assert regressions
+        assert any(
+            "parallel_scaling" in r and "missing" in r for r in regressions
+        )
+
+    def test_missing_speedup_field_fails(self):
+        entry = _par_entry(3.0)
+        del entry["speedup"]
+        fresh = _doc(parallel_scaling=entry)
+        regressions = compare_docs(PARALLEL_BASELINE, fresh)
+        assert any("speedup missing" in r for r in regressions)
+
+    def test_custom_floor(self):
+        fresh = _doc(parallel_scaling=_par_entry(3.0))
+        assert compare_docs(
+            PARALLEL_BASELINE, fresh, min_parallel_speedup=3.5
+        ) != []
+        assert (
+            compare_docs(PARALLEL_BASELINE, fresh, min_parallel_speedup=2.0)
+            == []
+        )
+
+    def test_fresh_gate_applies_without_baseline_entry(self):
+        # Gate is on the fresh document: a baseline predating the
+        # section doesn't exempt a bad fresh entry.
+        fresh = _doc(parallel_scaling=_par_entry(1.0, jobs=4, host_cpus=8))
+        regressions = compare_docs(_doc(), fresh)
+        assert len(regressions) == 1
+        assert "floor" in regressions[0]
+
+    def test_docs_without_the_section_stay_green(self):
+        assert compare_docs(BASELINE, BASELINE) == []
+
+
+class TestWallclockDeltas:
+    def test_deltas_cover_both_directions(self):
+        fresh = _doc(
+            encode={
+                "seconds_per_call": 0.02,
+                "payload_bytes": 1000,
+                "mb_per_s": 50.0,
+            },
+            mc_write={
+                "seconds_per_call": 0.05,
+                "trials": 1000,
+                "trials_per_s": 20_000.0,
+            },
+            optimizer=BASELINE["results"]["optimizer"],
+        )
+        lines = wallclock_deltas(BASELINE, fresh)
+        text = "\n".join(lines)
+        assert "encode: 0.01s -> 0.02s (+100.0%)" in text
+        assert "mc_write: 0.1s -> 0.05s (-50.0%)" in text
+        assert "optimizer: 0.05s -> 0.05s (+0.0%)" in text
+
+    def test_missing_fresh_entry_reported(self):
+        lines = wallclock_deltas(BASELINE, _doc())
+        assert any("(missing)" in line for line in lines)
+
+
 class TestCompareDocs:
     def test_identical_docs_pass(self):
         assert compare_docs(BASELINE, BASELINE) == []
@@ -217,3 +328,21 @@ class TestCliEntry:
         with pytest.raises(ConfigurationError):
             main([base, fresh])
         assert main([base, fresh, "--allow-config-mismatch"]) == 0
+
+    def test_wallclock_delta_summary_printed(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", BASELINE)
+        assert main([base, base]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock per section" in out
+        assert "encode: 0.01s -> 0.01s (+0.0%)" in out
+        assert main([base, base, "--quiet"]) == 0
+        assert "wall-clock" not in capsys.readouterr().out
+
+    def test_min_parallel_speedup_flag(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", PARALLEL_BASELINE)
+        fresh = self._write(
+            tmp_path / "fresh.json", _doc(parallel_scaling=_par_entry(3.0))
+        )
+        assert main([base, fresh, "--min-parallel-speedup", "3.5"]) == 1
+        assert "floor" in capsys.readouterr().out
+        assert main([base, fresh, "--min-parallel-speedup", "2.0"]) == 0

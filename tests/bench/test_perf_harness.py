@@ -12,6 +12,8 @@ import json
 import pytest
 
 from repro.bench import TINY_SIZES, run_perf, write_perf_json
+from repro.bench.perf import section_names
+from repro.errors import ConfigurationError
 
 
 @pytest.fixture(scope="module")
@@ -47,8 +49,10 @@ class TestPerfHarness:
             "wallclock_inproc",
             "event_core",
             "event_core_reference",
+            "parallel_scaling",
         ):
             assert name in perf_doc["results"], name
+        assert perf_doc["sections"] == list(section_names())
 
     def test_sharded_throughput_entry(self, perf_doc):
         entry = perf_doc["results"]["sharded_throughput"]
@@ -105,8 +109,19 @@ class TestPerfHarness:
             "encode_small_batch_vs_loop",
             "exact_enum_vs_seed",
             "optimizer_vs_seed",
+            "parallel_vs_serial_saturation",
         ):
             assert speedups[name] > 0, name
+
+    def test_parallel_scaling_entry(self, perf_doc):
+        entry = perf_doc["results"]["parallel_scaling"]
+        assert entry["byte_identical"] is True
+        assert entry["jobs"] == TINY_SIZES["par_jobs"]
+        assert entry["points"] == len(TINY_SIZES["par_clients"])
+        assert entry["host_cpus"] >= 1
+        assert entry["serial_seconds_per_call"] > 0
+        assert entry["speedup"] > 0
+        assert entry["warm_pool"] is True
 
     def test_exact_enum_sections_consistent(self, perf_doc):
         results = perf_doc["results"]
@@ -160,8 +175,67 @@ class TestCliEntry:
 
         calls = []
         monkeypatch.setattr(
-            perf, "_run_perf", lambda sizes, seed: calls.append(perf._PROFILE_SECTIONS)
+            perf,
+            "_run_perf",
+            lambda sizes, seed, sections=None, jobs=0: calls.append(
+                (perf._PROFILE_SECTIONS, jobs)
+            ),
         )
-        perf.run_perf(sizes={}, profile=True)
-        assert calls == [True]
+        perf.run_perf(sizes={}, profile=True, jobs=4)
+        # profile forces the serial path: cProfile is per-process.
+        assert calls == [(True, 0)]
         assert perf._PROFILE_SECTIONS is False
+
+
+class TestSectionFilter:
+    def test_subset_runs_only_requested_sections(self):
+        doc = run_perf(sizes=TINY_SIZES, sections=["mc"])
+        assert doc["sections"] == ["mc"]
+        assert sorted(doc["results"]) == ["mc_read_erc", "mc_write"]
+        assert doc["speedups"] == {}
+
+    def test_filter_order_is_document_order(self):
+        doc = run_perf(sizes=TINY_SIZES, sections=["mc", "encode"])
+        assert doc["sections"] == ["encode", "mc"]
+
+    def test_unknown_section_lists_valid_names(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            run_perf(sizes=TINY_SIZES, sections=["encode", "nope"])
+        msg = str(excinfo.value)
+        assert "nope" in msg
+        for name in section_names():
+            assert name in msg
+
+    def test_section_names_cover_registry(self):
+        names = section_names()
+        assert "encode" in names
+        assert "parallel_scaling" in names
+
+    def test_jobs_fanout_matches_serial_structure(self):
+        serial = run_perf(sizes=TINY_SIZES, sections=["update", "mc"])
+        fanned = run_perf(sizes=TINY_SIZES, sections=["update", "mc"], jobs=2)
+        assert sorted(fanned["results"]) == sorted(serial["results"])
+        assert fanned["sections"] == serial["sections"]
+
+    def test_main_sections_flag(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "perf.json"
+        assert (
+            main(
+                [
+                    "--json", str(out), "--tiny", "--quiet",
+                    "--sections", "mc",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(out.read_text())
+        assert doc["sections"] == ["mc"]
+
+    def test_main_unknown_section_errors(self, tmp_path):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(ConfigurationError):
+            main(["--json", str(tmp_path / "x.json"), "--tiny",
+                  "--sections", "bogus"])

@@ -1,0 +1,37 @@
+"""Importable task functions for the process-pool executor tests.
+
+Spawn-context workers resolve task functions by import, so these must
+live in a real module — the test module itself is fine for the parent,
+but the child needs this directory on ``sys.path`` (the tests pass it
+via ``ParallelExecutor(sys_paths=...)``).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def pid_and_square(x: int) -> tuple:
+    return (os.getpid(), x * x)
+
+
+def fail_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError(f"boom at {x}")
+    return x
+
+
+def crash_on_three(x: int) -> int:
+    if x == 3:
+        os._exit(17)  # die without answering: the worker-crash path
+    return x
+
+
+def interrupt_on_three(x: int) -> int:
+    if x == 3:
+        raise KeyboardInterrupt
+    return x

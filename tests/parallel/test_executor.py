@@ -1,0 +1,206 @@
+"""ParallelExecutor contract tests: ordering, failure surfacing, cleanup.
+
+The executor is the one fan-out primitive every study layer shares, so
+its contract is pinned directly: results in task order at any worker
+count, ``jobs<=1`` means inline execution, task exceptions come back as
+:class:`ParallelExecutionError` with the worker traceback, a worker
+dying without answering raises :class:`WorkerCrashError`, and every
+failure path tears the pool down — no orphaned workers, no partial
+results.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import partasks
+from repro.errors import (
+    ConfigurationError,
+    ParallelExecutionError,
+    WorkerCrashError,
+)
+from repro.parallel import ParallelExecutor, resolve_jobs
+
+HERE = str(Path(__file__).resolve().parent)
+
+
+def make_executor(jobs, **kwargs) -> ParallelExecutor:
+    return ParallelExecutor(jobs, sys_paths=(HERE,), **kwargs)
+
+
+@contextlib.contextmanager
+def no_orphan_workers():
+    """Every worker spawned inside the block must be gone when it ends.
+
+    Snapshot-relative, so pools owned by other fixtures (e.g. the
+    module-scoped warm pool) don't trip the check.
+    """
+    before = {proc.pid for proc in multiprocessing.active_children()}
+    yield
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        leftover = [
+            proc
+            for proc in multiprocessing.active_children()
+            if proc.pid not in before
+        ]
+        if not leftover:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"orphaned worker processes: {leftover}")
+
+
+class TestResolveJobs:
+    def test_values(self):
+        assert resolve_jobs(None) == 0
+        assert resolve_jobs(0) == 0
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(5) == 5
+        cpus = resolve_jobs("auto")
+        assert cpus >= 1
+        assert resolve_jobs(-1) == cpus
+
+    @pytest.mark.parametrize("bad", [-2, "three", 1.5, object()])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(bad)
+
+    def test_bad_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(2, chunk_size=0)
+
+
+class TestInlinePath:
+    @pytest.mark.parametrize("jobs", [0, 1, None])
+    def test_not_parallel(self, jobs):
+        ex = ParallelExecutor(jobs)
+        assert ex.parallel is False
+
+    @pytest.mark.parametrize("jobs", [0, 1])
+    def test_runs_inline_without_pickling(self, jobs):
+        # A lambda is unpicklable — succeeding proves no pool is involved.
+        ex = ParallelExecutor(jobs)
+        assert ex.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert ex._pool is None
+
+    def test_single_payload_stays_inline_even_with_workers(self):
+        ex = ParallelExecutor(4)
+        assert ex.map(lambda x: x * 10, [7]) == [70]
+        assert ex._pool is None
+
+    def test_inline_exceptions_propagate_raw(self):
+        ex = ParallelExecutor(0)
+        with pytest.raises(ValueError, match="boom at 3"):
+            ex.map(partasks.fail_on_three, range(6))
+
+
+class TestParallelPath:
+    def test_results_in_task_order(self):
+        with make_executor(2) as ex:
+            assert ex.map(partasks.square, range(20)) == [
+                x * x for x in range(20)
+            ]
+            assert ex._pool is not None
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 100])
+    def test_chunking_never_reorders(self, chunk_size):
+        with make_executor(2, chunk_size=chunk_size) as ex:
+            assert ex.map(partasks.square, range(11)) == [
+                x * x for x in range(11)
+            ]
+
+    def test_pool_reused_across_maps(self):
+        with make_executor(2) as ex:
+            ex.map(partasks.square, range(4))
+            pool = ex._pool
+            ex.map(partasks.square, range(4))
+            assert ex._pool is pool
+
+    def test_runs_in_worker_processes(self):
+        import os
+
+        with make_executor(2, chunk_size=1) as ex:
+            pids = {pid for pid, _ in ex.map(partasks.pid_and_square, range(6))}
+        assert os.getpid() not in pids
+
+    def test_default_chunks_cover_all_payloads(self):
+        ex = ParallelExecutor(3)
+        chunks = ex._chunks(list(range(25)))
+        assert [x for chunk in chunks for x in chunk] == list(range(25))
+        assert all(chunks)
+
+    def test_close_idempotent(self):
+        with no_orphan_workers():
+            ex = make_executor(2)
+            ex.map(partasks.square, range(4))
+            ex.close()
+            ex.close()
+            assert ex._pool is None
+
+
+@pytest.fixture(scope="module")
+def warm_pool():
+    ex = make_executor(2, chunk_size=3)
+    yield ex
+    ex.close()
+
+
+@given(xs=st.lists(st.integers(-(10**6), 10**6), max_size=12))
+@settings(max_examples=15, deadline=None)
+def test_map_matches_inline_for_any_payloads(warm_pool, xs):
+    assert warm_pool.map(partasks.square, xs) == [x * x for x in xs]
+
+
+class TestFailureSurfacing:
+    def test_task_exception_wrapped_with_context(self):
+        with no_orphan_workers():
+            ex = make_executor(2, chunk_size=1)
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                ex.map(partasks.fail_on_three, range(6))
+            err = excinfo.value
+            assert err.exc_type == "ValueError"
+            assert "boom at 3" in err.message
+            assert "ValueError" in err.worker_traceback
+            # no partial results and no pool left behind
+            assert ex._pool is None
+
+    def test_worker_crash_raises_crash_error(self):
+        with no_orphan_workers():
+            ex = make_executor(2, chunk_size=1)
+            with pytest.raises(WorkerCrashError) as excinfo:
+                ex.map(partasks.crash_on_three, range(6))
+            assert isinstance(excinfo.value, ParallelExecutionError)
+            assert ex._pool is None
+
+    def test_worker_keyboard_interrupt_is_marshalled(self):
+        # Worker-side interrupts come back as marshalled task failures
+        # (the chunk loop catches BaseException) — still no partial
+        # results, still a torn-down pool.
+        with no_orphan_workers():
+            ex = make_executor(2, chunk_size=1)
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                ex.map(partasks.interrupt_on_three, range(6))
+            assert excinfo.value.exc_type == "KeyboardInterrupt"
+            assert ex._pool is None
+
+    def test_parent_keyboard_interrupt_tears_down_pool(self, monkeypatch):
+        # Parent-side ^C while dispatching: the pool is force-closed and
+        # the interrupt surfaces untouched.
+        with no_orphan_workers():
+            ex = make_executor(2)
+            ex.map(partasks.square, range(4))  # warm the pool first
+
+            def explode(self, payloads):
+                raise KeyboardInterrupt
+
+            monkeypatch.setattr(ParallelExecutor, "_chunks", explode)
+            with pytest.raises(KeyboardInterrupt):
+                ex.map(partasks.square, range(4))
+            assert ex._pool is None

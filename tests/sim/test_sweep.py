@@ -54,6 +54,30 @@ class TestAvailabilitySweep:
         assert {r.p for r in records} == {0.5}
 
 
+class TestSweepParallel:
+    """The MC-column fan-out: position-keyed streams, serial-identical."""
+
+    def test_jobs2_identical_to_serial(self):
+        serial = availability_sweep(
+            QUORUM, 15, 8, [0.6, 0.8], mc_trials=400, rng=7
+        )
+        parallel = availability_sweep(
+            QUORUM, 15, 8, [0.6, 0.8], mc_trials=400, rng=7, jobs=2
+        )
+        assert parallel == serial
+
+    def test_mc_streams_keyed_by_grid_position(self):
+        # Point i's MC stream depends only on (seed, i) — never on what
+        # the rest of the grid looks like or which order columns ran.
+        long = availability_sweep(
+            QUORUM, 15, 8, [0.6, 0.8, 0.9], mc_trials=300, rng=11
+        )
+        short = availability_sweep(QUORUM, 15, 8, [0.6], mc_trials=300, rng=11)
+        mc_long = [r for r in long if r.method == "monte_carlo" and r.p == 0.6]
+        mc_short = [r for r in short if r.method == "monte_carlo"]
+        assert mc_long == mc_short
+
+
 class TestCsvRendering:
     def test_csv_shape(self):
         records = availability_sweep(QUORUM, 15, 8, [0.5, 0.8])

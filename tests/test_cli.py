@@ -239,3 +239,70 @@ class TestWallclockCommand:
         path.write_text(spec.to_json() + "\n")
         assert main(["wallclock", "--config", str(path)]) == 0
         assert "measured" in capsys.readouterr().out
+
+
+class TestJobsFlag:
+    """--jobs wiring: parallel runs byte-identical, execution block advisory."""
+
+    def _config(self, tmp_path, execution=None):
+        from repro.api import ScenarioSpec, SystemSpec, WorkloadSpec
+
+        spec = SystemSpec.trapezoid(
+            9, 6, 2, 1, 1, 2,
+            workload=WorkloadSpec(num_ops=20, block_length=8),
+            scenario=ScenarioSpec(kind="protocol_mc", trials=9),
+            seed=5,
+        )
+        payload = json.loads(spec.to_json())
+        if execution is not None:
+            payload["execution"] = execution
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_run_jobs_output_byte_identical(self, tmp_path, capsys):
+        config = self._config(tmp_path)
+        assert main(["run", "--config", str(config), "--quiet"]) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["run", "--config", str(config), "--quiet", "--jobs", "2"]
+        ) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_execution_block_is_advisory_only(self, tmp_path, capsys):
+        # The block selects workers but never enters spec identity: the
+        # output (result "spec" section included) is byte-identical to a
+        # config without it.
+        plain = self._config(tmp_path)
+        assert main(["run", "--config", str(plain), "--quiet"]) == 0
+        serial = capsys.readouterr().out
+        with_block = self._config(tmp_path, execution={"jobs": 2})
+        assert main(["run", "--config", str(with_block), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert out == serial
+        assert "execution" not in json.loads(out)["spec"]
+
+    def test_jobs_flag_overrides_execution_block(self, tmp_path, capsys):
+        config = self._config(tmp_path, execution={"jobs": 2})
+        assert main(
+            ["run", "--config", str(config), "--quiet", "--jobs", "0"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["kind"] == "protocol_mc"
+
+    def test_invalid_execution_block_rejected(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        config = self._config(tmp_path, execution={"jobs": -2})
+        with pytest.raises(ConfigurationError, match="jobs"):
+            main(["run", "--config", str(config), "--quiet"])
+
+    def test_availability_jobs_csv_identical(self, capsys):
+        argv = [
+            "availability", "--n", "9", "--k", "6",
+            "--a", "2", "--b", "1", "--height", "1",
+            "--p", "0.7", "0.9", "--mc-trials", "500", "--seed", "3",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
